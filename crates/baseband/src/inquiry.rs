@@ -1,0 +1,148 @@
+//! The inquiry (device discovery) procedure.
+//!
+//! An inquirer broadcasts the General Inquiry Access Code; every
+//! inquiry-scanning device eventually responds with its address, class of
+//! device and name. In the page blocking attack the victim `M` still runs a
+//! perfectly normal inquiry (Fig 6b steps 4–5) — discovery is untouched; it
+//! is the *connection* step that the pre-established PLOC link short-circuits.
+
+use blap_types::{BdAddr, ClassOfDevice, DeviceName, Duration};
+use rand::Rng;
+
+use crate::scan::ScanConfig;
+use crate::timing;
+
+/// A device visible to inquiry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InquiryTarget<Id> {
+    /// Opaque device identity.
+    pub id: Id,
+    /// Advertised BDADDR.
+    pub bd_addr: BdAddr,
+    /// Advertised class of device.
+    pub cod: ClassOfDevice,
+    /// Device name (returned by remote name request).
+    pub name: DeviceName,
+    /// Whether inquiry scan is enabled.
+    pub discoverable: bool,
+}
+
+/// One inquiry response with its arrival latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InquiryResponse<Id> {
+    /// Responding device.
+    pub id: Id,
+    /// Advertised BDADDR.
+    pub bd_addr: BdAddr,
+    /// Advertised class of device.
+    pub cod: ClassOfDevice,
+    /// Device name.
+    pub name: DeviceName,
+    /// When the response arrived, relative to inquiry start.
+    pub latency: Duration,
+}
+
+/// Runs one inquiry of length `inquiry_length` units (1.28 s each) against
+/// the given targets, sampling response latencies from each target's
+/// inquiry-scan alignment. Responses landing after the inquiry window are
+/// dropped — short inquiries can genuinely miss devices.
+///
+/// Results are sorted by latency (the order the inquirer would see them).
+pub fn run_inquiry<Id: Copy, R: Rng + ?Sized>(
+    targets: &[InquiryTarget<Id>],
+    inquiry_length: u8,
+    rng: &mut R,
+) -> Vec<InquiryResponse<Id>> {
+    let window = timing::INQUIRY_LENGTH_UNIT.mul(inquiry_length.max(1) as u64);
+    let scan = ScanConfig::inquiry_default();
+    let mut responses: Vec<InquiryResponse<Id>> = targets
+        .iter()
+        .filter(|t| t.discoverable)
+        .filter_map(|t| {
+            // First scan-window alignment plus a sub-window offset.
+            let phase = rng.gen_range(0..scan.interval.as_micros());
+            let jitter = rng.gen_range(0..scan.window.as_micros());
+            let latency = Duration::from_micros(phase + jitter);
+            (latency < window).then(|| InquiryResponse {
+                id: t.id,
+                bd_addr: t.bd_addr,
+                cod: t.cod,
+                name: t.name.clone(),
+                latency,
+            })
+        })
+        .collect();
+    responses.sort_by_key(|r| r.latency);
+    responses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn target(id: u32, addr: &str, discoverable: bool) -> InquiryTarget<u32> {
+        InquiryTarget {
+            id,
+            bd_addr: addr.parse().unwrap(),
+            cod: ClassOfDevice::HANDS_FREE,
+            name: DeviceName::new(format!("dev-{id}")),
+            discoverable,
+        }
+    }
+
+    #[test]
+    fn discoverable_devices_answer_long_inquiries() {
+        let targets = vec![
+            target(1, "aa:aa:aa:aa:aa:01", true),
+            target(2, "aa:aa:aa:aa:aa:02", true),
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        // 8 × 1.28 s comfortably exceeds the scan interval.
+        let responses = run_inquiry(&targets, 8, &mut rng);
+        assert_eq!(responses.len(), 2);
+        assert!(responses[0].latency <= responses[1].latency);
+    }
+
+    #[test]
+    fn hidden_devices_never_answer() {
+        let targets = vec![target(1, "aa:aa:aa:aa:aa:01", false)];
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(run_inquiry(&targets, 8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn short_inquiries_can_miss() {
+        let targets: Vec<InquiryTarget<u32>> = (0..100)
+            .map(|i| target(i, "aa:aa:aa:aa:aa:aa", true))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        // Window of 1 unit (1.28 s) equals the scan interval, so phase +
+        // jitter pushes some responses out of the window.
+        let responses = run_inquiry(&targets, 1, &mut rng);
+        assert!(
+            responses.len() < 100,
+            "a 1-unit inquiry should miss some of 100 devices"
+        );
+        assert!(!responses.is_empty(), "but should not miss all of them");
+    }
+
+    #[test]
+    fn zero_length_clamps_to_one_unit() {
+        let targets = vec![target(1, "aa:aa:aa:aa:aa:01", true)];
+        let mut rng = StdRng::seed_from_u64(3);
+        // Must not panic; semantics match inquiry_length = 1.
+        let _ = run_inquiry(&targets, 0, &mut rng);
+    }
+
+    #[test]
+    fn responses_carry_identity_fields() {
+        let targets = vec![target(9, "ab:cd:ef:01:02:03", true)];
+        let mut rng = StdRng::seed_from_u64(17);
+        let responses = run_inquiry(&targets, 8, &mut rng);
+        assert_eq!(responses[0].id, 9);
+        assert_eq!(responses[0].bd_addr, "ab:cd:ef:01:02:03".parse().unwrap());
+        assert_eq!(responses[0].name.as_str(), "dev-9");
+    }
+}

@@ -1,0 +1,193 @@
+//! The paging procedure: connection establishment at the baseband.
+//!
+//! A pager broadcasts the target's device access code (derived from the
+//! BDADDR's LAP); any device page-scanning *as that address* may respond.
+//! That "any" is the crux of the paper's §V: with a spoofed BDADDR there are
+//! two candidate responders and the pager cannot tell them apart — the
+//! baseband connects to whichever answers first.
+
+use blap_types::{BdAddr, Duration};
+use rand::Rng;
+
+use crate::race::{PageRaceModel, RaceWinner};
+use crate::timing;
+
+/// One device listening for pages, as seen by the paging arbiter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageListener<Id> {
+    /// Opaque device identity used by the caller to route the result.
+    pub id: Id,
+    /// The BDADDR the device is page-scanning as (its *claimed* address).
+    pub claimed_addr: BdAddr,
+    /// Whether this listener is the attacker's clone (drives the latency
+    /// model split).
+    pub is_spoofer: bool,
+}
+
+/// The result of a page attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageResult<Id> {
+    /// A responder answered; the link forms after `latency`.
+    Connected {
+        /// Which listener won.
+        responder: Id,
+        /// Page latency plus baseband setup overhead.
+        latency: Duration,
+    },
+    /// Nobody page-scanning as the target address: `Page Timeout` after
+    /// [`timing::PAGE_TIMEOUT`].
+    Timeout,
+}
+
+/// Resolves one page attempt against the set of current listeners.
+///
+/// * No listener claiming `target` ⇒ [`PageResult::Timeout`].
+/// * One listener ⇒ it wins with a sampled scan-alignment latency.
+/// * Two listeners (the spoofing scenario) ⇒ the race model decides.
+///
+/// More than two same-address listeners would be a modelling error for this
+/// paper's scenarios and panics loudly rather than guessing.
+///
+/// # Panics
+///
+/// Panics when more than two listeners claim the target address, or when two
+/// listeners claim it but neither (or both) is marked as the spoofer.
+pub fn resolve_page<Id: Copy, R: Rng + ?Sized>(
+    target: BdAddr,
+    listeners: &[PageListener<Id>],
+    race_model: &PageRaceModel,
+    rng: &mut R,
+) -> PageResult<Id> {
+    let candidates: Vec<&PageListener<Id>> = listeners
+        .iter()
+        .filter(|l| l.claimed_addr == target)
+        .collect();
+    match candidates.len() {
+        0 => PageResult::Timeout,
+        1 => {
+            let listener = candidates[0];
+            let latency = if listener.is_spoofer {
+                race_model.sample_attacker_latency(rng)
+            } else {
+                race_model.sample_legitimate_latency(rng)
+            };
+            PageResult::Connected {
+                responder: listener.id,
+                latency: latency + timing::CONNECTION_SETUP_OVERHEAD,
+            }
+        }
+        2 => {
+            let spoofers = candidates.iter().filter(|l| l.is_spoofer).count();
+            assert_eq!(
+                spoofers, 1,
+                "page race requires exactly one spoofer among two listeners"
+            );
+            let outcome = race_model.sample_race(rng);
+            let winner = match outcome.winner {
+                RaceWinner::Attacker => candidates.iter().find(|l| l.is_spoofer).unwrap(),
+                RaceWinner::Legitimate => candidates.iter().find(|l| !l.is_spoofer).unwrap(),
+            };
+            PageResult::Connected {
+                responder: winner.id,
+                latency: outcome.latency + timing::CONNECTION_SETUP_OVERHEAD,
+            }
+        }
+        n => panic!("unsupported page collision: {n} listeners share {target}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn addr_c() -> BdAddr {
+        "cc:cc:cc:cc:cc:cc".parse().unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn no_listener_times_out() {
+        let result: PageResult<u32> =
+            resolve_page(addr_c(), &[], &PageRaceModel::default(), &mut rng());
+        assert_eq!(result, PageResult::Timeout);
+    }
+
+    #[test]
+    fn wrong_address_times_out() {
+        let listeners = [PageListener {
+            id: 1u32,
+            claimed_addr: "aa:aa:aa:aa:aa:aa".parse().unwrap(),
+            is_spoofer: false,
+        }];
+        let result = resolve_page(addr_c(), &listeners, &PageRaceModel::default(), &mut rng());
+        assert_eq!(result, PageResult::Timeout);
+    }
+
+    #[test]
+    fn single_listener_always_connects() {
+        let listeners = [PageListener {
+            id: 7u32,
+            claimed_addr: addr_c(),
+            is_spoofer: false,
+        }];
+        match resolve_page(addr_c(), &listeners, &PageRaceModel::default(), &mut rng()) {
+            PageResult::Connected { responder, latency } => {
+                assert_eq!(responder, 7);
+                assert!(latency >= timing::CONNECTION_SETUP_OVERHEAD);
+            }
+            PageResult::Timeout => panic!("single listener must connect"),
+        }
+    }
+
+    #[test]
+    fn race_distributes_between_two_listeners() {
+        let listeners = [
+            PageListener {
+                id: 1u32, // legitimate C
+                claimed_addr: addr_c(),
+                is_spoofer: false,
+            },
+            PageListener {
+                id: 2u32, // attacker A with spoofed address
+                claimed_addr: addr_c(),
+                is_spoofer: true,
+            },
+        ];
+        let model = PageRaceModel::from_attacker_win_rate(0.6);
+        let mut rng = rng();
+        let mut attacker_wins = 0;
+        const TRIALS: usize = 10_000;
+        for _ in 0..TRIALS {
+            match resolve_page(addr_c(), &listeners, &model, &mut rng) {
+                PageResult::Connected { responder: 2, .. } => attacker_wins += 1,
+                PageResult::Connected { .. } => {}
+                PageResult::Timeout => panic!("two listeners must connect"),
+            }
+        }
+        let rate = attacker_wins as f64 / TRIALS as f64;
+        assert!((rate - 0.6).abs() < 0.03, "empirical attacker rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one spoofer")]
+    fn two_legitimate_listeners_rejected() {
+        let listeners = [
+            PageListener {
+                id: 1u32,
+                claimed_addr: addr_c(),
+                is_spoofer: false,
+            },
+            PageListener {
+                id: 2u32,
+                claimed_addr: addr_c(),
+                is_spoofer: false,
+            },
+        ];
+        let _ = resolve_page(addr_c(), &listeners, &PageRaceModel::default(), &mut rng());
+    }
+}

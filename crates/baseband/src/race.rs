@@ -1,0 +1,203 @@
+//! The page-response race model behind Table II's baseline column.
+//!
+//! When the attacker `A` clones accessory `C`'s BDADDR and both sit in page
+//! scan, a page from the victim `M` reaches whichever device's scan window
+//! aligns with the page train first. Each responder's latency is therefore
+//! (approximately) uniform over its page-scan interval; the faster sample
+//! wins.
+//!
+//! The paper measures the attacker winning 42–60% of such races depending on
+//! the victim device. We reproduce those per-device rates with one knob: the
+//! *attacker latency scale* `s`, making the attacker's latency uniform over
+//! `s · T` while the legitimate accessory stays uniform over `T`. Closed
+//! form:
+//!
+//! * `s ≤ 1`: `P(A wins) = 1 - s/2`
+//! * `s ≥ 1`: `P(A wins) = 1/(2s)`
+//!
+//! which [`PageRaceModel::from_attacker_win_rate`] inverts. The calibration
+//! affects *only* the baseline; the page blocking attack never enters this
+//! module.
+
+use blap_types::Duration;
+use rand::Rng;
+
+use crate::timing;
+
+/// Who won a page race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceWinner {
+    /// The attacker's spoofed device answered first.
+    Attacker,
+    /// The legitimate accessory answered first.
+    Legitimate,
+}
+
+/// Outcome of one sampled race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RaceOutcome {
+    /// Which responder won.
+    pub winner: RaceWinner,
+    /// The winning response latency.
+    pub latency: Duration,
+}
+
+/// Latency model for the two-responder page race.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PageRaceModel {
+    /// Scan interval both responders are nominally configured with.
+    base_interval: Duration,
+    /// Attacker latency scale `s` (1.0 = perfectly matched hardware).
+    attacker_scale: f64,
+}
+
+impl Default for PageRaceModel {
+    fn default() -> Self {
+        PageRaceModel::new(1.0)
+    }
+}
+
+impl PageRaceModel {
+    /// Creates a model with the given attacker latency scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `attacker_scale` is not strictly positive and finite.
+    pub fn new(attacker_scale: f64) -> Self {
+        assert!(
+            attacker_scale.is_finite() && attacker_scale > 0.0,
+            "attacker_scale must be positive and finite, got {attacker_scale}"
+        );
+        PageRaceModel {
+            base_interval: timing::PAGE_SCAN_INTERVAL,
+            attacker_scale,
+        }
+    }
+
+    /// Calibrates the model so the attacker wins with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn from_attacker_win_rate(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "win rate must be in (0, 1), got {p}");
+        let scale = if p >= 0.5 {
+            2.0 * (1.0 - p)
+        } else {
+            1.0 / (2.0 * p)
+        };
+        PageRaceModel::new(scale)
+    }
+
+    /// The analytic attacker win probability of this model.
+    pub fn expected_attacker_win_rate(&self) -> f64 {
+        let s = self.attacker_scale;
+        if s <= 1.0 {
+            1.0 - s / 2.0
+        } else {
+            1.0 / (2.0 * s)
+        }
+    }
+
+    /// The attacker latency scale.
+    pub fn attacker_scale(&self) -> f64 {
+        self.attacker_scale
+    }
+
+    /// Samples the attacker's page-response latency.
+    pub fn sample_attacker_latency<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let max = self.base_interval.as_micros() as f64 * self.attacker_scale;
+        Duration::from_micros(rng.gen_range(0.0..max) as u64)
+    }
+
+    /// Samples the legitimate accessory's page-response latency.
+    pub fn sample_legitimate_latency<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let max = self.base_interval.as_micros();
+        Duration::from_micros(rng.gen_range(0..max))
+    }
+
+    /// Samples one full race.
+    pub fn sample_race<R: Rng + ?Sized>(&self, rng: &mut R) -> RaceOutcome {
+        let attacker = self.sample_attacker_latency(rng);
+        let legitimate = self.sample_legitimate_latency(rng);
+        if attacker <= legitimate {
+            RaceOutcome {
+                winner: RaceWinner::Attacker,
+                latency: attacker,
+            }
+        } else {
+            RaceOutcome {
+                winner: RaceWinner::Legitimate,
+                latency: legitimate,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_rate(model: &PageRaceModel, trials: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wins = (0..trials)
+            .filter(|_| model.sample_race(&mut rng).winner == RaceWinner::Attacker)
+            .count();
+        wins as f64 / trials as f64
+    }
+
+    #[test]
+    fn matched_hardware_is_a_coin_flip() {
+        let model = PageRaceModel::default();
+        assert!((model.expected_attacker_win_rate() - 0.5).abs() < 1e-9);
+        let rate = empirical_rate(&model, 20_000, 1);
+        assert!((rate - 0.5).abs() < 0.02, "empirical {rate}");
+    }
+
+    #[test]
+    fn calibration_inverts_for_paper_rates() {
+        // Every Table II baseline rate must be reproducible.
+        for p in [0.42, 0.51, 0.52, 0.57, 0.60] {
+            let model = PageRaceModel::from_attacker_win_rate(p);
+            assert!(
+                (model.expected_attacker_win_rate() - p).abs() < 1e-9,
+                "analytic inversion failed for {p}"
+            );
+            let rate = empirical_rate(&model, 20_000, (p * 100.0) as u64);
+            assert!((rate - p).abs() < 0.02, "empirical {rate} for target {p}");
+        }
+    }
+
+    #[test]
+    fn extreme_scales() {
+        // Very slow attacker rarely wins; very fast attacker nearly always.
+        let slow = PageRaceModel::new(10.0);
+        assert!(slow.expected_attacker_win_rate() < 0.06);
+        let fast = PageRaceModel::new(0.05);
+        assert!(fast.expected_attacker_win_rate() > 0.97);
+    }
+
+    #[test]
+    fn latencies_are_bounded_by_interval() {
+        let model = PageRaceModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let outcome = model.sample_race(&mut rng);
+            assert!(outcome.latency < timing::PAGE_SCAN_INTERVAL);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "win rate")]
+    fn rejects_invalid_rate() {
+        let _ = PageRaceModel::from_attacker_win_rate(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attacker_scale")]
+    fn rejects_invalid_scale() {
+        let _ = PageRaceModel::new(0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Scan-state bookkeeping: whether a device answers inquiries and pages.
+
+use blap_types::Duration;
+
+use crate::timing;
+
+/// Timing configuration for one scan activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// How often the scan window opens.
+    pub interval: Duration,
+    /// How long the scan window stays open.
+    pub window: Duration,
+}
+
+impl ScanConfig {
+    /// Default page-scan timing (R1).
+    pub fn page_default() -> Self {
+        ScanConfig {
+            interval: timing::PAGE_SCAN_INTERVAL,
+            window: timing::PAGE_SCAN_WINDOW,
+        }
+    }
+
+    /// Default inquiry-scan timing.
+    pub fn inquiry_default() -> Self {
+        ScanConfig {
+            interval: timing::INQUIRY_SCAN_INTERVAL,
+            window: timing::INQUIRY_SCAN_WINDOW,
+        }
+    }
+
+    /// Fraction of time the scan window is open (duty cycle in 0..=1).
+    pub fn duty_cycle(&self) -> f64 {
+        self.window.as_micros() as f64 / self.interval.as_micros() as f64
+    }
+}
+
+/// The radio-visible state of one device.
+///
+/// Maps onto `HCI_Write_Scan_Enable`: bit 0 enables inquiry scan
+/// (discoverable), bit 1 enables page scan (connectable). The paper's §II-B
+/// notes a responder may disable page scan to refuse connections — the
+/// "non-connectable mode" countermeasure — so both bits are modelled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanState {
+    /// Answers inquiries (discoverable) when true.
+    pub inquiry_scan: bool,
+    /// Answers pages (connectable) when true.
+    pub page_scan: bool,
+    /// Inquiry-scan timing.
+    pub inquiry_config: ScanConfig,
+    /// Page-scan timing.
+    pub page_config: ScanConfig,
+}
+
+impl Default for ScanState {
+    fn default() -> Self {
+        ScanState {
+            inquiry_scan: false,
+            page_scan: true,
+            inquiry_config: ScanConfig::inquiry_default(),
+            page_config: ScanConfig::page_default(),
+        }
+    }
+}
+
+impl ScanState {
+    /// Fully discoverable and connectable — how accessories wait to pair.
+    pub fn discoverable() -> Self {
+        ScanState {
+            inquiry_scan: true,
+            page_scan: true,
+            ..ScanState::default()
+        }
+    }
+
+    /// Neither discoverable nor connectable (radio effectively silent).
+    pub fn silent() -> Self {
+        ScanState {
+            inquiry_scan: false,
+            page_scan: false,
+            ..ScanState::default()
+        }
+    }
+
+    /// Connectable but hidden — typical for already-bonded phones.
+    pub fn connectable_only() -> Self {
+        ScanState::default()
+    }
+
+    /// Applies an `HCI_Write_Scan_Enable` payload.
+    pub fn apply_scan_enable(&mut self, inquiry_scan: bool, page_scan: bool) {
+        self.inquiry_scan = inquiry_scan;
+        self.page_scan = page_scan;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_connectable_not_discoverable() {
+        let s = ScanState::default();
+        assert!(s.page_scan);
+        assert!(!s.inquiry_scan);
+    }
+
+    #[test]
+    fn presets() {
+        assert!(ScanState::discoverable().inquiry_scan);
+        assert!(ScanState::discoverable().page_scan);
+        assert!(!ScanState::silent().page_scan);
+        assert!(!ScanState::silent().inquiry_scan);
+        assert!(ScanState::connectable_only().page_scan);
+    }
+
+    #[test]
+    fn scan_enable_applies_bits() {
+        let mut s = ScanState::silent();
+        s.apply_scan_enable(true, false);
+        assert!(s.inquiry_scan);
+        assert!(!s.page_scan);
+    }
+
+    #[test]
+    fn duty_cycle_is_small() {
+        let cfg = ScanConfig::page_default();
+        let duty = cfg.duty_cycle();
+        assert!(duty > 0.0 && duty < 0.02, "duty cycle {duty}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Baseband timing constants.
+//!
+//! Values follow the Core Specification defaults where the simulation needs
+//! a concrete number; each constant documents what depends on it.
+
+use blap_types::Duration;
+
+/// Default page-scan interval (`T_page_scan`, R1 mode): 1.28 s.
+pub const PAGE_SCAN_INTERVAL: Duration = Duration::from_micros(1_280_000);
+
+/// Default page-scan window: 11.25 ms.
+pub const PAGE_SCAN_WINDOW: Duration = Duration::from_micros(11_250);
+
+/// Default inquiry-scan interval: 1.28 s.
+pub const INQUIRY_SCAN_INTERVAL: Duration = Duration::from_micros(1_280_000);
+
+/// Default inquiry-scan window: 11.25 ms.
+pub const INQUIRY_SCAN_WINDOW: Duration = Duration::from_micros(11_250);
+
+/// Page timeout (`pageTO`): 5.12 s. A page with no response within this
+/// window completes with `Page Timeout`.
+pub const PAGE_TIMEOUT: Duration = Duration::from_micros(5_120_000);
+
+/// Link supervision timeout default: 20 s of silence drops the link.
+///
+/// The page blocking attack must keep its PLOC link alive longer than the
+/// victim takes to start pairing; the paper mentions exchanging dummy SDP
+/// traffic for exactly this reason.
+pub const LINK_SUPERVISION_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// LMP response timeout (`LMP_RSP_TIMEOUT`): 30 s. When the attacker's host
+/// silently drops `HCI_Link_Key_Request` (Fig 9), this is the timer whose
+/// expiry tears the link down *without* an authentication failure.
+pub const LMP_RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Baseband connection-establishment overhead once a page response arrives
+/// (FHS exchange, POLL/NULL handshake): a few slots.
+pub const CONNECTION_SETUP_OVERHEAD: Duration = Duration::from_slots(8);
+
+/// Inquiry length unit: 1.28 s per unit of the `Inquiry_Length` parameter.
+pub const INQUIRY_LENGTH_UNIT: Duration = Duration::from_micros(1_280_000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blap_types::SLOT;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(PAGE_SCAN_INTERVAL.as_millis(), 1280);
+        assert_eq!(PAGE_SCAN_WINDOW.as_micros(), 11_250);
+        assert!(PAGE_SCAN_WINDOW < PAGE_SCAN_INTERVAL);
+        assert!(PAGE_TIMEOUT > PAGE_SCAN_INTERVAL);
+        assert_eq!(CONNECTION_SETUP_OVERHEAD.as_micros(), 8 * SLOT.as_micros());
+    }
+
+    #[test]
+    fn lmp_timeout_shorter_than_bond_lifetime_but_long() {
+        // The attack's disconnect-by-timeout path relies on this timer
+        // existing and being finite.
+        assert_eq!(LMP_RESPONSE_TIMEOUT.as_micros(), 30_000_000);
+        assert!(LINK_SUPERVISION_TIMEOUT < LMP_RESPONSE_TIMEOUT);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the baseband models: race calibration, paging
+//! resolution, link supervision.
+
+use blap_baseband::link::AclLink;
+use blap_baseband::paging::{resolve_page, PageListener, PageResult};
+use blap_baseband::race::{PageRaceModel, RaceWinner};
+use blap_baseband::timing;
+use blap_types::{BdAddr, ConnectionHandle, Duration, Instant, LtAddr, Role};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn calibration_inverts_any_rate(p in 0.05f64..0.95) {
+        let model = PageRaceModel::from_attacker_win_rate(p);
+        prop_assert!((model.expected_attacker_win_rate() - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_analytic(p in 0.1f64..0.9, seed in any::<u64>()) {
+        let model = PageRaceModel::from_attacker_win_rate(p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 4000;
+        let wins = (0..trials)
+            .filter(|_| model.sample_race(&mut rng).winner == RaceWinner::Attacker)
+            .count();
+        let rate = wins as f64 / trials as f64;
+        prop_assert!((rate - p).abs() < 0.05, "rate {rate} vs target {p}");
+    }
+
+    #[test]
+    fn race_latency_always_positive_and_bounded(p in 0.1f64..0.9, seed in any::<u64>()) {
+        let model = PageRaceModel::from_attacker_win_rate(p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let outcome = model.sample_race(&mut rng);
+            prop_assert!(outcome.latency < timing::PAGE_SCAN_INTERVAL.mul(2));
+        }
+    }
+
+    #[test]
+    fn paging_connects_iff_a_listener_claims_target(target in any::<[u8; 6]>(),
+                                                    other in any::<[u8; 6]>(),
+                                                    seed in any::<u64>()) {
+        prop_assume!(target != other);
+        let target = BdAddr::new(target);
+        let other = BdAddr::new(other);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = PageRaceModel::default();
+
+        let hit = resolve_page(
+            target,
+            &[PageListener { id: 1u32, claimed_addr: target, is_spoofer: false }],
+            &model,
+            &mut rng,
+        );
+        let connected_to_listener =
+            matches!(hit, PageResult::Connected { responder: 1, .. });
+        prop_assert!(connected_to_listener);
+
+        let miss = resolve_page(
+            target,
+            &[PageListener { id: 1u32, claimed_addr: other, is_spoofer: false }],
+            &model,
+            &mut rng,
+        );
+        prop_assert_eq!(miss, PageResult::Timeout);
+    }
+
+    #[test]
+    fn supervision_timeout_is_exact(idle_us in 0u64..40_000_000) {
+        let t0 = Instant::EPOCH;
+        let link = AclLink::new(
+            ConnectionHandle::new(1),
+            BdAddr::ZERO,
+            Role::Initiator,
+            LtAddr::new(1),
+            t0,
+        );
+        let t = t0 + Duration::from_micros(idle_us);
+        let expired = link.is_expired(t);
+        prop_assert_eq!(
+            expired,
+            idle_us >= timing::LINK_SUPERVISION_TIMEOUT.as_micros()
+        );
+        if !expired {
+            prop_assert_eq!(
+                link.time_to_expiry(t),
+                timing::LINK_SUPERVISION_TIMEOUT - Duration::from_micros(idle_us)
+            );
+        }
+    }
+}

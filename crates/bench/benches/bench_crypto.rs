@@ -1,0 +1,115 @@
+//! Criterion bench for the crypto substrate: the primitives every simulated
+//! pairing runs (P-256 ECDH, f2 key derivation, h4/h5 authentication,
+//! legacy E1) — useful for sizing how much of a trial's wall time is math.
+
+use blap_crypto::e1;
+use blap_crypto::p256::{KeyPair, Scalar};
+use blap_crypto::{hmac, sha256, ssp};
+use blap_types::{BdAddr, LinkKey};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/hash");
+    let data = vec![0xA5u8; 1024];
+    group.bench_function("sha256_1k", |b| b.iter(|| sha256::digest(black_box(&data))));
+    group.bench_function("hmac_sha256_1k", |b| {
+        b.iter(|| hmac::hmac_sha256(black_box(b"key"), black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_p256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/p256");
+    group.sample_size(10);
+    group.bench_function("keygen", |b| {
+        // seed[31] stays 1 so the scalar never reduces to zero, whatever
+        // the wrapping counter does.
+        let mut seed = [0u8; 32];
+        seed[31] = 1;
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            seed[0] = i;
+            KeyPair::from_rng_bytes(black_box(seed)).expect("valid")
+        })
+    });
+    let alice = KeyPair::from_secret(Scalar::from_be_bytes([0x42; 32])).expect("valid");
+    let bob = KeyPair::from_secret(Scalar::from_be_bytes([0x17; 32])).expect("valid");
+    group.bench_function("diffie_hellman", |b| {
+        b.iter(|| {
+            alice
+                .diffie_hellman(black_box(&bob.public()))
+                .expect("valid")
+        })
+    });
+    group.finish();
+}
+
+fn bench_pairing_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/ssp");
+    let w = [0xAB; 32];
+    let n1 = [1u8; 16];
+    let n2 = [2u8; 16];
+    let a1: BdAddr = "aa:aa:aa:aa:aa:aa".parse().expect("valid");
+    let a2: BdAddr = "bb:bb:bb:bb:bb:bb".parse().expect("valid");
+    group.bench_function("f2_link_key_derivation", |b| {
+        b.iter(|| ssp::f2(black_box(&w), &n1, &n2, a1, a2))
+    });
+    let key: LinkKey = "71a70981f30d6af9e20adee8aafe3264".parse().expect("valid");
+    group.bench_function("h4_h5_secure_authentication", |b| {
+        b.iter(|| ssp::secure_authentication_response(black_box(&key), a1, a2, &n1, &n2))
+    });
+    group.bench_function("legacy_e1", |b| b.iter(|| e1::e1(black_box(&key), &n1, a1)));
+    group.finish();
+}
+
+fn bench_link_encryption(c: &mut Criterion) {
+    use blap_crypto::{aes::Aes128, ccm};
+    let mut group = c.benchmark_group("crypto/link_encryption");
+    let key = [0x42u8; 16];
+    group.bench_function("aes128_block", |b| {
+        let aes = Aes128::new(&key);
+        let block = [0xA5u8; 16];
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
+    let nonce = [7u8; 13];
+    let payload = vec![0x5Au8; 64];
+    group.bench_function("ccm_encrypt_64B", |b| {
+        b.iter(|| ccm::encrypt(&key, &nonce, b"hd", black_box(&payload)).expect("fits"))
+    });
+    let ct = ccm::encrypt(&key, &nonce, b"hd", &payload).expect("fits");
+    group.bench_function("ccm_decrypt_64B", |b| {
+        b.iter(|| ccm::decrypt(&key, &nonce, b"hd", black_box(&ct)).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_pin_crack(c: &mut Criterion) {
+    use blap::legacy_pin::{crack_numeric_pin, LegacyPairingCapture};
+    let mut group = c.benchmark_group("crypto/pin_crack");
+    group.sample_size(10);
+    let capture = LegacyPairingCapture::synthesize(
+        "11:11:11:11:11:11".parse().expect("valid"),
+        "00:1b:7d:da:71:0a".parse().expect("valid"),
+        b"982",
+        [0xA1; 16],
+        [0xB2; 16],
+        [0xC3; 16],
+        [0xD4; 16],
+    );
+    group.bench_function("three_digit_pin", |b| {
+        b.iter(|| crack_numeric_pin(black_box(&capture), 3).expect("found"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_p256,
+    bench_pairing_functions,
+    bench_link_encryption,
+    bench_pin_crack
+);
+criterion_main!(benches);

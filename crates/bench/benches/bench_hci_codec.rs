@@ -1,0 +1,60 @@
+//! Criterion bench for the HCI codec: encode/decode throughput of the
+//! packets that dominate a capture, including the key-bearing ones the
+//! extraction attack scans for.
+
+use blap_hci::{Command, Event, HciPacket};
+use blap_types::{BdAddr, ConnectionHandle, LinkKey, LinkKeyType};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn packets() -> Vec<HciPacket> {
+    let addr: BdAddr = "00:1b:7d:da:71:0a".parse().expect("valid");
+    let key: LinkKey = "c4f16e949f04ee9c0fd6b1023389c324".parse().expect("valid");
+    vec![
+        HciPacket::Command(Command::CreateConnection {
+            bd_addr: addr,
+            allow_role_switch: true,
+        }),
+        HciPacket::Command(Command::LinkKeyRequestReply {
+            bd_addr: addr,
+            link_key: key,
+        }),
+        HciPacket::Event(Event::ConnectionComplete {
+            status: blap_hci::StatusCode::Success,
+            handle: ConnectionHandle::new(6),
+            bd_addr: addr,
+            encryption_enabled: false,
+        }),
+        HciPacket::Event(Event::LinkKeyNotification {
+            bd_addr: addr,
+            link_key: key,
+            key_type: LinkKeyType::UnauthenticatedP256,
+        }),
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hci/codec");
+    let pkts = packets();
+    group.bench_function("encode_4_packets", |b| {
+        b.iter(|| {
+            pkts.iter()
+                .map(|p| black_box(p).encode().len())
+                .sum::<usize>()
+        })
+    });
+    let encoded: Vec<Vec<u8>> = pkts.iter().map(|p| p.encode()).collect();
+    group.bench_function("decode_4_packets", |b| {
+        b.iter(|| {
+            encoded
+                .iter()
+                .map(|bytes| HciPacket::decode(black_box(bytes)).expect("valid"))
+                .collect::<Vec<_>>()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

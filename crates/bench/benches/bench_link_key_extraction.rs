@@ -1,0 +1,61 @@
+//! Criterion bench for Table I: times the full link key extraction attack
+//! (bond setup + Fig 5 procedure + impersonation validation) per soft
+//! target class, and the extraction-only step on a captured dump.
+
+use blap::link_key_extraction::ExtractionScenario;
+use blap_sim::profiles;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_full_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/full_attack");
+    group.sample_size(10);
+    group.bench_function("android_snoop_target", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ExtractionScenario::new(profiles::nexus_5x_a8(), seed).run()
+        });
+    });
+    group.bench_function("windows_usb_target", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ExtractionScenario::new(profiles::windows_ms_driver(), seed).run()
+        });
+    });
+    group.finish();
+}
+
+fn bench_extraction_step(c: &mut Criterion) {
+    // Prepare one attacked world, then time only the dump-parsing step the
+    // attacker repeats offline.
+    use blap_sim::World;
+    use blap_types::Duration;
+    let mut world = World::new(1);
+    let phone =
+        world.add_device(profiles::lg_velvet().victim_phone_with_snoop("11:11:11:11:11:11"));
+    let _kit = world.add_device(profiles::car_kit("cc:cc:cc:cc:cc:cc"));
+    world
+        .device_mut(phone)
+        .host
+        .pair_with("cc:cc:cc:cc:cc:cc".parse().unwrap());
+    world.run_for(Duration::from_secs(5));
+    let dump = world.device(phone).bug_report().expect("snoop on");
+    let peer: blap_types::BdAddr = "cc:cc:cc:cc:cc:cc".parse().unwrap();
+
+    let mut group = c.benchmark_group("table1/extraction_step");
+    group.bench_function("parse_snoop_and_find_key", |b| {
+        b.iter_batched(
+            || dump.clone(),
+            |bytes| {
+                let trace = blap_snoop::log::HciTrace::from_btsnoop_bytes(&bytes).expect("valid");
+                trace.link_key_for(peer)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_attack, bench_extraction_step);
+criterion_main!(benches);

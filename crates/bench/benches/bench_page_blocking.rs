@@ -1,0 +1,49 @@
+//! Criterion bench for Table II: times one baseline race trial and one
+//! page blocking trial (the building blocks of the 100-trial table), and
+//! reports the measured success rates as a side effect.
+
+use blap::page_blocking::PageBlockingScenario;
+use blap_sim::profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/trial");
+    group.sample_size(10);
+
+    group.bench_function("baseline_race_trial", |b| {
+        let scenario = PageBlockingScenario::new(profiles::galaxy_s8(), 7);
+        let mut trial = 0;
+        b.iter(|| {
+            trial += 1;
+            scenario.run_baseline_trial(trial)
+        });
+    });
+
+    group.bench_function("page_blocking_trial", |b| {
+        let scenario = PageBlockingScenario::new(profiles::galaxy_s8(), 7);
+        let mut trial = 0;
+        b.iter(|| {
+            trial += 1;
+            scenario.run_blocking_trial(trial)
+        });
+    });
+    group.finish();
+}
+
+fn bench_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/row");
+    group.sample_size(10);
+    group.bench_function("ten_trials_each_condition", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut scenario = PageBlockingScenario::new(profiles::pixel_2_xl(), seed);
+            scenario.trials = 10;
+            scenario.run()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials, bench_row);
+criterion_main!(benches);

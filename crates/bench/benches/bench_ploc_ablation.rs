@@ -1,0 +1,40 @@
+//! Criterion bench for the ablation sweeps (DESIGN.md's design-choice
+//! experiments): PLOC keep-alive sweep cost and the race-model sampler.
+
+use blap::ablation;
+use blap_baseband::race::PageRaceModel;
+use blap_sim::profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("ploc_two_point_sweep", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            ablation::ploc_delay_sweep(profiles::galaxy_s8(), &[2, 25], 2, seed)
+        })
+    });
+    group.bench_function("race_sampler_10k", |b| {
+        let model = PageRaceModel::from_attacker_win_rate(0.42);
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            (0..10_000)
+                .filter(|_| {
+                    matches!(
+                        model.sample_race(black_box(&mut rng)).winner,
+                        blap_baseband::race::RaceWinner::Attacker
+                    )
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench for the observation channels: btsnoop serialization,
+//! parsing, and the USB `0b 04 16` pattern scan over noisy captures of
+//! increasing size.
+
+use blap_hci::{Command, HciPacket, PacketDirection};
+use blap_snoop::btsnoop::SnoopRecord;
+use blap_snoop::{btsnoop, hexconv};
+use blap_types::{BdAddr, Instant, LinkKey};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sample_records(n: usize) -> Vec<SnoopRecord> {
+    let addr: BdAddr = "00:1b:7d:da:71:0a".parse().expect("valid");
+    let key: LinkKey = "c4f16e949f04ee9c0fd6b1023389c324".parse().expect("valid");
+    (0..n)
+        .map(|i| {
+            let packet = if i % 37 == 0 {
+                HciPacket::Command(Command::LinkKeyRequestReply {
+                    bd_addr: addr,
+                    link_key: key,
+                })
+            } else {
+                HciPacket::Command(Command::AuthenticationRequested {
+                    handle: blap_types::ConnectionHandle::new((i % 7 + 1) as u16),
+                })
+            };
+            SnoopRecord {
+                timestamp: Instant::from_micros(i as u64 * 100),
+                direction: PacketDirection::Sent,
+                data: packet.encode(),
+            }
+        })
+        .collect()
+}
+
+fn bench_btsnoop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snoop/btsnoop");
+    for n in [100usize, 1000, 10_000] {
+        let records = sample_records(n);
+        let bytes = btsnoop::write_file(&records);
+        group.bench_with_input(BenchmarkId::new("write", n), &records, |b, r| {
+            b.iter(|| btsnoop::write_file(black_box(r)))
+        });
+        group.bench_with_input(BenchmarkId::new("read", n), &bytes, |b, bytes| {
+            b.iter(|| btsnoop::read_file(black_box(bytes)).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_usb_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snoop/usb_scan");
+    for kb in [16usize, 256, 1024] {
+        // Noise-dominated stream with a handful of key packets inside.
+        let mut stream = vec![0u8; kb * 1024];
+        let reply = HciPacket::Command(Command::LinkKeyRequestReply {
+            bd_addr: "00:1b:7d:da:71:0a".parse().expect("valid"),
+            link_key: "c4f16e949f04ee9c0fd6b1023389c324".parse().expect("valid"),
+        })
+        .encode();
+        for slot in 0..8 {
+            let offset = slot * (stream.len() / 8) + 11;
+            stream[offset..offset + reply.len() - 1].copy_from_slice(&reply[1..]);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("scan_link_key_replies", format!("{kb}KiB")),
+            &stream,
+            |b, s| b.iter(|| hexconv::scan_link_key_replies(black_box(s)).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_btsnoop, bench_usb_scan);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation sweeps: PLOC keep-alive vs user pairing delay, and race-model
+//! sensitivity.
+//!
+//! ```text
+//! cargo run --release -p blap-bench --bin ablation [trials]
+//! ```
+
+use blap::ablation;
+use blap_sim::profiles;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    println!("== Ablation 1: PLOC hold vs user pairing delay ({trials} trials/point) ==\n");
+    println!(
+        "{:<18} {:<12} {:<14}",
+        "pairing delay (s)", "keep-alive", "success rate"
+    );
+    println!("{}", "-".repeat(46));
+    let points =
+        ablation::ploc_delay_sweep(profiles::galaxy_s8(), &[2, 5, 10, 15, 25, 35], trials, 81);
+    for p in &points {
+        println!(
+            "{:<18} {:<12} {:<14.2}",
+            p.pairing_delay_s, p.keepalive, p.success_rate
+        );
+    }
+    println!(
+        "\nShape: keep-alive holds 100% at any delay; the bare link dies once the\n\
+         user takes longer than the 20 s supervision timeout — the reason the\n\
+         paper's PoC exchanges dummy SDP traffic.\n"
+    );
+
+    println!("== Ablation 2: baseline race vs attacker latency scale ==\n");
+    println!(
+        "{:<12} {:<18} {:<18}",
+        "scale", "analytic win rate", "measured"
+    );
+    println!("{}", "-".repeat(48));
+    for (scale, measured) in
+        ablation::race_scale_sweep(&[0.25, 0.5, 0.8, 0.96, 1.0, 1.19, 2.0, 4.0], 20_000, 82)
+    {
+        let model = blap_baseband::race::PageRaceModel::new(scale);
+        println!(
+            "{:<12.2} {:<18.3} {:<18.3}",
+            scale,
+            model.expected_attacker_win_rate(),
+            measured
+        );
+    }
+    println!(
+        "\nThe paper's 42–60% baseline band corresponds to scales 0.80–1.19;\n\
+         page blocking removes this dependence entirely."
+    );
+}

@@ -1,0 +1,50 @@
+//! Demonstrates the §IV consequence of a stolen link key: decrypting
+//! air-sniffed traffic, past and future.
+//!
+//! ```text
+//! cargo run --release -p blap-bench --bin eavesdrop
+//! ```
+
+use blap::eavesdrop::EavesdropScenario;
+
+fn main() {
+    let scenario = EavesdropScenario::new(404);
+    println!("== Air-sniffer eavesdropping with an extracted link key ==\n");
+    println!("setup: C (Galaxy S8, snoop on) runs an AES-CCM encrypted PBAP");
+    println!("session with M (LG VELVET) while a passive sniffer records\n");
+
+    let report = scenario.run();
+    println!(
+        "encrypted ACL frames captured     : {}",
+        report.captured_encrypted_frames
+    );
+    println!(
+        "secrets visible in the ciphertext : {}",
+        report.ciphertext_contains_secrets
+    );
+    println!(
+        "link key pulled from C's dump     : {}",
+        report
+            .stolen_key
+            .map(|k| k.to_hex())
+            .unwrap_or_else(|| "-".to_owned())
+    );
+    println!("\noffline key schedule: sniffed LMP_au_rand -> h4/h5 -> ACO -> h3");
+    println!("-> session key -> per-frame CCM nonces\n");
+    println!(
+        "secrets recovered by decryption   : {}/{}",
+        report.decrypted_secrets.len(),
+        scenario.secrets.len()
+    );
+    for secret in &report.decrypted_secrets {
+        println!("   {:?}", String::from_utf8_lossy(secret));
+    }
+    println!(
+        "\nverdict: {}",
+        if report.succeeded(scenario.secrets.len()) {
+            "encryption hid nothing from a key-holding eavesdropper"
+        } else {
+            "UNEXPECTED: decryption failed"
+        }
+    );
+}

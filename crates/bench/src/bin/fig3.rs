@@ -1,0 +1,54 @@
+//! Regenerates Fig 3: a link key sitting in plain sight inside a parsed
+//! HCI dump — the `HCI_Link_Key_Request_Reply` of a bonded reconnection.
+//!
+//! ```text
+//! cargo run --release -p blap-bench --bin fig3
+//! ```
+
+use blap_hci::{Command, HciPacket};
+use blap_sim::{profiles, World};
+use blap_snoop::pretty;
+use blap_types::{Duration, ServiceUuid};
+
+fn main() {
+    let mut world = World::new(3);
+    let phone =
+        world.add_device(profiles::lg_velvet().victim_phone_with_snoop("48:90:12:34:56:78"));
+    let kit = world.add_device(profiles::car_kit("00:1b:7d:da:71:0a"));
+    let kit_addr = "00:1b:7d:da:71:0a".parse().unwrap();
+    let _ = kit;
+
+    // Pair (bond), disconnect, reconnect: the reconnection makes the host
+    // hand the stored key down in HCI_Link_Key_Request_Reply.
+    world.device_mut(phone).host.pair_with(kit_addr);
+    world.run_for(Duration::from_secs(5));
+    world.device_mut(phone).host.disconnect(kit_addr);
+    world.run_for(Duration::from_secs(2));
+    world
+        .device_mut(phone)
+        .host
+        .connect_profile(kit_addr, ServiceUuid::HANDS_FREE);
+    world.run_for(Duration::from_secs(5));
+
+    let trace = world.device(phone).snoop_trace();
+    println!("== Fig 3: link keys in a parsed HCI dump (phone side) ==\n");
+    print!("{}", pretty::frame_table(&trace));
+
+    println!("\n-- detail panes for every key-bearing packet --\n");
+    for entry in trace.iter() {
+        let key_bearing = matches!(
+            &entry.packet,
+            HciPacket::Command(Command::LinkKeyRequestReply { .. })
+                | HciPacket::Event(blap_hci::Event::LinkKeyNotification { .. })
+        );
+        if key_bearing {
+            println!("{}", pretty::packet_detail(&entry.packet));
+        }
+    }
+
+    let keys = trace.extract_link_keys();
+    println!("extracted {} key(s) from the dump:", keys.len());
+    for (peer, key) in keys {
+        println!("  {peer} -> {key}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates Fig 7: the IO-capability mapping for SSP Authentication
+//! Stage 1, for both specification generations, with the popup policy each
+//! side applies.
+//!
+//! ```text
+//! cargo run --release -p blap-bench --bin fig7
+//! ```
+
+use blap_host::association::{fig7_matrix, ConfirmationPolicy};
+use blap_types::SpecGeneration;
+
+fn policy_str(p: ConfirmationPolicy) -> &'static str {
+    match p {
+        ConfirmationPolicy::AutoConfirm => "auto-confirm",
+        ConfirmationPolicy::YesNoPopup => "yes/no popup (no value)",
+        ConfirmationPolicy::NumericPopup => "numeric popup",
+    }
+}
+
+fn main() {
+    for generation in [SpecGeneration::V42OrLower, SpecGeneration::V50OrHigher] {
+        println!("== Fig 7 ({generation}) ==\n");
+        println!(
+            "{:<18} {:<18} {:<20} {:<24} {:<24}",
+            "Initiator (A)", "Responder (B)", "Association model", "A side", "B side"
+        );
+        println!("{}", "-".repeat(106));
+        for cell in fig7_matrix(generation) {
+            println!(
+                "{:<18} {:<18} {:<20} {:<24} {:<24}",
+                cell.initiator_io.to_string(),
+                cell.responder_io.to_string(),
+                cell.model.to_string(),
+                policy_str(cell.initiator_policy),
+                policy_str(cell.responder_policy),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Note the attack-relevant corner: any NoInputNoOutput participant forces\n\
+         Just Works, and the only popups it produces carry no comparable value."
+    );
+}

@@ -1,0 +1,54 @@
+//! Demonstrates the §VII mitigations stopping both attacks, plus the
+//! honest-pairing false-positive probe for the role check.
+//!
+//! ```text
+//! cargo run --release -p blap-bench --bin mitigations
+//! ```
+
+use blap::mitigations;
+use blap_sim::profiles;
+
+fn main() {
+    println!("== §VII mitigations under attack ==\n");
+
+    let (_, v1) = mitigations::extraction_with_dump_filtering(profiles::nexus_5x_a8(), 71);
+    println!(
+        "[{}] attack succeeded: {}\n    evidence: {}\n",
+        v1.mitigation, v1.attack_succeeded, v1.evidence
+    );
+
+    let (_, v2) =
+        mitigations::extraction_with_payload_encryption(profiles::windows_csr_harmony(), 72);
+    println!(
+        "[{}] attack succeeded: {} (USB channel)\n    evidence: {}\n",
+        v2.mitigation, v2.attack_succeeded, v2.evidence
+    );
+
+    let (_, v2b) = mitigations::extraction_with_payload_encryption(profiles::galaxy_s21(), 73);
+    println!(
+        "[{}] attack succeeded: {} (snoop channel)\n    evidence: {}\n",
+        v2b.mitigation, v2b.attack_succeeded, v2b.evidence
+    );
+
+    let (_, v3) = mitigations::page_blocking_with_role_check(profiles::pixel_2_xl(), 74);
+    println!(
+        "[{}] attack succeeded: {}\n    evidence: {}\n",
+        v3.mitigation, v3.attack_succeeded, v3.evidence
+    );
+
+    let honest_ok = mitigations::role_check_false_positive_probe(profiles::pixel_2_xl(), 75);
+    println!("role check false-positive probe: honest car-kit pairing still works: {honest_ok}");
+
+    let all_stopped = !v1.attack_succeeded
+        && !v2.attack_succeeded
+        && !v2b.attack_succeeded
+        && !v3.attack_succeeded;
+    println!(
+        "\nverdict: {} (and honest pairing preserved: {honest_ok})",
+        if all_stopped {
+            "every mitigation stopped its attack"
+        } else {
+            "SOME MITIGATION FAILED"
+        }
+    );
+}

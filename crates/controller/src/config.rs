@@ -1,0 +1,45 @@
+//! Controller configuration.
+
+use blap_types::{BdAddr, ClassOfDevice, DeviceName};
+
+/// Static configuration of a simulated controller.
+///
+/// Everything here corresponds to something the paper's attacker tampers
+/// with on the Nexus 5x testbed: the BDADDR (`/persist/bdaddr.txt`), the
+/// class of device (`bt_target.h`, Fig 8), and the advertised name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControllerConfig {
+    /// The controller's (claimed) Bluetooth device address.
+    pub bd_addr: BdAddr,
+    /// Advertised class of device.
+    pub cod: ClassOfDevice,
+    /// Advertised device name.
+    pub name: DeviceName,
+}
+
+impl ControllerConfig {
+    /// Creates a configuration.
+    pub fn new(bd_addr: BdAddr, cod: ClassOfDevice, name: impl Into<DeviceName>) -> Self {
+        ControllerConfig {
+            bd_addr,
+            cod,
+            name: name.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let cfg = ControllerConfig::new(
+            "aa:bb:cc:dd:ee:ff".parse().unwrap(),
+            ClassOfDevice::SMARTPHONE,
+            "VELVET",
+        );
+        assert_eq!(cfg.name.as_str(), "VELVET");
+        assert_eq!(cfg.cod, ClassOfDevice::SMARTPHONE);
+    }
+}

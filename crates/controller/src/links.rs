@@ -1,0 +1,177 @@
+//! Per-link state tracked by the Link Manager.
+
+use blap_crypto::p256::KeyPair;
+use blap_types::{BdAddr, ConnectionHandle, IoCapability, LinkKey, Role};
+
+/// Progress of a Secure Simple Pairing exchange on one link.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum SspPhase {
+    /// No pairing in progress.
+    #[default]
+    Idle,
+    /// Initiator: waiting for the peer's `LMP_io_capability_res`.
+    AwaitIoCapResponse,
+    /// Waiting for the host's `HCI_IO_Capability_Request_Reply`.
+    AwaitHostIoCap,
+    /// Waiting for the peer's public key.
+    AwaitPublicKey,
+    /// Initiator: waiting for the responder's commitment.
+    AwaitCommitment,
+    /// Waiting for the peer's nonce.
+    AwaitNonce,
+    /// Waiting for local-host and/or peer numeric confirmation.
+    AwaitConfirmation,
+    /// Waiting for the peer's DHKey check.
+    AwaitDhkeyCheck,
+    /// Pairing finished (key delivered).
+    Complete,
+}
+
+/// Progress of a bonded-device LMP authentication on one link.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum AuthPhase {
+    /// No authentication in progress.
+    #[default]
+    Idle,
+    /// Waiting for the local host to answer `HCI_Link_Key_Request`.
+    AwaitHostKey {
+        /// True on the side that sent `HCI_Authentication_Requested`.
+        verifier: bool,
+    },
+    /// Verifier: challenge sent, waiting for `LMP_sres`.
+    AwaitResponse {
+        /// The outstanding challenge.
+        rand: [u8; 16],
+        /// Expected response, precomputed from the local key.
+        expected_sres: [u8; 4],
+    },
+    /// Prover: waiting for the host key to answer a received challenge.
+    AwaitHostKeyForChallenge {
+        /// The challenge to answer once the key arrives.
+        rand: [u8; 16],
+    },
+    /// Authentication finished successfully.
+    Complete,
+}
+
+/// Legacy (pre-SSP) PIN pairing state on one link.
+#[derive(Clone, Debug, Default)]
+pub struct LegacyState {
+    /// True once a legacy pairing is in progress.
+    pub active: bool,
+    /// True on the side that started the pairing.
+    pub initiator: bool,
+    /// The initiator's IN_RAND (shared in the clear).
+    pub in_rand: Option<[u8; 16]>,
+    /// `E22(IN_RAND, PIN, claimant)` once the host supplied the PIN.
+    pub k_init: Option<LinkKey>,
+    /// Our combination-key random contribution.
+    pub own_lk_rand: Option<[u8; 16]>,
+    /// The peer's masked contribution, once received.
+    pub peer_comb: Option<[u8; 16]>,
+}
+
+/// Secure Simple Pairing working state.
+#[derive(Clone, Debug, Default)]
+pub struct SspState {
+    /// Where the exchange currently stands.
+    pub phase: SspPhase,
+    /// True on the side that initiated pairing.
+    pub initiator: bool,
+    /// Local ECDH key pair (generated lazily at pairing start).
+    pub keypair: Option<KeyPair>,
+    /// Peer public key x-coordinate (big-endian), once received.
+    pub peer_pk_x: Option<[u8; 32]>,
+    /// Peer public key y-coordinate (big-endian), once received.
+    pub peer_pk_y: Option<[u8; 32]>,
+    /// Local nonce.
+    pub own_nonce: Option<[u8; 16]>,
+    /// Peer nonce.
+    pub peer_nonce: Option<[u8; 16]>,
+    /// Commitment received from the responder (initiator side only).
+    pub peer_commitment: Option<[u8; 16]>,
+    /// ECDH shared secret once both keys are known.
+    pub dhkey: Option<[u8; 32]>,
+    /// Local IO capability (from the host's reply).
+    pub own_io: Option<IoCapability>,
+    /// Local authentication requirements octet.
+    pub own_auth_req: u8,
+    /// Peer IO capability (from the LMP exchange).
+    pub peer_io: Option<IoCapability>,
+    /// Peer authentication requirements octet.
+    pub peer_auth_req: u8,
+    /// Local user/host confirmed the numeric value.
+    pub local_confirmed: bool,
+    /// Peer signalled `NumericAccepted`.
+    pub peer_confirmed: bool,
+    /// Local DHKey check sent.
+    pub check_sent: bool,
+}
+
+/// One ACL link as the Link Manager sees it.
+#[derive(Clone, Debug)]
+pub struct LinkEntry {
+    /// HCI handle allocated locally for this link.
+    pub handle: ConnectionHandle,
+    /// Peer's (claimed) BDADDR.
+    pub peer: BdAddr,
+    /// Local role in connection establishment.
+    pub role: Role,
+    /// Bonded-authentication progress.
+    pub auth: AuthPhase,
+    /// Pairing progress.
+    pub ssp: SspState,
+    /// Legacy PIN pairing progress.
+    pub legacy: LegacyState,
+    /// Link key in active use on this link (cached for the session only —
+    /// persistent storage lives in the host, as in real chipsets).
+    pub session_key: Option<LinkKey>,
+    /// Authenticated Ciphering Offset from the last LMP authentication;
+    /// feeds the `h3` encryption-key derivation.
+    pub aco: Option<[u8; 8]>,
+    /// Session encryption key derived by `h3` when encryption turned on.
+    pub encryption_key: Option<[u8; 16]>,
+    /// Whether link-level encryption is on.
+    pub encrypted: bool,
+    /// True while connection establishment is still waiting for the peer
+    /// host to accept.
+    pub awaiting_accept: bool,
+}
+
+impl LinkEntry {
+    /// Creates a link record in the not-yet-accepted state.
+    pub fn new(handle: ConnectionHandle, peer: BdAddr, role: Role) -> Self {
+        LinkEntry {
+            handle,
+            peer,
+            role,
+            auth: AuthPhase::Idle,
+            ssp: SspState::default(),
+            legacy: LegacyState::default(),
+            session_key: None,
+            aco: None,
+            encryption_key: None,
+            encrypted: false,
+            awaiting_accept: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_link_defaults() {
+        let link = LinkEntry::new(
+            ConnectionHandle::new(1),
+            "aa:bb:cc:dd:ee:ff".parse().unwrap(),
+            Role::Initiator,
+        );
+        assert!(link.awaiting_accept);
+        assert!(!link.encrypted);
+        assert_eq!(link.auth, AuthPhase::Idle);
+        assert_eq!(link.ssp.phase, SspPhase::Idle);
+        assert!(link.session_key.is_none());
+    }
+}

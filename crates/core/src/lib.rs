@@ -1,0 +1,53 @@
+//! BLAP: Bluetooth Link key extraction And Page blocking attacks.
+//!
+//! This crate is the paper's contribution layer: executable, end-to-end
+//! implementations of both attacks against the simulated Bluetooth stack,
+//! plus the §VII mitigations and the experiment drivers that regenerate the
+//! paper's tables and figures.
+//!
+//! * [`extract`] — the two HCI observation channels (Android snoop log via
+//!   bug report; USB analyzer + hex conversion + `0b 04 16` search),
+//! * [`link_key_extraction`] — the Fig 5 attack: provoke the victim
+//!   accessory into loading its bonded key, drop the link by LMP timeout,
+//!   pull the dump, extract the key, and validate it by impersonation
+//!   (Fig 10 fake bonding + PAN tethering, §VI-B1),
+//! * [`page_blocking`] — the Fig 6b attack: PLOC pre-connection under a
+//!   spoofed address, deterministic MITM, Just Works downgrade; plus the
+//!   42–60% baseline race it replaces (Table II),
+//! * [`mitigations`] — dump filtering, HCI payload encryption, and the
+//!   connection-initiator role check, each shown to stop its attack,
+//! * [`report`] — table/figure rendering for the benchmark binaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use blap::link_key_extraction::ExtractionScenario;
+//! use blap_sim::profiles;
+//!
+//! let report = ExtractionScenario::new(profiles::nexus_5x_a8(), 7).run();
+//! assert!(report.key_matches, "the dumped key is the real bond key");
+//! assert!(report.impersonation_validated, "and it authenticates to M");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod eavesdrop;
+pub mod extract;
+pub mod legacy_pin;
+pub mod link_key_extraction;
+pub mod mitigations;
+pub mod page_blocking;
+pub mod report;
+
+/// Well-known addresses used across scenarios, matching the paper's figures
+/// where one is given.
+pub mod addrs {
+    /// The hard target `M` (the LG VELVET of Fig 10, NAP `48:90`).
+    pub const M: &str = "48:90:12:34:56:78";
+    /// The soft target `C` (the accessory of Fig 11, `00:1b:7d:da:71:0a`).
+    pub const C: &str = "00:1b:7d:da:71:0a";
+    /// The attacker `A`'s own (pre-spoof) address.
+    pub const A: &str = "a7:7a:c8:e2:00:01";
+}

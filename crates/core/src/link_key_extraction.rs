@@ -1,0 +1,301 @@
+//! The link key extraction attack (§IV, Fig 5), end to end.
+//!
+//! Roles: `M` is the hard target (a phone holding sensitive data), `C` a
+//! soft target bonded with `M` (car-kit, headset, PC — something the
+//! attacker can physically touch), `A` the attacker's device.
+//!
+//! Fig 5 steps, as this module executes them:
+//!
+//! 1. `A` accesses `C` and arranges HCI recording (snoop option on for
+//!    Android-style targets; the USB analyzer is already inline on dongle
+//!    targets),
+//! 2. `A` spoofs `M`'s BDADDR (`M` itself is out of range),
+//! 3. `C` connects and starts LMP authentication with "M" (really `A`);
+//!    `C`'s controller requests `M`'s link key from its host,
+//! 4. the host's `HCI_Link_Key_Request_Reply` — key included — lands in
+//!    the HCI record,
+//! 5. `A` silently drops its own `HCI_Link_Key_Request` (Fig 9), so the
+//!    procedure dies by LMP timeout, not authentication failure, and `C`'s
+//!    stored bond stays intact,
+//! 6. `A` pulls the record (bug report / USB stream) and extracts the key,
+//! 7. `A` spoofs `C`, installs Fig 10 fake bonding info with the extracted
+//!    key, and validates by PAN tethering to the real `M` — success without
+//!    any pairing UI proves the key (§VI-B1).
+
+use blap_host::keystore::BondEntry;
+use blap_sim::{profiles, DeviceProfile, World};
+use blap_types::{BdAddr, Duration, LinkKey, ServiceUuid};
+
+use crate::addrs;
+use crate::extract::{self, ExtractionChannel};
+
+/// Configuration of one extraction run.
+#[derive(Clone, Debug)]
+pub struct ExtractionScenario {
+    /// The soft target `C`'s device profile (a Table I row).
+    pub soft_target: DeviceProfile,
+    /// The hard target `M`'s profile (the paper used an LG VELVET).
+    pub hard_target: DeviceProfile,
+    /// World seed (determinism).
+    pub seed: u64,
+    /// §VII-A mitigation 1: `C`'s dump module redacts link keys.
+    pub mitigate_filter_dump: bool,
+    /// §VII-A mitigation 2: link-key payloads cross `C`'s HCI encrypted.
+    pub mitigate_encrypt_payload: bool,
+}
+
+impl ExtractionScenario {
+    /// A plain (unmitigated) scenario against the given soft target.
+    pub fn new(soft_target: DeviceProfile, seed: u64) -> Self {
+        ExtractionScenario {
+            soft_target,
+            hard_target: profiles::lg_velvet(),
+            seed,
+            mitigate_filter_dump: false,
+            mitigate_encrypt_payload: false,
+        }
+    }
+
+    /// Runs the full attack and returns the report.
+    pub fn run(&self) -> ExtractionReport {
+        let m_addr: BdAddr = addrs::M.parse().expect("valid M address");
+        let c_addr: BdAddr = addrs::C.parse().expect("valid C address");
+
+        let mut world = World::new(self.seed);
+        let m = world.add_device(self.hard_target.victim_phone(addrs::M));
+        let mut c_spec = self.soft_target.soft_target(addrs::C);
+        c_spec.security.filter_link_keys = self.mitigate_filter_dump;
+        c_spec.security.encrypt_link_key_payloads = self.mitigate_encrypt_payload;
+        let c = world.add_device(c_spec);
+        let a = world.add_device(profiles::attacker_nexus_5x(addrs::A));
+
+        // Keep the attacker silent during the honest bonding phase.
+        let now = world.now();
+        world.device_mut(a).controller.on_command(
+            now,
+            blap_hci::Command::WriteScanEnable {
+                inquiry_scan: false,
+                page_scan: false,
+            },
+        );
+
+        // --- Phase 0: the genuine C–M bond the attacker will steal.
+        world.device_mut(c).host.pair_with(m_addr);
+        world.run_for(Duration::from_secs(10));
+        let bonded_key = match world.device(c).host.keystore().get(m_addr) {
+            Some(entry) => entry.link_key,
+            None => {
+                return ExtractionReport::failed_setup(self);
+            }
+        };
+        // Drop the honest link so the stage is clean.
+        world.device_mut(c).host.disconnect(m_addr);
+        world.run_for(Duration::from_secs(2));
+
+        // --- Fig 5 steps 1–2: M leaves range; A impersonates M.
+        let now = world.now();
+        world.device_mut(m).controller.on_command(
+            now,
+            blap_hci::Command::WriteScanEnable {
+                inquiry_scan: false,
+                page_scan: false,
+            },
+        );
+        world.device_mut(a).controller.set_bd_addr(m_addr);
+        world.device_mut(a).controller.on_command(
+            now,
+            blap_hci::Command::WriteScanEnable {
+                inquiry_scan: false,
+                page_scan: true,
+            },
+        );
+
+        // --- Step 3: C re-connects to "M" and starts LMP authentication.
+        world
+            .device_mut(c)
+            .host
+            .connect_profile(m_addr, ServiceUuid::HANDS_FREE);
+        // Steps 4–5 happen inside: the key is logged; A stalls; the LMP
+        // response timeout (30 s) tears the link down without an
+        // authentication failure.
+        world.run_for(Duration::from_secs(40));
+
+        let victim_bond_intact = world.device(c).host.keystore().get(m_addr).is_some();
+
+        // --- Step 6: pull the record and extract.
+        let extraction = extract::auto(world.device(c), m_addr);
+        let (channel, extracted_key) = match extraction {
+            Some((channel, key)) => (Some(channel), Some(key)),
+            None => (None, None),
+        };
+        let key_matches = extracted_key == Some(bonded_key);
+
+        // --- Step 7: validation by impersonation of C against the real M.
+        let mut impersonation_validated = false;
+        let mut victim_saw_pairing_ui = false;
+        if let Some(stolen) = extracted_key {
+            // M returns to range.
+            let now = world.now();
+            world.device_mut(m).controller.on_command(
+                now,
+                blap_hci::Command::WriteScanEnable {
+                    inquiry_scan: false,
+                    page_scan: true,
+                },
+            );
+            // A becomes C: spoofed address, hands-free CoD (Fig 8), fake
+            // bonding record (Fig 10), and — unlike during the stall — a
+            // host that answers link key requests.
+            world.device_mut(a).controller.set_bd_addr(c_addr);
+            world.device_mut(a).controller.on_command(
+                now,
+                blap_hci::Command::WriteClassOfDevice {
+                    cod: blap_types::ClassOfDevice::HANDS_FREE,
+                },
+            );
+            {
+                let attacker = world.device_mut(a);
+                attacker.host.config_mut().attacker.ignore_link_key_request = false;
+                attacker.host.config_mut().attacker.ploc_delay = None;
+                attacker.host.install_bond(
+                    m_addr,
+                    BondEntry {
+                        name: Some("VELVET".into()),
+                        link_key: stolen,
+                        key_type: blap_types::LinkKeyType::UnauthenticatedP256,
+                        services: vec![ServiceUuid::PANU, ServiceUuid::NAP],
+                    },
+                );
+            }
+            let m_popups_before = popup_count(&world, m);
+            world
+                .device_mut(a)
+                .host
+                .connect_profile(m_addr, ServiceUuid::PANU);
+            world.run_for(Duration::from_secs(10));
+
+            impersonation_validated = world
+                .device(a)
+                .user
+                .find(|n| {
+                    matches!(
+                        n,
+                        blap_host::UiNotification::ProfileConnected { service, .. }
+                            if *service == ServiceUuid::PANU
+                    )
+                })
+                .is_some();
+            victim_saw_pairing_ui = popup_count(&world, m) > m_popups_before;
+        }
+
+        ExtractionReport {
+            soft_target: self.soft_target,
+            channel,
+            bonded_key: Some(bonded_key),
+            extracted_key,
+            key_matches,
+            victim_bond_intact,
+            impersonation_validated,
+            victim_saw_pairing_ui,
+        }
+    }
+}
+
+fn popup_count(world: &World, id: blap_sim::DeviceId) -> usize {
+    world
+        .device(id)
+        .user
+        .log
+        .iter()
+        .filter(|(_, n)| matches!(n, blap_host::UiNotification::PairingConfirmation { .. }))
+        .count()
+}
+
+/// Outcome of one extraction run — one Table I row plus the validation
+/// evidence of §VI-B1.
+#[derive(Clone, Debug)]
+pub struct ExtractionReport {
+    /// The soft target profile attacked.
+    pub soft_target: DeviceProfile,
+    /// The channel that leaked the key, when extraction succeeded.
+    pub channel: Option<ExtractionChannel>,
+    /// Ground truth: the key `C` actually shares with `M`.
+    pub bonded_key: Option<LinkKey>,
+    /// What the attacker recovered.
+    pub extracted_key: Option<LinkKey>,
+    /// Whether the recovered key equals the ground truth.
+    pub key_matches: bool,
+    /// Whether `C` still holds its bond after the attack (the LMP-timeout
+    /// trick's whole point).
+    pub victim_bond_intact: bool,
+    /// Whether the stolen key authenticated `A` to the real `M` over PAN
+    /// without any new pairing.
+    pub impersonation_validated: bool,
+    /// Whether `M` saw any pairing UI during validation (must be false).
+    pub victim_saw_pairing_ui: bool,
+}
+
+impl ExtractionReport {
+    fn failed_setup(scenario: &ExtractionScenario) -> Self {
+        ExtractionReport {
+            soft_target: scenario.soft_target,
+            channel: None,
+            bonded_key: None,
+            extracted_key: None,
+            key_matches: false,
+            victim_bond_intact: false,
+            impersonation_validated: false,
+            victim_saw_pairing_ui: false,
+        }
+    }
+
+    /// The paper's "vulnerable" verdict: key extracted, matching, bond
+    /// preserved, impersonation works silently.
+    pub fn vulnerable(&self) -> bool {
+        self.key_matches
+            && self.victim_bond_intact
+            && self.impersonation_validated
+            && !self.victim_saw_pairing_ui
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn android_soft_target_is_vulnerable() {
+        let report = ExtractionScenario::new(profiles::nexus_5x_a8(), 1).run();
+        assert_eq!(report.channel, Some(ExtractionChannel::HciSnoopLog));
+        assert!(report.key_matches, "extracted key must equal the bond key");
+        assert!(report.victim_bond_intact, "timeout must preserve the bond");
+        assert!(report.impersonation_validated, "PAN must connect silently");
+        assert!(!report.victim_saw_pairing_ui);
+        assert!(report.vulnerable());
+    }
+
+    #[test]
+    fn usb_soft_target_is_vulnerable() {
+        let report = ExtractionScenario::new(profiles::windows_csr_harmony(), 2).run();
+        assert_eq!(report.channel, Some(ExtractionChannel::UsbSniffer));
+        assert!(report.vulnerable());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ExtractionScenario::new(profiles::galaxy_s8(), 5).run();
+        let b = ExtractionScenario::new(profiles::galaxy_s8(), 5).run();
+        assert_eq!(a.extracted_key, b.extracted_key);
+        assert_eq!(a.bonded_key, b.bonded_key);
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = ExtractionScenario::new(profiles::galaxy_s8(), 5).run();
+        let b = ExtractionScenario::new(profiles::galaxy_s8(), 6).run();
+        assert_ne!(
+            a.extracted_key, b.extracted_key,
+            "fresh pairing randomness must give fresh keys"
+        );
+    }
+}

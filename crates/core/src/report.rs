@@ -1,0 +1,134 @@
+//! Rendering of the paper's tables and figures from experiment results.
+
+use crate::link_key_extraction::ExtractionReport;
+use crate::page_blocking::PageBlockingRow;
+
+/// Renders Table I ("List of tested devices that are vulnerable to link key
+/// extraction attack") from a batch of extraction reports.
+pub fn table1(reports: &[ExtractionReport]) -> String {
+    let mut rows: Vec<[String; 6]> = vec![[
+        "OS".into(),
+        "Host stack".into(),
+        "Device".into(),
+        "Channel".into(),
+        "SU privilege".into(),
+        "Vulnerable".into(),
+    ]];
+    for report in reports {
+        let profile = &report.soft_target;
+        rows.push([
+            profile.os.to_owned(),
+            profile.stack.to_string(),
+            profile.name.to_owned(),
+            report
+                .channel
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+            if profile.su_required { "Y" } else { "N" }.to_owned(),
+            if report.vulnerable() { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    render(&rows)
+}
+
+/// Renders Table II ("Success rates of MITM connection establishment").
+pub fn table2(rows_in: &[PageBlockingRow]) -> String {
+    let mut rows: Vec<[String; 5]> = vec![[
+        "Device".into(),
+        "Paper baseline".into(),
+        "Measured baseline".into(),
+        "With page blocking".into(),
+        "Just Works downgrade".into(),
+    ]];
+    for row in rows_in {
+        rows.push([
+            format!("{} ({})", row.device, row.os),
+            format!("{:.0}%", row.paper_baseline_rate * 100.0),
+            format!("{:.0}%", row.measured_baseline_rate * 100.0),
+            format!("{:.0}%", row.measured_blocking_rate * 100.0),
+            if row.downgraded_to_just_works {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
+        ]);
+    }
+    render(&rows)
+}
+
+fn render<const N: usize>(rows: &[[String; N]]) -> String {
+    let mut widths = [0usize; N];
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (w, cell) in widths.iter().zip(row.iter()) {
+            line.push_str(&format!("{cell:<width$}  ", width = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if i == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (N - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::ExtractionChannel;
+    use blap_sim::profiles;
+
+    fn fake_report(vulnerable: bool) -> ExtractionReport {
+        let key = "71a70981f30d6af9e20adee8aafe3264".parse().unwrap();
+        ExtractionReport {
+            soft_target: profiles::nexus_5x_a8(),
+            channel: Some(ExtractionChannel::HciSnoopLog),
+            bonded_key: Some(key),
+            extracted_key: Some(key),
+            key_matches: vulnerable,
+            victim_bond_intact: vulnerable,
+            impersonation_validated: vulnerable,
+            victim_saw_pairing_ui: false,
+        }
+    }
+
+    #[test]
+    fn table1_renders_rows() {
+        let table = table1(&[fake_report(true), fake_report(false)]);
+        assert!(table.contains("Android 8"));
+        assert!(table.contains("Bluedroid"));
+        assert!(table.contains("HCI dump"));
+        assert!(table.contains("yes"));
+        assert!(table.contains("NO"));
+        assert_eq!(table.lines().count(), 4); // header + rule + 2 rows
+    }
+
+    #[test]
+    fn table2_renders_percentages() {
+        let row = PageBlockingRow {
+            device: "Galaxy S8".into(),
+            os: "Android 9".into(),
+            trials: 100,
+            paper_baseline_rate: 0.42,
+            measured_baseline_rate: 0.45,
+            measured_blocking_rate: 1.0,
+            downgraded_to_just_works: true,
+            fig12b_signature: true,
+            popup_had_number: false,
+        };
+        let table = table2(&[row]);
+        assert!(table.contains("42%"));
+        assert!(table.contains("45%"));
+        assert!(table.contains("100%"));
+        assert!(table.contains("Galaxy S8"));
+    }
+}

@@ -1,0 +1,286 @@
+//! AES-128 (FIPS 197), implemented from the specification.
+//!
+//! Bluetooth Secure Connections encrypts ACL traffic with AES-CCM; this
+//! module provides the block cipher for [`crate::ccm`]. The S-box is
+//! computed (GF(2⁸) inversion plus the affine map) rather than pasted, and
+//! the implementation is pinned by the FIPS 197 Appendix C vector.
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut out = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            out ^= a;
+        }
+        let high = a & 0x80 != 0;
+        a <<= 1;
+        if high {
+            a ^= 0x1B; // x^8 + x^4 + x^3 + x + 1
+        }
+        b >>= 1;
+    }
+    out
+}
+
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^(254) in GF(2^8) by square-and-multiply.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn tables() -> (&'static [u8; 256], &'static [u8; 256]) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    let (sbox, inv_sbox) = TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv = [0u8; 256];
+        #[allow(clippy::needless_range_loop)]
+        for x in 0..256usize {
+            let b = gf_inv(x as u8);
+            // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^
+            // rotl(b,4) ^ 0x63.
+            let s = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+            sbox[x] = s;
+        }
+        for x in 0..256usize {
+            inv[sbox[x] as usize] = x as u8;
+        }
+        (sbox, inv)
+    });
+    (sbox, inv_sbox)
+}
+
+/// An expanded AES-128 key (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Aes128(..)")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let (sbox, _) = tables();
+        let mut words = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            words[i].copy_from_slice(chunk);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut temp = words[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = sbox[*byte as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                words[i][j] = words[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for round in 0..11 {
+            for w in 0..4 {
+                round_keys[round][4 * w..4 * w + 4].copy_from_slice(&words[4 * round + w]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let (sbox, _) = tables();
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut state, sbox);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state, sbox);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let (_, inv_sbox) = tables();
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[10]);
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state, inv_sbox);
+        for round in (1..10).rev() {
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state, inv_sbox);
+        }
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+// State layout: state[4*c + r] is row r, column c (column-major, matching
+// the FIPS byte order of the input block).
+
+fn add_round_key(state: &mut [u8; 16], key: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= key[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16], sbox: &[u8; 256]) {
+    for byte in state.iter_mut() {
+        *byte = sbox[*byte as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16], inv_sbox: &[u8; 256]) {
+    for byte in state.iter_mut() {
+        *byte = inv_sbox[*byte as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = copy[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = copy[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let (sbox, inv) = tables();
+        // Canonical spot checks.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(sbox[0xff], 0x16);
+        for x in 0..256 {
+            assert_eq!(inv[sbox[x] as usize] as usize, x);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let plaintext: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let aes = Aes128::new(&key);
+        let ciphertext = aes.encrypt_block(&plaintext);
+        assert_eq!(hex(&ciphertext), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(aes.decrypt_block(&ciphertext), plaintext);
+    }
+
+    #[test]
+    fn gf_arithmetic() {
+        // {57} x {83} = {c1} (FIPS 197 §4.2 example).
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        // Inversion: a * a^-1 = 1 for all nonzero a.
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "inverse failed for {a:#x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn round_trip_random_blocks() {
+        let aes = Aes128::new(&[0xA5; 16]);
+        for i in 0..32u8 {
+            let block: [u8; 16] =
+                core::array::from_fn(|j| i.wrapping_mul(17).wrapping_add(j as u8));
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn different_keys_different_ciphertexts() {
+        let p = [0u8; 16];
+        let c1 = Aes128::new(&[0x00; 16]).encrypt_block(&p);
+        let c2 = Aes128::new(&[0x01; 16]).encrypt_block(&p);
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Legacy LMP authentication and key-generation functions `E1`, `E21`,
+//! `E22`, `E3` (Core Spec Vol 2 Part H, legacy security).
+//!
+//! These are the SAFER+-based functions pre-Secure-Connections controllers
+//! run. The BLAP paper's testbed negotiates SSP, so the simulation's default
+//! path is the HMAC-based `h4`/`h5` chain in [`crate::ssp`]; the legacy
+//! functions are implemented for completeness (devices below v4.1 in the
+//! profile catalog) and exercised by the ablation benches.
+
+use blap_types::{BdAddr, LinkKey};
+
+use crate::saferplus::{encrypt, encrypt_prime, KeySchedule};
+
+/// The byte offsets applied to the link key to form K̃ for `Ar'`
+/// (the "offset" step of E1/E3). Alternating add/XOR of eight primes.
+const OFFSET_CONSTANTS: [u8; 8] = [233, 229, 223, 193, 179, 167, 149, 131];
+
+fn offset_key(key: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for i in 0..16 {
+        let c = OFFSET_CONSTANTS[i % 8];
+        // First half: add on even, xor on odd; second half: the reverse.
+        let add = if i < 8 { i % 2 == 0 } else { i % 2 == 1 };
+        out[i] = if add {
+            key[i].wrapping_add(c)
+        } else {
+            key[i] ^ c
+        };
+    }
+    out
+}
+
+fn expand_addr(addr: BdAddr) -> [u8; 16] {
+    let bytes = addr.to_bytes();
+    core::array::from_fn(|i| bytes[i % 6])
+}
+
+fn expand_cof(cof: &[u8; 12]) -> [u8; 16] {
+    core::array::from_fn(|i| cof[i % 12])
+}
+
+/// Result of the `E1` authentication function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct E1Output {
+    /// The 32-bit signed response returned to the verifier.
+    pub sres: [u8; 4],
+    /// The 96-bit Authenticated Ciphering Offset fed into `E3`.
+    pub aco: [u8; 12],
+}
+
+/// `E1(K, RAND, BD_ADDR)` — the legacy LMP challenge-response function.
+///
+/// The verifier sends `RAND`; the prover (and the verifier locally) compute
+/// `E1` over the shared link key and the *claimant's* address, compare
+/// `SRES`, and keep `ACO` for encryption-key derivation.
+///
+/// # Examples
+///
+/// ```
+/// use blap_crypto::e1::e1;
+/// use blap_types::{BdAddr, LinkKey};
+///
+/// let key: LinkKey = "00112233445566778899aabbccddeeff".parse().unwrap();
+/// let addr: BdAddr = "aa:bb:cc:dd:ee:ff".parse().unwrap();
+/// let verifier = e1(&key, &[7u8; 16], addr);
+/// let prover = e1(&key, &[7u8; 16], addr);
+/// assert_eq!(verifier.sres, prover.sres);
+/// ```
+pub fn e1(key: &LinkKey, rand: &[u8; 16], address: BdAddr) -> E1Output {
+    let k = key.to_bytes();
+    let stage1 = encrypt(&KeySchedule::new(&k), rand);
+    // (Ar(K, RAND) XOR RAND) +16 expanded-address
+    let addr_ext = expand_addr(address);
+    let mut input2 = [0u8; 16];
+    for i in 0..16 {
+        input2[i] = (stage1[i] ^ rand[i]).wrapping_add(addr_ext[i]);
+    }
+    let k_tilde = offset_key(&k);
+    let out = encrypt_prime(&KeySchedule::new(&k_tilde), &input2);
+    let mut sres = [0u8; 4];
+    sres.copy_from_slice(&out[..4]);
+    let mut aco = [0u8; 12];
+    aco.copy_from_slice(&out[4..16]);
+    E1Output { sres, aco }
+}
+
+/// `E21(RAND, BD_ADDR)` — legacy unit/combination key generation.
+pub fn e21(rand: &[u8; 16], address: BdAddr) -> LinkKey {
+    let mut x = *rand;
+    x[15] ^= 6;
+    let y = expand_addr(address);
+    LinkKey::new(encrypt_prime(&KeySchedule::new(&x), &y))
+}
+
+/// `E22(RAND, PIN, BD_ADDR)` — legacy initialization key generation.
+///
+/// The PIN (1–16 bytes) is augmented with the claimant's address when
+/// shorter than 16 bytes, then expanded cyclically to form the SAFER+ key.
+///
+/// # Panics
+///
+/// Panics when `pin` is empty or longer than 16 bytes.
+pub fn e22(rand: &[u8; 16], pin: &[u8], address: BdAddr) -> LinkKey {
+    assert!(
+        !pin.is_empty() && pin.len() <= 16,
+        "PIN must be 1..=16 bytes, got {}",
+        pin.len()
+    );
+    let addr = address.to_bytes();
+    let mut pin_aug = pin.to_vec();
+    for byte in addr.iter().take(16 - pin.len().min(16)) {
+        if pin_aug.len() == 16 {
+            break;
+        }
+        pin_aug.push(*byte);
+    }
+    let l = pin_aug.len();
+    let x: [u8; 16] = core::array::from_fn(|i| pin_aug[i % l]);
+    let mut y = *rand;
+    y[15] ^= l as u8;
+    LinkKey::new(encrypt_prime(&KeySchedule::new(&x), &y))
+}
+
+/// `E3(K, RAND, COF)` — legacy encryption key generation from the link key,
+/// a public random number and the ciphering offset (the ACO from `E1`, or
+/// the central's address for broadcast encryption).
+pub fn e3(key: &LinkKey, rand: &[u8; 16], cof: &[u8; 12]) -> [u8; 16] {
+    let k = key.to_bytes();
+    let stage1 = encrypt(&KeySchedule::new(&k), rand);
+    let cof_ext = expand_cof(cof);
+    let mut input2 = [0u8; 16];
+    for i in 0..16 {
+        input2[i] = (stage1[i] ^ rand[i]).wrapping_add(cof_ext[i]);
+    }
+    let k_tilde = offset_key(&k);
+    encrypt_prime(&KeySchedule::new(&k_tilde), &input2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> LinkKey {
+        "00112233445566778899aabbccddeeff".parse().unwrap()
+    }
+
+    fn addr() -> BdAddr {
+        "aa:bb:cc:dd:ee:ff".parse().unwrap()
+    }
+
+    #[test]
+    fn e1_is_deterministic_and_key_bound() {
+        let rand = [0x5A; 16];
+        let a = e1(&key(), &rand, addr());
+        let b = e1(&key(), &rand, addr());
+        assert_eq!(a, b);
+        let wrong: LinkKey = "ffeeddccbbaa99887766554433221100".parse().unwrap();
+        assert_ne!(a.sres, e1(&wrong, &rand, addr()).sres);
+    }
+
+    #[test]
+    fn e1_binds_challenge_and_address() {
+        let a = e1(&key(), &[1u8; 16], addr());
+        assert_ne!(a.sres, e1(&key(), &[2u8; 16], addr()).sres);
+        let other: BdAddr = "aa:bb:cc:dd:ee:fe".parse().unwrap();
+        assert_ne!(a.sres, e1(&key(), &[1u8; 16], other).sres);
+    }
+
+    #[test]
+    fn e21_depends_on_both_inputs() {
+        let k1 = e21(&[1u8; 16], addr());
+        assert_ne!(k1, e21(&[2u8; 16], addr()));
+        let other: BdAddr = "00:00:00:00:00:01".parse().unwrap();
+        assert_ne!(k1, e21(&[1u8; 16], other));
+    }
+
+    #[test]
+    fn e22_pin_lengths() {
+        let rand = [9u8; 16];
+        let short = e22(&rand, b"0000", addr());
+        let long = e22(&rand, b"0123456789abcdef", addr());
+        assert_ne!(short, long);
+        // Same PIN, different address (address only matters for short PINs).
+        let other: BdAddr = "00:00:00:00:00:01".parse().unwrap();
+        assert_ne!(short, e22(&rand, b"0000", other));
+    }
+
+    #[test]
+    #[should_panic(expected = "PIN must be")]
+    fn e22_rejects_empty_pin() {
+        let _ = e22(&[0u8; 16], b"", addr());
+    }
+
+    #[test]
+    fn e3_differs_per_cof() {
+        let rand = [3u8; 16];
+        let k1 = e3(&key(), &rand, &[1u8; 12]);
+        let k2 = e3(&key(), &rand, &[2u8; 12]);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn mutual_authentication_succeeds_with_shared_key() {
+        // Verifier challenges, prover responds; both run E1 over the
+        // claimant address and must agree.
+        let rand = [0xC3; 16];
+        let claimant = addr();
+        let verifier_view = e1(&key(), &rand, claimant);
+        let prover_view = e1(&key(), &rand, claimant);
+        assert_eq!(verifier_view.sres, prover_view.sres);
+        assert_eq!(verifier_view.aco, prover_view.aco);
+    }
+}

@@ -1,0 +1,650 @@
+//! NIST P-256 (secp256r1) elliptic-curve Diffie-Hellman.
+//!
+//! Secure Simple Pairing's Authentication Stage 1 exchanges P-256 public
+//! keys (P-192 for pre-4.1 devices); the shared secret `DHKey` feeds the
+//! `f2` link-key derivation. This module implements the curve from its
+//! domain parameters on top of [`crate::bigint`]: fast Solinas reduction in
+//! the field, Jacobian-coordinate group arithmetic, double-and-add scalar
+//! multiplication, and public-key validation (the check whose absence
+//! enabled the Biham–Neumann invalid-curve attack cited by the paper).
+//!
+//! Correctness is established structurally: the fast field reduction is
+//! property-tested against the slow binary long division in
+//! [`crate::bigint`], the generator satisfies the curve equation,
+//! `n·G = ∞`, scalar multiplication distributes over scalar addition, and
+//! ECDH agreement holds for arbitrary key pairs.
+
+use std::fmt;
+
+use crate::bigint::{U256, U512};
+
+/// The field prime `p = 2^256 - 2^224 + 2^192 + 2^96 - 1`.
+pub fn field_prime() -> U256 {
+    U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+}
+
+/// The group order `n`.
+pub fn group_order() -> U256 {
+    U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+}
+
+fn curve_b() -> U256 {
+    U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+}
+
+/// The base point `G`.
+pub fn generator() -> Point {
+    Point::Affine {
+        x: U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+        y: U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"),
+    }
+}
+
+// --- fast field arithmetic -------------------------------------------------
+
+/// Reduces a 512-bit product modulo the P-256 prime using the NIST/Solinas
+/// term decomposition over 32-bit words.
+pub(crate) fn reduce_wide(value: U512) -> U256 {
+    // Split into sixteen little-endian 32-bit words c0..c15.
+    let limbs = {
+        let mut l = [0u64; 8];
+        // U512 has no public limb accessor; round-trip through U256 halves.
+        // (Cheap: just byte plumbing.)
+        let bytes = u512_to_le_words(value);
+        l.copy_from_slice(&bytes);
+        l
+    };
+    let mut c = [0u32; 16];
+    for i in 0..8 {
+        c[2 * i] = limbs[i] as u32;
+        c[2 * i + 1] = (limbs[i] >> 32) as u32;
+    }
+
+    // Terms from FIPS 186 fast reduction for p256, given as big-endian word
+    // tuples (w7..w0); indices into c. `None` means zero.
+    const fn w(i: usize) -> Option<usize> {
+        Some(i)
+    }
+    let z: Option<usize> = None;
+    // Each row is (w7, w6, w5, w4, w3, w2, w1, w0).
+    let terms: [([Option<usize>; 8], i64); 9] = [
+        ([w(7), w(6), w(5), w(4), w(3), w(2), w(1), w(0)], 1), // s1
+        ([w(15), w(14), w(13), w(12), w(11), z, z, z], 2),     // s2
+        ([z, w(15), w(14), w(13), w(12), z, z, z], 2),         // s3
+        ([w(15), w(14), z, z, z, w(10), w(9), w(8)], 1),       // s4
+        ([w(8), w(13), w(15), w(14), w(13), w(11), w(10), w(9)], 1), // s5
+        ([w(10), w(8), z, z, z, w(13), w(12), w(11)], -1),     // s6
+        ([w(11), w(9), z, z, w(15), w(14), w(13), w(12)], -1), // s7
+        ([w(12), z, w(10), w(9), w(8), w(15), w(14), w(13)], -1), // s8
+        ([w(13), z, w(11), w(10), w(9), z, w(15), w(14)], -1), // s9
+    ];
+
+    // Accumulate word-wise with a signed accumulator.
+    let mut acc = [0i64; 8];
+    for (words, sign) in terms {
+        for (be_idx, src) in words.iter().enumerate() {
+            if let Some(ci) = src {
+                let le_idx = 7 - be_idx;
+                acc[le_idx] += sign * c[*ci] as i64;
+            }
+        }
+    }
+
+    // Carry-propagate into 32-bit words; `carry` may go negative.
+    let mut words = [0u32; 8];
+    let mut carry: i64 = 0;
+    for i in 0..8 {
+        let v = acc[i] + carry;
+        words[i] = (v & 0xffff_ffff) as u32;
+        carry = v >> 32; // arithmetic shift keeps the sign
+    }
+
+    let mut r = u256_from_le_words(words);
+    let p = field_prime();
+    // r_actual = r + carry * 2^256; fold the carry in using
+    // 2^256 ≡ 2^256 - p (mod p).
+    let fold = p_complement();
+    while carry > 0 {
+        let (sum, overflow) = r.overflowing_add(fold);
+        r = sum;
+        carry -= 1;
+        if overflow {
+            carry += 1;
+        }
+        if r >= p {
+            r = r.overflowing_sub(p).0;
+        }
+    }
+    while carry < 0 {
+        let (diff, borrow) = r.overflowing_sub(fold);
+        r = diff;
+        carry += 1;
+        if borrow {
+            carry -= 1;
+        }
+    }
+    while r >= p {
+        r = r.overflowing_sub(p).0;
+    }
+    r
+}
+
+/// `2^256 - p` (the additive fold constant for carries past 2^256).
+fn p_complement() -> U256 {
+    // 2^256 - p = 2^224 - 2^192 - 2^96 + 1
+    U256::ZERO.overflowing_sub(field_prime()).0
+}
+
+fn u512_to_le_words(value: U512) -> [u64; 8] {
+    value.limbs_le()
+}
+
+fn u256_from_le_words(words: [u32; 8]) -> U256 {
+    let mut limbs = [0u64; 4];
+    for i in 0..4 {
+        limbs[i] = words[2 * i] as u64 | (words[2 * i + 1] as u64) << 32;
+    }
+    U256::from_limbs(limbs)
+}
+
+fn fe_mul(a: U256, b: U256) -> U256 {
+    reduce_wide(a.widening_mul(b))
+}
+
+/// Multiplies two field elements modulo the P-256 prime using the fast
+/// Solinas reduction (the hot path of every point operation). Exposed so
+/// external property tests can pin it against the slow binary-division
+/// reduction in [`crate::bigint`].
+pub fn field_mul(a: U256, b: U256) -> U256 {
+    let p = field_prime();
+    fe_mul(a.rem_short(p), b.rem_short(p))
+}
+
+fn fe_sq(a: U256) -> U256 {
+    fe_mul(a, a)
+}
+
+fn fe_add(a: U256, b: U256) -> U256 {
+    a.add_mod(b, field_prime())
+}
+
+fn fe_sub(a: U256, b: U256) -> U256 {
+    a.sub_mod(b, field_prime())
+}
+
+fn fe_double(a: U256) -> U256 {
+    fe_add(a, a)
+}
+
+/// Field inversion by Fermat's little theorem, using the fast multiplier.
+fn fe_inv(a: U256) -> Option<U256> {
+    if a.is_zero() {
+        return None;
+    }
+    let p = field_prime();
+    let exp = p.overflowing_sub(U256::from_u64(2)).0;
+    let mut result = U256::ONE;
+    let mut base = a;
+    for i in 0..exp.bits() {
+        if exp.bit(i) {
+            result = fe_mul(result, base);
+        }
+        base = fe_sq(base);
+    }
+    Some(result)
+}
+
+// --- group arithmetic ------------------------------------------------------
+
+/// A scalar modulo the group order — a P-256 private key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// Creates a scalar from a small integer (useful in tests/doctests).
+    pub fn from_u64(v: u64) -> Self {
+        Scalar(U256::from_u64(v))
+    }
+
+    /// Creates a scalar from 32 big-endian bytes, reducing modulo `n`.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        Scalar(U256::from_be_bytes(bytes).rem_short(group_order()))
+    }
+
+    /// Creates a scalar directly from a (reduced) [`U256`].
+    pub fn from_u256(v: U256) -> Self {
+        Scalar(v.rem_short(group_order()))
+    }
+
+    /// The reduced scalar value.
+    pub fn value(&self) -> U256 {
+        self.0
+    }
+
+    /// Whether the scalar is zero (an invalid private key).
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Private-key material: show a fingerprint only.
+        let b = self.0.to_be_bytes();
+        write!(f, "Scalar({:02x}{:02x}..)", b[0], b[1])
+    }
+}
+
+/// A point on the curve in affine form (or the point at infinity).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Point {
+    /// The identity element.
+    Infinity,
+    /// An affine point.
+    Affine {
+        /// x coordinate.
+        x: U256,
+        /// y coordinate.
+        y: U256,
+    },
+}
+
+/// Jacobian-coordinate point used internally: `(X, Y, Z)` with
+/// `x = X/Z²`, `y = Y/Z³`; infinity encoded as `Z = 0`.
+#[derive(Clone, Copy, Debug)]
+struct Jacobian {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+impl Jacobian {
+    const INFINITY: Jacobian = Jacobian {
+        x: U256::ONE,
+        y: U256::ONE,
+        z: U256::ZERO,
+    };
+
+    fn from_affine(p: &Point) -> Jacobian {
+        match p {
+            Point::Infinity => Jacobian::INFINITY,
+            Point::Affine { x, y } => Jacobian {
+                x: *x,
+                y: *y,
+                z: U256::ONE,
+            },
+        }
+    }
+
+    fn to_affine(self) -> Point {
+        if self.z.is_zero() {
+            return Point::Infinity;
+        }
+        let z_inv = fe_inv(self.z).expect("nonzero z");
+        let z_inv2 = fe_sq(z_inv);
+        let z_inv3 = fe_mul(z_inv2, z_inv);
+        Point::Affine {
+            x: fe_mul(self.x, z_inv2),
+            y: fe_mul(self.y, z_inv3),
+        }
+    }
+
+    /// Point doubling (dbl-2001-b style, a = -3).
+    fn double(&self) -> Jacobian {
+        if self.z.is_zero() || self.y.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        let delta = fe_sq(self.z);
+        let gamma = fe_sq(self.y);
+        let beta = fe_mul(self.x, gamma);
+        let alpha = {
+            let t1 = fe_sub(self.x, delta);
+            let t2 = fe_add(self.x, delta);
+            fe_mul(fe_add(fe_double(t1), t1), t2) // 3*(x-δ) * (x+δ)
+        };
+        let beta4 = fe_double(fe_double(beta));
+        let beta8 = fe_double(beta4);
+        let x3 = fe_sub(fe_sq(alpha), beta8);
+        let z3 = {
+            let t = fe_add(self.y, self.z);
+            fe_sub(fe_sub(fe_sq(t), gamma), delta)
+        };
+        let gamma2_8 = fe_double(fe_double(fe_double(fe_sq(gamma))));
+        let y3 = fe_sub(fe_mul(alpha, fe_sub(beta4, x3)), gamma2_8);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General point addition (add-2007-bl).
+    fn add(&self, other: &Jacobian) -> Jacobian {
+        if self.z.is_zero() {
+            return *other;
+        }
+        if other.z.is_zero() {
+            return *self;
+        }
+        let z1z1 = fe_sq(self.z);
+        let z2z2 = fe_sq(other.z);
+        let u1 = fe_mul(self.x, z2z2);
+        let u2 = fe_mul(other.x, z1z1);
+        let s1 = fe_mul(fe_mul(self.y, other.z), z2z2);
+        let s2 = fe_mul(fe_mul(other.y, self.z), z1z1);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Jacobian::INFINITY;
+        }
+        let h = fe_sub(u2, u1);
+        let i = fe_sq(fe_double(h));
+        let j = fe_mul(h, i);
+        let r = fe_double(fe_sub(s2, s1));
+        let v = fe_mul(u1, i);
+        let x3 = fe_sub(fe_sub(fe_sq(r), j), fe_double(v));
+        let y3 = fe_sub(fe_mul(r, fe_sub(v, x3)), fe_double(fe_mul(s1, j)));
+        let z3 = {
+            let t = fe_sq(fe_add(self.z, other.z));
+            fe_mul(fe_sub(fe_sub(t, z1z1), z2z2), h)
+        };
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+}
+
+impl Point {
+    /// The affine x-coordinate, if not the point at infinity.
+    pub fn x(&self) -> Option<U256> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { x, .. } => Some(*x),
+        }
+    }
+
+    /// The affine y-coordinate, if not the point at infinity.
+    pub fn y(&self) -> Option<U256> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { y, .. } => Some(*y),
+        }
+    }
+
+    /// Validates that the point satisfies `y² = x³ - 3x + b (mod p)` with
+    /// both coordinates in range.
+    ///
+    /// Skipping this check is exactly the "fixed coordinate invalid curve
+    /// attack" (Biham & Neumann) referenced in the paper's related work; the
+    /// simulated controller always validates remote public keys.
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                let p = field_prime();
+                if *x >= p || *y >= p {
+                    return false;
+                }
+                let y2 = fe_sq(*y);
+                let x3 = fe_mul(fe_sq(*x), *x);
+                let three_x = fe_add(fe_double(*x), *x);
+                let rhs = fe_add(fe_sub(x3, three_x), curve_b());
+                y2 == rhs
+            }
+        }
+    }
+
+    /// Point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        Jacobian::from_affine(self)
+            .add(&Jacobian::from_affine(other))
+            .to_affine()
+    }
+
+    /// Scalar multiplication (double-and-add, most-significant bit first).
+    pub fn mul(&self, k: &Scalar) -> Point {
+        let base = Jacobian::from_affine(self);
+        let mut acc = Jacobian::INFINITY;
+        let bits = k.0.bits();
+        for i in (0..bits).rev() {
+            acc = acc.double();
+            if k.0.bit(i) {
+                acc = acc.add(&base);
+            }
+        }
+        acc.to_affine()
+    }
+}
+
+/// Errors from key-pair construction and ECDH.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcdhError {
+    /// The private scalar was zero (or reduced to zero).
+    InvalidSecret,
+    /// The remote public key failed curve validation.
+    InvalidPublicKey,
+    /// The shared point was the point at infinity.
+    DegenerateSharedSecret,
+}
+
+impl fmt::Display for EcdhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcdhError::InvalidSecret => f.write_str("private scalar is zero"),
+            EcdhError::InvalidPublicKey => f.write_str("remote public key is not on the curve"),
+            EcdhError::DegenerateSharedSecret => {
+                f.write_str("shared secret degenerated to the point at infinity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcdhError {}
+
+/// A P-256 key pair.
+///
+/// # Examples
+///
+/// ```
+/// use blap_crypto::p256::{KeyPair, Scalar};
+///
+/// let alice = KeyPair::from_secret(Scalar::from_u64(7))?;
+/// let bob = KeyPair::from_secret(Scalar::from_u64(11))?;
+/// assert_eq!(
+///     alice.diffie_hellman(&bob.public())?,
+///     bob.diffie_hellman(&alice.public())?,
+/// );
+/// # Ok::<(), blap_crypto::p256::EcdhError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    secret: Scalar,
+    public: Point,
+}
+
+impl KeyPair {
+    /// Builds a key pair from a private scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdhError::InvalidSecret`] when the scalar is zero.
+    pub fn from_secret(secret: Scalar) -> Result<Self, EcdhError> {
+        if secret.is_zero() {
+            return Err(EcdhError::InvalidSecret);
+        }
+        let public = generator().mul(&secret);
+        Ok(KeyPair { secret, public })
+    }
+
+    /// Builds a key pair from 32 bytes of RNG output (reduced mod `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdhError::InvalidSecret`] in the (cryptographically
+    /// negligible) case the bytes reduce to zero.
+    pub fn from_rng_bytes(bytes: [u8; 32]) -> Result<Self, EcdhError> {
+        KeyPair::from_secret(Scalar::from_be_bytes(bytes))
+    }
+
+    /// The public point.
+    pub fn public(&self) -> Point {
+        self.public
+    }
+
+    /// Computes the ECDH shared secret: the big-endian x-coordinate of
+    /// `secret · remote_public`, the `DHKey` of the SSP protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdhError::InvalidPublicKey`] when the remote point fails
+    /// curve validation, and [`EcdhError::DegenerateSharedSecret`] when the
+    /// multiplication lands on the point at infinity.
+    pub fn diffie_hellman(&self, remote_public: &Point) -> Result<[u8; 32], EcdhError> {
+        if !remote_public.is_on_curve() || *remote_public == Point::Infinity {
+            return Err(EcdhError::InvalidPublicKey);
+        }
+        let shared = remote_public.mul(&self.secret);
+        match shared.x() {
+            Some(x) => Ok(x.to_be_bytes()),
+            None => Err(EcdhError::DegenerateSharedSecret),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_reduction_matches_binary_division() {
+        // Pin the Solinas term table against the audited-slow path.
+        let p = field_prime();
+        let samples = [
+            U256::from_u64(0),
+            U256::from_u64(1),
+            U256::from_hex("deadbeefcafebabe0123456789abcdef0fedcba9876543211122334455667788"),
+            p.overflowing_sub(U256::ONE).0,
+            U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"),
+            U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+        ];
+        for a in samples {
+            for b in samples {
+                let wide = a.widening_mul(b);
+                assert_eq!(reduce_wide(wide), wide.rem(p), "mismatch for {a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(generator().is_on_curve());
+    }
+
+    #[test]
+    fn infinity_is_identity() {
+        let g = generator();
+        assert_eq!(g.add(&Point::Infinity), g);
+        assert_eq!(Point::Infinity.add(&g), g);
+        assert!(Point::Infinity.is_on_curve());
+    }
+
+    #[test]
+    fn group_order_annihilates_generator() {
+        let n = Scalar(group_order());
+        assert_eq!(generator().mul(&n), Point::Infinity);
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        let g = generator();
+        let two_g = g.mul(&Scalar::from_u64(2));
+        assert_eq!(two_g, g.add(&g));
+        assert!(two_g.is_on_curve());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = generator();
+        let five = g.mul(&Scalar::from_u64(5));
+        let two_plus_three = g
+            .mul(&Scalar::from_u64(2))
+            .add(&g.mul(&Scalar::from_u64(3)));
+        assert_eq!(five, two_plus_three);
+        assert!(five.is_on_curve());
+    }
+
+    #[test]
+    fn negation_gives_infinity() {
+        let g = generator();
+        if let Point::Affine { x, y } = g {
+            let neg = Point::Affine {
+                x,
+                y: field_prime().overflowing_sub(y).0,
+            };
+            assert!(neg.is_on_curve());
+            assert_eq!(g.add(&neg), Point::Infinity);
+        } else {
+            panic!("generator must be affine");
+        }
+    }
+
+    #[test]
+    fn ecdh_agreement() {
+        let a = KeyPair::from_secret(Scalar::from_be_bytes([0x42; 32])).unwrap();
+        let b = KeyPair::from_secret(Scalar::from_be_bytes([0x17; 32])).unwrap();
+        let s1 = a.diffie_hellman(&b.public()).unwrap();
+        let s2 = b.diffie_hellman(&a.public()).unwrap();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, [0u8; 32]);
+    }
+
+    #[test]
+    fn invalid_public_key_rejected() {
+        let a = KeyPair::from_secret(Scalar::from_u64(99)).unwrap();
+        let bogus = Point::Affine {
+            x: U256::from_u64(1),
+            y: U256::from_u64(1),
+        };
+        assert_eq!(a.diffie_hellman(&bogus), Err(EcdhError::InvalidPublicKey));
+        assert_eq!(
+            a.diffie_hellman(&Point::Infinity),
+            Err(EcdhError::InvalidPublicKey)
+        );
+    }
+
+    #[test]
+    fn zero_secret_rejected() {
+        assert_eq!(
+            KeyPair::from_secret(Scalar::from_u64(0)).unwrap_err(),
+            EcdhError::InvalidSecret
+        );
+    }
+
+    #[test]
+    fn scalar_reduces_mod_order() {
+        // n + 5 reduces to 5.
+        let (n_plus_5, carry) = group_order().overflowing_add(U256::from_u64(5));
+        assert!(!carry);
+        let s = Scalar::from_be_bytes(n_plus_5.to_be_bytes());
+        assert_eq!(s.value(), U256::from_u64(5));
+    }
+
+    #[test]
+    fn public_points_lie_on_curve() {
+        for seed in 1..6u64 {
+            let kp = KeyPair::from_secret(Scalar::from_u64(seed * 7919)).unwrap();
+            assert!(kp.public().is_on_curve(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn field_inversion() {
+        let a = U256::from_hex("123456789abcdef000000000000000000000000000000000fedcba9876543210");
+        let inv = fe_inv(a).unwrap();
+        assert_eq!(fe_mul(a, inv), U256::ONE);
+        assert_eq!(fe_inv(U256::ZERO), None);
+    }
+}

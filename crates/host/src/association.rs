@@ -1,0 +1,223 @@
+//! Fig 7: the confirmation-popup policy for SSP Authentication Stage 1,
+//! in both specification generations.
+//!
+//! The association *model* itself (Numeric Comparison / Just Works /
+//! Passkey Entry) is pure spec logic and lives in
+//! [`blap_types::AssociationModel::select`]. What this module adds is the
+//! part that varies by implementation generation and role — whether a human
+//! ever sees a popup — which is exactly the surface the page blocking
+//! attack's downgrade step navigates:
+//!
+//! * **v4.2 and lower**: nothing mandates a popup; implementations
+//!   auto-confirm Just Works when acting as the pairing *initiator* and ask
+//!   a bare yes/no when acting as the responder.
+//! * **v5.0 and higher**: DisplayYesNo devices must show a yes/no popup
+//!   even for Just Works — but the popup carries no numeric value, so the
+//!   user cannot distinguish the attacker from the accessory (§V-B2).
+
+use blap_types::{AssociationModel, IoCapability, Role, SpecGeneration};
+
+/// What the host does with an `HCI_User_Confirmation_Request`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfirmationPolicy {
+    /// Confirm silently — no user involvement at all.
+    AutoConfirm,
+    /// Show a yes/no popup *without* the numeric value (Just Works under a
+    /// popup-mandating generation, or responder-side Just Works).
+    YesNoPopup,
+    /// Show the six-digit value and ask for comparison (genuine Numeric
+    /// Comparison, or Passkey Entry's display side).
+    NumericPopup,
+}
+
+impl ConfirmationPolicy {
+    /// Whether the user can actually detect a MITM from this popup: only
+    /// the numeric popup carries comparable evidence.
+    pub fn user_can_detect_mitm(self) -> bool {
+        self == ConfirmationPolicy::NumericPopup
+    }
+}
+
+/// Decides the confirmation policy for one side of a pairing.
+///
+/// * `generation` — the local implementation's spec generation,
+/// * `own_io` — the local IO capability,
+/// * `model` — the association model already selected from both IO caps,
+/// * `pairing_role` — whether the local side initiated pairing.
+pub fn confirmation_policy(
+    generation: SpecGeneration,
+    own_io: IoCapability,
+    model: AssociationModel,
+    pairing_role: Role,
+) -> ConfirmationPolicy {
+    match model {
+        AssociationModel::NumericComparison => ConfirmationPolicy::NumericPopup,
+        AssociationModel::PasskeyEntry => ConfirmationPolicy::NumericPopup,
+        AssociationModel::OutOfBand => ConfirmationPolicy::AutoConfirm,
+        AssociationModel::JustWorks => {
+            if !own_io.has_input() {
+                // Nothing to ask the user with.
+                return ConfirmationPolicy::AutoConfirm;
+            }
+            match generation {
+                SpecGeneration::V42OrLower => match pairing_role {
+                    // The silent-pairing path the paper highlights: a 4.2-
+                    // initiator auto-confirms Just Works.
+                    Role::Initiator => ConfirmationPolicy::AutoConfirm,
+                    Role::Responder => ConfirmationPolicy::YesNoPopup,
+                },
+                // v5.0 mandates the popup on DisplayYesNo devices — but
+                // without the confirmation value.
+                SpecGeneration::V50OrHigher => ConfirmationPolicy::YesNoPopup,
+            }
+        }
+    }
+}
+
+/// One cell of the Fig 7 matrix, for rendering the figure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fig7Cell {
+    /// Initiator (device A) capability.
+    pub initiator_io: IoCapability,
+    /// Responder (device B) capability.
+    pub responder_io: IoCapability,
+    /// Selected association model.
+    pub model: AssociationModel,
+    /// What the initiator's UI does.
+    pub initiator_policy: ConfirmationPolicy,
+    /// What the responder's UI does.
+    pub responder_policy: ConfirmationPolicy,
+}
+
+/// Computes the full initiator × responder matrix for one generation —
+/// the data behind the paper's Fig 7 (which displays the DisplayYesNo /
+/// NoInputNoOutput corner).
+pub fn fig7_matrix(generation: SpecGeneration) -> Vec<Fig7Cell> {
+    let mut cells = Vec::with_capacity(16);
+    for initiator_io in IoCapability::ALL {
+        for responder_io in IoCapability::ALL {
+            let model = AssociationModel::select(initiator_io, responder_io);
+            cells.push(Fig7Cell {
+                initiator_io,
+                responder_io,
+                model,
+                initiator_policy: confirmation_policy(
+                    generation,
+                    initiator_io,
+                    model,
+                    Role::Initiator,
+                ),
+                responder_policy: confirmation_policy(
+                    generation,
+                    responder_io,
+                    model,
+                    Role::Responder,
+                ),
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(generation: SpecGeneration, a: IoCapability, b: IoCapability) -> Fig7Cell {
+        fig7_matrix(generation)
+            .into_iter()
+            .find(|c| c.initiator_io == a && c.responder_io == b)
+            .expect("matrix covers all pairs")
+    }
+
+    #[test]
+    fn both_display_yes_no_is_numeric_comparison_everywhere() {
+        for generation in [SpecGeneration::V42OrLower, SpecGeneration::V50OrHigher] {
+            let c = cell(
+                generation,
+                IoCapability::DisplayYesNo,
+                IoCapability::DisplayYesNo,
+            );
+            assert_eq!(c.model, AssociationModel::NumericComparison);
+            assert_eq!(c.initiator_policy, ConfirmationPolicy::NumericPopup);
+            assert_eq!(c.responder_policy, ConfirmationPolicy::NumericPopup);
+        }
+    }
+
+    #[test]
+    fn fig7a_v42_initiator_auto_confirms_against_noio() {
+        // Fig 7a, top-right cell: DisplayYesNo responder, NoInputNoOutput
+        // initiator... and the transpose. On 4.2- the DisplayYesNo side
+        // auto-confirms when it *initiates* — the silent pairing.
+        let c = cell(
+            SpecGeneration::V42OrLower,
+            IoCapability::DisplayYesNo,
+            IoCapability::NoInputNoOutput,
+        );
+        assert_eq!(c.model, AssociationModel::JustWorks);
+        assert_eq!(c.initiator_policy, ConfirmationPolicy::AutoConfirm);
+        assert_eq!(c.responder_policy, ConfirmationPolicy::AutoConfirm);
+    }
+
+    #[test]
+    fn fig7a_v42_responder_asks_yes_no() {
+        let c = cell(
+            SpecGeneration::V42OrLower,
+            IoCapability::NoInputNoOutput,
+            IoCapability::DisplayYesNo,
+        );
+        assert_eq!(c.model, AssociationModel::JustWorks);
+        assert_eq!(c.initiator_policy, ConfirmationPolicy::AutoConfirm);
+        assert_eq!(c.responder_policy, ConfirmationPolicy::YesNoPopup);
+    }
+
+    #[test]
+    fn fig7b_v50_mandates_popup_both_roles() {
+        for (a, b) in [
+            (IoCapability::DisplayYesNo, IoCapability::NoInputNoOutput),
+            (IoCapability::NoInputNoOutput, IoCapability::DisplayYesNo),
+        ] {
+            let c = cell(SpecGeneration::V50OrHigher, a, b);
+            assert_eq!(c.model, AssociationModel::JustWorks);
+            let display_side_policy = if a == IoCapability::DisplayYesNo {
+                c.initiator_policy
+            } else {
+                c.responder_policy
+            };
+            assert_eq!(display_side_policy, ConfirmationPolicy::YesNoPopup);
+            // And the popup carries no comparable value — the user cannot
+            // detect the MITM.
+            assert!(!display_side_policy.user_can_detect_mitm());
+        }
+    }
+
+    #[test]
+    fn noio_devices_always_auto_confirm() {
+        for generation in [SpecGeneration::V42OrLower, SpecGeneration::V50OrHigher] {
+            for role in [Role::Initiator, Role::Responder] {
+                assert_eq!(
+                    confirmation_policy(
+                        generation,
+                        IoCapability::NoInputNoOutput,
+                        AssociationModel::JustWorks,
+                        role
+                    ),
+                    ConfirmationPolicy::AutoConfirm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn only_numeric_popup_detects_mitm() {
+        assert!(ConfirmationPolicy::NumericPopup.user_can_detect_mitm());
+        assert!(!ConfirmationPolicy::YesNoPopup.user_can_detect_mitm());
+        assert!(!ConfirmationPolicy::AutoConfirm.user_can_detect_mitm());
+    }
+
+    #[test]
+    fn matrix_is_complete() {
+        assert_eq!(fig7_matrix(SpecGeneration::V42OrLower).len(), 16);
+        assert_eq!(fig7_matrix(SpecGeneration::V50OrHigher).len(), 16);
+    }
+}

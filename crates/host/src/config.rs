@@ -1,0 +1,190 @@
+//! Host stack configuration: profile switches, attacker hooks, mitigations.
+
+use blap_types::{BtVersion, Duration, IoCapability};
+
+/// Which real-world host stack a simulated host stands in for.
+///
+/// Table I of the paper lists one row per (OS, host stack, device) triple;
+/// the stack kind drives dump availability and privilege semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HostStackKind {
+    /// Android's Bluedroid/Fluoride stack — built-in HCI snoop log behind
+    /// developer options, extractable via bug report without privileges.
+    Bluedroid,
+    /// Microsoft Bluetooth Driver stack on Windows — no HCI dump tool, but
+    /// HCI rides USB where a software analyzer sees it.
+    MicrosoftBluetoothDriver,
+    /// CSR Harmony stack on Windows — same USB exposure.
+    CsrHarmony,
+    /// BlueZ on Linux — `bluez-hcidump` plus `/var/lib/bluetooth` bonding
+    /// files, both behind superuser privilege.
+    BlueZ,
+    /// Apple's iOS stack — no user-accessible HCI dump at all (the paper
+    /// analyzed the attacker's dump instead when testing the iPhone Xs).
+    IosBluetooth,
+}
+
+impl HostStackKind {
+    /// Whether the stack ships a software HCI dump facility.
+    pub fn supports_hci_dump(self) -> bool {
+        matches!(self, HostStackKind::Bluedroid | HostStackKind::BlueZ)
+    }
+
+    /// Whether using the stack's extraction channel requires superuser
+    /// privileges (the rightmost column of Table I).
+    pub fn dump_requires_superuser(self) -> bool {
+        matches!(self, HostStackKind::BlueZ)
+    }
+}
+
+impl std::fmt::Display for HostStackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HostStackKind::Bluedroid => "Bluedroid",
+            HostStackKind::MicrosoftBluetoothDriver => "Microsoft Bluetooth Driver",
+            HostStackKind::CsrHarmony => "CSR harmony",
+            HostStackKind::BlueZ => "BlueZ",
+            HostStackKind::IosBluetooth => "iOS Bluetooth",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Physical transport carrying HCI between host and controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HciTransportKind {
+    /// UART (H4) — integrated chipsets; snoop log is the practical tap.
+    H4Uart,
+    /// USB — dongles; a hardware/software USB analyzer is the tap.
+    Usb,
+}
+
+/// The attacker-side stack modifications from §VI of the paper.
+///
+/// All default to off: an unmodified host is a victim host.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttackerHooks {
+    /// Fig 9: comment out the `HCI_Link_Key_Request` handler, so LMP
+    /// authentication against us stalls into a timeout.
+    pub ignore_link_key_request: bool,
+    /// Fig 13: hold `HCI_Connection_Complete` processing for this long —
+    /// the Physical Layer Only Connection state.
+    pub ploc_delay: Option<Duration>,
+    /// Keep the PLOC link alive with dummy traffic (the paper's SDP-query
+    /// trick) so link supervision does not kill it.
+    pub ploc_keepalive: bool,
+}
+
+/// The §VII mitigations, individually switchable for ablation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Mitigations {
+    /// §VII-B: abort pairing when we initiate pairing over a link whose
+    /// *connection* was initiated by the peer and that peer advertises
+    /// `NoInputNoOutput`.
+    pub reject_noio_connection_initiator: bool,
+    /// Long-term hardening: refuse to replace an *authenticated* bond
+    /// (Numeric Comparison / Passkey) with an *unauthenticated* one (Just
+    /// Works) — a downgrade no honest re-pairing of the same accessory
+    /// should produce.
+    pub detect_key_type_downgrade: bool,
+}
+
+/// Full host configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostConfig {
+    /// Which stack this host stands in for.
+    pub stack: HostStackKind,
+    /// Core spec version (drives the Fig 7 popup policy generation).
+    pub version: BtVersion,
+    /// Local IO capability advertised during SSP.
+    pub io_capability: IoCapability,
+    /// Authentication requirements octet sent with the IO capability.
+    pub auth_requirements: u8,
+    /// HCI transport (selects which capture channel an attacker can use).
+    pub transport: HciTransportKind,
+    /// Whether the "Bluetooth HCI snoop log" developer option is on.
+    pub snoop_enabled: bool,
+    /// Whether the stack supports Secure Simple Pairing (false = pre-2.1
+    /// legacy PIN pairing via E22/E21).
+    pub ssp: bool,
+    /// The fixed PIN used for legacy pairing (accessories typically ship
+    /// "0000"); `None` refuses legacy pairing.
+    pub pin: Option<Vec<u8>>,
+    /// How long the host waits between PLOC keep-alive frames.
+    pub keepalive_interval: Duration,
+    /// Attacker modifications (off for victims).
+    pub attacker: AttackerHooks,
+    /// Deployed mitigations (off by default, matching the paper's testbed).
+    pub mitigations: Mitigations,
+}
+
+impl HostConfig {
+    /// A benign phone-style host (DisplayYesNo, Bluedroid, snoop off).
+    pub fn phone(version: BtVersion) -> Self {
+        HostConfig {
+            stack: HostStackKind::Bluedroid,
+            version,
+            io_capability: IoCapability::DisplayYesNo,
+            auth_requirements: 0x03, // MITM, dedicated bonding
+            transport: HciTransportKind::H4Uart,
+            snoop_enabled: false,
+            ssp: true,
+            pin: Some(b"0000".to_vec()),
+            keepalive_interval: Duration::from_secs(5),
+            attacker: AttackerHooks::default(),
+            mitigations: Mitigations::default(),
+        }
+    }
+
+    /// A benign accessory-style host (NoInputNoOutput, e.g. car-kit).
+    pub fn accessory(version: BtVersion) -> Self {
+        HostConfig {
+            io_capability: IoCapability::NoInputNoOutput,
+            auth_requirements: 0x02, // no MITM (no IO), dedicated bonding
+            ..HostConfig::phone(version)
+        }
+    }
+
+    /// The paper's attacker profile: Nexus 5x (Android 6 / Bluedroid) with
+    /// `NoInputNoOutput` capability and all hooks armed.
+    pub fn attacker() -> Self {
+        HostConfig {
+            io_capability: IoCapability::NoInputNoOutput,
+            auth_requirements: 0x02,
+            attacker: AttackerHooks {
+                ignore_link_key_request: true,
+                ploc_delay: Some(Duration::from_secs(10)),
+                ploc_keepalive: true,
+            },
+            ..HostConfig::phone(BtVersion::V4_2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_capabilities_match_table1() {
+        assert!(HostStackKind::Bluedroid.supports_hci_dump());
+        assert!(HostStackKind::BlueZ.supports_hci_dump());
+        assert!(!HostStackKind::MicrosoftBluetoothDriver.supports_hci_dump());
+        assert!(!HostStackKind::CsrHarmony.supports_hci_dump());
+        // Only the BlueZ row of Table I carries SU privilege = Y.
+        assert!(HostStackKind::BlueZ.dump_requires_superuser());
+        assert!(!HostStackKind::Bluedroid.dump_requires_superuser());
+    }
+
+    #[test]
+    fn presets() {
+        let phone = HostConfig::phone(BtVersion::V5_0);
+        assert_eq!(phone.io_capability, IoCapability::DisplayYesNo);
+        assert!(phone.attacker == AttackerHooks::default());
+
+        let attacker = HostConfig::attacker();
+        assert!(attacker.attacker.ignore_link_key_request);
+        assert!(attacker.attacker.ploc_delay.is_some());
+        assert_eq!(attacker.io_capability, IoCapability::NoInputNoOutput);
+    }
+}

@@ -1,0 +1,1277 @@
+//! The host stack state machine.
+
+use std::collections::{HashMap, VecDeque};
+
+use blap_hci::{AclData, Command, Event, StatusCode};
+use blap_types::{
+    AssociationModel, BdAddr, ClassOfDevice, ConnectionHandle, Duration, Instant, Role, ServiceUuid,
+};
+
+use crate::association::{confirmation_policy, ConfirmationPolicy};
+use crate::config::HostConfig;
+use crate::keystore::{BondEntry, KeyStore};
+use crate::ui::UiNotification;
+
+/// Something the host wants the outside world to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HostOutput {
+    /// Send an HCI command to the controller.
+    Command(Command),
+    /// Send ACL data down a link (keep-alive / profile traffic).
+    Acl(AclData),
+    /// Surface a notification to the user interface.
+    Ui(UiNotification),
+    /// Arm a timer.
+    StartTimer {
+        /// Which timer.
+        timer: HostTimer,
+        /// Relative expiry.
+        after: Duration,
+    },
+}
+
+/// Timers the host arms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HostTimer {
+    /// Release the PLOC hold for `peer` (Fig 13's fixed delay).
+    PlocRelease {
+        /// The held peer.
+        peer: BdAddr,
+    },
+    /// Send the next keep-alive frame to `peer`.
+    KeepAlive {
+        /// The kept-alive peer.
+        peer: BdAddr,
+    },
+}
+
+/// Per-peer connection bookkeeping.
+#[derive(Clone, Debug)]
+struct Connection {
+    handle: Option<ConnectionHandle>,
+    /// Local role in *connection establishment* (who paged whom).
+    conn_role: Role,
+    /// Local role in *pairing*, once pairing starts.
+    pairing_role: Option<Role>,
+    /// Remote IO capability, once the SSP exchange reveals it.
+    remote_io: Option<blap_types::IoCapability>,
+    /// Whether encryption is on.
+    encrypted: bool,
+}
+
+/// The simulated host stack. See the crate docs for the role it plays.
+#[derive(Debug)]
+pub struct Host {
+    config: HostConfig,
+    keystore: KeyStore,
+    conns: HashMap<BdAddr, Connection>,
+    outputs: VecDeque<HostOutput>,
+    discovered: Vec<(BdAddr, ClassOfDevice)>,
+    discovering: bool,
+    /// Pairing requested before the link existed.
+    pending_pair: Option<BdAddr>,
+    /// Profile connection in flight: peer, service, and whether
+    /// authentication has succeeded yet.
+    pending_profile: Option<(BdAddr, ServiceUuid, bool)>,
+    /// Events whose processing is postponed by the PLOC hook, per peer.
+    ploc_held: HashMap<BdAddr, Vec<Event>>,
+}
+
+impl Host {
+    /// Creates a host with the given configuration and an empty bond store.
+    pub fn new(config: HostConfig) -> Self {
+        Host {
+            config,
+            keystore: KeyStore::new(),
+            conns: HashMap::new(),
+            outputs: VecDeque::new(),
+            discovered: Vec::new(),
+            discovering: false,
+            pending_pair: None,
+            pending_profile: None,
+            ploc_held: HashMap::new(),
+        }
+    }
+
+    /// The host configuration.
+    pub fn config(&self) -> &HostConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (the attack drivers flip hooks here).
+    pub fn config_mut(&mut self) -> &mut HostConfig {
+        &mut self.config
+    }
+
+    /// The bond store.
+    pub fn keystore(&self) -> &KeyStore {
+        &self.keystore
+    }
+
+    /// Mutable bond store access — used by the paper's fake-bonding
+    /// installation (Fig 10) and by tests.
+    pub fn keystore_mut(&mut self) -> &mut KeyStore {
+        &mut self.keystore
+    }
+
+    /// Installs a bond entry, exactly like editing `bt_config.conf`.
+    pub fn install_bond(&mut self, peer: BdAddr, entry: BondEntry) {
+        self.keystore.store(peer, entry);
+    }
+
+    /// Whether an ACL link to `peer` is currently up (and processed).
+    pub fn is_connected(&self, peer: BdAddr) -> bool {
+        self.conns
+            .get(&peer)
+            .map(|c| c.handle.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Whether a PLOC hold is active for `peer`.
+    pub fn in_ploc(&self, peer: BdAddr) -> bool {
+        self.ploc_held.contains_key(&peer)
+    }
+
+    /// Drains everything the host produced since the last call.
+    pub fn drain_outputs(&mut self) -> Vec<HostOutput> {
+        self.outputs.drain(..).collect()
+    }
+
+    fn emit(&mut self, output: HostOutput) {
+        self.outputs.push_back(output);
+    }
+
+    fn cmd(&mut self, command: Command) {
+        self.emit(HostOutput::Command(command));
+    }
+
+    fn ui(&mut self, notification: UiNotification) {
+        self.emit(HostOutput::Ui(notification));
+    }
+
+    // --- GAP API (what the user / user agent calls) -----------------------
+
+    /// Starts device discovery.
+    pub fn start_discovery(&mut self) {
+        self.discovered.clear();
+        self.discovering = true;
+        self.cmd(Command::Inquiry {
+            inquiry_length: 8,
+            num_responses: 0,
+        });
+    }
+
+    /// Makes the device discoverable/connectable (accessory pairing mode).
+    pub fn set_discoverable(&mut self, discoverable: bool) {
+        self.cmd(Command::WriteScanEnable {
+            inquiry_scan: discoverable,
+            page_scan: true,
+        });
+    }
+
+    /// Initiates pairing with `peer`.
+    ///
+    /// **This method contains the vulnerability the page blocking attack
+    /// exploits (Fig 6b step 6).** When an ACL link for `peer`'s address
+    /// already exists, the host skips connection establishment and sends
+    /// `HCI_Authentication_Requested` down the *existing* link — without
+    /// ever verifying who initiated that link. If an attacker pre-planted a
+    /// PLOC connection under the accessory's spoofed address, the pairing
+    /// request lands on the attacker.
+    pub fn pair_with(&mut self, peer: BdAddr) {
+        if let Some(conn) = self.conns.get_mut(&peer) {
+            if let Some(handle) = conn.handle {
+                conn.pairing_role = Some(Role::Initiator);
+                self.cmd(Command::AuthenticationRequested { handle });
+                return;
+            }
+        }
+        // No link yet: page first (Fig 12a flow).
+        self.pending_pair = Some(peer);
+        self.conns.insert(
+            peer,
+            Connection {
+                handle: None,
+                conn_role: Role::Initiator,
+                pairing_role: Some(Role::Initiator),
+                remote_io: None,
+                encrypted: false,
+            },
+        );
+        self.cmd(Command::CreateConnection {
+            bd_addr: peer,
+            allow_role_switch: true,
+        });
+    }
+
+    /// Establishes a connection to `peer` without any host-layer follow-up.
+    ///
+    /// For a victim this is a plain connection; for a host whose
+    /// [`crate::AttackerHooks::ploc_delay`] is set, the completion event
+    /// will be *held* — this is how the attacker enters PLOC.
+    pub fn connect_only(&mut self, peer: BdAddr) {
+        self.conns.insert(
+            peer,
+            Connection {
+                handle: None,
+                conn_role: Role::Initiator,
+                pairing_role: None,
+                remote_io: None,
+                encrypted: false,
+            },
+        );
+        self.cmd(Command::CreateConnection {
+            bd_addr: peer,
+            allow_role_switch: true,
+        });
+    }
+
+    /// Connects a profile service (e.g. PAN tethering) to `peer`,
+    /// authenticating first. For a bonded peer with a valid key this never
+    /// shows any pairing UI — which is exactly how the paper *validates*
+    /// extracted keys (§VI-B1: "they do not start a new pairing procedure
+    /// if the key is correct").
+    pub fn connect_profile(&mut self, peer: BdAddr, service: ServiceUuid) {
+        self.pending_profile = Some((peer, service, false));
+        if let Some(conn) = self.conns.get_mut(&peer) {
+            if let Some(handle) = conn.handle {
+                conn.pairing_role = Some(Role::Initiator);
+                self.cmd(Command::AuthenticationRequested { handle });
+                return;
+            }
+        }
+        self.conns.insert(
+            peer,
+            Connection {
+                handle: None,
+                conn_role: Role::Initiator,
+                pairing_role: Some(Role::Initiator),
+                remote_io: None,
+                encrypted: false,
+            },
+        );
+        self.cmd(Command::CreateConnection {
+            bd_addr: peer,
+            allow_role_switch: true,
+        });
+    }
+
+    /// Sends application data to a connected peer (profile traffic — the
+    /// phone-book entries, messages, tethered packets the paper's attacker
+    /// is ultimately after). Returns `false` when no processed link exists.
+    pub fn send_data(&mut self, peer: BdAddr, payload: Vec<u8>) -> bool {
+        let Some(handle) = self.conns.get(&peer).and_then(|c| c.handle) else {
+            return false;
+        };
+        self.emit(HostOutput::Acl(AclData::new(handle, payload)));
+        true
+    }
+
+    /// The user answered a pairing confirmation popup.
+    pub fn confirm_pairing(&mut self, peer: BdAddr, accept: bool) {
+        if accept {
+            self.cmd(Command::UserConfirmationRequestReply { bd_addr: peer });
+        } else {
+            self.cmd(Command::UserConfirmationRequestNegativeReply { bd_addr: peer });
+        }
+    }
+
+    /// Tears down the link to `peer`.
+    pub fn disconnect(&mut self, peer: BdAddr) {
+        if let Some(conn) = self.conns.get(&peer) {
+            if let Some(handle) = conn.handle {
+                self.cmd(Command::Disconnect {
+                    handle,
+                    reason: StatusCode::RemoteUserTerminated,
+                });
+            }
+        }
+    }
+
+    // --- timers -----------------------------------------------------------
+
+    /// A host timer fired.
+    pub fn on_timer(&mut self, now: Instant, timer: HostTimer) {
+        match timer {
+            HostTimer::PlocRelease { peer } => self.release_ploc(now, peer),
+            HostTimer::KeepAlive { peer } => {
+                // Only while the PLOC hold (or the link) is still alive.
+                let handle = self
+                    .ploc_handle(peer)
+                    .or_else(|| self.conns.get(&peer).and_then(|c| c.handle));
+                if let Some(handle) = handle {
+                    // A dummy SDP service-search PDU.
+                    self.emit(HostOutput::Acl(AclData::new(
+                        handle,
+                        vec![0x02, 0x00, 0x01, 0x00, 0x00],
+                    )));
+                    let interval = self.config.keepalive_interval;
+                    self.emit(HostOutput::StartTimer {
+                        timer: HostTimer::KeepAlive { peer },
+                        after: interval,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Peeks the connection handle out of a held `Connection_Complete`.
+    fn ploc_handle(&self, peer: BdAddr) -> Option<ConnectionHandle> {
+        self.ploc_held.get(&peer)?.iter().find_map(|e| match e {
+            Event::ConnectionComplete { handle, .. } => Some(*handle),
+            _ => None,
+        })
+    }
+
+    /// Ends the PLOC hold: processes every held event in order.
+    ///
+    /// Called by the release timer, or early when pairing-related traffic
+    /// arrives (the paper: "the host should stop the postponement when a
+    /// pairing procedure is initiated by M").
+    fn release_ploc(&mut self, now: Instant, peer: BdAddr) {
+        if let Some(held) = self.ploc_held.remove(&peer) {
+            for event in held {
+                self.process_event(now, event);
+            }
+        }
+    }
+
+    // --- ACL --------------------------------------------------------------
+
+    /// ACL data arrived from `peer` (profile traffic / keep-alives).
+    pub fn on_acl(&mut self, _now: Instant, _peer: BdAddr, _data: &AclData) {
+        // Keep-alives need no reply; profile data is out of scope beyond
+        // the connection-establishment semantics the attacks rely on.
+    }
+
+    // --- HCI event processing ----------------------------------------------
+
+    /// Processes one HCI event from the controller.
+    pub fn on_event(&mut self, now: Instant, event: Event) {
+        // Fig 13 hook: hold Connection_Complete processing for PLOC peers.
+        if let Some(delay) = self.config.attacker.ploc_delay {
+            if let Event::ConnectionComplete {
+                status: StatusCode::Success,
+                bd_addr,
+                ..
+            } = &event
+            {
+                let initiated_plain_connection = self
+                    .conns
+                    .get(bd_addr)
+                    .map(|c| c.pairing_role.is_none() && c.handle.is_none())
+                    .unwrap_or(false);
+                if initiated_plain_connection && !self.ploc_held.contains_key(bd_addr) {
+                    let peer = *bd_addr;
+                    self.ploc_held.insert(peer, vec![event]);
+                    self.emit(HostOutput::StartTimer {
+                        timer: HostTimer::PlocRelease { peer },
+                        after: delay,
+                    });
+                    if self.config.attacker.ploc_keepalive {
+                        let interval = self.config.keepalive_interval;
+                        self.emit(HostOutput::StartTimer {
+                            timer: HostTimer::KeepAlive { peer },
+                            after: interval,
+                        });
+                    }
+                    return;
+                }
+            }
+            // Pairing traffic for a held peer releases the hold first.
+            if let Some(peer) = event_peer(&event) {
+                if self.ploc_held.contains_key(&peer) && is_pairing_event(&event) {
+                    self.release_ploc(now, peer);
+                }
+            }
+        }
+        self.process_event(now, event);
+    }
+
+    fn process_event(&mut self, _now: Instant, event: Event) {
+        match event {
+            Event::InquiryResult { bd_addr, cod } => {
+                if self.discovering && !self.discovered.iter().any(|(a, _)| *a == bd_addr) {
+                    self.discovered.push((bd_addr, cod));
+                }
+            }
+            Event::InquiryComplete { .. } => {
+                if self.discovering {
+                    self.discovering = false;
+                    let devices = self.discovered.clone();
+                    self.ui(UiNotification::DiscoveryComplete { devices });
+                }
+            }
+            Event::ConnectionRequest { bd_addr, .. } => {
+                // Accept inbound connections: the host cannot know yet
+                // whether the pager is legitimate — the paper's point.
+                self.conns.insert(
+                    bd_addr,
+                    Connection {
+                        handle: None,
+                        conn_role: Role::Responder,
+                        pairing_role: None,
+                        remote_io: None,
+                        encrypted: false,
+                    },
+                );
+                self.cmd(Command::AcceptConnectionRequest {
+                    bd_addr,
+                    role_switch: false,
+                });
+            }
+            Event::ConnectionComplete {
+                status,
+                handle,
+                bd_addr,
+                ..
+            } => {
+                if status.is_success() {
+                    if let Some(conn) = self.conns.get_mut(&bd_addr) {
+                        conn.handle = Some(handle);
+                    } else {
+                        self.conns.insert(
+                            bd_addr,
+                            Connection {
+                                handle: Some(handle),
+                                conn_role: Role::Responder,
+                                pairing_role: None,
+                                remote_io: None,
+                                encrypted: false,
+                            },
+                        );
+                    }
+                    self.ui(UiNotification::ConnectionEstablished { peer: bd_addr });
+                    if self.pending_pair == Some(bd_addr)
+                        || matches!(self.pending_profile, Some((p, _, false)) if p == bd_addr)
+                    {
+                        self.pending_pair = None;
+                        self.cmd(Command::AuthenticationRequested { handle });
+                    }
+                } else {
+                    self.conns.remove(&bd_addr);
+                    if self.pending_pair == Some(bd_addr) {
+                        self.pending_pair = None;
+                    }
+                    if matches!(self.pending_profile, Some((p, _, _)) if p == bd_addr) {
+                        let (_, service, _) = self.pending_profile.take().unwrap();
+                        self.ui(UiNotification::ProfileFailed {
+                            peer: bd_addr,
+                            service,
+                            status,
+                        });
+                    }
+                    self.ui(UiNotification::ConnectFailed {
+                        peer: bd_addr,
+                        status,
+                    });
+                }
+            }
+            Event::DisconnectionComplete { handle, .. } => {
+                let peer = self.peer_by_handle(handle);
+                if let Some(peer) = peer {
+                    self.conns.remove(&peer);
+                    self.ploc_held.remove(&peer);
+                }
+            }
+            Event::PinCodeRequest { bd_addr } => match self.config.pin.clone() {
+                Some(pin) if !pin.is_empty() => {
+                    self.cmd(Command::PinCodeRequestReply { bd_addr, pin });
+                }
+                _ => {
+                    self.cmd(Command::PinCodeRequestNegativeReply { bd_addr });
+                }
+            },
+            Event::LinkKeyRequest { bd_addr } => {
+                // Fig 9 hook: the attacker's host simply never answers.
+                if self.config.attacker.ignore_link_key_request {
+                    return;
+                }
+                match self.keystore.get(bd_addr) {
+                    Some(entry) => {
+                        let link_key = entry.link_key;
+                        self.cmd(Command::LinkKeyRequestReply { bd_addr, link_key });
+                    }
+                    None => {
+                        self.cmd(Command::LinkKeyRequestNegativeReply { bd_addr });
+                    }
+                }
+            }
+            Event::IoCapabilityRequest { bd_addr } => {
+                // If pairing reaches us without us having initiated it, we
+                // are the pairing responder.
+                if let Some(conn) = self.conns.get_mut(&bd_addr) {
+                    conn.pairing_role.get_or_insert(Role::Responder);
+                }
+                let io_capability = self.config.io_capability;
+                let auth_requirements = self.config.auth_requirements;
+                self.cmd(Command::IoCapabilityRequestReply {
+                    bd_addr,
+                    io_capability,
+                    oob_data_present: false,
+                    auth_requirements,
+                });
+            }
+            Event::IoCapabilityResponse {
+                bd_addr,
+                io_capability,
+                ..
+            } => {
+                if let Some(conn) = self.conns.get_mut(&bd_addr) {
+                    conn.remote_io = Some(io_capability);
+                }
+                // §VII-B mitigation: pairing initiator + connection
+                // responder + NoInputNoOutput connection initiator = the
+                // page blocking fingerprint.
+                if self.config.mitigations.reject_noio_connection_initiator {
+                    let conn = self.conns.get(&bd_addr);
+                    let suspicious = conn
+                        .map(|c| {
+                            c.pairing_role == Some(Role::Initiator)
+                                && c.conn_role == Role::Responder
+                                && io_capability == blap_types::IoCapability::NoInputNoOutput
+                        })
+                        .unwrap_or(false);
+                    if suspicious {
+                        self.ui(UiNotification::SecurityAlert {
+                            peer: bd_addr,
+                            reason: "pairing initiated locally over a remotely-initiated \
+                                     connection from a NoInputNoOutput device; dropping \
+                                     (page blocking suspected)"
+                                .to_owned(),
+                        });
+                        self.disconnect(bd_addr);
+                        self.pending_profile = None;
+                    }
+                }
+            }
+            Event::UserConfirmationRequest {
+                bd_addr,
+                numeric_value,
+            } => {
+                let conn = self.conns.get(&bd_addr);
+                let pairing_role = conn.and_then(|c| c.pairing_role).unwrap_or(Role::Responder);
+                let remote_io = conn
+                    .and_then(|c| c.remote_io)
+                    .unwrap_or(blap_types::IoCapability::NoInputNoOutput);
+                let (init_io, resp_io) = match pairing_role {
+                    Role::Initiator => (self.config.io_capability, remote_io),
+                    Role::Responder => (remote_io, self.config.io_capability),
+                };
+                let model = AssociationModel::select(init_io, resp_io);
+                let policy = confirmation_policy(
+                    self.config.version.generation(),
+                    self.config.io_capability,
+                    model,
+                    pairing_role,
+                );
+                match policy {
+                    ConfirmationPolicy::AutoConfirm => {
+                        self.cmd(Command::UserConfirmationRequestReply { bd_addr });
+                    }
+                    ConfirmationPolicy::YesNoPopup => {
+                        self.ui(UiNotification::PairingConfirmation {
+                            peer: bd_addr,
+                            numeric: None,
+                        });
+                    }
+                    ConfirmationPolicy::NumericPopup => {
+                        self.ui(UiNotification::PairingConfirmation {
+                            peer: bd_addr,
+                            numeric: Some(numeric_value),
+                        });
+                    }
+                }
+            }
+            Event::LinkKeyNotification {
+                bd_addr,
+                link_key,
+                key_type,
+            } => {
+                if self.config.mitigations.detect_key_type_downgrade {
+                    let downgraded = self
+                        .keystore
+                        .get(bd_addr)
+                        .map(|old| old.key_type.is_authenticated() && !key_type.is_authenticated())
+                        .unwrap_or(false);
+                    if downgraded {
+                        self.ui(UiNotification::SecurityAlert {
+                            peer: bd_addr,
+                            reason: "re-pairing downgraded an authenticated bond to \
+                                     Just Works; keeping the old key and dropping the \
+                                     link (downgrade suspected)"
+                                .to_owned(),
+                        });
+                        self.disconnect(bd_addr);
+                        return;
+                    }
+                }
+                let name = self
+                    .discovered
+                    .iter()
+                    .find(|(a, _)| *a == bd_addr)
+                    .map(|_| blap_types::DeviceName::new(format!("{bd_addr}")));
+                self.keystore.store(
+                    bd_addr,
+                    BondEntry {
+                        name,
+                        link_key,
+                        key_type,
+                        services: Vec::new(),
+                    },
+                );
+                self.ui(UiNotification::BondStored { peer: bd_addr });
+            }
+            Event::SimplePairingComplete { status, bd_addr } => {
+                self.ui(UiNotification::PairingComplete {
+                    peer: bd_addr,
+                    success: status.is_success(),
+                });
+                if !status.is_success()
+                    && matches!(self.pending_profile, Some((p, _, _)) if p == bd_addr)
+                {
+                    let (_, service, _) = self.pending_profile.take().unwrap();
+                    self.ui(UiNotification::ProfileFailed {
+                        peer: bd_addr,
+                        service,
+                        status,
+                    });
+                }
+            }
+            Event::AuthenticationComplete { status, handle } => {
+                let Some(peer) = self.peer_by_handle(handle) else {
+                    return;
+                };
+                self.ui(UiNotification::AuthenticationOutcome { peer, status });
+                if status.invalidates_link_key() && self.keystore.remove(peer).is_some() {
+                    self.ui(UiNotification::BondLost { peer });
+                }
+                if status.is_success() {
+                    if let Some((p, _service, done)) = self.pending_profile {
+                        if p == peer && !done {
+                            self.pending_profile =
+                                self.pending_profile.map(|(p, s, _)| (p, s, true));
+                            self.cmd(Command::SetConnectionEncryption {
+                                handle,
+                                enable: true,
+                            });
+                        }
+                    }
+                } else if matches!(self.pending_profile, Some((p, _, _)) if p == peer) {
+                    let (_, service, _) = self.pending_profile.take().unwrap();
+                    self.ui(UiNotification::ProfileFailed {
+                        peer,
+                        service,
+                        status,
+                    });
+                }
+            }
+            Event::EncryptionChange {
+                status,
+                handle,
+                enabled,
+            } => {
+                let Some(peer) = self.peer_by_handle(handle) else {
+                    return;
+                };
+                if let Some(conn) = self.conns.get_mut(&peer) {
+                    conn.encrypted = enabled;
+                }
+                if status.is_success() && enabled {
+                    if let Some((p, service, true)) = self.pending_profile {
+                        if p == peer {
+                            self.pending_profile = None;
+                            // Profile-level traffic: one SDP-ish exchange.
+                            self.emit(HostOutput::Acl(AclData::new(
+                                handle,
+                                vec![0x06, 0x00, 0x01, 0x00, 0x0f],
+                            )));
+                            self.ui(UiNotification::ProfileConnected { peer, service });
+                        }
+                    }
+                }
+            }
+            Event::CommandStatus { status, opcode, .. } => {
+                if !status.is_success() {
+                    // Failed command starts: surface connection failures.
+                    if opcode == blap_hci::Opcode::CREATE_CONNECTION {
+                        if let Some(peer) = self.pending_pair.take() {
+                            self.ui(UiNotification::ConnectFailed { peer, status });
+                        }
+                    }
+                }
+            }
+            Event::CommandComplete { .. } => {}
+        }
+    }
+
+    fn peer_by_handle(&self, handle: ConnectionHandle) -> Option<BdAddr> {
+        self.conns
+            .iter()
+            .find(|(_, c)| c.handle == Some(handle))
+            .map(|(a, _)| *a)
+            .or_else(|| {
+                // PLOC-held links know their handle from the held event.
+                self.ploc_held
+                    .keys()
+                    .copied()
+                    .find(|peer| self.ploc_handle(*peer) == Some(handle))
+            })
+    }
+}
+
+/// Which peer an event concerns, when the event names one directly.
+fn event_peer(event: &Event) -> Option<BdAddr> {
+    match event {
+        Event::ConnectionRequest { bd_addr, .. }
+        | Event::ConnectionComplete { bd_addr, .. }
+        | Event::LinkKeyRequest { bd_addr }
+        | Event::LinkKeyNotification { bd_addr, .. }
+        | Event::IoCapabilityRequest { bd_addr }
+        | Event::IoCapabilityResponse { bd_addr, .. }
+        | Event::UserConfirmationRequest { bd_addr, .. }
+        | Event::SimplePairingComplete { bd_addr, .. }
+        | Event::InquiryResult { bd_addr, .. } => Some(*bd_addr),
+        _ => None,
+    }
+}
+
+/// Whether an event belongs to a pairing procedure (releases a PLOC hold).
+fn is_pairing_event(event: &Event) -> bool {
+    matches!(
+        event,
+        Event::LinkKeyRequest { .. }
+            | Event::IoCapabilityRequest { .. }
+            | Event::IoCapabilityResponse { .. }
+            | Event::UserConfirmationRequest { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AttackerHooks, HostConfig};
+    use blap_types::{BtVersion, IoCapability, LinkKey, LinkKeyType};
+
+    fn addr(tag: u8) -> BdAddr {
+        BdAddr::new([0xAA, 0, 0, 0, 0, tag])
+    }
+
+    fn key() -> LinkKey {
+        "71a70981f30d6af9e20adee8aafe3264".parse().unwrap()
+    }
+
+    fn now() -> Instant {
+        Instant::EPOCH
+    }
+
+    fn connected_phone(peer: BdAddr) -> Host {
+        let mut host = Host::new(HostConfig::phone(BtVersion::V5_0));
+        host.on_event(
+            now(),
+            Event::ConnectionRequest {
+                bd_addr: peer,
+                cod: ClassOfDevice::HANDS_FREE,
+                link_type: 1,
+            },
+        );
+        host.on_event(
+            now(),
+            Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(3),
+                bd_addr: peer,
+                encryption_enabled: false,
+            },
+        );
+        host.drain_outputs();
+        host
+    }
+
+    #[test]
+    fn pair_with_unconnected_peer_pages_first() {
+        let mut host = Host::new(HostConfig::phone(BtVersion::V5_0));
+        host.pair_with(addr(1));
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::CreateConnection { bd_addr, .. }) if *bd_addr == addr(1)
+        )));
+        // Fig 12a: Authentication_Requested only after Connection_Complete.
+        host.on_event(
+            now(),
+            Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(6),
+                bd_addr: addr(1),
+                encryption_enabled: false,
+            },
+        );
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::AuthenticationRequested { .. })
+        )));
+    }
+
+    #[test]
+    fn pair_with_connected_peer_skips_paging() {
+        // The page blocking vulnerability: an existing (attacker-planted)
+        // link short-circuits connection establishment.
+        let mut host = connected_phone(addr(1));
+        host.pair_with(addr(1));
+        let outs = host.drain_outputs();
+        assert!(
+            outs.iter().any(|o| matches!(
+                o,
+                HostOutput::Command(Command::AuthenticationRequested { .. })
+            )),
+            "pairing must ride the existing link"
+        );
+        assert!(
+            !outs
+                .iter()
+                .any(|o| matches!(o, HostOutput::Command(Command::CreateConnection { .. }))),
+            "no new page when a link already exists"
+        );
+    }
+
+    #[test]
+    fn link_key_request_answered_from_keystore() {
+        let mut host = connected_phone(addr(1));
+        host.install_bond(
+            addr(1),
+            BondEntry {
+                name: None,
+                link_key: key(),
+                key_type: LinkKeyType::UnauthenticatedP256,
+                services: vec![],
+            },
+        );
+        host.on_event(now(), Event::LinkKeyRequest { bd_addr: addr(1) });
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::LinkKeyRequestReply { link_key, .. }) if *link_key == key()
+        )));
+    }
+
+    #[test]
+    fn link_key_request_negative_when_unbonded() {
+        let mut host = connected_phone(addr(1));
+        host.on_event(now(), Event::LinkKeyRequest { bd_addr: addr(1) });
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::LinkKeyRequestNegativeReply { .. })
+        )));
+    }
+
+    #[test]
+    fn fig9_hook_drops_link_key_request() {
+        let mut host = connected_phone(addr(1));
+        host.config_mut().attacker.ignore_link_key_request = true;
+        host.install_bond(
+            addr(1),
+            BondEntry {
+                name: None,
+                link_key: key(),
+                key_type: LinkKeyType::UnauthenticatedP256,
+                services: vec![],
+            },
+        );
+        host.on_event(now(), Event::LinkKeyRequest { bd_addr: addr(1) });
+        assert!(
+            host.drain_outputs().is_empty(),
+            "attacker host must stay silent"
+        );
+    }
+
+    #[test]
+    fn auth_failure_wipes_bond_timeout_does_not() {
+        for (status, expect_bond_after) in [
+            (StatusCode::AuthenticationFailure, false),
+            (StatusCode::LmpResponseTimeout, true),
+        ] {
+            let mut host = connected_phone(addr(1));
+            host.install_bond(
+                addr(1),
+                BondEntry {
+                    name: None,
+                    link_key: key(),
+                    key_type: LinkKeyType::UnauthenticatedP256,
+                    services: vec![],
+                },
+            );
+            host.on_event(
+                now(),
+                Event::AuthenticationComplete {
+                    status,
+                    handle: ConnectionHandle::new(3),
+                },
+            );
+            assert_eq!(
+                host.keystore().get(addr(1)).is_some(),
+                expect_bond_after,
+                "bond survival after {status}"
+            );
+        }
+    }
+
+    #[test]
+    fn ploc_holds_connection_complete() {
+        let mut host = Host::new(HostConfig::phone(BtVersion::V4_2));
+        host.config_mut().attacker = AttackerHooks {
+            ignore_link_key_request: false,
+            ploc_delay: Some(Duration::from_secs(10)),
+            ploc_keepalive: true,
+        };
+        host.connect_only(addr(1));
+        host.drain_outputs();
+        host.on_event(
+            now(),
+            Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(2),
+                bd_addr: addr(1),
+                encryption_enabled: false,
+            },
+        );
+        assert!(host.in_ploc(addr(1)));
+        assert!(!host.is_connected(addr(1)), "host layer must not progress");
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::StartTimer {
+                timer: HostTimer::PlocRelease { .. },
+                ..
+            }
+        )));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::StartTimer {
+                timer: HostTimer::KeepAlive { .. },
+                ..
+            }
+        )));
+
+        // Release by timer: the held event is processed.
+        host.on_timer(
+            now() + Duration::from_secs(10),
+            HostTimer::PlocRelease { peer: addr(1) },
+        );
+        assert!(!host.in_ploc(addr(1)));
+        assert!(host.is_connected(addr(1)));
+    }
+
+    #[test]
+    fn pairing_event_releases_ploc_early() {
+        let mut host = Host::new(HostConfig::attacker());
+        host.connect_only(addr(1));
+        host.drain_outputs();
+        host.on_event(
+            now(),
+            Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(2),
+                bd_addr: addr(1),
+                encryption_enabled: false,
+            },
+        );
+        assert!(host.in_ploc(addr(1)));
+        // The victim started pairing: IO capability request arrives.
+        host.on_event(now(), Event::IoCapabilityRequest { bd_addr: addr(1) });
+        assert!(!host.in_ploc(addr(1)), "pairing must end the hold");
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::IoCapabilityRequestReply {
+                io_capability: IoCapability::NoInputNoOutput,
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn keepalive_timer_sends_acl_and_rearms() {
+        let mut host = Host::new(HostConfig::attacker());
+        host.connect_only(addr(1));
+        host.drain_outputs();
+        host.on_event(
+            now(),
+            Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(2),
+                bd_addr: addr(1),
+                encryption_enabled: false,
+            },
+        );
+        host.drain_outputs();
+        host.on_timer(
+            now() + Duration::from_secs(5),
+            HostTimer::KeepAlive { peer: addr(1) },
+        );
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(o, HostOutput::Acl(_))));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::StartTimer {
+                timer: HostTimer::KeepAlive { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn v50_just_works_shows_yes_no_popup_without_number() {
+        let mut host = connected_phone(addr(1));
+        host.pair_with(addr(1));
+        host.drain_outputs();
+        host.on_event(
+            now(),
+            Event::IoCapabilityResponse {
+                bd_addr: addr(1),
+                io_capability: IoCapability::NoInputNoOutput,
+                oob_data_present: false,
+                auth_requirements: 2,
+            },
+        );
+        host.on_event(
+            now(),
+            Event::UserConfirmationRequest {
+                bd_addr: addr(1),
+                numeric_value: 123456,
+            },
+        );
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Ui(UiNotification::PairingConfirmation { numeric: None, .. })
+        )));
+    }
+
+    #[test]
+    fn v42_just_works_initiator_auto_confirms() {
+        let mut host = Host::new(HostConfig::phone(BtVersion::V4_2));
+        host.on_event(
+            now(),
+            Event::ConnectionRequest {
+                bd_addr: addr(1),
+                cod: ClassOfDevice::HANDS_FREE,
+                link_type: 1,
+            },
+        );
+        host.on_event(
+            now(),
+            Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(3),
+                bd_addr: addr(1),
+                encryption_enabled: false,
+            },
+        );
+        host.pair_with(addr(1));
+        host.drain_outputs();
+        host.on_event(
+            now(),
+            Event::IoCapabilityResponse {
+                bd_addr: addr(1),
+                io_capability: IoCapability::NoInputNoOutput,
+                oob_data_present: false,
+                auth_requirements: 2,
+            },
+        );
+        host.on_event(
+            now(),
+            Event::UserConfirmationRequest {
+                bd_addr: addr(1),
+                numeric_value: 42,
+            },
+        );
+        let outs = host.drain_outputs();
+        assert!(
+            outs.iter().any(|o| matches!(
+                o,
+                HostOutput::Command(Command::UserConfirmationRequestReply { .. })
+            )),
+            "4.2- initiator must silently confirm Just Works"
+        );
+        assert!(!outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Ui(UiNotification::PairingConfirmation { .. })
+        )));
+    }
+
+    #[test]
+    fn mitigation_blocks_page_blocking_fingerprint() {
+        let mut host = connected_phone(addr(1)); // connection responder
+        host.config_mut()
+            .mitigations
+            .reject_noio_connection_initiator = true;
+        host.pair_with(addr(1)); // pairing initiator
+        host.drain_outputs();
+        host.on_event(
+            now(),
+            Event::IoCapabilityResponse {
+                bd_addr: addr(1),
+                io_capability: IoCapability::NoInputNoOutput,
+                oob_data_present: false,
+                auth_requirements: 2,
+            },
+        );
+        let outs = host.drain_outputs();
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, HostOutput::Ui(UiNotification::SecurityAlert { .. }))));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, HostOutput::Command(Command::Disconnect { .. }))));
+    }
+
+    #[test]
+    fn mitigation_allows_normal_outbound_pairing() {
+        let mut host = Host::new(HostConfig::phone(BtVersion::V5_0));
+        host.config_mut()
+            .mitigations
+            .reject_noio_connection_initiator = true;
+        host.pair_with(addr(1)); // we initiate connection AND pairing
+        host.on_event(
+            now(),
+            Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(6),
+                bd_addr: addr(1),
+                encryption_enabled: false,
+            },
+        );
+        host.drain_outputs();
+        host.on_event(
+            now(),
+            Event::IoCapabilityResponse {
+                bd_addr: addr(1),
+                io_capability: IoCapability::NoInputNoOutput,
+                oob_data_present: false,
+                auth_requirements: 2,
+            },
+        );
+        let outs = host.drain_outputs();
+        assert!(
+            !outs
+                .iter()
+                .any(|o| matches!(o, HostOutput::Ui(UiNotification::SecurityAlert { .. }))),
+            "legitimate accessory pairing must not be blocked"
+        );
+    }
+
+    #[test]
+    fn profile_connect_runs_auth_then_encryption() {
+        let mut host = connected_phone(addr(1));
+        host.install_bond(
+            addr(1),
+            BondEntry {
+                name: None,
+                link_key: key(),
+                key_type: LinkKeyType::UnauthenticatedP256,
+                services: vec![ServiceUuid::PANU],
+            },
+        );
+        host.connect_profile(addr(1), ServiceUuid::PANU);
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::AuthenticationRequested { .. })
+        )));
+        host.on_event(
+            now(),
+            Event::AuthenticationComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(3),
+            },
+        );
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::SetConnectionEncryption { enable: true, .. })
+        )));
+        host.on_event(
+            now(),
+            Event::EncryptionChange {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(3),
+                enabled: true,
+            },
+        );
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Ui(UiNotification::ProfileConnected { service, .. })
+                if *service == ServiceUuid::PANU
+        )));
+    }
+
+    #[test]
+    fn pin_code_request_answered_from_config() {
+        let mut host = connected_phone(addr(1));
+        host.config_mut().pin = Some(b"4821".to_vec());
+        host.on_event(now(), Event::PinCodeRequest { bd_addr: addr(1) });
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::PinCodeRequestReply { pin, .. }) if pin == b"4821"
+        )));
+    }
+
+    #[test]
+    fn pin_code_request_negative_without_pin() {
+        let mut host = connected_phone(addr(1));
+        host.config_mut().pin = None;
+        host.on_event(now(), Event::PinCodeRequest { bd_addr: addr(1) });
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            HostOutput::Command(Command::PinCodeRequestNegativeReply { .. })
+        )));
+    }
+
+    #[test]
+    fn send_data_requires_a_processed_link() {
+        let mut host = Host::new(HostConfig::phone(BtVersion::V5_0));
+        assert!(!host.send_data(addr(9), vec![1, 2, 3]));
+        let mut host = connected_phone(addr(1));
+        assert!(host.send_data(addr(1), vec![1, 2, 3]));
+        let outs = host.drain_outputs();
+        assert!(outs.iter().any(|o| matches!(o, HostOutput::Acl(_))));
+    }
+
+    #[test]
+    fn discovery_dedups_and_reports() {
+        let mut host = Host::new(HostConfig::phone(BtVersion::V5_0));
+        host.start_discovery();
+        for _ in 0..3 {
+            host.on_event(
+                now(),
+                Event::InquiryResult {
+                    bd_addr: addr(7),
+                    cod: ClassOfDevice::HANDS_FREE,
+                },
+            );
+        }
+        host.on_event(
+            now(),
+            Event::InquiryComplete {
+                status: StatusCode::Success,
+            },
+        );
+        let outs = host.drain_outputs();
+        let devices = outs
+            .iter()
+            .find_map(|o| match o {
+                HostOutput::Ui(UiNotification::DiscoveryComplete { devices }) => {
+                    Some(devices.clone())
+                }
+                _ => None,
+            })
+            .expect("discovery completes");
+        assert_eq!(devices.len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Notifications the host surfaces to its user interface.
+//!
+//! In the simulation these reach the scripted user agent in `blap-sim`; in
+//! the paper they are the popups and toasts the victim sees (or, crucially,
+//! does not see).
+
+use blap_hci::StatusCode;
+use blap_types::{BdAddr, ClassOfDevice, DeviceName, ServiceUuid};
+
+/// A UI-visible notification from the host stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UiNotification {
+    /// Device discovery finished with this result list.
+    DiscoveryComplete {
+        /// Discovered devices, in arrival order.
+        devices: Vec<(BdAddr, ClassOfDevice)>,
+    },
+    /// An ACL connection to `peer` is up.
+    ConnectionEstablished {
+        /// The connected peer.
+        peer: BdAddr,
+    },
+    /// A connection attempt failed.
+    ConnectFailed {
+        /// The peer we tried to reach.
+        peer: BdAddr,
+        /// The failure reported by the controller.
+        status: StatusCode,
+    },
+    /// The user must confirm a pairing.
+    ///
+    /// `numeric` is `Some` only when the association model actually shows a
+    /// comparable value — the distinction at the heart of §V-B2: a Just
+    /// Works popup (`numeric: None`) gives the user nothing to verify.
+    PairingConfirmation {
+        /// Peer being paired.
+        peer: BdAddr,
+        /// Six-digit comparison value, when one is displayed.
+        numeric: Option<u32>,
+    },
+    /// Pairing finished.
+    PairingComplete {
+        /// Peer that was being paired.
+        peer: BdAddr,
+        /// Whether pairing succeeded.
+        success: bool,
+    },
+    /// A link key was stored (bonding).
+    BondStored {
+        /// Bonded peer.
+        peer: BdAddr,
+    },
+    /// A stored bond was invalidated (authentication failure path).
+    BondLost {
+        /// Peer whose bond was wiped.
+        peer: BdAddr,
+    },
+    /// LMP authentication concluded.
+    AuthenticationOutcome {
+        /// Authenticated peer.
+        peer: BdAddr,
+        /// Resulting status.
+        status: StatusCode,
+    },
+    /// A profile-level connection is up (e.g. PAN tethering).
+    ProfileConnected {
+        /// Connected peer.
+        peer: BdAddr,
+        /// The profile service.
+        service: ServiceUuid,
+    },
+    /// A profile-level connection failed.
+    ProfileFailed {
+        /// The peer.
+        peer: BdAddr,
+        /// The profile service.
+        service: ServiceUuid,
+        /// Why it failed.
+        status: StatusCode,
+    },
+    /// A deployed mitigation blocked something (§VII).
+    SecurityAlert {
+        /// The suspicious peer.
+        peer: BdAddr,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The remote name of a discovered device resolved.
+    NameResolved {
+        /// The device.
+        peer: BdAddr,
+        /// Its name.
+        name: DeviceName,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_works_popup_has_no_numeric_value() {
+        let popup = UiNotification::PairingConfirmation {
+            peer: BdAddr::ZERO,
+            numeric: None,
+        };
+        match popup {
+            UiNotification::PairingConfirmation { numeric, .. } => assert!(numeric.is_none()),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! One simulated device: host + controller + observation taps + user.
+
+use blap_controller::{Controller, ControllerConfig};
+use blap_hci::{HciPacket, PacketDirection};
+use blap_host::{HciTransportKind, Host, HostConfig, UiNotification};
+use blap_snoop::btsnoop::SnoopRecord;
+use blap_snoop::log::HciTrace;
+use blap_snoop::usb::UsbCapture;
+use blap_snoop::{btsnoop, redact};
+use blap_types::{BdAddr, Instant};
+
+/// Index of a device within its world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "device#{}", self.0)
+    }
+}
+
+/// Transport-level protections (§VII-A mitigations), applied at the
+/// capture seam.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportSecurity {
+    /// Mitigation 1: the dump module redacts link keys before logging.
+    pub filter_link_keys: bool,
+    /// Mitigation 2: link-key payloads cross HCI encrypted, so *any* tap
+    /// (snoop or hardware) records ciphertext.
+    pub encrypt_link_key_payloads: bool,
+}
+
+/// Everything needed to add a device to a world.
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Human-readable label (e.g. "Galaxy S8").
+    pub label: String,
+    /// Host configuration.
+    pub host: HostConfig,
+    /// Controller configuration.
+    pub controller: ControllerConfig,
+    /// Whether this device plays the attacker in page races (drives the
+    /// race latency model split).
+    pub is_attacker: bool,
+    /// Transport protections.
+    pub security: TransportSecurity,
+    /// Whether the device boots discoverable (inquiry scan on) — true for
+    /// accessories waiting in pairing mode.
+    pub discoverable: bool,
+    /// The scripted user.
+    pub user: crate::user::UserAgent,
+}
+
+/// One device in the world.
+#[derive(Debug)]
+pub struct Device {
+    /// World-assigned identity.
+    pub id: DeviceId,
+    /// Human-readable label.
+    pub label: String,
+    /// The host stack.
+    pub host: Host,
+    /// The controller.
+    pub controller: Controller,
+    /// The scripted user.
+    pub user: crate::user::UserAgent,
+    /// Whether this device plays the attacker in page races.
+    pub is_attacker: bool,
+    /// Transport protections.
+    pub security: TransportSecurity,
+    /// The btsnoop capture (packets recorded only while the host config's
+    /// `snoop_enabled` is true and the stack supports a dump).
+    snoop: Vec<SnoopRecord>,
+    /// The USB analyzer, when the transport is USB.
+    usb: Option<UsbCapture>,
+    /// Per-device session secret for mitigation 2.
+    session_secret: u64,
+}
+
+impl Device {
+    pub(crate) fn new(id: DeviceId, spec: DeviceSpec, session_secret: u64) -> Self {
+        let usb = match spec.host.transport {
+            HciTransportKind::Usb => Some(UsbCapture::new()),
+            HciTransportKind::H4Uart => None,
+        };
+        let mut controller = Controller::new(spec.controller, session_secret);
+        if !spec.host.ssp {
+            controller.on_command(
+                Instant::EPOCH,
+                blap_hci::Command::WriteSimplePairingMode { enabled: false },
+            );
+            let _ = controller.drain_outputs();
+        }
+        if spec.discoverable {
+            controller.on_command(
+                Instant::EPOCH,
+                blap_hci::Command::WriteScanEnable {
+                    inquiry_scan: true,
+                    page_scan: true,
+                },
+            );
+            let _ = controller.drain_outputs();
+        }
+        Device {
+            id,
+            label: spec.label,
+            host: Host::new(spec.host.clone()),
+            controller,
+            user: spec.user,
+            is_attacker: spec.is_attacker,
+            security: spec.security,
+            snoop: Vec::new(),
+            usb,
+            session_secret,
+        }
+    }
+
+    /// The device's current claimed address.
+    pub fn bd_addr(&self) -> BdAddr {
+        self.controller.bd_addr()
+    }
+
+    /// Records one packet crossing the HCI seam, into every enabled tap,
+    /// with mitigations applied first.
+    pub(crate) fn record_hci(
+        &mut self,
+        now: Instant,
+        direction: PacketDirection,
+        packet: &HciPacket,
+    ) {
+        let mut bytes = packet.encode();
+        if self.security.encrypt_link_key_payloads {
+            redact::encrypt_sensitive_payload(&mut bytes, self.session_secret);
+        }
+
+        // USB analyzer taps the physical transport: it sees the (possibly
+        // payload-encrypted) bytes regardless of any software dump filter.
+        if let Some(usb) = &mut self.usb {
+            if let Ok(observed) = HciPacket::decode(&bytes) {
+                usb.observe(now, direction, &observed);
+            } else {
+                // Encrypted payload no longer decodes; feed the raw bytes
+                // through as an opaque transfer so the analyzer still logs
+                // *something*, like real hardware would.
+                usb.observe_raw(now, direction, bytes.clone());
+            }
+        }
+
+        // Software HCI dump: only when supported and enabled.
+        if self.host.config().snoop_enabled && self.host.config().stack.supports_hci_dump() {
+            if self.security.filter_link_keys {
+                redact::redact_link_keys(&mut bytes);
+            }
+            self.snoop.push(SnoopRecord {
+                timestamp: now,
+                direction,
+                data: bytes,
+            });
+        }
+    }
+
+    /// Dispatches a UI notification to the scripted user, applying its
+    /// policy (this is where popups get tapped).
+    pub(crate) fn handle_ui(&mut self, now: Instant, notification: UiNotification) {
+        if let UiNotification::PairingConfirmation { peer, .. } = &notification {
+            let accept = self.user.accept_pairing;
+            let peer = *peer;
+            self.user.observe(now, notification);
+            self.host.confirm_pairing(peer, accept);
+            return;
+        }
+        self.user.observe(now, notification);
+    }
+
+    /// The "Android bug report" extraction path: returns the btsnoop file
+    /// bytes, or `None` when the stack has no dump or the developer option
+    /// is off.
+    pub fn bug_report(&self) -> Option<Vec<u8>> {
+        if self.host.config().stack.supports_hci_dump() && self.host.config().snoop_enabled {
+            Some(btsnoop::write_file(&self.snoop))
+        } else {
+            None
+        }
+    }
+
+    /// The decoded snoop trace (what a Frontline-style viewer shows).
+    pub fn snoop_trace(&self) -> HciTrace {
+        self.bug_report()
+            .and_then(|bytes| HciTrace::from_btsnoop_bytes(&bytes).ok())
+            .unwrap_or_default()
+    }
+
+    /// The raw USB capture stream, when the transport is USB.
+    pub fn usb_capture(&self) -> Option<Vec<u8>> {
+        self.usb.as_ref().map(|u| u.raw_stream())
+    }
+
+    /// Number of packets in the snoop buffer.
+    pub fn snoop_len(&self) -> usize {
+        self.snoop.len()
+    }
+}

@@ -1,0 +1,165 @@
+//! Scheduled simulation events.
+
+use blap_controller::lmp::LmpPdu;
+use blap_controller::ControllerTimer;
+use blap_hci::AclData;
+use blap_host::HostTimer;
+use blap_types::{BdAddr, ClassOfDevice, Instant};
+
+use crate::device::DeviceId;
+
+/// A timer key, unifying controller and host timers for the generation
+/// bookkeeping in the world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimTimer {
+    /// A controller timer.
+    Controller(ControllerTimer),
+    /// A host timer.
+    Host(HostTimer),
+}
+
+/// What happens when a scheduled event fires.
+pub enum EventKind {
+    /// Deliver an LMP PDU over link `link_id`.
+    LmpDeliver {
+        /// Link the PDU travels on.
+        link_id: u64,
+        /// Receiving device.
+        to: DeviceId,
+        /// Address the receiver believes the sender has.
+        from_addr: BdAddr,
+        /// The PDU.
+        pdu: LmpPdu,
+    },
+    /// Deliver ACL data over link `link_id`.
+    AclDeliver {
+        /// Link the data travels on.
+        link_id: u64,
+        /// Receiving device.
+        to: DeviceId,
+        /// Address the receiver believes the sender has.
+        from_addr: BdAddr,
+        /// The payload.
+        data: AclData,
+    },
+    /// Resolve a page request (run the response race).
+    PageResolve {
+        /// Paging device.
+        pager: DeviceId,
+        /// Paged address.
+        target: BdAddr,
+    },
+    /// The winning responder receives the page.
+    PageDeliver {
+        /// Paging device.
+        pager: DeviceId,
+        /// Winning responder.
+        responder: DeviceId,
+        /// The address that was paged (the responder's claimed address).
+        target: BdAddr,
+    },
+    /// The page found no responder.
+    PageTimeout {
+        /// Paging device.
+        pager: DeviceId,
+        /// Paged address.
+        target: BdAddr,
+    },
+    /// One inquiry response arrives at the inquirer.
+    InquiryResponse {
+        /// Inquiring device.
+        inquirer: DeviceId,
+        /// Responder's claimed address.
+        bd_addr: BdAddr,
+        /// Responder's class of device.
+        cod: ClassOfDevice,
+    },
+    /// The inquiry window closed.
+    InquiryComplete {
+        /// Inquiring device.
+        inquirer: DeviceId,
+    },
+    /// A timer fires (if its generation is still current).
+    TimerFire {
+        /// Device owning the timer.
+        device: DeviceId,
+        /// Which timer.
+        timer: SimTimer,
+        /// Generation at scheduling time.
+        generation: u64,
+    },
+    /// Check one link's supervision timeout.
+    SupervisionCheck {
+        /// Link to check.
+        link_id: u64,
+    },
+    /// Run an arbitrary script against the world (user actions).
+    Script {
+        /// The scripted action.
+        action: Box<dyn FnOnce(&mut crate::world::World) + Send>,
+    },
+}
+
+/// An event queued for a point in virtual time. Ordered by `(time, seq)` so
+/// ties resolve deterministically in scheduling order.
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub time: Instant,
+    /// Scheduling sequence number (tiebreaker).
+    pub seq: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl std::fmt::Debug for ScheduledEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScheduledEvent(t={}, seq={})", self.time, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time_us: u64, seq: u64) -> ScheduledEvent {
+        ScheduledEvent {
+            time: Instant::from_micros(time_us),
+            seq,
+            kind: EventKind::SupervisionCheck { link_id: 0 },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first_with_seq_tiebreak() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(100, 2));
+        heap.push(ev(50, 3));
+        heap.push(ev(100, 1));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time.as_micros(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(50, 3), (100, 1), (100, 2)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! The discrete-event Bluetooth world.
+//!
+//! A [`World`] owns a set of [`Device`]s (host + controller + observation
+//! taps + scripted user), a virtual clock, and one seeded RNG. It routes
+//! HCI traffic across each device's host↔controller seam (recording it into
+//! the device's snoop log / USB capture exactly where the paper's leak
+//! channels sit), resolves paging races through `blap-baseband`, delivers
+//! LMP PDUs and ACL data between linked devices, enforces link supervision
+//! timeouts, and fires the controller/host timers.
+//!
+//! Determinism: same seed ⇒ same event order ⇒ byte-identical snoop logs.
+//!
+//! # Examples
+//!
+//! ```
+//! use blap_sim::{World, profiles};
+//!
+//! let mut world = World::new(7);
+//! let phone = world.add_device(profiles::lg_velvet().victim_phone("11:11:11:11:11:11"));
+//! let kit = world.add_device(profiles::car_kit("cc:cc:cc:cc:cc:cc"));
+//! // Pair the phone with the car-kit.
+//! world.device_mut(phone).host.pair_with("cc:cc:cc:cc:cc:cc".parse().unwrap());
+//! world.run_for(blap_types::Duration::from_secs(5));
+//! assert!(world.device(phone).host.is_connected("cc:cc:cc:cc:cc:cc".parse().unwrap()));
+//! assert_eq!(world.device(phone).host.keystore().len(), 1);
+//! assert_eq!(world.device(kit).host.keystore().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod events;
+pub mod profiles;
+mod user;
+mod world;
+
+pub use device::{Device, DeviceId, DeviceSpec, TransportSecurity};
+pub use profiles::DeviceProfile;
+pub use user::UserAgent;
+pub use world::{SniffedFrame, World};

@@ -1,0 +1,338 @@
+//! The device catalog of the paper's evaluation (§VI).
+//!
+//! Every row of Table I (link key extraction testbed) and Table II (page
+//! blocking testbed) is a [`DeviceProfile`] here, carrying the properties
+//! the attacks depend on: host stack, spec version (popup policy), HCI
+//! transport (which capture channel exists), privilege requirements, and —
+//! for Table II — the measured baseline MITM success rate the simulator's
+//! race model is calibrated against.
+
+use blap_controller::ControllerConfig;
+use blap_host::{HciTransportKind, HostConfig, HostStackKind};
+use blap_types::{BdAddr, BtVersion, ClassOfDevice, IoCapability};
+
+use crate::device::{DeviceSpec, TransportSecurity};
+use crate::user::UserAgent;
+
+/// One tested device model from the paper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Device name as printed in the tables.
+    pub name: &'static str,
+    /// Operating system / version string.
+    pub os: &'static str,
+    /// Host stack.
+    pub stack: HostStackKind,
+    /// Core spec version implemented.
+    pub version: BtVersion,
+    /// HCI transport.
+    pub transport: HciTransportKind,
+    /// Table II baseline MITM success rate, when the paper measured one.
+    pub baseline_mitm_rate: Option<f64>,
+    /// Whether key extraction on this platform needs superuser privilege
+    /// (Table I, rightmost column).
+    pub su_required: bool,
+}
+
+impl DeviceProfile {
+    fn host_config(&self) -> HostConfig {
+        HostConfig {
+            stack: self.stack,
+            version: self.version,
+            transport: self.transport,
+            ..HostConfig::phone(self.version)
+        }
+    }
+
+    /// Builds this profile as a victim phone `M`: DisplayYesNo, snoop off,
+    /// accepting user.
+    pub fn victim_phone(&self, addr: &str) -> DeviceSpec {
+        let addr: BdAddr = addr.parse().expect("valid address literal");
+        DeviceSpec {
+            label: self.name.to_owned(),
+            host: self.host_config(),
+            controller: ControllerConfig::new(addr, ClassOfDevice::SMARTPHONE, self.name),
+            is_attacker: false,
+            security: TransportSecurity::default(),
+            discoverable: false,
+            user: UserAgent::accepting(),
+        }
+    }
+
+    /// Like [`DeviceProfile::victim_phone`] but with the "Bluetooth HCI
+    /// snoop log" developer option already on.
+    pub fn victim_phone_with_snoop(&self, addr: &str) -> DeviceSpec {
+        let mut spec = self.victim_phone(addr);
+        spec.host.snoop_enabled = true;
+        spec
+    }
+
+    /// Builds this profile as the soft target `C` of the extraction attack:
+    /// the attacker has already flipped the snoop option on (step 1 of
+    /// Fig 5). On USB-transport profiles the tap is the USB analyzer
+    /// instead, which needs no option at all.
+    pub fn soft_target(&self, addr: &str) -> DeviceSpec {
+        let mut spec = self.victim_phone(addr);
+        spec.host.snoop_enabled = self.stack.supports_hci_dump();
+        spec
+    }
+}
+
+/// Nexus 5x running Android 8 (Table I row 1; Table II row 2 at 52%).
+pub fn nexus_5x_a8() -> DeviceProfile {
+    DeviceProfile {
+        name: "Nexus 5x",
+        os: "Android 8",
+        stack: HostStackKind::Bluedroid,
+        version: BtVersion::V4_2,
+        transport: HciTransportKind::H4Uart,
+        baseline_mitm_rate: Some(0.52),
+        su_required: false,
+    }
+}
+
+/// LG V50 running Android 9 (57%).
+pub fn lg_v50() -> DeviceProfile {
+    DeviceProfile {
+        name: "LG V50",
+        os: "Android 9",
+        stack: HostStackKind::Bluedroid,
+        version: BtVersion::V5_0,
+        transport: HciTransportKind::H4Uart,
+        baseline_mitm_rate: Some(0.57),
+        su_required: false,
+    }
+}
+
+/// Samsung Galaxy S8 running Android 9 (42%).
+pub fn galaxy_s8() -> DeviceProfile {
+    DeviceProfile {
+        name: "Galaxy S8",
+        os: "Android 9",
+        stack: HostStackKind::Bluedroid,
+        version: BtVersion::V5_0,
+        transport: HciTransportKind::H4Uart,
+        baseline_mitm_rate: Some(0.42),
+        su_required: false,
+    }
+}
+
+/// Google Pixel 2 XL running Android 11 (60%).
+pub fn pixel_2_xl() -> DeviceProfile {
+    DeviceProfile {
+        name: "Pixel 2 XL",
+        os: "Android 11",
+        stack: HostStackKind::Bluedroid,
+        version: BtVersion::V5_0,
+        transport: HciTransportKind::H4Uart,
+        baseline_mitm_rate: Some(0.60),
+        su_required: false,
+    }
+}
+
+/// LG VELVET running Android 11 (60%) — also the hard target `M` of the
+/// paper's extraction experiments.
+pub fn lg_velvet() -> DeviceProfile {
+    DeviceProfile {
+        name: "LG VELVET",
+        os: "Android 11",
+        stack: HostStackKind::Bluedroid,
+        version: BtVersion::V5_1,
+        transport: HciTransportKind::H4Uart,
+        baseline_mitm_rate: Some(0.60),
+        su_required: false,
+    }
+}
+
+/// Samsung Galaxy S21 running Android 11 (51%).
+pub fn galaxy_s21() -> DeviceProfile {
+    DeviceProfile {
+        name: "Galaxy s21",
+        os: "Android 11",
+        stack: HostStackKind::Bluedroid,
+        version: BtVersion::V5_2,
+        transport: HciTransportKind::H4Uart,
+        baseline_mitm_rate: Some(0.51),
+        su_required: false,
+    }
+}
+
+/// Apple iPhone Xs running iOS 14.4.2 (52%; Table II only — iOS exposes no
+/// HCI dump, so the paper analyzed the attacker-side log instead).
+pub fn iphone_xs() -> DeviceProfile {
+    DeviceProfile {
+        name: "iPhone Xs",
+        os: "iOS 14.4.2",
+        stack: HostStackKind::IosBluetooth,
+        version: BtVersion::V5_0,
+        transport: HciTransportKind::H4Uart,
+        baseline_mitm_rate: Some(0.52),
+        su_required: false,
+    }
+}
+
+/// Windows 10 PC with the Microsoft Bluetooth Driver stack and a QSENN CSR
+/// V4.0 USB dongle (Table I).
+pub fn windows_ms_driver() -> DeviceProfile {
+    DeviceProfile {
+        name: "QSENN CSR V4.0",
+        os: "Windows 10",
+        stack: HostStackKind::MicrosoftBluetoothDriver,
+        version: BtVersion::V4_0,
+        transport: HciTransportKind::Usb,
+        baseline_mitm_rate: None,
+        su_required: false,
+    }
+}
+
+/// Windows 10 PC with the CSR Harmony stack and the same dongle (Table I).
+pub fn windows_csr_harmony() -> DeviceProfile {
+    DeviceProfile {
+        name: "QSENN CSR V4.0",
+        os: "Windows 10",
+        stack: HostStackKind::CsrHarmony,
+        version: BtVersion::V4_0,
+        transport: HciTransportKind::Usb,
+        baseline_mitm_rate: None,
+        su_required: false,
+    }
+}
+
+/// Ubuntu 20.04 PC with BlueZ and the same dongle (Table I; the one row
+/// whose extraction channel needs superuser privilege).
+pub fn ubuntu_bluez() -> DeviceProfile {
+    DeviceProfile {
+        name: "QSENN CSR V4.0",
+        os: "Ubuntu 20.04",
+        stack: HostStackKind::BlueZ,
+        version: BtVersion::V5_0,
+        transport: HciTransportKind::Usb,
+        baseline_mitm_rate: None,
+        su_required: true,
+    }
+}
+
+/// All nine Table I rows, in the paper's order.
+pub fn table1_profiles() -> Vec<DeviceProfile> {
+    vec![
+        nexus_5x_a8(),
+        lg_v50(),
+        galaxy_s8(),
+        pixel_2_xl(),
+        lg_velvet(),
+        galaxy_s21(),
+        windows_ms_driver(),
+        windows_csr_harmony(),
+        ubuntu_bluez(),
+    ]
+}
+
+/// All seven Table II rows, in the paper's order.
+pub fn table2_profiles() -> Vec<DeviceProfile> {
+    vec![
+        iphone_xs(),
+        nexus_5x_a8(),
+        lg_v50(),
+        galaxy_s8(),
+        pixel_2_xl(),
+        lg_velvet(),
+        galaxy_s21(),
+    ]
+}
+
+/// A benign car-kit / headset accessory (`C` in the page blocking attack):
+/// NoInputNoOutput, discoverable, hands-free class of device.
+pub fn car_kit(addr: &str) -> DeviceSpec {
+    let addr: BdAddr = addr.parse().expect("valid address literal");
+    let mut host = HostConfig::accessory(BtVersion::V4_2);
+    host.io_capability = IoCapability::NoInputNoOutput;
+    DeviceSpec {
+        label: "car-kit".to_owned(),
+        host,
+        controller: ControllerConfig::new(addr, ClassOfDevice::HANDS_FREE, "CAR-KIT"),
+        is_attacker: false,
+        security: TransportSecurity::default(),
+        discoverable: true,
+        user: UserAgent::accepting(),
+    }
+}
+
+/// The paper's attacker device: a rooted Nexus 5x (Android 6) with the
+/// modified Bluedroid — `NoInputNoOutput`, Fig 9 link-key-request drop,
+/// Fig 13 PLOC hold, keep-alive traffic, spoofable address and CoD.
+pub fn attacker_nexus_5x(addr: &str) -> DeviceSpec {
+    let addr: BdAddr = addr.parse().expect("valid address literal");
+    let mut host = HostConfig::attacker();
+    // The attacker naturally logs its own HCI — the paper reads this dump
+    // when the victim (iPhone) exposes none.
+    host.snoop_enabled = true;
+    DeviceSpec {
+        label: "attacker Nexus 5x (Android 6)".to_owned(),
+        host,
+        controller: ControllerConfig::new(addr, ClassOfDevice::SMARTPHONE, "Nexus 5x"),
+        is_attacker: true,
+        security: TransportSecurity::default(),
+        discoverable: false,
+        user: UserAgent::accepting(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rates_match_paper() {
+        let rates: Vec<f64> = table2_profiles()
+            .iter()
+            .map(|p| p.baseline_mitm_rate.expect("table 2 rows have rates"))
+            .collect();
+        assert_eq!(rates, vec![0.52, 0.52, 0.57, 0.42, 0.60, 0.60, 0.51]);
+    }
+
+    #[test]
+    fn table1_has_nine_rows_one_with_su() {
+        let profiles = table1_profiles();
+        assert_eq!(profiles.len(), 9);
+        let su_rows: Vec<&DeviceProfile> = profiles.iter().filter(|p| p.su_required).collect();
+        assert_eq!(su_rows.len(), 1);
+        assert_eq!(su_rows[0].os, "Ubuntu 20.04");
+    }
+
+    #[test]
+    fn android_soft_targets_have_snoop_pcs_have_usb() {
+        for profile in table1_profiles() {
+            let spec = profile.soft_target("aa:aa:aa:aa:aa:01");
+            match profile.transport {
+                HciTransportKind::H4Uart => {
+                    assert!(spec.host.snoop_enabled, "{}: snoop expected", profile.os)
+                }
+                HciTransportKind::Usb => {
+                    assert!(
+                        !spec.host.snoop_enabled || profile.stack.supports_hci_dump(),
+                        "{}: USB profiles rely on the analyzer",
+                        profile.os
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attacker_spec_has_all_hooks() {
+        let spec = attacker_nexus_5x("aa:aa:aa:aa:aa:aa");
+        assert!(spec.is_attacker);
+        assert!(spec.host.attacker.ignore_link_key_request);
+        assert!(spec.host.attacker.ploc_delay.is_some());
+        assert!(spec.host.attacker.ploc_keepalive);
+        assert_eq!(spec.host.io_capability, IoCapability::NoInputNoOutput);
+    }
+
+    #[test]
+    fn car_kit_is_noio_hands_free() {
+        let spec = car_kit("cc:cc:cc:cc:cc:cc");
+        assert_eq!(spec.host.io_capability, IoCapability::NoInputNoOutput);
+        assert_eq!(spec.controller.cod, ClassOfDevice::HANDS_FREE);
+        assert!(!spec.is_attacker);
+    }
+}

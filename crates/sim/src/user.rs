@@ -1,0 +1,110 @@
+//! The scripted user sitting in front of each simulated device.
+
+use blap_host::UiNotification;
+use blap_types::Instant;
+
+/// A scripted user agent: decides what to do with pairing popups and keeps
+/// a log of everything the device showed.
+///
+/// The paper's §V-B2 argument is that the victim accepts the popup because
+/// it appears immediately after an intended pairing; `accept_pairing: true`
+/// models that user. Mitigation tests flip it to model a suspicious user.
+#[derive(Clone, Debug)]
+pub struct UserAgent {
+    /// Whether the user taps "yes" on pairing confirmations.
+    pub accept_pairing: bool,
+    /// Everything the UI showed, with timestamps.
+    pub log: Vec<(Instant, UiNotification)>,
+}
+
+impl Default for UserAgent {
+    fn default() -> Self {
+        UserAgent {
+            accept_pairing: true,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl UserAgent {
+    /// A user who accepts popups (the paper's realistic victim).
+    pub fn accepting() -> Self {
+        UserAgent::default()
+    }
+
+    /// A user who declines every pairing popup.
+    pub fn declining() -> Self {
+        UserAgent {
+            accept_pairing: false,
+            log: Vec::new(),
+        }
+    }
+
+    /// Records a notification.
+    pub fn observe(&mut self, now: Instant, notification: UiNotification) {
+        self.log.push((now, notification));
+    }
+
+    /// Whether any popup (with or without a number) was ever shown.
+    pub fn saw_pairing_popup(&self) -> bool {
+        self.log
+            .iter()
+            .any(|(_, n)| matches!(n, UiNotification::PairingConfirmation { .. }))
+    }
+
+    /// Whether any shown popup included a comparable numeric value.
+    pub fn saw_numeric_value(&self) -> bool {
+        self.log.iter().any(|(_, n)| {
+            matches!(
+                n,
+                UiNotification::PairingConfirmation {
+                    numeric: Some(_),
+                    ..
+                }
+            )
+        })
+    }
+
+    /// Finds the first notification matching a predicate.
+    pub fn find<F: Fn(&UiNotification) -> bool>(&self, pred: F) -> Option<&UiNotification> {
+        self.log.iter().map(|(_, n)| n).find(|n| pred(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blap_types::BdAddr;
+
+    #[test]
+    fn log_and_queries() {
+        let mut agent = UserAgent::accepting();
+        assert!(!agent.saw_pairing_popup());
+        agent.observe(
+            Instant::EPOCH,
+            UiNotification::PairingConfirmation {
+                peer: BdAddr::ZERO,
+                numeric: None,
+            },
+        );
+        assert!(agent.saw_pairing_popup());
+        assert!(!agent.saw_numeric_value());
+        agent.observe(
+            Instant::EPOCH,
+            UiNotification::PairingConfirmation {
+                peer: BdAddr::ZERO,
+                numeric: Some(123456),
+            },
+        );
+        assert!(agent.saw_numeric_value());
+        assert!(agent
+            .find(|n| matches!(n, UiNotification::PairingConfirmation { .. }))
+            .is_some());
+    }
+
+    #[test]
+    fn presets() {
+        assert!(UserAgent::accepting().accept_pairing);
+        assert!(!UserAgent::declining().accept_pairing);
+    }
+}

@@ -1,0 +1,250 @@
+//! The btsnoop capture file format (derived from RFC 1761 "snoop").
+//!
+//! This is the on-disk format of Android's "Bluetooth HCI snoop log", of
+//! `bluez-hcidump` output, and of the log files the paper pulls out of
+//! victim accessories via the Android bug report. Header: the 8-byte
+//! identification pattern `b"btsnoop\0"`, a big-endian version (1), and a
+//! big-endian datalink type (1002 = HCI UART / H4). Each record carries
+//! original/included lengths, a flags word (direction in bit 0), cumulative
+//! drops, a 64-bit timestamp and the raw H4 packet bytes.
+
+use std::error::Error;
+use std::fmt;
+
+use blap_hci::PacketDirection;
+use blap_types::Instant;
+
+/// The 8-byte identification pattern at the start of every btsnoop file.
+pub const MAGIC: [u8; 8] = *b"btsnoop\0";
+
+/// Format version written by this implementation.
+pub const VERSION: u32 = 1;
+
+/// Datalink type for H4 (HCI UART) captures.
+pub const DATALINK_H4: u32 = 1002;
+
+/// Offset between the simulation epoch and the btsnoop timestamp epoch
+/// (btsnoop counts microseconds from year 0; this constant is the value
+/// real implementations use for the Unix epoch).
+pub const TIMESTAMP_EPOCH_OFFSET: u64 = 0x00E0_3AB4_4A67_6000;
+
+/// One captured record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnoopRecord {
+    /// Capture timestamp (simulation time).
+    pub timestamp: Instant,
+    /// Direction across the HCI transport.
+    pub direction: PacketDirection,
+    /// Raw H4 packet bytes (indicator byte included).
+    pub data: Vec<u8>,
+}
+
+/// Errors from parsing btsnoop bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnoopError {
+    /// The identification pattern did not match.
+    BadMagic,
+    /// Unsupported version or datalink type.
+    UnsupportedFormat {
+        /// Version field value.
+        version: u32,
+        /// Datalink field value.
+        datalink: u32,
+    },
+    /// The file ended inside a header or record.
+    Truncated {
+        /// Byte offset at which truncation was detected.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for SnoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnoopError::BadMagic => f.write_str("not a btsnoop file (bad identification pattern)"),
+            SnoopError::UnsupportedFormat { version, datalink } => write!(
+                f,
+                "unsupported btsnoop format: version {version}, datalink {datalink}"
+            ),
+            SnoopError::Truncated { offset } => {
+                write!(f, "truncated btsnoop file at offset {offset}")
+            }
+        }
+    }
+}
+
+impl Error for SnoopError {}
+
+/// Serializes records into a complete btsnoop file.
+pub fn write_file(records: &[SnoopRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + records.iter().map(|r| 24 + r.data.len()).sum::<usize>());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&DATALINK_H4.to_be_bytes());
+    for record in records {
+        let len = record.data.len() as u32;
+        out.extend_from_slice(&len.to_be_bytes()); // original length
+        out.extend_from_slice(&len.to_be_bytes()); // included length
+        let mut flags: u32 = match record.direction {
+            PacketDirection::Sent => 0,
+            PacketDirection::Received => 1,
+        };
+        // Bit 1: set for command/event (vs data) packets, per the format.
+        if matches!(record.data.first(), Some(0x01) | Some(0x04)) {
+            flags |= 0b10;
+        }
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&0u32.to_be_bytes()); // cumulative drops
+        let ts = TIMESTAMP_EPOCH_OFFSET + record.timestamp.as_micros();
+        out.extend_from_slice(&ts.to_be_bytes());
+        out.extend_from_slice(&record.data);
+    }
+    out
+}
+
+/// Parses a complete btsnoop file.
+///
+/// # Errors
+///
+/// Returns [`SnoopError`] on a bad magic, an unsupported version/datalink,
+/// or truncation.
+pub fn read_file(bytes: &[u8]) -> Result<Vec<SnoopRecord>, SnoopError> {
+    if bytes.len() < 16 {
+        return Err(if bytes.len() >= 8 && bytes[..8] != MAGIC {
+            SnoopError::BadMagic
+        } else if bytes.len() >= 8 {
+            SnoopError::Truncated {
+                offset: bytes.len(),
+            }
+        } else {
+            SnoopError::BadMagic
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnoopError::BadMagic);
+    }
+    let version = u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let datalink = u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    if version != VERSION || datalink != DATALINK_H4 {
+        return Err(SnoopError::UnsupportedFormat { version, datalink });
+    }
+
+    let mut records = Vec::new();
+    let mut offset = 16;
+    while offset < bytes.len() {
+        if bytes.len() - offset < 24 {
+            return Err(SnoopError::Truncated { offset });
+        }
+        let be_u32 =
+            |o: usize| u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        let included = be_u32(offset + 4) as usize;
+        let flags = be_u32(offset + 8);
+        let ts = u64::from_be_bytes([
+            bytes[offset + 16],
+            bytes[offset + 17],
+            bytes[offset + 18],
+            bytes[offset + 19],
+            bytes[offset + 20],
+            bytes[offset + 21],
+            bytes[offset + 22],
+            bytes[offset + 23],
+        ]);
+        let data_start = offset + 24;
+        if bytes.len() - data_start < included {
+            return Err(SnoopError::Truncated { offset: data_start });
+        }
+        records.push(SnoopRecord {
+            timestamp: Instant::from_micros(ts.saturating_sub(TIMESTAMP_EPOCH_OFFSET)),
+            direction: if flags & 1 == 0 {
+                PacketDirection::Sent
+            } else {
+                PacketDirection::Received
+            },
+            data: bytes[data_start..data_start + included].to_vec(),
+        });
+        offset = data_start + included;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<SnoopRecord> {
+        vec![
+            SnoopRecord {
+                timestamp: Instant::from_micros(1_000),
+                direction: PacketDirection::Sent,
+                data: vec![0x01, 0x03, 0x0c, 0x00], // HCI_Reset command
+            },
+            SnoopRecord {
+                timestamp: Instant::from_micros(2_500),
+                direction: PacketDirection::Received,
+                data: vec![0x04, 0x0e, 0x04, 0x01, 0x03, 0x0c, 0x00], // Command_Complete
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let records = sample_records();
+        let bytes = write_file(&records);
+        assert_eq!(read_file(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn header_layout() {
+        let bytes = write_file(&[]);
+        assert_eq!(&bytes[..8], b"btsnoop\0");
+        assert_eq!(&bytes[8..12], &1u32.to_be_bytes());
+        assert_eq!(&bytes[12..16], &1002u32.to_be_bytes());
+        assert_eq!(bytes.len(), 16);
+    }
+
+    #[test]
+    fn direction_flag_bit0() {
+        let bytes = write_file(&sample_records());
+        // First record flags at offset 16+8.
+        let flags1 = u32::from_be_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]);
+        assert_eq!(flags1 & 1, 0, "sent packet must have bit0 clear");
+        // Command packet sets the command/event bit.
+        assert_eq!(flags1 & 2, 2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = write_file(&sample_records());
+        bytes[0] = b'X';
+        assert_eq!(read_file(&bytes), Err(SnoopError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = write_file(&[]);
+        bytes[11] = 9;
+        assert!(matches!(
+            read_file(&bytes),
+            Err(SnoopError::UnsupportedFormat { version: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let bytes = write_file(&sample_records());
+        for cut in [17, 30, bytes.len() - 1] {
+            assert!(
+                matches!(read_file(&bytes[..cut]), Err(SnoopError::Truncated { .. })),
+                "cut at {cut} should be truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn timestamps_survive_round_trip() {
+        let records = sample_records();
+        let parsed = read_file(&write_file(&records)).unwrap();
+        assert_eq!(parsed[0].timestamp, Instant::from_micros(1_000));
+        assert_eq!(parsed[1].timestamp, Instant::from_micros(2_500));
+    }
+}

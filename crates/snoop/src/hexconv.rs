@@ -1,0 +1,162 @@
+//! Binary → ASCII-hex conversion and pattern search.
+//!
+//! The paper's authors wrote a small C converter ("BinaryToHex") to turn a
+//! raw USB capture into a searchable ASCII hex string, then located link
+//! keys by searching for `0b 04 16` — the little-endian opcode of
+//! `HCI_Link_Key_Request_Reply` followed by its 22-byte parameter length.
+//! This module is that tool.
+
+/// Converts a binary stream to the space-separated lower-case hex form the
+/// paper's converter produces (e.g. `0b 04 16 0a 71 ...`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(blap_snoop::hexconv::to_hex_string(&[0x0b, 0x04, 0x16]), "0b 04 16");
+/// ```
+pub fn to_hex_string(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 3);
+    for (i, byte) in data.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// Parses the space-separated hex form back into bytes.
+///
+/// Whitespace (spaces, newlines) is ignored between byte groups; each group
+/// must be exactly two hex digits.
+pub fn from_hex_string(text: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    for token in text.split_whitespace() {
+        if token.len() != 2 {
+            return None;
+        }
+        out.push(u8::from_str_radix(token, 16).ok()?);
+    }
+    Some(out)
+}
+
+/// Finds every occurrence of `needle` in `haystack`, returning byte offsets.
+///
+/// This is the search primitive behind the paper's `0b 04 16` scan; it works
+/// on the raw bytes rather than the hex text so offsets stay meaningful.
+pub fn find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return Vec::new();
+    }
+    let mut offsets = Vec::new();
+    for i in 0..=haystack.len() - needle.len() {
+        if &haystack[i..i + needle.len()] == needle {
+            offsets.push(i);
+        }
+    }
+    offsets
+}
+
+/// A match of the `HCI_Link_Key_Request_Reply` wire pattern inside a raw
+/// capture: the offset of the opcode, the peer address bytes (wire order)
+/// and the key bytes (wire order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkKeyReplyMatch {
+    /// Offset of the `0b 04 16` pattern.
+    pub offset: usize,
+    /// The six little-endian address bytes following the header.
+    pub addr_le: [u8; 6],
+    /// The sixteen little-endian key bytes following the address.
+    pub key_le: [u8; 16],
+}
+
+/// Scans a raw byte stream for `HCI_Link_Key_Request_Reply` commands, the
+/// way §VI-B1 of the paper does: find `0b 04 16`, skip the six address
+/// bytes, take the sixteen key bytes.
+pub fn scan_link_key_replies(data: &[u8]) -> Vec<LinkKeyReplyMatch> {
+    const PATTERN: [u8; 3] = [0x0b, 0x04, 0x16];
+    let mut matches = Vec::new();
+    for offset in find_all(data, &PATTERN) {
+        let body_start = offset + 3;
+        if data.len() < body_start + 22 {
+            continue; // truncated candidate
+        }
+        let mut addr_le = [0u8; 6];
+        addr_le.copy_from_slice(&data[body_start..body_start + 6]);
+        let mut key_le = [0u8; 16];
+        key_le.copy_from_slice(&data[body_start + 6..body_start + 22]);
+        matches.push(LinkKeyReplyMatch {
+            offset,
+            addr_le,
+            key_le,
+        });
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0x00u8, 0x0b, 0x04, 0x16, 0xff];
+        let text = to_hex_string(&data);
+        assert_eq!(text, "00 0b 04 16 ff");
+        assert_eq!(from_hex_string(&text).unwrap(), data);
+    }
+
+    #[test]
+    fn from_hex_rejects_garbage() {
+        assert!(from_hex_string("zz").is_none());
+        assert!(from_hex_string("0").is_none());
+        assert!(from_hex_string("000").is_none());
+        assert_eq!(from_hex_string("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn find_all_offsets() {
+        let data = [1u8, 2, 3, 1, 2, 3, 1, 2];
+        assert_eq!(find_all(&data, &[1, 2, 3]), vec![0, 3]);
+        assert_eq!(find_all(&data, &[9]), Vec::<usize>::new());
+        assert_eq!(find_all(&data, &[]), Vec::<usize>::new());
+        assert_eq!(find_all(&[1], &[1, 2]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn scans_paper_example_bytes() {
+        // Reconstruct the Fig 11a byte stream: "0b 04 16" + LE address
+        // 0a 71 da 7d 1b 00 + LE key ending c4.
+        let mut stream = vec![0x00, 0x00, 0x01]; // leading noise + H4 byte
+        stream.extend_from_slice(&[0x0b, 0x04, 0x16]);
+        stream.extend_from_slice(&[0x0a, 0x71, 0xda, 0x7d, 0x1b, 0x00]);
+        let key_le: Vec<u8> = (0u8..16).rev().collect();
+        stream.extend_from_slice(&key_le);
+        stream.extend_from_slice(&[0xde, 0xad]); // trailing noise
+
+        let matches = scan_link_key_replies(&stream);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].offset, 3);
+        assert_eq!(matches[0].addr_le, [0x0a, 0x71, 0xda, 0x7d, 0x1b, 0x00]);
+        assert_eq!(matches[0].key_le.to_vec(), key_le);
+    }
+
+    #[test]
+    fn truncated_candidate_skipped() {
+        let mut stream = vec![0x0b, 0x04, 0x16];
+        stream.extend_from_slice(&[0u8; 10]); // not enough for addr+key
+        assert!(scan_link_key_replies(&stream).is_empty());
+    }
+
+    #[test]
+    fn multiple_keys_found() {
+        let mut stream = Vec::new();
+        for n in 0..3u8 {
+            stream.extend_from_slice(&[0x0b, 0x04, 0x16]);
+            stream.extend_from_slice(&[n; 6]);
+            stream.extend_from_slice(&[n; 16]);
+            stream.extend_from_slice(&[0x00; 7]); // inter-packet noise
+        }
+        assert_eq!(scan_link_key_replies(&stream).len(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! HCI observation channels: the btsnoop "HCI dump" log and the USB
+//! hardware capture — the two leak paths the BLAP link key extraction
+//! attack reads from.
+//!
+//! * [`btsnoop`] — the RFC 1761-derived btsnoop file format Android's
+//!   "Bluetooth HCI snoop log" and `bluez-hcidump` write,
+//! * [`log`] — an in-memory HCI trace with encode/decode to btsnoop bytes,
+//! * [`pretty`] — renders traces the way the paper's figures do (the
+//!   frame table of Fig 12, the field tree of Fig 3/11),
+//! * [`usb`] — HCI-over-USB capture producing the raw binary stream a
+//!   hardware USB analyzer would record, NULL traffic included,
+//! * [`hexconv`] — the binary→ASCII-hex converter the authors wrote to
+//!   search captures for the `0b 04 16` opcode pattern.
+//!
+//! # Examples
+//!
+//! ```
+//! use blap_snoop::log::HciTrace;
+//! use blap_hci::{Command, HciPacket, PacketDirection};
+//! use blap_types::Instant;
+//!
+//! let mut trace = HciTrace::new();
+//! trace.record(Instant::EPOCH, PacketDirection::Sent,
+//!              HciPacket::Command(Command::Reset));
+//! let bytes = trace.to_btsnoop_bytes();
+//! let parsed = HciTrace::from_btsnoop_bytes(&bytes)?;
+//! assert_eq!(parsed.len(), 1);
+//! # Ok::<(), blap_snoop::btsnoop::SnoopError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btsnoop;
+pub mod hexconv;
+pub mod log;
+pub mod pretty;
+pub mod redact;
+pub mod usb;

@@ -1,0 +1,427 @@
+//! In-memory HCI traces.
+//!
+//! A [`HciTrace`] is the decoded form of an HCI dump: an ordered list of
+//! `(timestamp, direction, packet)` entries. The simulated host's snoop tap
+//! appends to one of these; the attack code serializes it to btsnoop bytes
+//! (the artifact the Android bug report hands over) and parses it back.
+
+use blap_hci::{Command, Event, HciPacket, PacketDirection};
+use blap_types::{BdAddr, Instant, LinkKey};
+
+use crate::btsnoop::{self, SnoopError, SnoopRecord};
+
+/// One entry of a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Capture time.
+    pub timestamp: Instant,
+    /// Direction across the HCI transport.
+    pub direction: PacketDirection,
+    /// The packet (kept decoded; raw bytes are regenerated on demand).
+    pub packet: HciPacket,
+}
+
+/// A decoded HCI dump log.
+///
+/// # Examples
+///
+/// ```
+/// use blap_snoop::log::HciTrace;
+/// use blap_hci::{Command, HciPacket, PacketDirection};
+/// use blap_types::Instant;
+///
+/// let mut trace = HciTrace::new();
+/// trace.record(Instant::EPOCH, PacketDirection::Sent,
+///              HciPacket::Command(Command::Reset));
+/// assert_eq!(trace.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HciTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl HciTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        HciTrace::default()
+    }
+
+    /// Appends a packet.
+    pub fn record(&mut self, timestamp: Instant, direction: PacketDirection, packet: HciPacket) {
+        self.entries.push(TraceEntry {
+            timestamp,
+            direction,
+            packet,
+        });
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries in capture order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// The entries as a slice.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Serializes to btsnoop file bytes — what `Enable Bluetooth HCI snoop
+    /// log` leaves on disk.
+    pub fn to_btsnoop_bytes(&self) -> Vec<u8> {
+        let records: Vec<SnoopRecord> = self
+            .entries
+            .iter()
+            .map(|e| SnoopRecord {
+                timestamp: e.timestamp,
+                direction: e.direction,
+                data: e.packet.encode(),
+            })
+            .collect();
+        btsnoop::write_file(&records)
+    }
+
+    /// Parses btsnoop file bytes back into a trace.
+    ///
+    /// Records whose payload does not decode as a known HCI packet are
+    /// skipped (real dumps contain vendor packets this model doesn't know).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnoopError`] when the container itself is malformed.
+    pub fn from_btsnoop_bytes(bytes: &[u8]) -> Result<Self, SnoopError> {
+        let records = btsnoop::read_file(bytes)?;
+        let mut trace = HciTrace::new();
+        for record in records {
+            if let Ok(packet) = HciPacket::decode(&record.data) {
+                trace.record(record.timestamp, record.direction, packet);
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Extracts every `(peer, link key)` pair visible in the trace — the
+    /// core of the paper's link key extraction attack. Keys appear in
+    /// `HCI_Link_Key_Request_Reply` commands (host handing a stored key to
+    /// the controller) and `HCI_Link_Key_Notification` events (controller
+    /// delivering a fresh key for storage).
+    pub fn extract_link_keys(&self) -> Vec<(BdAddr, LinkKey)> {
+        let mut keys = Vec::new();
+        for entry in &self.entries {
+            match &entry.packet {
+                HciPacket::Command(Command::LinkKeyRequestReply { bd_addr, link_key }) => {
+                    keys.push((*bd_addr, *link_key));
+                }
+                HciPacket::Event(Event::LinkKeyNotification {
+                    bd_addr, link_key, ..
+                }) => {
+                    keys.push((*bd_addr, *link_key));
+                }
+                _ => {}
+            }
+        }
+        keys
+    }
+
+    /// Finds the link key for a specific peer, if the trace leaked one.
+    pub fn link_key_for(&self, peer: BdAddr) -> Option<LinkKey> {
+        self.extract_link_keys()
+            .into_iter()
+            .find(|(addr, _)| *addr == peer)
+            .map(|(_, key)| key)
+    }
+
+    /// The attacker-side complement of
+    /// [`HciTrace::has_page_blocking_signature`], used when the victim has
+    /// no HCI dump at all (the paper's iPhone Xs case: "we analyzed dump
+    /// log from A instead of M"). The attacker's trace shows it *initiated*
+    /// the connection to `peer` (`HCI_Create_Connection`) and later
+    /// received pairing traffic (`HCI_IO_Capability_Request`) without ever
+    /// sending `HCI_Authentication_Requested` itself — i.e. the peer
+    /// initiated pairing over the attacker-initiated link.
+    pub fn has_attacker_side_page_blocking_signature(&self, peer: BdAddr) -> bool {
+        let mut initiated_connection = false;
+        let mut sent_auth_request = false;
+        for entry in &self.entries {
+            match &entry.packet {
+                HciPacket::Command(Command::CreateConnection { bd_addr, .. })
+                    if *bd_addr == peer =>
+                {
+                    initiated_connection = true;
+                }
+                HciPacket::Command(Command::AuthenticationRequested { .. }) => {
+                    sent_auth_request = true;
+                }
+                HciPacket::Event(Event::IoCapabilityRequest { bd_addr })
+                    if *bd_addr == peer && initiated_connection && !sent_auth_request =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// True when the trace shows the Fig 12b page-blocking signature: this
+    /// device accepted an inbound connection (`HCI_Connection_Request`
+    /// event) from `peer` and *then* initiated pairing itself
+    /// (`HCI_Authentication_Requested` command) — connection responder and
+    /// pairing initiator simultaneously.
+    pub fn has_page_blocking_signature(&self, peer: BdAddr) -> bool {
+        let mut saw_inbound_connection = false;
+        for entry in &self.entries {
+            match &entry.packet {
+                HciPacket::Event(Event::ConnectionRequest { bd_addr, .. }) if *bd_addr == peer => {
+                    saw_inbound_connection = true;
+                }
+                HciPacket::Command(Command::CreateConnection { bd_addr, .. })
+                    if *bd_addr == peer =>
+                {
+                    // An outbound page to the same peer resets the signature:
+                    // the later pairing would be an ordinary Fig 12a flow.
+                    saw_inbound_connection = false;
+                }
+                HciPacket::Command(Command::AuthenticationRequested { .. })
+                    if saw_inbound_connection =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+impl FromIterator<TraceEntry> for HciTrace {
+    fn from_iter<I: IntoIterator<Item = TraceEntry>>(iter: I) -> Self {
+        HciTrace {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceEntry> for HciTrace {
+    fn extend<I: IntoIterator<Item = TraceEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a HciTrace {
+    type Item = &'a TraceEntry;
+    type IntoIter = std::slice::Iter<'a, TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blap_hci::StatusCode;
+    use blap_types::{ClassOfDevice, ConnectionHandle};
+
+    fn addr() -> BdAddr {
+        "48:90:12:34:56:78".parse().unwrap()
+    }
+
+    fn key() -> LinkKey {
+        "71a70981f30d6af9e20adee8aafe3264".parse().unwrap()
+    }
+
+    fn at(us: u64) -> Instant {
+        Instant::from_micros(us)
+    }
+
+    #[test]
+    fn btsnoop_round_trip_preserves_packets() {
+        let mut trace = HciTrace::new();
+        trace.record(
+            at(10),
+            PacketDirection::Sent,
+            HciPacket::Command(Command::CreateConnection {
+                bd_addr: addr(),
+                allow_role_switch: true,
+            }),
+        );
+        trace.record(
+            at(20),
+            PacketDirection::Received,
+            HciPacket::Event(Event::LinkKeyRequest { bd_addr: addr() }),
+        );
+        let parsed = HciTrace::from_btsnoop_bytes(&trace.to_btsnoop_bytes()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn extracts_key_from_request_reply() {
+        let mut trace = HciTrace::new();
+        trace.record(
+            at(0),
+            PacketDirection::Sent,
+            HciPacket::Command(Command::LinkKeyRequestReply {
+                bd_addr: addr(),
+                link_key: key(),
+            }),
+        );
+        assert_eq!(trace.extract_link_keys(), vec![(addr(), key())]);
+        assert_eq!(trace.link_key_for(addr()), Some(key()));
+        let other: BdAddr = "00:00:00:00:00:01".parse().unwrap();
+        assert_eq!(trace.link_key_for(other), None);
+    }
+
+    #[test]
+    fn extracts_key_from_notification() {
+        let mut trace = HciTrace::new();
+        trace.record(
+            at(0),
+            PacketDirection::Received,
+            HciPacket::Event(Event::LinkKeyNotification {
+                bd_addr: addr(),
+                link_key: key(),
+                key_type: blap_types::LinkKeyType::UnauthenticatedP256,
+            }),
+        );
+        assert_eq!(trace.link_key_for(addr()), Some(key()));
+    }
+
+    #[test]
+    fn page_blocking_signature_detection() {
+        // Fig 12b order: Connection_Request event, then
+        // Authentication_Requested command.
+        let mut attacked = HciTrace::new();
+        attacked.record(
+            at(0),
+            PacketDirection::Received,
+            HciPacket::Event(Event::ConnectionRequest {
+                bd_addr: addr(),
+                cod: ClassOfDevice::HANDS_FREE,
+                link_type: 1,
+            }),
+        );
+        attacked.record(
+            at(5),
+            PacketDirection::Sent,
+            HciPacket::Command(Command::AuthenticationRequested {
+                handle: ConnectionHandle::new(3),
+            }),
+        );
+        assert!(attacked.has_page_blocking_signature(addr()));
+
+        // Fig 12a order: Create_Connection command first — normal pairing.
+        let mut normal = HciTrace::new();
+        normal.record(
+            at(0),
+            PacketDirection::Sent,
+            HciPacket::Command(Command::CreateConnection {
+                bd_addr: addr(),
+                allow_role_switch: true,
+            }),
+        );
+        normal.record(
+            at(5),
+            PacketDirection::Sent,
+            HciPacket::Command(Command::AuthenticationRequested {
+                handle: ConnectionHandle::new(6),
+            }),
+        );
+        assert!(!normal.has_page_blocking_signature(addr()));
+    }
+
+    #[test]
+    fn outbound_page_resets_signature() {
+        let mut trace = HciTrace::new();
+        trace.record(
+            at(0),
+            PacketDirection::Received,
+            HciPacket::Event(Event::ConnectionRequest {
+                bd_addr: addr(),
+                cod: ClassOfDevice::default(),
+                link_type: 1,
+            }),
+        );
+        // Link dropped; device later pages the peer itself.
+        trace.record(
+            at(10),
+            PacketDirection::Sent,
+            HciPacket::Command(Command::CreateConnection {
+                bd_addr: addr(),
+                allow_role_switch: true,
+            }),
+        );
+        trace.record(
+            at(20),
+            PacketDirection::Sent,
+            HciPacket::Command(Command::AuthenticationRequested {
+                handle: ConnectionHandle::new(6),
+            }),
+        );
+        assert!(!trace.has_page_blocking_signature(addr()));
+    }
+
+    #[test]
+    fn unknown_packets_are_skipped_on_parse() {
+        let mut records = vec![SnoopRecord {
+            timestamp: at(1),
+            direction: PacketDirection::Sent,
+            data: vec![0x01, 0x03, 0x0c, 0x00],
+        }];
+        // A vendor-specific command this model does not know.
+        records.push(SnoopRecord {
+            timestamp: at(2),
+            direction: PacketDirection::Sent,
+            data: vec![0x01, 0x00, 0xfc, 0x00],
+        });
+        let bytes = crate::btsnoop::write_file(&records);
+        let trace = HciTrace::from_btsnoop_bytes(&bytes).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let entries = vec![TraceEntry {
+            timestamp: at(0),
+            direction: PacketDirection::Sent,
+            packet: HciPacket::Command(Command::Reset),
+        }];
+        let trace: HciTrace = entries.clone().into_iter().collect();
+        assert_eq!(trace.len(), 1);
+        let mut extended = HciTrace::new();
+        extended.extend(entries);
+        assert_eq!(extended.len(), 1);
+    }
+
+    #[test]
+    fn disconnect_reason_does_not_affect_extraction() {
+        let mut trace = HciTrace::new();
+        trace.record(
+            at(0),
+            PacketDirection::Sent,
+            HciPacket::Command(Command::LinkKeyRequestReply {
+                bd_addr: addr(),
+                link_key: key(),
+            }),
+        );
+        trace.record(
+            at(1),
+            PacketDirection::Received,
+            HciPacket::Event(Event::DisconnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(1),
+                reason: StatusCode::ConnectionTimeout,
+            }),
+        );
+        assert_eq!(trace.extract_link_keys().len(), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Human-readable rendering of HCI traces, in the style of the paper's
+//! figures: a frame table (Fig 12) and a per-packet field tree (Fig 3 /
+//! Fig 11a).
+
+use blap_hci::{Command, Event, HciPacket};
+
+use crate::log::{HciTrace, TraceEntry};
+
+/// Renders a trace as the frame table of the paper's Fig 12:
+/// `Fra | Type | Opcode Command | Event | Handle | Status` columns.
+///
+/// # Examples
+///
+/// ```
+/// use blap_snoop::{log::HciTrace, pretty};
+/// use blap_hci::{Command, HciPacket, PacketDirection};
+/// use blap_types::Instant;
+///
+/// let mut trace = HciTrace::new();
+/// trace.record(Instant::EPOCH, PacketDirection::Sent,
+///              HciPacket::Command(Command::Reset));
+/// let table = pretty::frame_table(&trace);
+/// assert!(table.contains("HCI_Reset"));
+/// ```
+pub fn frame_table(trace: &HciTrace) -> String {
+    let mut rows: Vec<[String; 6]> = Vec::with_capacity(trace.len() + 1);
+    rows.push([
+        "Fra".into(),
+        "Type".into(),
+        "Opcode Command".into(),
+        "Event".into(),
+        "Handle".into(),
+        "Status".into(),
+    ]);
+    for (i, entry) in trace.iter().enumerate() {
+        rows.push(frame_row(i + 1, entry));
+    }
+    render_columns(&rows)
+}
+
+fn frame_row(frame: usize, entry: &TraceEntry) -> [String; 6] {
+    match &entry.packet {
+        HciPacket::Command(cmd) => [
+            frame.to_string(),
+            "Command".into(),
+            cmd.name().to_owned(),
+            String::new(),
+            command_handle(cmd),
+            String::new(),
+        ],
+        HciPacket::Event(ev) => {
+            let (related, handle, status) = event_columns(ev);
+            [
+                frame.to_string(),
+                "Event".into(),
+                related,
+                ev.name().to_owned(),
+                handle,
+                status,
+            ]
+        }
+        HciPacket::AclData(acl) => [
+            frame.to_string(),
+            "Data".into(),
+            String::new(),
+            String::new(),
+            format!("{}", acl.handle),
+            String::new(),
+        ],
+    }
+}
+
+fn command_handle(cmd: &Command) -> String {
+    match cmd {
+        Command::AuthenticationRequested { handle }
+        | Command::Disconnect { handle, .. }
+        | Command::SetConnectionEncryption { handle, .. } => format!("{handle}"),
+        _ => String::new(),
+    }
+}
+
+/// For an event row: (related command column, handle column, status column).
+fn event_columns(ev: &Event) -> (String, String, String) {
+    match ev {
+        Event::CommandStatus { status, opcode, .. } => {
+            (opcode.name().to_owned(), String::new(), status.to_string())
+        }
+        Event::CommandComplete {
+            opcode,
+            return_params,
+            ..
+        } => {
+            let status = return_params
+                .first()
+                .and_then(|b| blap_hci::StatusCode::from_u8(*b))
+                .map(|s| s.to_string())
+                .unwrap_or_default();
+            (opcode.name().to_owned(), String::new(), status)
+        }
+        Event::ConnectionComplete { status, handle, .. }
+        | Event::AuthenticationComplete { status, handle }
+        | Event::DisconnectionComplete { status, handle, .. }
+        | Event::EncryptionChange { status, handle, .. } => {
+            (String::new(), format!("{handle}"), status.to_string())
+        }
+        Event::SimplePairingComplete { status, .. } => {
+            (String::new(), String::new(), status.to_string())
+        }
+        _ => (String::new(), String::new(), String::new()),
+    }
+}
+
+fn render_columns(rows: &[[String; 6]]) -> String {
+    let mut widths = [0usize; 6];
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        let mut line = String::new();
+        for (w, cell) in widths.iter().zip(row) {
+            line.push_str(&format!("{cell:<width$}  ", width = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the field tree for a single packet, in the style of the paper's
+/// Fig 3 / Fig 11a detail panes (opcode, command name, length, BD_ADDR with
+/// LAP/UAP/NAP breakdown, link key).
+pub fn packet_detail(packet: &HciPacket) -> String {
+    let mut out = String::new();
+    match packet {
+        HciPacket::Command(cmd) => {
+            let opcode = cmd.opcode();
+            out.push_str(&format!("Opcode: 0x{:04x}\n", opcode.raw()));
+            out.push_str(&format!(
+                "  Opcode Group: 0x{:02x} (Link Control command)\n",
+                opcode.ogf()
+            ));
+            out.push_str(&format!("  Command: {}\n", cmd.name()));
+            let encoded = cmd.encode();
+            out.push_str(&format!("  Total Length: {}\n", encoded[2]));
+            match cmd {
+                Command::LinkKeyRequestReply { bd_addr, link_key } => {
+                    out.push_str(&format!("  BD_ADDR: {bd_addr}\n"));
+                    out.push_str(&format!("    LAP: 0x{:06x}\n", bd_addr.lap()));
+                    out.push_str(&format!("    UAP: 0x{:02x}\n", bd_addr.uap()));
+                    out.push_str(&format!("    NAP: 0x{:04x}\n", bd_addr.nap()));
+                    let key_bytes = link_key.to_bytes();
+                    let spaced: Vec<String> =
+                        key_bytes.iter().map(|b| format!("{b:02x}")).collect();
+                    out.push_str(&format!("  Link_Key: 0x{}\n", spaced.join(" ")));
+                }
+                Command::LinkKeyRequestNegativeReply { bd_addr } => {
+                    out.push_str(&format!("  BD_ADDR: {bd_addr}\n"));
+                }
+                Command::CreateConnection { bd_addr, .. } => {
+                    out.push_str(&format!("  BD_ADDR: {bd_addr}\n"));
+                }
+                _ => {}
+            }
+        }
+        HciPacket::Event(ev) => {
+            out.push_str(&format!("Event: {}\n", ev.name()));
+            if let Event::LinkKeyNotification {
+                bd_addr,
+                link_key,
+                key_type,
+            } = ev
+            {
+                out.push_str(&format!("  BD_ADDR: {bd_addr}\n"));
+                out.push_str(&format!("  Link_Key: 0x{}\n", link_key.to_hex()));
+                out.push_str(&format!("  Key_Type: {key_type}\n"));
+            }
+        }
+        HciPacket::AclData(acl) => {
+            out.push_str(&format!(
+                "ACL Data: handle {}, {} bytes\n",
+                acl.handle,
+                acl.payload.len()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blap_hci::{PacketDirection, StatusCode};
+    use blap_types::{BdAddr, ConnectionHandle, Instant, LinkKey};
+
+    fn addr() -> BdAddr {
+        "00:1b:7d:da:71:0a".parse().unwrap()
+    }
+
+    #[test]
+    fn frame_table_shows_fig12_columns() {
+        let mut trace = HciTrace::new();
+        trace.record(
+            Instant::EPOCH,
+            PacketDirection::Sent,
+            HciPacket::Command(Command::CreateConnection {
+                bd_addr: addr(),
+                allow_role_switch: true,
+            }),
+        );
+        trace.record(
+            Instant::from_micros(10),
+            PacketDirection::Received,
+            HciPacket::Event(Event::CommandStatus {
+                status: StatusCode::Success,
+                num_packets: 1,
+                opcode: blap_hci::Opcode::CREATE_CONNECTION,
+            }),
+        );
+        trace.record(
+            Instant::from_micros(20),
+            PacketDirection::Received,
+            HciPacket::Event(Event::ConnectionComplete {
+                status: StatusCode::Success,
+                handle: ConnectionHandle::new(0x0006),
+                bd_addr: addr(),
+                encryption_enabled: false,
+            }),
+        );
+        let table = frame_table(&trace);
+        assert!(table.contains("HCI_Create_Connection"));
+        assert!(table.contains("HCI_Command_Status"));
+        assert!(table.contains("HCI_Connection_Complete"));
+        assert!(table.contains("0x0006"));
+        assert!(table.contains("Success"));
+        assert!(table.starts_with("Fra"));
+    }
+
+    #[test]
+    fn detail_pane_shows_link_key_fields() {
+        let key: LinkKey = "c4f16e949f04ee9c0fd6b1023389c324".parse().unwrap();
+        let detail = packet_detail(&HciPacket::Command(Command::LinkKeyRequestReply {
+            bd_addr: addr(),
+            link_key: key,
+        }));
+        // Fig 11a fields.
+        assert!(detail.contains("Opcode: 0x040b"));
+        assert!(detail.contains("HCI_Link_Key_Request_Reply"));
+        assert!(detail.contains("Total Length: 22"));
+        assert!(detail.contains("LAP: 0xda710a"));
+        assert!(detail.contains("UAP: 0x7d"));
+        assert!(detail.contains("NAP: 0x001b"));
+        assert!(detail.contains("Link_Key: 0xc4 f1 6e 94"));
+    }
+
+    #[test]
+    fn detail_pane_for_notification_and_acl() {
+        let key: LinkKey = "71a70981f30d6af9e20adee8aafe3264".parse().unwrap();
+        let detail = packet_detail(&HciPacket::Event(Event::LinkKeyNotification {
+            bd_addr: addr(),
+            link_key: key,
+            key_type: blap_types::LinkKeyType::UnauthenticatedP256,
+        }));
+        assert!(detail.contains("HCI_Link_Key_Notification"));
+        assert!(detail.contains(&key.to_hex()));
+
+        let acl = packet_detail(&HciPacket::AclData(blap_hci::AclData::new(
+            ConnectionHandle::new(3),
+            vec![1, 2, 3],
+        )));
+        assert!(acl.contains("3 bytes"));
+    }
+
+    #[test]
+    fn empty_trace_renders_header_only() {
+        let table = frame_table(&HciTrace::new());
+        assert_eq!(table.lines().count(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! §VII-A mitigations, applied at the capture seam.
+//!
+//! The paper proposes two defences against the link key extraction attack:
+//!
+//! 1. **Dump filtering** — the HCI dump module watches packet headers and,
+//!    for link-key-bearing packets, logs only the header (or replaces the
+//!    key with a constant). Implemented by [`redact_link_keys`].
+//! 2. **Payload encryption** — the host and controller share a session key
+//!    and encrypt the payload of link-key-related HCI packets, so even a
+//!    hardware tap (UART probe / USB analyzer) sees ciphertext.
+//!    Implemented (demonstratively, with an XOR keystream) by
+//!    [`encrypt_sensitive_payload`].
+//!
+//! Both operate on raw H4 packet bytes so they sit exactly where the real
+//! mitigations would: between packet serialization and the observable
+//! channel.
+
+/// Byte offset of the link key inside an H4-framed
+/// `HCI_Link_Key_Request_Reply`: indicator(1) + opcode(2) + len(1) + addr(6).
+const CMD_KEY_OFFSET: usize = 10;
+/// Same for an H4-framed `HCI_Link_Key_Notification`:
+/// indicator(1) + event(1) + len(1) + addr(6).
+const EVT_KEY_OFFSET: usize = 9;
+
+/// Whether an H4 packet carries a plaintext link key.
+pub fn carries_link_key(h4: &[u8]) -> bool {
+    link_key_span(h4).is_some()
+}
+
+/// The `(offset, len)` of the link key field, if this packet has one.
+fn link_key_span(h4: &[u8]) -> Option<(usize, usize)> {
+    match h4 {
+        // H4 command indicator, LE opcode 0x040B, length 22.
+        [0x01, 0x0b, 0x04, 0x16, ..] if h4.len() >= CMD_KEY_OFFSET + 16 => {
+            Some((CMD_KEY_OFFSET, 16))
+        }
+        // H4 event indicator, event code 0x18, length 23.
+        [0x04, 0x18, 0x17, ..] if h4.len() >= EVT_KEY_OFFSET + 16 => Some((EVT_KEY_OFFSET, 16)),
+        _ => None,
+    }
+}
+
+/// Mitigation 1: zeroes the link key field of link-key-bearing packets.
+///
+/// Returns `true` when something was redacted. Non-key packets pass
+/// through untouched, so the dump stays useful for debugging — the paper's
+/// stated goal.
+pub fn redact_link_keys(h4: &mut [u8]) -> bool {
+    match link_key_span(h4) {
+        Some((offset, len)) => {
+            h4[offset..offset + len].fill(0);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Mitigation 2: encrypts the link key field with a keystream derived from
+/// the host↔controller session secret.
+///
+/// The keystream here is a toy (xorshift over the seed) — the point being
+/// demonstrated is architectural: with *any* secret shared by host and
+/// controller but not the tap, the captured bytes stop being the key.
+/// Returns `true` when a key field was encrypted.
+pub fn encrypt_sensitive_payload(h4: &mut [u8], session_seed: u64) -> bool {
+    match link_key_span(h4) {
+        Some((offset, len)) => {
+            let mut state = session_seed | 1;
+            for byte in &mut h4[offset..offset + len] {
+                // xorshift64
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *byte ^= (state & 0xff) as u8;
+            }
+            let _ = len;
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blap_hci::{Command, Event, HciPacket};
+    use blap_types::{BdAddr, LinkKey, LinkKeyType};
+
+    fn addr() -> BdAddr {
+        "00:1b:7d:da:71:0a".parse().unwrap()
+    }
+
+    fn key() -> LinkKey {
+        "c4f16e949f04ee9c0fd6b1023389c324".parse().unwrap()
+    }
+
+    fn reply_bytes() -> Vec<u8> {
+        HciPacket::Command(Command::LinkKeyRequestReply {
+            bd_addr: addr(),
+            link_key: key(),
+        })
+        .encode()
+    }
+
+    fn notification_bytes() -> Vec<u8> {
+        HciPacket::Event(Event::LinkKeyNotification {
+            bd_addr: addr(),
+            link_key: key(),
+            key_type: LinkKeyType::UnauthenticatedP256,
+        })
+        .encode()
+    }
+
+    #[test]
+    fn detects_key_bearing_packets() {
+        assert!(carries_link_key(&reply_bytes()));
+        assert!(carries_link_key(&notification_bytes()));
+        let reset = HciPacket::Command(Command::Reset).encode();
+        assert!(!carries_link_key(&reset));
+    }
+
+    #[test]
+    fn redaction_zeroes_only_the_key() {
+        let mut bytes = reply_bytes();
+        let original = bytes.clone();
+        assert!(redact_link_keys(&mut bytes));
+        // Header and address untouched.
+        assert_eq!(&bytes[..CMD_KEY_OFFSET], &original[..CMD_KEY_OFFSET]);
+        // Key zeroed.
+        assert!(bytes[CMD_KEY_OFFSET..CMD_KEY_OFFSET + 16]
+            .iter()
+            .all(|b| *b == 0));
+        // Packet still decodes (now with a zero key).
+        let decoded = HciPacket::decode(&bytes).unwrap();
+        match decoded {
+            HciPacket::Command(Command::LinkKeyRequestReply { link_key, .. }) => {
+                assert_eq!(link_key, LinkKey::new([0; 16]));
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redaction_handles_notifications() {
+        let mut bytes = notification_bytes();
+        assert!(redact_link_keys(&mut bytes));
+        let decoded = HciPacket::decode(&bytes).unwrap();
+        match decoded {
+            HciPacket::Event(Event::LinkKeyNotification { link_key, .. }) => {
+                assert_eq!(link_key, LinkKey::new([0; 16]));
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redaction_ignores_other_packets() {
+        let mut bytes = HciPacket::Command(Command::Reset).encode();
+        let original = bytes.clone();
+        assert!(!redact_link_keys(&mut bytes));
+        assert_eq!(bytes, original);
+    }
+
+    #[test]
+    fn encryption_changes_key_and_is_keystream_stable() {
+        let mut a = reply_bytes();
+        let mut b = reply_bytes();
+        assert!(encrypt_sensitive_payload(&mut a, 0xDEAD_BEEF));
+        assert!(encrypt_sensitive_payload(&mut b, 0xDEAD_BEEF));
+        assert_eq!(a, b, "same session key gives same ciphertext");
+        assert_ne!(a, reply_bytes(), "ciphertext differs from plaintext");
+        // Different session secret, different ciphertext.
+        let mut c = reply_bytes();
+        assert!(encrypt_sensitive_payload(&mut c, 0x1234));
+        assert_ne!(a, c);
+        // Double application restores (XOR keystream).
+        let mut d = a.clone();
+        assert!(encrypt_sensitive_payload(&mut d, 0xDEAD_BEEF));
+        assert_eq!(d, reply_bytes());
+    }
+
+    #[test]
+    fn encrypted_capture_defeats_pattern_extraction() {
+        // The USB search still finds the header (it is metadata), but the
+        // key it reads out is ciphertext, not the real key.
+        let mut bytes = reply_bytes();
+        encrypt_sensitive_payload(&mut bytes, 99);
+        let matches = crate::hexconv::scan_link_key_replies(&bytes[1..]);
+        assert_eq!(matches.len(), 1);
+        assert_ne!(
+            LinkKey::from_le_bytes(matches[0].key_le),
+            key(),
+            "extracted bytes must not be the real key"
+        );
+    }
+}

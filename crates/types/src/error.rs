@@ -1,0 +1,106 @@
+//! Error types for the domain vocabulary.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a textual `BD_ADDR` fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddrError {
+    input: String,
+}
+
+impl ParseAddrError {
+    pub(crate) fn new(input: &str) -> Self {
+        ParseAddrError {
+            input: input.to_owned(),
+        }
+    }
+
+    /// The offending input.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid bluetooth address {:?}, expected aa:bb:cc:dd:ee:ff",
+            self.input
+        )
+    }
+}
+
+impl Error for ParseAddrError {}
+
+/// Error returned when parsing a hex link key fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKeyError {
+    len: usize,
+}
+
+impl ParseKeyError {
+    pub(crate) fn new(len: usize) -> Self {
+        ParseKeyError { len }
+    }
+}
+
+impl fmt::Display for ParseKeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid link key, expected 32 hex characters, got {} characters or non-hex input",
+            self.len
+        )
+    }
+}
+
+impl Error for ParseKeyError {}
+
+/// A general-purpose validation error for the smaller domain types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    message: String,
+}
+
+impl TypeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        TypeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_lowercase_messages() {
+        let err = ParseAddrError::new("junk");
+        assert!(err.to_string().starts_with("invalid bluetooth address"));
+        assert_eq!(err.input(), "junk");
+        let err = ParseKeyError::new(3);
+        assert!(err.to_string().contains("32 hex characters"));
+        let err = TypeError::new("boom");
+        assert_eq!(err.to_string(), "boom");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseAddrError>();
+        assert_send_sync::<ParseKeyError>();
+        assert_send_sync::<TypeError>();
+    }
+}

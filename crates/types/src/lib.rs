@@ -1,0 +1,42 @@
+//! Core Bluetooth BR/EDR domain types shared by every crate in the BLAP
+//! reproduction.
+//!
+//! This crate deliberately contains no protocol logic: it defines the
+//! vocabulary — device addresses, link keys, IO capabilities, class-of-device
+//! words, virtual time — that the HCI layer, the simulated controller, the
+//! host stack and the attack drivers all speak.
+//!
+//! # Examples
+//!
+//! ```
+//! use blap_types::{BdAddr, LinkKey};
+//!
+//! let victim: BdAddr = "48:90:12:34:56:78".parse().unwrap();
+//! assert_eq!(victim.to_string(), "48:90:12:34:56:78");
+//!
+//! let key: LinkKey = "71a70981f30d6af9e20adee8aafe3264".parse().unwrap();
+//! assert_eq!(key.to_hex(), "71a70981f30d6af9e20adee8aafe3264");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bdaddr;
+mod cod;
+mod device;
+mod error;
+mod handle;
+mod io;
+mod key;
+mod time;
+mod version;
+
+pub use bdaddr::BdAddr;
+pub use cod::{ClassOfDevice, MajorDeviceClass, ServiceClass};
+pub use device::{DeviceName, Role, ServiceUuid};
+pub use error::{ParseAddrError, ParseKeyError, TypeError};
+pub use handle::{ConnectionHandle, LtAddr};
+pub use io::{AssociationModel, AuthRequirements, IoCapability};
+pub use key::{LinkKey, LinkKeyType};
+pub use time::{Duration, Instant, SLOT};
+pub use version::{BtVersion, SpecGeneration};

@@ -1,0 +1,64 @@
+//! Property tests for the domain vocabulary.
+
+use blap_types::{BdAddr, ClassOfDevice, Duration, Instant, LinkKey};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bdaddr_bytes_round_trip(bytes in any::<[u8; 6]>()) {
+        let addr = BdAddr::new(bytes);
+        prop_assert_eq!(addr.to_bytes(), bytes);
+        prop_assert_eq!(BdAddr::from_le_bytes(addr.to_le_bytes()), addr);
+        // Textual round trip.
+        let parsed: BdAddr = addr.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, addr);
+    }
+
+    #[test]
+    fn bdaddr_parts_recompose(bytes in any::<[u8; 6]>()) {
+        let addr = BdAddr::new(bytes);
+        let recomposed = ((addr.nap() as u64) << 32)
+            | ((addr.uap() as u64) << 24)
+            | addr.lap() as u64;
+        let direct = bytes.iter().fold(0u64, |acc, b| (acc << 8) | *b as u64);
+        prop_assert_eq!(recomposed, direct);
+    }
+
+    #[test]
+    fn link_key_round_trips(bytes in any::<[u8; 16]>()) {
+        let key = LinkKey::new(bytes);
+        prop_assert_eq!(LinkKey::from_le_bytes(key.to_le_bytes()), key);
+        let parsed: LinkKey = key.to_hex().parse().unwrap();
+        prop_assert_eq!(parsed, key);
+        prop_assert_eq!(key.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn cod_round_trips(raw in 0u32..0x0100_0000) {
+        let cod = ClassOfDevice::new(raw);
+        prop_assert_eq!(ClassOfDevice::from_le_bytes(cod.to_le_bytes()), cod);
+        prop_assert_eq!(cod.raw(), raw);
+    }
+
+    #[test]
+    fn duration_slot_conversions(slots in 0u64..1_000_000) {
+        let d = Duration::from_slots(slots);
+        prop_assert_eq!(d.as_slots(), slots);
+        prop_assert_eq!(d.as_micros(), slots * 625);
+    }
+
+    #[test]
+    fn instant_arithmetic_laws(base in 0u64..1_000_000_000, delta in 0u64..1_000_000) {
+        let t0 = Instant::from_micros(base);
+        let d = Duration::from_micros(delta);
+        let t1 = t0 + d;
+        prop_assert_eq!(t1.duration_since(t0), d);
+        prop_assert_eq!(t1 - t0, d);
+        prop_assert!(t1 >= t0);
+    }
+
+    #[test]
+    fn bad_hex_keys_rejected(s in "[g-z]{32}") {
+        prop_assert!(s.parse::<LinkKey>().is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Passive capture and key-assisted decryption: what the world's air
+//! sniffer sees before and after the attacker obtains the link key.
+//!
+//! ```text
+//! cargo run --release --example air_sniffer
+//! ```
+
+use blap_repro::attacks::eavesdrop::{decrypt_capture, EavesdropScenario};
+use blap_repro::sim::SniffedFrame;
+
+fn main() {
+    let scenario = EavesdropScenario::new(7777);
+    let report = scenario.run();
+
+    println!("=== What a passive sniffer records ===\n");
+    println!(
+        "encrypted frames: {}   cleartext LMP control frames interleaved",
+        report.captured_encrypted_frames
+    );
+    println!(
+        "secrets readable from ciphertext alone: {}",
+        report.ciphertext_contains_secrets
+    );
+
+    println!("\n=== After the link key extraction attack ===\n");
+    match report.stolen_key {
+        Some(key) => println!("stolen key: {key}"),
+        None => println!("no key (unexpected)"),
+    }
+    println!(
+        "secrets recovered offline: {}/{}",
+        report.decrypted_secrets.len(),
+        scenario.secrets.len()
+    );
+    for s in &report.decrypted_secrets {
+        println!("  -> {:?}", String::from_utf8_lossy(s));
+    }
+
+    // Show the raw mechanics on a fresh capture for the curious reader.
+    println!("\n=== Mechanics ===");
+    println!("the decryptor needs: the sniffed LMP_au_rand, both addresses,");
+    println!("the frame order (CCM nonce counters), and the link key. The");
+    println!("first three are public; the paper's attack supplies the fourth.");
+    let _ = |frames: &[SniffedFrame]| {
+        // Exposed for programmatic use:
+        decrypt_capture(
+            frames,
+            "00000000000000000000000000000000".parse().expect("valid"),
+            "00:1b:7d:da:71:0a".parse().expect("valid"),
+            "48:90:12:34:56:78".parse().expect("valid"),
+        )
+    };
+}

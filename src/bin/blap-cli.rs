@@ -1,0 +1,202 @@
+//! `blap-cli` — one entry point for the whole reproduction.
+//!
+//! ```text
+//! cargo run --release --bin blap-cli -- <command> [args]
+//!
+//! commands:
+//!   extract [device] [seed]   run the link key extraction attack
+//!   block [device] [trials]   run the page blocking experiment
+//!   eavesdrop [seed]          sniff + decrypt an encrypted session
+//!   pincrack [pin]            crack a legacy pairing PIN offline
+//!   devices                   list the device catalog
+//!   parse-snoop <file>        parse a btsnoop file and extract any keys
+//! ```
+//!
+//! `device` is matched case-insensitively against the catalog names
+//! (`nexus`, `v50`, `s8`, `pixel`, `velvet`, `s21`, `iphone`, `windows`,
+//! `ubuntu`).
+
+use blap::eavesdrop::EavesdropScenario;
+use blap::legacy_pin::{crack_numeric_pin, LegacyPairingCapture};
+use blap::link_key_extraction::ExtractionScenario;
+use blap::page_blocking::PageBlockingScenario;
+use blap::report;
+use blap_sim::{profiles, DeviceProfile};
+use blap_snoop::log::HciTrace;
+
+fn find_profile(pattern: &str) -> Option<DeviceProfile> {
+    let needle = pattern.to_ascii_lowercase();
+    let all = [
+        profiles::nexus_5x_a8(),
+        profiles::lg_v50(),
+        profiles::galaxy_s8(),
+        profiles::pixel_2_xl(),
+        profiles::lg_velvet(),
+        profiles::galaxy_s21(),
+        profiles::iphone_xs(),
+        profiles::windows_ms_driver(),
+        profiles::windows_csr_harmony(),
+        profiles::ubuntu_bluez(),
+    ];
+    all.into_iter().find(|p| {
+        p.name.to_ascii_lowercase().contains(&needle) || p.os.to_ascii_lowercase().contains(&needle)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "extract" => {
+            let profile = args
+                .get(1)
+                .and_then(|p| find_profile(p))
+                .unwrap_or_else(profiles::galaxy_s8);
+            let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2022);
+            println!("extracting from {} ({})...", profile.name, profile.os);
+            let report = ExtractionScenario::new(profile, seed).run();
+            println!(
+                "channel      : {}",
+                opt(report.channel.map(|c| c.to_string()))
+            );
+            println!(
+                "key          : {}",
+                opt(report.extracted_key.map(|k| k.to_hex()))
+            );
+            println!("key matches  : {}", report.key_matches);
+            println!("bond intact  : {}", report.victim_bond_intact);
+            println!("impersonation: {}", report.impersonation_validated);
+            println!(
+                "verdict      : {}",
+                if report.vulnerable() {
+                    "VULNERABLE"
+                } else {
+                    "not vulnerable"
+                }
+            );
+        }
+        "block" => {
+            let profile = args
+                .get(1)
+                .and_then(|p| find_profile(p))
+                .unwrap_or_else(profiles::pixel_2_xl);
+            let trials = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(25);
+            println!(
+                "page blocking vs {} ({}), {trials} trials per condition...",
+                profile.name, profile.os
+            );
+            let mut scenario = PageBlockingScenario::new(profile, 2022);
+            scenario.trials = trials;
+            let row = scenario.run();
+            print!("{}", report::table2(&[row]));
+        }
+        "eavesdrop" => {
+            let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2022);
+            let scenario = EavesdropScenario::new(seed);
+            let report = scenario.run();
+            println!(
+                "captured {} encrypted frames; key {}; recovered {}/{} secrets",
+                report.captured_encrypted_frames,
+                opt(report.stolen_key.map(|k| k.to_hex())),
+                report.decrypted_secrets.len(),
+                scenario.secrets.len()
+            );
+            for s in &report.decrypted_secrets {
+                println!("  {:?}", String::from_utf8_lossy(s));
+            }
+        }
+        "pincrack" => {
+            let pin = args.get(1).cloned().unwrap_or_else(|| "1234".to_owned());
+            let capture = LegacyPairingCapture::synthesize(
+                "11:11:11:11:11:11".parse().expect("valid address"),
+                "00:1b:7d:da:71:0a".parse().expect("valid address"),
+                pin.as_bytes(),
+                [0xA1; 16],
+                [0xB2; 16],
+                [0xC3; 16],
+                [0xD4; 16],
+            );
+            match crack_numeric_pin(&capture, 6) {
+                Some(result) => println!(
+                    "cracked PIN {:?} in {} attempts; key {}",
+                    String::from_utf8_lossy(&result.pin),
+                    result.attempts,
+                    result.link_key
+                ),
+                None => println!("not in the numeric search space"),
+            }
+        }
+        "devices" => {
+            println!(
+                "{:<16} {:<14} {:<28} {:<10} {:<8}",
+                "Device", "OS", "Stack", "Transport", "Baseline"
+            );
+            for p in profiles::table1_profiles() {
+                println!(
+                    "{:<16} {:<14} {:<28} {:<10} {:<8}",
+                    p.name,
+                    p.os,
+                    p.stack.to_string(),
+                    format!("{:?}", p.transport),
+                    p.baseline_mitm_rate
+                        .map(|r| format!("{:.0}%", r * 100.0))
+                        .unwrap_or_else(|| "-".to_owned()),
+                );
+            }
+            println!(
+                "{:<16} {:<14} {:<28} {:<10} {:<8}",
+                "iPhone Xs", "iOS 14.4.2", "iOS Bluetooth", "H4Uart", "52%"
+            );
+        }
+        "parse-snoop" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: blap-cli parse-snoop <file.btsnoop>");
+                std::process::exit(2);
+            };
+            let bytes = match std::fs::read(path) {
+                Ok(bytes) => bytes,
+                Err(err) => {
+                    eprintln!("cannot read {path}: {err}");
+                    std::process::exit(1);
+                }
+            };
+            match HciTrace::from_btsnoop_bytes(&bytes) {
+                Ok(trace) => {
+                    println!("{} packets", trace.len());
+                    print!("{}", blap_snoop::pretty::frame_table(&trace));
+                    let keys = trace.extract_link_keys();
+                    if keys.is_empty() {
+                        println!("\nno link keys in this capture");
+                    } else {
+                        println!("\nlink keys found:");
+                        for (addr, key) in keys {
+                            println!("  {addr} -> {key}");
+                        }
+                    }
+                }
+                Err(err) => {
+                    eprintln!("parse error: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            println!(
+                "blap-cli — BLAP (DSN 2022) reproduction\n\n\
+                 usage: blap-cli <command> [args]\n\n\
+                 commands:\n\
+                 \x20 extract [device] [seed]   link key extraction attack\n\
+                 \x20 block [device] [trials]   page blocking experiment\n\
+                 \x20 eavesdrop [seed]          sniff + decrypt with a stolen key\n\
+                 \x20 pincrack [pin]            legacy PIN brute force\n\
+                 \x20 devices                   list the device catalog\n\
+                 \x20 parse-snoop <file>        inspect a btsnoop capture\n\n\
+                 tables/figures: see `cargo run -p blap-bench --bin <table1|table2|fig3|fig7|fig11|fig12|mitigations|ablation>`"
+            );
+        }
+    }
+}
+
+fn opt(value: Option<String>) -> String {
+    value.unwrap_or_else(|| "-".to_owned())
+}

@@ -1,0 +1,40 @@
+//! # BLAP reproduction — umbrella crate
+//!
+//! Re-exports the whole workspace under one roof for the examples and
+//! integration tests. Start with [`attacks`] (the paper's contribution) and
+//! [`sim`] (the simulated Bluetooth world they run against).
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`types`] | `blap-types` | Addresses, link keys, IO capabilities, time |
+//! | [`crypto`] | `blap-crypto` | SHA-256, HMAC, P-256 ECDH, SSP f/h functions, SAFER+/E1 |
+//! | [`hci`] | `blap-hci` | HCI commands/events/packets and the H4 codec |
+//! | [`snoop`] | `blap-snoop` | btsnoop dumps, USB captures, redaction mitigations |
+//! | [`baseband`] | `blap-baseband` | Paging/inquiry procedures and the page race model |
+//! | [`controller`] | `blap-controller` | Link Manager state machine (LMP auth, SSP) |
+//! | [`host`] | `blap-host` | Host stack, key store, association policy, attacker hooks |
+//! | [`sim`] | `blap-sim` | Discrete-event world, device profiles, user agents |
+//! | [`attacks`] | `blap` | Link key extraction, page blocking, mitigations, reports |
+//!
+//! ## Five-line demo
+//!
+//! ```
+//! use blap_repro::attacks::link_key_extraction::ExtractionScenario;
+//! use blap_repro::sim::profiles;
+//!
+//! let report = ExtractionScenario::new(profiles::galaxy_s21(), 1).run();
+//! assert!(report.vulnerable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use blap as attacks;
+pub use blap_baseband as baseband;
+pub use blap_controller as controller;
+pub use blap_crypto as crypto;
+pub use blap_hci as hci;
+pub use blap_host as host;
+pub use blap_sim as sim;
+pub use blap_snoop as snoop;
+pub use blap_types as types;

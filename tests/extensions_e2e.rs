@@ -1,0 +1,173 @@
+//! Integration tests for the beyond-the-evaluation extensions: air-sniffer
+//! eavesdropping, legacy PIN pairing + cracking, and the downgrade
+//! detector — all exercised through the public API like a downstream user
+//! would.
+
+use blap_repro::attacks::eavesdrop::{decrypt_capture, EavesdropScenario};
+use blap_repro::attacks::legacy_pin::{crack_numeric_pin, LegacyPairingCapture};
+use blap_repro::attacks::mitigations::downgrade_detection_probe;
+use blap_repro::sim::{profiles, SniffedFrame, World};
+use blap_repro::types::{BdAddr, Duration, ServiceUuid};
+
+fn addr(s: &str) -> BdAddr {
+    s.parse().expect("valid address")
+}
+
+#[test]
+fn eavesdrop_pipeline_end_to_end() {
+    let scenario = EavesdropScenario::new(900);
+    let report = scenario.run();
+    assert!(report.captured_encrypted_frames >= scenario.secrets.len());
+    assert!(!report.ciphertext_contains_secrets);
+    assert!(report.succeeded(scenario.secrets.len()), "{report:?}");
+}
+
+#[test]
+fn eavesdrop_is_deterministic() {
+    let a = EavesdropScenario::new(901).run();
+    let b = EavesdropScenario::new(901).run();
+    assert_eq!(a.stolen_key, b.stolen_key);
+    assert_eq!(a.decrypted_secrets, b.decrypted_secrets);
+}
+
+#[test]
+fn sniffer_sees_cleartext_lmp_but_not_payloads() {
+    // Build a world with an encrypted session and inspect the raw capture.
+    let mut world = World::new(902);
+    let m = world.add_device(profiles::lg_velvet().victim_phone("48:90:12:34:56:78"));
+    let c = world.add_device(profiles::galaxy_s8().soft_target("00:1b:7d:da:71:0a"));
+    let m_addr = addr("48:90:12:34:56:78");
+    let _ = m;
+    world.device_mut(c).host.pair_with(m_addr);
+    world.run_for(Duration::from_secs(5));
+    world.device_mut(c).host.disconnect(m_addr);
+    world.run_for(Duration::from_secs(2));
+    world
+        .device_mut(c)
+        .host
+        .connect_profile(m_addr, ServiceUuid::PBAP_PSE);
+    world.run_for(Duration::from_secs(5));
+    let secret = b"very private phonebook".to_vec();
+    world.device_mut(c).host.send_data(m_addr, secret.clone());
+    world.run_for(Duration::from_secs(1));
+
+    let frames = world.sniffed_frames();
+    // LMP control traffic is visible by name.
+    assert!(frames.iter().any(|f| matches!(
+        f,
+        SniffedFrame::Lmp { name, .. } if *name == "LMP_au_rand"
+    )));
+    // The au_rand value itself is captured (the eavesdropper's input).
+    assert!(frames.iter().any(|f| matches!(
+        f,
+        SniffedFrame::Lmp {
+            au_rand: Some(_),
+            ..
+        }
+    )));
+    // No encrypted frame contains the plaintext secret.
+    for frame in frames {
+        if let SniffedFrame::Acl {
+            data,
+            encrypted: true,
+            ..
+        } = frame
+        {
+            assert!(
+                !data.windows(secret.len()).any(|w| w == secret.as_slice()),
+                "ciphertext leaked the payload"
+            );
+        }
+    }
+}
+
+#[test]
+fn decrypting_with_wrong_roles_fails_cleanly() {
+    // Swapping verifier/prover addresses derives the wrong keys; CCM must
+    // reject everything rather than produce garbage plaintext.
+    let scenario = EavesdropScenario::new(903);
+    let mut world = World::new(scenario.seed);
+    let _m = world.add_device(profiles::lg_velvet().victim_phone("48:90:12:34:56:78"));
+    let c = world.add_device(profiles::galaxy_s8().soft_target("00:1b:7d:da:71:0a"));
+    let m_addr = addr("48:90:12:34:56:78");
+    world.device_mut(c).host.pair_with(m_addr);
+    world.run_for(Duration::from_secs(5));
+    world.device_mut(c).host.disconnect(m_addr);
+    world.run_for(Duration::from_secs(2));
+    world
+        .device_mut(c)
+        .host
+        .connect_profile(m_addr, ServiceUuid::PBAP_PSE);
+    world.run_for(Duration::from_secs(5));
+    world
+        .device_mut(c)
+        .host
+        .send_data(m_addr, b"payload".to_vec());
+    world.run_for(Duration::from_secs(1));
+
+    let key = blap_repro::attacks::extract::from_snoop_log(world.device(c), m_addr)
+        .expect("dump leaks the key");
+    let frames = world.sniffed_frames().to_vec();
+    // Correct roles: C is verifier (it initiated the profile connection).
+    let right = decrypt_capture(&frames, key, addr("00:1b:7d:da:71:0a"), m_addr);
+    assert!(!right.is_empty());
+    // Swapped roles: nothing decrypts.
+    let wrong = decrypt_capture(&frames, key, m_addr, addr("00:1b:7d:da:71:0a"));
+    assert!(
+        wrong.is_empty(),
+        "role-swapped derivation must fail: {wrong:?}"
+    );
+}
+
+#[test]
+fn legacy_pairing_key_is_crackable_from_its_transcript() {
+    // Tie the two legacy pieces together: a pairing the simulation actually
+    // ran produces a key; a transcript with the same parameters cracks to
+    // the same key.
+    let initiator = addr("11:11:11:11:11:11");
+    let responder = addr("cc:cc:cc:cc:cc:cc");
+    let capture = LegacyPairingCapture::synthesize(
+        initiator, responder, b"0000", [0x13; 16], [0x57; 16], [0x9b; 16], [0xdf; 16],
+    );
+    let result = crack_numeric_pin(&capture, 4).expect("default PIN cracks");
+    assert_eq!(result.pin, b"0000");
+    assert_eq!(result.link_key, capture.key_for_pin(b"0000"));
+    // "0000" is candidate #1 of the 4-digit space once shorter widths are
+    // exhausted; either way it falls inside the first 1111+1 candidates.
+    assert!(result.attempts <= 1112, "attempts {}", result.attempts);
+}
+
+#[test]
+fn downgrade_detector_only_fires_on_downgrades() {
+    // Authenticated -> unauthenticated replacement: blocked.
+    let (survived, alert) = downgrade_detection_probe(profiles::pixel_2_xl(), true);
+    assert!(survived && alert);
+
+    // Fresh unauthenticated bond with no history: allowed (host-level
+    // check via the probe with mitigation off covers the baseline; here we
+    // check no false positive on a clean world pairing a car-kit).
+    let mut world = World::new(904);
+    let mut spec = profiles::pixel_2_xl().victim_phone("48:90:12:34:56:78");
+    spec.host.mitigations.detect_key_type_downgrade = true;
+    let phone = world.add_device(spec);
+    let _kit = world.add_device(profiles::car_kit("00:1b:7d:da:71:0a"));
+    world
+        .device_mut(phone)
+        .host
+        .pair_with(addr("00:1b:7d:da:71:0a"));
+    world.run_for(Duration::from_secs(5));
+    assert!(
+        world
+            .device(phone)
+            .host
+            .keystore()
+            .get(addr("00:1b:7d:da:71:0a"))
+            .is_some(),
+        "first-time Just Works bonding must not be blocked"
+    );
+    assert!(world
+        .device(phone)
+        .user
+        .find(|n| matches!(n, blap_repro::host::UiNotification::SecurityAlert { .. }))
+        .is_none());
+}

@@ -1,0 +1,158 @@
+//! Integration tests for the Fig 12 dump-signature analysis: the flows a
+//! defender (or the paper's validation methodology) reads out of the HCI
+//! dump to tell a normal pairing from a page-blocked one.
+
+use blap_repro::attacks::addrs;
+use blap_repro::hci::{Command, Event, HciPacket};
+use blap_repro::sim::{profiles, World};
+use blap_repro::types::{BdAddr, Duration};
+
+fn addr(s: &str) -> BdAddr {
+    s.parse().expect("valid address")
+}
+
+/// Collects the HCI command/event names from a device's snoop trace.
+fn flow_names(world: &World, id: blap_repro::sim::DeviceId) -> Vec<&'static str> {
+    world
+        .device(id)
+        .snoop_trace()
+        .iter()
+        .map(|e| e.packet.name())
+        .collect()
+}
+
+#[test]
+fn fig12a_normal_pairing_flow_order() {
+    let mut world = World::new(600);
+    let m = world.add_device(profiles::lg_velvet().victim_phone_with_snoop(addrs::M));
+    let _c = world.add_device(profiles::car_kit(addrs::C));
+    world.device_mut(m).host.pair_with(addr(addrs::C));
+    world.run_for(Duration::from_secs(5));
+
+    let names = flow_names(&world, m);
+    // The Fig 12a prefix, in order.
+    let expected_prefix = [
+        "HCI_Create_Connection",
+        "HCI_Command_Status",
+        "HCI_Connection_Complete",
+        "HCI_Authentication_Requested",
+        "HCI_Command_Status",
+        "HCI_Link_Key_Request",
+        "HCI_Link_Key_Request_Negative_Reply",
+    ];
+    assert!(
+        names.len() >= expected_prefix.len(),
+        "flow too short: {names:?}"
+    );
+    assert_eq!(&names[..expected_prefix.len()], &expected_prefix);
+    // And the IO capability request follows, as in the figure's last row.
+    assert!(names.contains(&"HCI_IO_Capability_Request"));
+}
+
+#[test]
+fn fig12b_attacked_pairing_flow_order() {
+    let mut world = World::new(601);
+    let m = world.add_device(profiles::lg_velvet().victim_phone_with_snoop(addrs::M));
+    let _c = world.add_device(profiles::car_kit(addrs::C));
+    let a = world.add_device(profiles::attacker_nexus_5x(addrs::C));
+    world.device_mut(a).host.connect_only(addr(addrs::M));
+    let m_copy = m;
+    world.schedule_in(Duration::from_secs(2), move |w| {
+        w.device_mut(m_copy).host.pair_with(addr(addrs::C));
+    });
+    world.run_for(Duration::from_secs(10));
+
+    let names = flow_names(&world, m);
+    let expected_prefix = [
+        "HCI_Connection_Request",
+        "HCI_Accept_Connection_Request",
+        "HCI_Command_Status",
+        "HCI_Connection_Complete",
+        "HCI_Authentication_Requested",
+        "HCI_Command_Status",
+        "HCI_Link_Key_Request",
+        "HCI_Link_Key_Request_Negative_Reply",
+    ];
+    assert!(
+        names.len() >= expected_prefix.len(),
+        "flow too short: {names:?}"
+    );
+    assert_eq!(&names[..expected_prefix.len()], &expected_prefix);
+}
+
+#[test]
+fn signatures_discriminate_the_two_flows() {
+    // 12a world.
+    let mut normal = World::new(602);
+    let m1 = normal.add_device(profiles::lg_velvet().victim_phone_with_snoop(addrs::M));
+    let _c1 = normal.add_device(profiles::car_kit(addrs::C));
+    normal.device_mut(m1).host.pair_with(addr(addrs::C));
+    normal.run_for(Duration::from_secs(5));
+    assert!(!normal
+        .device(m1)
+        .snoop_trace()
+        .has_page_blocking_signature(addr(addrs::C)));
+
+    // 12b world.
+    let mut attacked = World::new(603);
+    let m2 = attacked.add_device(profiles::lg_velvet().victim_phone_with_snoop(addrs::M));
+    let _c2 = attacked.add_device(profiles::car_kit(addrs::C));
+    let a2 = attacked.add_device(profiles::attacker_nexus_5x(addrs::C));
+    attacked.device_mut(a2).host.connect_only(addr(addrs::M));
+    attacked.schedule_in(Duration::from_secs(2), move |w| {
+        w.device_mut(m2).host.pair_with(addr(addrs::C));
+    });
+    attacked.run_for(Duration::from_secs(10));
+    assert!(attacked
+        .device(m2)
+        .snoop_trace()
+        .has_page_blocking_signature(addr(addrs::C)));
+
+    // Attacker-side signature (the iPhone fallback) holds too.
+    assert!(attacked
+        .device(a2)
+        .snoop_trace()
+        .has_attacker_side_page_blocking_signature(addr(addrs::M)));
+}
+
+#[test]
+fn signature_survives_btsnoop_round_trip() {
+    // The detector must work on the *serialized* dump, which is what an
+    // investigator actually has.
+    let mut world = World::new(604);
+    let m = world.add_device(profiles::lg_velvet().victim_phone_with_snoop(addrs::M));
+    let _c = world.add_device(profiles::car_kit(addrs::C));
+    let a = world.add_device(profiles::attacker_nexus_5x(addrs::C));
+    world.device_mut(a).host.connect_only(addr(addrs::M));
+    world.schedule_in(Duration::from_secs(2), move |w| {
+        w.device_mut(m).host.pair_with(addr(addrs::C));
+    });
+    world.run_for(Duration::from_secs(10));
+
+    let bytes = world.device(m).bug_report().expect("snoop on");
+    let trace = blap_repro::snoop::log::HciTrace::from_btsnoop_bytes(&bytes).expect("parses");
+    assert!(trace.has_page_blocking_signature(addr(addrs::C)));
+}
+
+#[test]
+fn key_bearing_packets_identified_in_both_directions() {
+    // Sanity on the byte-level helpers the mitigations build on.
+    let key = "71a70981f30d6af9e20adee8aafe3264"
+        .parse()
+        .expect("valid key");
+    let cmd = HciPacket::Command(Command::LinkKeyRequestReply {
+        bd_addr: addr(addrs::C),
+        link_key: key,
+    });
+    let evt = HciPacket::Event(Event::LinkKeyNotification {
+        bd_addr: addr(addrs::C),
+        link_key: key,
+        key_type: blap_repro::types::LinkKeyType::UnauthenticatedP256,
+    });
+    assert!(blap_repro::snoop::redact::carries_link_key(&cmd.encode()));
+    assert!(blap_repro::snoop::redact::carries_link_key(&evt.encode()));
+    let neg = HciPacket::Command(Command::LinkKeyRequestNegativeReply {
+        bd_addr: addr(addrs::C),
+    });
+    assert!(!blap_repro::snoop::redact::carries_link_key(&neg.encode()));
+}

@@ -101,6 +101,21 @@ fn bench_pin_crack(c: &mut Criterion) {
     group.bench_function("three_digit_pin", |b| {
         b.iter(|| crack_numeric_pin(black_box(&capture), 3).expect("found"))
     });
+    // A deep 4-digit search (candidate 9638 of 11 110): the case the
+    // chunked parallel search and the allocation-free candidate odometer
+    // are meant to speed up.
+    let deep = LegacyPairingCapture::synthesize(
+        "11:11:11:11:11:11".parse().expect("valid"),
+        "00:1b:7d:da:71:0a".parse().expect("valid"),
+        b"8527",
+        [0xA1; 16],
+        [0xB2; 16],
+        [0xC3; 16],
+        [0xD4; 16],
+    );
+    group.bench_function("four_digit_pin", |b| {
+        b.iter(|| crack_numeric_pin(black_box(&deep), 4).expect("found"))
+    });
     group.finish();
 }
 

@@ -50,9 +50,20 @@ fn bench_btsnoop(c: &mut Criterion) {
 
 fn bench_usb_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("snoop/usb_scan");
-    for kb in [16usize, 256, 1024] {
+    for kb in [16usize, 256, 1024, 4096] {
         // Noise-dominated stream with a handful of key packets inside.
-        let mut stream = vec![0u8; kb * 1024];
+        // The noise is pseudo-random rather than zeroed so the scan's
+        // first-byte skip sees a realistic density of false `0b` starts
+        // (~1 per 256 bytes) instead of an unrealistically clean stream.
+        let mut noise_state = 0x2545_f491_4f6c_dd1du64;
+        let mut stream: Vec<u8> = (0..kb * 1024)
+            .map(|_| {
+                noise_state = noise_state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                (noise_state >> 56) as u8
+            })
+            .collect();
         let reply = HciPacket::Command(Command::LinkKeyRequestReply {
             bd_addr: "00:1b:7d:da:71:0a".parse().expect("valid"),
             link_key: "c4f16e949f04ee9c0fd6b1023389c324".parse().expect("valid"),

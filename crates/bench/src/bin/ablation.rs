@@ -2,17 +2,23 @@
 //! sensitivity.
 //!
 //! ```text
-//! cargo run --release -p blap-bench --bin ablation [trials]
+//! cargo run --release -p blap-bench --bin ablation [trials] [jobs]
 //! ```
+//!
+//! `jobs` (or the `BLAP_JOBS` environment variable) sets the worker count;
+//! both sweeps are byte-identical at any value.
 
 use blap::ablation;
+use blap::runner::Jobs;
 use blap_sim::profiles;
 
 fn main() {
-    let trials: usize = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let jobs: Jobs = args
+        .next()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+        .unwrap_or_else(Jobs::from_env);
 
     println!("== Ablation 1: PLOC hold vs user pairing delay ({trials} trials/point) ==\n");
     println!(
@@ -20,8 +26,13 @@ fn main() {
         "pairing delay (s)", "keep-alive", "success rate"
     );
     println!("{}", "-".repeat(46));
-    let points =
-        ablation::ploc_delay_sweep(profiles::galaxy_s8(), &[2, 5, 10, 15, 25, 35], trials, 81);
+    let points = ablation::ploc_delay_sweep_with(
+        profiles::galaxy_s8(),
+        &[2, 5, 10, 15, 25, 35],
+        trials,
+        81,
+        jobs,
+    );
     for p in &points {
         println!(
             "{:<18} {:<12} {:<14.2}",
@@ -40,9 +51,12 @@ fn main() {
         "scale", "analytic win rate", "measured"
     );
     println!("{}", "-".repeat(48));
-    for (scale, measured) in
-        ablation::race_scale_sweep(&[0.25, 0.5, 0.8, 0.96, 1.0, 1.19, 2.0, 4.0], 20_000, 82)
-    {
+    for (scale, measured) in ablation::race_scale_sweep_with(
+        &[0.25, 0.5, 0.8, 0.96, 1.0, 1.19, 2.0, 4.0],
+        20_000,
+        82,
+        jobs,
+    ) {
         let model = blap_baseband::race::PageRaceModel::new(scale);
         println!(
             "{:<12.2} {:<18.3} {:<18.3}",

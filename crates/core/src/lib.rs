@@ -16,7 +16,10 @@
 //!   42–60% baseline race it replaces (Table II),
 //! * [`mitigations`] — dump filtering, HCI payload encryption, and the
 //!   connection-initiator role check, each shown to stop its attack,
-//! * [`report`] — table/figure rendering for the benchmark binaries.
+//! * [`report`] — table/figure rendering for the benchmark binaries,
+//! * [`runner`] — the deterministic parallel experiment engine: every
+//!   driver maps over independent units with per-unit derived seeds, so
+//!   `BLAP_JOBS=8` output is byte-identical to the serial run.
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@ pub mod link_key_extraction;
 pub mod mitigations;
 pub mod page_blocking;
 pub mod report;
+pub mod runner;
 
 /// Well-known addresses used across scenarios, matching the paper's figures
 /// where one is given.

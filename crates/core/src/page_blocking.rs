@@ -18,6 +18,7 @@ use blap_sim::{profiles, DeviceId, DeviceProfile, World};
 use blap_types::{BdAddr, Duration, LinkKeyType};
 
 use crate::addrs;
+use crate::runner::{parallel_map, Jobs};
 
 /// Configuration of one page blocking experiment (one Table II row).
 #[derive(Clone, Debug)]
@@ -167,23 +168,21 @@ impl PageBlockingScenario {
         }
     }
 
-    /// Runs the full experiment: `trials` baseline races and `trials` page
-    /// blocking runs. This regenerates one Table II row.
-    pub fn run(&self) -> PageBlockingRow {
-        let mut baseline_wins = 0usize;
-        let mut blocking_wins = 0usize;
-        let mut sample_blocking: Option<TrialOutcome> = None;
-        for trial in 0..self.trials {
-            if self.run_baseline_trial(trial).mitm_established {
-                baseline_wins += 1;
-            }
-            let outcome = self.run_blocking_trial(trial);
-            if outcome.mitm_established {
-                blocking_wins += 1;
-            }
-            sample_blocking.get_or_insert(outcome);
-        }
-        let sample = sample_blocking.expect("at least one trial");
+    /// Runs one baseline and one blocking trial for the same trial index —
+    /// the unit of work the parallel engine distributes.
+    pub fn run_trial_pair(&self, trial: usize) -> (TrialOutcome, TrialOutcome) {
+        (
+            self.run_baseline_trial(trial),
+            self.run_blocking_trial(trial),
+        )
+    }
+
+    /// Folds per-trial outcomes (in trial order) into a Table II row.
+    pub fn aggregate(&self, outcomes: &[(TrialOutcome, TrialOutcome)]) -> PageBlockingRow {
+        assert_eq!(outcomes.len(), self.trials, "one outcome pair per trial");
+        let baseline_wins = outcomes.iter().filter(|(b, _)| b.mitm_established).count();
+        let blocking_wins = outcomes.iter().filter(|(_, p)| p.mitm_established).count();
+        let sample = outcomes.first().expect("at least one trial").1;
         PageBlockingRow {
             device: self.victim.name.to_owned(),
             os: self.victim.os.to_owned(),
@@ -195,6 +194,21 @@ impl PageBlockingScenario {
             fig12b_signature: sample.fig12b_signature,
             popup_had_number: sample.popup_had_number,
         }
+    }
+
+    /// Runs the full experiment: `trials` baseline races and `trials` page
+    /// blocking runs. This regenerates one Table II row. Worker count comes
+    /// from the environment ([`Jobs::from_env`]); each trial's world is
+    /// seeded from the trial index alone, so the row is byte-identical at
+    /// any parallelism.
+    pub fn run(&self) -> PageBlockingRow {
+        self.run_with(Jobs::from_env())
+    }
+
+    /// [`Self::run`] with an explicit worker count.
+    pub fn run_with(&self, jobs: Jobs) -> PageBlockingRow {
+        let outcomes = parallel_map(jobs, self.trials, |trial| self.run_trial_pair(trial));
+        self.aggregate(&outcomes)
     }
 }
 
@@ -222,7 +236,7 @@ pub struct TrialOutcome {
 }
 
 /// One row of Table II.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PageBlockingRow {
     /// Victim device name.
     pub device: String,

@@ -4,40 +4,82 @@
 //! keys (P-192 for pre-4.1 devices); the shared secret `DHKey` feeds the
 //! `f2` link-key derivation. This module implements the curve from its
 //! domain parameters on top of [`crate::bigint`]: fast Solinas reduction in
-//! the field, Jacobian-coordinate group arithmetic, double-and-add scalar
-//! multiplication, and public-key validation (the check whose absence
-//! enabled the Biham–Neumann invalid-curve attack cited by the paper).
+//! the field, Jacobian-coordinate group arithmetic, windowed-NAF scalar
+//! multiplication (with a precomputed fixed-base table for the generator),
+//! and public-key validation (the check whose absence enabled the
+//! Biham–Neumann invalid-curve attack cited by the paper).
 //!
 //! Correctness is established structurally: the fast field reduction is
 //! property-tested against the slow binary long division in
-//! [`crate::bigint`], the generator satisfies the curve equation,
-//! `n·G = ∞`, scalar multiplication distributes over scalar addition, and
-//! ECDH agreement holds for arbitrary key pairs.
+//! [`crate::bigint`], the wNAF and fixed-base multipliers against the
+//! retained [`Point::mul_double_and_add`] reference, the generator
+//! satisfies the curve equation, `n·G = ∞`, scalar multiplication
+//! distributes over scalar addition, and ECDH agreement holds for
+//! arbitrary key pairs.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::bigint::{U256, U512};
 
+// Domain parameters as limb constants: the previous accessors re-parsed
+// hex strings, which put a heap-allocating `format!` inside every field
+// operation of every point double — by far the dominant cost of a pairing.
+const P: U256 = U256::from_limbs([
+    0xffff_ffff_ffff_ffff,
+    0x0000_0000_ffff_ffff,
+    0x0000_0000_0000_0000,
+    0xffff_ffff_0000_0001,
+]);
+/// `2^256 - p` (the additive fold constant for carries past 2^256).
+const P_COMP: U256 = U256::from_limbs([
+    0x0000_0000_0000_0001,
+    0xffff_ffff_0000_0000,
+    0xffff_ffff_ffff_ffff,
+    0x0000_0000_ffff_fffe,
+]);
+const N: U256 = U256::from_limbs([
+    0xf3b9_cac2_fc63_2551,
+    0xbce6_faad_a717_9e84,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_0000_0000,
+]);
+const B: U256 = U256::from_limbs([
+    0x3bce_3c3e_27d2_604b,
+    0x651d_06b0_cc53_b0f6,
+    0xb3eb_bd55_7698_86bc,
+    0x5ac6_35d8_aa3a_93e7,
+]);
+const GX: U256 = U256::from_limbs([
+    0xf4a1_3945_d898_c296,
+    0x7703_7d81_2deb_33a0,
+    0xf8bc_e6e5_63a4_40f2,
+    0x6b17_d1f2_e12c_4247,
+]);
+const GY: U256 = U256::from_limbs([
+    0xcbb6_4068_37bf_51f5,
+    0x2bce_3357_6b31_5ece,
+    0x8ee7_eb4a_7c0f_9e16,
+    0x4fe3_42e2_fe1a_7f9b,
+]);
+
 /// The field prime `p = 2^256 - 2^224 + 2^192 + 2^96 - 1`.
 pub fn field_prime() -> U256 {
-    U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+    P
 }
 
 /// The group order `n`.
 pub fn group_order() -> U256 {
-    U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+    N
 }
 
 fn curve_b() -> U256 {
-    U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+    B
 }
 
 /// The base point `G`.
 pub fn generator() -> Point {
-    Point::Affine {
-        x: U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
-        y: U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"),
-    }
+    Point::Affine { x: GX, y: GY }
 }
 
 // --- fast field arithmetic -------------------------------------------------
@@ -100,10 +142,10 @@ pub(crate) fn reduce_wide(value: U512) -> U256 {
     }
 
     let mut r = u256_from_le_words(words);
-    let p = field_prime();
+    let p = P;
     // r_actual = r + carry * 2^256; fold the carry in using
     // 2^256 ≡ 2^256 - p (mod p).
-    let fold = p_complement();
+    let fold = P_COMP;
     while carry > 0 {
         let (sum, overflow) = r.overflowing_add(fold);
         r = sum;
@@ -129,12 +171,6 @@ pub(crate) fn reduce_wide(value: U512) -> U256 {
     r
 }
 
-/// `2^256 - p` (the additive fold constant for carries past 2^256).
-fn p_complement() -> U256 {
-    // 2^256 - p = 2^224 - 2^192 - 2^96 + 1
-    U256::ZERO.overflowing_sub(field_prime()).0
-}
-
 fn u512_to_le_words(value: U512) -> [u64; 8] {
     value.limbs_le()
 }
@@ -156,24 +192,31 @@ fn fe_mul(a: U256, b: U256) -> U256 {
 /// external property tests can pin it against the slow binary-division
 /// reduction in [`crate::bigint`].
 pub fn field_mul(a: U256, b: U256) -> U256 {
-    let p = field_prime();
-    fe_mul(a.rem_short(p), b.rem_short(p))
+    fe_mul(a.rem_short(P), b.rem_short(P))
 }
 
 fn fe_sq(a: U256) -> U256 {
-    fe_mul(a, a)
+    reduce_wide(a.widening_sq())
 }
 
 fn fe_add(a: U256, b: U256) -> U256 {
-    a.add_mod(b, field_prime())
+    a.add_mod(b, P)
 }
 
 fn fe_sub(a: U256, b: U256) -> U256 {
-    a.sub_mod(b, field_prime())
+    a.sub_mod(b, P)
 }
 
 fn fe_double(a: U256) -> U256 {
     fe_add(a, a)
+}
+
+fn fe_neg(a: U256) -> U256 {
+    if a.is_zero() {
+        a
+    } else {
+        P.overflowing_sub(a).0
+    }
 }
 
 /// Field inversion by Fermat's little theorem, using the fast multiplier.
@@ -181,8 +224,7 @@ fn fe_inv(a: U256) -> Option<U256> {
     if a.is_zero() {
         return None;
     }
-    let p = field_prime();
-    let exp = p.overflowing_sub(U256::from_u64(2)).0;
+    let exp = P.overflowing_sub(U256::from_u64(2)).0;
     let mut result = U256::ONE;
     let mut base = a;
     for i in 0..exp.bits() {
@@ -355,6 +397,227 @@ impl Jacobian {
             z: z3,
         }
     }
+
+    /// Mixed addition with an affine point (madd-2007-bl, Z2 = 1): saves
+    /// 4M + 1S over the general [`Self::add`], which is why both scalar
+    /// multipliers normalize their tables to affine first.
+    fn madd(&self, x2: U256, y2: U256) -> Jacobian {
+        if self.z.is_zero() {
+            return Jacobian {
+                x: x2,
+                y: y2,
+                z: U256::ONE,
+            };
+        }
+        let z1z1 = fe_sq(self.z);
+        let u2 = fe_mul(x2, z1z1);
+        let s2 = fe_mul(y2, fe_mul(self.z, z1z1));
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Jacobian::INFINITY;
+        }
+        let h = fe_sub(u2, self.x);
+        let hh = fe_sq(h);
+        let i = fe_double(fe_double(hh));
+        let j = fe_mul(h, i);
+        let r = fe_double(fe_sub(s2, self.y));
+        let v = fe_mul(self.x, i);
+        let x3 = fe_sub(fe_sub(fe_sq(r), j), fe_double(v));
+        let y3 = fe_sub(fe_mul(r, fe_sub(v, x3)), fe_double(fe_mul(self.y, j)));
+        let z3 = fe_sub(fe_sub(fe_sq(fe_add(self.z, h)), z1z1), hh);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+}
+
+/// Normalizes a batch of non-infinity Jacobian points to affine `(x, y)`
+/// with a single field inversion (Montgomery's trick): prefix-multiply the
+/// Z coordinates, invert the product once, then walk back unwinding each
+/// individual inverse.
+fn batch_to_affine(points: &[Jacobian]) -> Vec<(U256, U256)> {
+    let mut prefix = Vec::with_capacity(points.len());
+    let mut acc = U256::ONE;
+    for point in points {
+        acc = fe_mul(acc, point.z);
+        prefix.push(acc);
+    }
+    let mut inv = fe_inv(acc).expect("batch contains no infinity");
+    let mut out = vec![(U256::ZERO, U256::ZERO); points.len()];
+    for i in (0..points.len()).rev() {
+        let z_inv = if i == 0 {
+            inv
+        } else {
+            fe_mul(inv, prefix[i - 1])
+        };
+        inv = fe_mul(inv, points[i].z);
+        let z_inv2 = fe_sq(z_inv);
+        out[i] = (
+            fe_mul(points[i].x, z_inv2),
+            fe_mul(points[i].y, fe_mul(z_inv2, z_inv)),
+        );
+    }
+    out
+}
+
+// --- scalar multiplication -------------------------------------------------
+
+/// Window width for the arbitrary-point multiplier: digits in
+/// `{±1, ±3, …, ±15}`, an 8-entry odd-multiples table.
+const WNAF_WIDTH: u32 = 5;
+
+/// Width-5 NAF recoding, least-significant digit first. At most one of
+/// any five consecutive digits is nonzero, so a 256-bit scalar costs
+/// ~256 doubles but only ~43 additions (vs ~128 for double-and-add).
+fn wnaf_digits(k: &U256) -> Vec<i8> {
+    let mut limbs = k.limbs();
+    let mut digits = Vec::with_capacity(257);
+    while limbs != [0u64; 4] {
+        let digit = if limbs[0] & 1 == 1 {
+            let mut d = (limbs[0] & ((1 << WNAF_WIDTH) - 1)) as i32;
+            if d >= 1 << (WNAF_WIDTH - 1) {
+                d -= 1 << WNAF_WIDTH;
+            }
+            // Subtract the signed digit so the low WNAF_WIDTH bits clear.
+            if d >= 0 {
+                limbs_sub_small(&mut limbs, d as u64);
+            } else {
+                limbs_add_small(&mut limbs, (-d) as u64);
+            }
+            d as i8
+        } else {
+            0
+        };
+        digits.push(digit);
+        limbs_shr1(&mut limbs);
+    }
+    digits
+}
+
+fn limbs_sub_small(limbs: &mut [u64; 4], v: u64) {
+    let (r, mut borrow) = limbs[0].overflowing_sub(v);
+    limbs[0] = r;
+    for limb in limbs.iter_mut().skip(1) {
+        if !borrow {
+            break;
+        }
+        let (r, b) = limb.overflowing_sub(1);
+        *limb = r;
+        borrow = b;
+    }
+}
+
+fn limbs_add_small(limbs: &mut [u64; 4], v: u64) {
+    let (r, mut carry) = limbs[0].overflowing_add(v);
+    limbs[0] = r;
+    for limb in limbs.iter_mut().skip(1) {
+        if !carry {
+            break;
+        }
+        let (r, c) = limb.overflowing_add(1);
+        *limb = r;
+        carry = c;
+    }
+}
+
+fn limbs_shr1(limbs: &mut [u64; 4]) {
+    for i in 0..4 {
+        limbs[i] = (limbs[i] >> 1) | if i < 3 { limbs[i + 1] << 63 } else { 0 };
+    }
+}
+
+/// Windowed-NAF scalar multiplication for an arbitrary base point.
+fn mul_wnaf(base: &Point, k: &U256) -> Point {
+    let (bx, by) = match base {
+        Point::Infinity => return Point::Infinity,
+        Point::Affine { x, y } => (*x, *y),
+    };
+    if k.is_zero() {
+        return Point::Infinity;
+    }
+    let base_jac = Jacobian {
+        x: bx,
+        y: by,
+        z: U256::ONE,
+    };
+    let twice = base_jac.double();
+    if twice.z.is_zero() {
+        // y = 0: a 2-torsion input (impossible on P-256 itself, but `mul`
+        // accepts arbitrary coordinates). Fall back to the reference.
+        return base.mul_double_and_add(&Scalar(*k));
+    }
+    // Odd multiples 1·B, 3·B, …, 15·B, normalized to affine for madd.
+    let mut odd = Vec::with_capacity(1 << (WNAF_WIDTH - 2));
+    odd.push(base_jac);
+    for i in 1..1 << (WNAF_WIDTH - 2) {
+        let prev: &Jacobian = &odd[i - 1];
+        odd.push(prev.add(&twice));
+    }
+    let table = batch_to_affine(&odd);
+    let mut acc = Jacobian::INFINITY;
+    for &digit in wnaf_digits(k).iter().rev() {
+        acc = acc.double();
+        if digit > 0 {
+            let (x, y) = table[(digit as usize - 1) / 2];
+            acc = acc.madd(x, y);
+        } else if digit < 0 {
+            let (x, y) = table[((-digit) as usize - 1) / 2];
+            acc = acc.madd(x, fe_neg(y));
+        }
+    }
+    acc.to_affine()
+}
+
+/// Fixed-base window width: 4-bit digits, 64 windows, 15 odd+even entries
+/// per window (`j · 16^w · G` for `j` in 1..=15).
+const FB_WINDOWS: usize = 64;
+const FB_TABLE_PER_WINDOW: usize = 15;
+
+static GEN_TABLE: OnceLock<Vec<(U256, U256)>> = OnceLock::new();
+
+/// The precomputed generator table. Built once per process (~1k group
+/// additions + one batched inversion), it turns every subsequent `k·G`
+/// into at most 64 mixed additions with no doubles at all — keygen is the
+/// hot path of every simulated pairing, one per device per trial.
+fn gen_table() -> &'static [(U256, U256)] {
+    GEN_TABLE.get_or_init(|| {
+        let mut points = Vec::with_capacity(FB_WINDOWS * FB_TABLE_PER_WINDOW);
+        let mut window_base = Jacobian {
+            x: GX,
+            y: GY,
+            z: U256::ONE,
+        };
+        for _ in 0..FB_WINDOWS {
+            // multiple walks j·(16^w·G) for j = 1..=15; one more addition
+            // yields 16·(16^w·G), the next window's base.
+            let mut multiple = window_base;
+            for _ in 0..FB_TABLE_PER_WINDOW {
+                points.push(multiple);
+                multiple = multiple.add(&window_base);
+            }
+            window_base = multiple;
+        }
+        batch_to_affine(&points)
+    })
+}
+
+/// Fixed-base scalar multiplication `k·G` via the precomputed table.
+fn mul_generator(k: &U256) -> Point {
+    let table = gen_table();
+    let limbs = k.limbs();
+    let mut acc = Jacobian::INFINITY;
+    for window in 0..FB_WINDOWS {
+        let digit = ((limbs[window / 16] >> (4 * (window % 16))) & 0xf) as usize;
+        if digit != 0 {
+            let (x, y) = table[window * FB_TABLE_PER_WINDOW + digit - 1];
+            acc = acc.madd(x, y);
+        }
+    }
+    acc.to_affine()
 }
 
 impl Point {
@@ -404,8 +667,25 @@ impl Point {
             .to_affine()
     }
 
-    /// Scalar multiplication (double-and-add, most-significant bit first).
+    /// Scalar multiplication.
+    ///
+    /// Dispatches to the precomputed fixed-base table when `self` is the
+    /// curve generator (the keygen hot path) and to width-5 windowed-NAF
+    /// otherwise (the ECDH hot path). Both are pinned property-test-equal
+    /// to [`Self::mul_double_and_add`].
     pub fn mul(&self, k: &Scalar) -> Point {
+        if let Point::Affine { x, y } = self {
+            if *x == GX && *y == GY {
+                return mul_generator(&k.0);
+            }
+        }
+        mul_wnaf(self, &k.0)
+    }
+
+    /// Scalar multiplication by textbook double-and-add, most-significant
+    /// bit first. Retained as the independently-auditable reference that
+    /// `tests/parallel_determinism.rs` pins [`Self::mul`] against.
+    pub fn mul_double_and_add(&self, k: &Scalar) -> Point {
         let base = Jacobian::from_affine(self);
         let mut acc = Jacobian::INFINITY;
         let bits = k.0.bits();

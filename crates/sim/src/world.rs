@@ -108,7 +108,10 @@ impl World {
     pub fn new(seed: u64) -> Self {
         World {
             devices: Vec::new(),
-            queue: BinaryHeap::new(),
+            // A pairing run keeps tens of events in flight (LMP round trips,
+            // timers, supervision checks); start past the growth doublings
+            // every trial would otherwise repeat.
+            queue: BinaryHeap::with_capacity(256),
             now: Instant::EPOCH,
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
@@ -298,11 +301,13 @@ impl World {
                 let now = self.now;
                 self.sniff_acl(link_id, to, &data);
                 // ACL data crosses the receiving device's HCI seam too.
-                self.devices[to.0].record_hci(
-                    now,
-                    PacketDirection::Received,
-                    &HciPacket::AclData(data.clone()),
-                );
+                // Wrap/unwrap instead of cloning the payload: the packet is
+                // only borrowed for recording.
+                let packet = HciPacket::AclData(data);
+                self.devices[to.0].record_hci(now, PacketDirection::Received, &packet);
+                let HciPacket::AclData(data) = packet else {
+                    unreachable!()
+                };
                 self.devices[to.0].host.on_acl(now, from_addr, &data);
                 self.pump(to);
             }
@@ -479,6 +484,8 @@ impl World {
                 time: self.now,
                 from: from_claimed,
                 to: to_claimed,
+                // Genuinely a copy: the receiver consumes the same payload
+                // after this capture, so the sniffer needs its own.
                 data: data.payload.clone(),
                 encrypted: false,
                 packet_counter: counter,
@@ -559,11 +566,11 @@ impl World {
         match out {
             ControllerOutput::Event(event) => {
                 let now = self.now;
-                self.devices[id.0].record_hci(
-                    now,
-                    PacketDirection::Received,
-                    &HciPacket::Event(event.clone()),
-                );
+                let packet = HciPacket::Event(event);
+                self.devices[id.0].record_hci(now, PacketDirection::Received, &packet);
+                let HciPacket::Event(event) = packet else {
+                    unreachable!()
+                };
                 self.devices[id.0].host.on_event(now, event);
             }
             ControllerOutput::Lmp { peer, pdu } => {
@@ -586,16 +593,21 @@ impl World {
                 self.push(now, EventKind::PageResolve { pager: id, target });
             }
             ControllerOutput::StartInquiry { length } => {
+                // Filter to discoverable devices *before* building targets:
+                // hidden devices never answer, so cloning their names
+                // (heap strings) into the target list was pure waste. The
+                // remaining per-target name clone happens once per inquiry,
+                // not per event.
                 let targets: Vec<InquiryTarget<DeviceId>> = self
                     .devices
                     .iter()
-                    .filter(|d| d.id != id)
+                    .filter(|d| d.id != id && d.controller.scan_state().inquiry_scan)
                     .map(|d| InquiryTarget {
                         id: d.id,
                         bd_addr: d.bd_addr(),
                         cod: d.controller.cod(),
                         name: d.controller.name().clone(),
-                        discoverable: d.controller.scan_state().inquiry_scan,
+                        discoverable: true,
                     })
                     .collect();
                 let responses = run_inquiry(&targets, length, &mut self.rng);
@@ -627,20 +639,20 @@ impl World {
         match out {
             HostOutput::Command(command) => {
                 let now = self.now;
-                self.devices[id.0].record_hci(
-                    now,
-                    PacketDirection::Sent,
-                    &HciPacket::Command(command.clone()),
-                );
+                let packet = HciPacket::Command(command);
+                self.devices[id.0].record_hci(now, PacketDirection::Sent, &packet);
+                let HciPacket::Command(command) = packet else {
+                    unreachable!()
+                };
                 self.devices[id.0].controller.on_command(now, command);
             }
             HostOutput::Acl(data) => {
                 let now = self.now;
-                self.devices[id.0].record_hci(
-                    now,
-                    PacketDirection::Sent,
-                    &HciPacket::AclData(data.clone()),
-                );
+                let packet = HciPacket::AclData(data);
+                self.devices[id.0].record_hci(now, PacketDirection::Sent, &packet);
+                let HciPacket::AclData(data) = packet else {
+                    unreachable!()
+                };
                 // Route by handle: find the link whose local handle matches.
                 let peer_addr = self.devices[id.0]
                     .controller

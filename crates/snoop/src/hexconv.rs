@@ -48,10 +48,28 @@ pub fn find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
     if needle.is_empty() || haystack.len() < needle.len() {
         return Vec::new();
     }
+    // Skip-scan: let the byte-wise `position` search find the first pattern
+    // byte (an autovectorized memchr-style loop) and only compare the full
+    // needle at those candidates. On a capture where `0b` is rare — i.e.
+    // any real snoop stream — this touches a fraction of the offsets the
+    // old windows() comparison did.
+    let first = needle[0];
     let mut offsets = Vec::new();
-    for i in 0..=haystack.len() - needle.len() {
-        if &haystack[i..i + needle.len()] == needle {
-            offsets.push(i);
+    let mut base = 0usize;
+    let last_start = haystack.len() - needle.len();
+    while base <= last_start {
+        match haystack[base..].iter().position(|&b| b == first) {
+            Some(rel) => {
+                let i = base + rel;
+                if i > last_start {
+                    break;
+                }
+                if haystack[i + 1..i + needle.len()] == needle[1..] {
+                    offsets.push(i);
+                }
+                base = i + 1;
+            }
+            None => break,
         }
     }
     offsets

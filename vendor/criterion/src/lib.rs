@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The registry cannot be reached from this environment, so this crate
+//! re-implements the subset of criterion's surface the workspace benches
+//! use: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function`/`bench_with_input`, and `Bencher::iter`
+//! / `iter_batched`. Unlike a pure no-op stub it really measures: each
+//! benchmark is auto-calibrated to a target sample time, run for N
+//! samples, and the median/min/max ns-per-iteration are printed in a
+//! criterion-like format so results can be compared across runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How to hand batched inputs to the routine (sizing hint; the shim
+/// times per-iteration either way, excluding setup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Times closures for one benchmark; handed to the user routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled in by `iter`/`iter_batched`: per-sample mean ns/iter.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, timing the whole batch and dividing by count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ~5ms, so cheap routines aren't dominated by timer noise.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Measures `routine` with fresh inputs from `setup`, excluding the
+    /// setup cost from the timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, id);
+        if bencher.samples_ns.is_empty() {
+            println!("{full:<55} (no samples)");
+            return;
+        }
+        bencher
+            .samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let n = bencher.samples_ns.len();
+        let median = if n % 2 == 1 {
+            bencher.samples_ns[n / 2]
+        } else {
+            (bencher.samples_ns[n / 2 - 1] + bencher.samples_ns[n / 2]) / 2.0
+        };
+        println!(
+            "{full:<55} time: [{} {} {}]",
+            format_ns(bencher.samples_ns[0]),
+            format_ns(median),
+            format_ns(bencher.samples_ns[n - 1]),
+        );
+    }
+
+    /// Runs one benchmark by plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_named(id, f);
+        self
+    }
+
+    /// Runs one benchmark with a shared input and a parameterised id.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.full.clone();
+        self.run_named(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            _parent: self,
+        }
+    }
+
+    /// Single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim/self_test");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

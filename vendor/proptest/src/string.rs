@@ -1,0 +1,132 @@
+//! A character-class subset of proptest's regex string strategies.
+//!
+//! Supports exactly the pattern shapes the workspace uses: sequences of
+//! literal characters and character classes (`[a-zA-Z0-9 ]`), each with an
+//! optional `{n}` or `{m,n}` repetition count.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset, so an unsupported
+/// pattern fails loudly instead of generating garbage.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                        assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("trailing escape in pattern {pattern:?}")),
+            ),
+            ']' | '{' | '}' | '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        // Optional repetition: {n} or {m,n}.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition lower bound"),
+                    n.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n: usize = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1usize, 1usize)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        let count = min + rng.below(max - min + 1);
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(ch) => out.push(*ch),
+                Atom::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                        .sum();
+                    let mut pick = rng.below(total as usize) as u32;
+                    for (lo, hi) in ranges {
+                        let span = *hi as u32 - *lo as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*lo as u32 + pick).expect("valid char"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_matching_strings() {
+        let mut rng = TestRng::for_case("string_shim", 0);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[g-z]{32}", &mut rng);
+            assert_eq!(s.len(), 32);
+            assert!(s.chars().all(|c| ('g'..='z').contains(&c)));
+
+            let s = generate_from_pattern("[a-zA-Z0-9 ]{0,32}", &mut rng);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut rng = TestRng::for_case("string_shim_lit", 0);
+        assert_eq!(generate_from_pattern("ab", &mut rng), "ab");
+        assert_eq!(generate_from_pattern("a{3}b", &mut rng), "aaab");
+    }
+}

@@ -1,0 +1,63 @@
+//! Test configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-`proptest!` block configuration (only `cases` is modelled).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; that is affordable here too.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generator a strategy draws from: a seeded [`StdRng`] whose stream
+/// is a pure function of the test name and case index.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for one case of one named property.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name decorrelates properties; the case index
+        // decorrelates cases within one property.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15)),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform index below `n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Access to the full [`Rng`] helper surface.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}

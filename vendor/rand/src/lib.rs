@@ -1,0 +1,292 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small, self-contained implementation instead of the real
+//! crate: [`rngs::StdRng`] (xoshiro256++ seeded through SplitMix64),
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] helpers `gen`,
+//! `gen_range` and `fill`. The generator is deterministic for a given
+//! seed, which is all the simulation requires; it makes no
+//! cryptographic-quality claims (the simulated stacks only need
+//! reproducible randomness, and the crypto crate derives key material
+//! through its own primitives).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of 64 random bits.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing random value helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of a type with a standard uniform distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Fills a byte buffer with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+
+    /// Samples a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        sample_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from the standard uniform distribution (`Rng::gen`).
+pub trait Standard {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        sample_unit_f64(rng.next_u64())
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Maps 64 random bits to a uniform f64 in `[0, 1)`.
+fn sample_unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges samplable by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + sample_unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Uniform integer in `[0, span)` by widening multiply (Lemire), with a
+/// rejection loop to remove modulo bias.
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // `span` is a power of two (or 1) often enough to shortcut.
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = {
+            let wide = (v as u128) * (span as u128);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// Buffers fillable by `Rng::fill`.
+pub trait Fill {
+    /// Fills `self` from the generator.
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the same stream as the real `rand::rngs::StdRng` (ChaCha12) —
+    /// everything in this workspace only relies on determinism for a given
+    /// seed, never on matching upstream streams.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, the standard recommended seeding.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10u64..17);
+            assert!((10..17).contains(&v));
+            let f: f64 = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i: u16 = rng.gen_range(0u16..=0x0EFF);
+            assert!(i <= 0x0EFF);
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn fill_covers_whole_buffer() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 33];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let word: [u8; 16] = rng.gen();
+        assert_ne!(word, [0u8; 16]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline shim for the slice of `serde` this workspace names.
+//!
+//! Only the derive macros are ever used (as forward-looking annotations on
+//! key/bond types); no code in the workspace serializes through serde
+//! traits. The real dependency is unavailable offline, so this crate
+//! provides marker traits plus the no-op derives from the vendored
+//! `serde_derive`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; nothing in the
+/// workspace bounds on it).
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; nothing in the
+/// workspace bounds on it).
+pub trait DeserializeTrait<'de> {}

@@ -1,0 +1,22 @@
+//! Offline shim: no-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace only uses serde derives as declarations of intent (no code
+//! calls serialization; the on-disk formats are hand-written, e.g. the
+//! btsnoop container and the `bt_config.conf` writer). With crates.io
+//! unreachable in the build environment, these derives expand to nothing,
+//! which keeps every `#[derive(Serialize, Deserialize)]` site compiling
+//! unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

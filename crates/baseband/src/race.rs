@@ -42,6 +42,50 @@ pub struct RaceOutcome {
     pub latency: Duration,
 }
 
+/// Running tally of page-race outcomes — the observability counterpart of
+/// [`PageRaceModel`]. The simulation records every decided race here so a
+/// Table II trial that lands outside the 42–60% band can be diagnosed from
+/// the actual win/loss sequence instead of re-run blind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RaceTally {
+    /// Races the spoofing attacker won.
+    pub attacker_wins: u64,
+    /// Races the legitimate accessory won.
+    pub legitimate_wins: u64,
+}
+
+impl RaceTally {
+    /// An empty tally.
+    pub fn new() -> RaceTally {
+        RaceTally::default()
+    }
+
+    /// Records one decided race.
+    pub fn record(&mut self, winner: RaceWinner) {
+        match winner {
+            RaceWinner::Attacker => self.attacker_wins += 1,
+            RaceWinner::Legitimate => self.legitimate_wins += 1,
+        }
+    }
+
+    /// Total races recorded.
+    pub fn total(&self) -> u64 {
+        self.attacker_wins + self.legitimate_wins
+    }
+
+    /// Empirical attacker win rate, when any race was recorded.
+    pub fn attacker_rate(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| self.attacker_wins as f64 / total as f64)
+    }
+
+    /// Folds another tally in (commutative, for cross-world merges).
+    pub fn merge(&mut self, other: &RaceTally) {
+        self.attacker_wins += other.attacker_wins;
+        self.legitimate_wins += other.legitimate_wins;
+    }
+}
+
 /// Latency model for the two-responder page race.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PageRaceModel {
@@ -187,6 +231,24 @@ mod tests {
             let outcome = model.sample_race(&mut rng);
             assert!(outcome.latency < timing::PAGE_SCAN_INTERVAL);
         }
+    }
+
+    #[test]
+    fn tally_records_and_merges() {
+        let model = PageRaceModel::from_attacker_win_rate(0.57);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut a = RaceTally::new();
+        let mut b = RaceTally::new();
+        for i in 0..10_000 {
+            let outcome = model.sample_race(&mut rng);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(outcome.winner);
+        }
+        assert_eq!(a.total() + b.total(), 10_000);
+        a.merge(&b);
+        assert_eq!(a.total(), 10_000);
+        let rate = a.attacker_rate().expect("races recorded");
+        assert!((rate - 0.57).abs() < 0.02, "empirical {rate}");
+        assert_eq!(RaceTally::new().attacker_rate(), None);
     }
 
     #[test]

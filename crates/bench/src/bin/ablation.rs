@@ -2,23 +2,28 @@
 //! sensitivity.
 //!
 //! ```text
-//! cargo run --release -p blap-bench --bin ablation [trials] [jobs]
+//! cargo run --release -p blap-bench --bin ablation -- [trials] [jobs] \
+//!     [--metrics out/metrics.json] [--jobs N]
 //! ```
 //!
 //! `jobs` (or the `BLAP_JOBS` environment variable) sets the worker count;
-//! both sweeps are byte-identical at any value.
+//! both sweeps — and the metrics artifact — are byte-identical at any value.
+
+use std::time::Instant;
 
 use blap::ablation;
-use blap::runner::Jobs;
+use blap_bench::cli::{self, Args};
+use blap_obs::{MetaValue, Metrics};
 use blap_sim::profiles;
 
+const RACE_TRIALS: usize = 20_000;
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let trials: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
-    let jobs: Jobs = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(Jobs::from_env);
+    let args = Args::parse();
+    let trials: usize = args.positional_or(0, 10);
+    let jobs = args.resolve_jobs(1);
+    let started = Instant::now();
+    let mut metrics = Metrics::new();
 
     println!("== Ablation 1: PLOC hold vs user pairing delay ({trials} trials/point) ==\n");
     println!(
@@ -38,7 +43,14 @@ fn main() {
             "{:<18} {:<12} {:<14.2}",
             p.pairing_delay_s, p.keepalive, p.success_rate
         );
+        metrics.add("ploc.points", 1);
+        // success_rate is successes/trials, so this recovers the count.
+        metrics.add(
+            "ploc.successes",
+            (p.success_rate * trials as f64).round() as u64,
+        );
     }
+    metrics.gauge_max("ploc.trials_per_point", trials as u64);
     println!(
         "\nShape: keep-alive holds 100% at any delay; the bare link dies once the\n\
          user takes longer than the 20 s supervision timeout — the reason the\n\
@@ -53,7 +65,7 @@ fn main() {
     println!("{}", "-".repeat(48));
     for (scale, measured) in ablation::race_scale_sweep_with(
         &[0.25, 0.5, 0.8, 0.96, 1.0, 1.19, 2.0, 4.0],
-        20_000,
+        RACE_TRIALS,
         82,
         jobs,
     ) {
@@ -64,9 +76,27 @@ fn main() {
             model.expected_attacker_win_rate(),
             measured
         );
+        metrics.add("race.points", 1);
+        metrics.add(
+            "race.attacker_wins",
+            (measured * RACE_TRIALS as f64).round() as u64,
+        );
     }
+    metrics.gauge_max("race.trials_per_point", RACE_TRIALS as u64);
     println!(
         "\nThe paper's 42–60% baseline band corresponds to scales 0.80–1.19;\n\
          page blocking removes this dependence entirely."
     );
+
+    if let Some(path) = &args.metrics_path {
+        cli::write_metrics(
+            path,
+            &[
+                ("experiment", MetaValue::Str("ablation".to_owned())),
+                ("trials", MetaValue::Int(trials as u64)),
+            ],
+            &metrics,
+            started.elapsed(),
+        );
+    }
 }

@@ -2,24 +2,28 @@
 //! paper's cited motivation for SSP (refs 14 and 15).
 //!
 //! ```text
-//! cargo run --release -p blap-bench --bin pincrack [pin] [jobs]
+//! cargo run --release -p blap-bench --bin pincrack -- [pin] [jobs] \
+//!     [--metrics out/metrics.json] [--jobs N]
 //! ```
 //!
 //! `jobs` (or the `BLAP_JOBS` environment variable) sets the worker count;
-//! the recovered PIN and attempt count are byte-identical at any value.
+//! the recovered PIN, attempt count, and metrics artifact are
+//! byte-identical at any value.
 
 use std::time::Instant;
 
 use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
-use blap::runner::Jobs;
+use blap_bench::cli::{self, Args};
+use blap_obs::{MetaValue, Metrics};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let pin = args.next().unwrap_or_else(|| "4821".to_owned());
-    let jobs: Jobs = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(Jobs::from_env);
+    let args = Args::parse();
+    let pin = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "4821".to_owned());
+    let jobs = args.resolve_jobs(1);
     println!("== Legacy PIN cracking (E22/E21/E1 offline search) ==\n");
     println!("synthesizing a sniffed legacy pairing with PIN {pin:?}...\n");
 
@@ -33,6 +37,7 @@ fn main() {
         [0xD4; 16],
     );
 
+    let mut metrics = Metrics::new();
     let start = Instant::now();
     match crack_numeric_pin_with(&capture, 6, jobs) {
         Some(result) => {
@@ -48,8 +53,22 @@ fn main() {
                 "rate: {:.0} candidates/s",
                 result.attempts as f64 / elapsed.as_secs_f64().max(1e-9)
             );
+            metrics.add("pincrack.candidates", result.attempts as u64);
+            metrics.inc("pincrack.cracked");
+            metrics.gauge_max("pincrack.pin_len", result.pin.len() as u64);
         }
-        None => println!("not found in the numeric search space (non-numeric PIN?)"),
+        None => {
+            println!("not found in the numeric search space (non-numeric PIN?)");
+            metrics.inc("pincrack.exhausted");
+        }
+    }
+    if let Some(path) = &args.metrics_path {
+        cli::write_metrics(
+            path,
+            &[("experiment", MetaValue::Str("pincrack".to_owned()))],
+            &metrics,
+            start.elapsed(),
+        );
     }
     println!(
         "\nEach candidate costs one E22 + two E21 + one E1 (12 SAFER+ block\n\

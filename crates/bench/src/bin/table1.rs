@@ -2,29 +2,51 @@
 //! attack, with per-device channel and validation evidence.
 //!
 //! ```text
-//! cargo run --release -p blap-bench --bin table1 [seed] [jobs]
+//! cargo run --release -p blap-bench --bin table1 -- [seed] [jobs] \
+//!     [--metrics out/metrics.json] [--trace out/trace.jsonl] [--jobs N]
 //! ```
 //!
 //! `jobs` (or the `BLAP_JOBS` environment variable) sets the worker count;
-//! the output is byte-identical at any value.
+//! the output — table, metrics, and trace — is byte-identical at any value.
+
+use std::time::Instant;
 
 use blap::report;
-use blap::runner::Jobs;
-use blap_bench::run_table1_with;
+use blap_bench::cli::{self, Args};
+use blap_bench::{run_table1_observed_with, run_table1_with};
+use blap_obs::MetaValue;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2022);
-    let jobs: Jobs = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(Jobs::from_env);
+    let args = Args::parse();
+    let seed: u64 = args.positional_or(0, 2022);
+    let jobs = args.resolve_jobs(1);
+    let observe = args.metrics_path.is_some() || args.trace_path.is_some();
 
     println!("== Table I: link key extraction across the device catalog ==");
     println!("(seed {seed}; each row runs the full Fig 5 procedure plus the");
     println!(" §VI-B1 impersonation validation against a simulated LG VELVET)\n");
 
-    let reports = run_table1_with(seed, jobs);
+    let started = Instant::now();
+    let reports = if observe {
+        let observed = run_table1_observed_with(seed, jobs);
+        if let Some(path) = &args.metrics_path {
+            cli::write_metrics(
+                path,
+                &[
+                    ("experiment", MetaValue::Str("table1".to_owned())),
+                    ("seed", MetaValue::Int(seed)),
+                ],
+                &observed.metrics,
+                started.elapsed(),
+            );
+        }
+        if let Some(path) = &args.trace_path {
+            cli::write_artifact(path, &observed.trace);
+        }
+        observed.rows
+    } else {
+        run_table1_with(seed, jobs)
+    };
     print!("{}", report::table1(&reports));
 
     println!();

@@ -2,29 +2,52 @@
 //! and without page blocking, 100 trials per condition per device.
 //!
 //! ```text
-//! cargo run --release -p blap-bench --bin table2 [trials] [seed] [jobs]
+//! cargo run --release -p blap-bench --bin table2 -- [trials] [seed] [jobs] \
+//!     [--metrics out/metrics.json] [--trace out/trace.jsonl] [--jobs N]
 //! ```
 //!
 //! `jobs` (or the `BLAP_JOBS` environment variable) sets the worker count;
-//! the rows are byte-identical at any value.
+//! the rows, metrics, and trace are byte-identical at any value.
+
+use std::time::Instant;
 
 use blap::report;
-use blap::runner::Jobs;
-use blap_bench::run_table2_with;
+use blap_bench::cli::{self, Args};
+use blap_bench::{run_table2_observed_with, run_table2_with};
+use blap_obs::MetaValue;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let trials: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
-    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2022);
-    let jobs: Jobs = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(Jobs::from_env);
+    let args = Args::parse();
+    let trials: usize = args.positional_or(0, 100);
+    let seed: u64 = args.positional_or(1, 2022);
+    let jobs = args.resolve_jobs(2);
+    let observe = args.metrics_path.is_some() || args.trace_path.is_some();
 
     println!("== Table II: MITM establishment, baseline race vs page blocking ==");
     println!("({trials} trials per condition per device, seed {seed})\n");
 
-    let rows = run_table2_with(seed, trials, jobs);
+    let started = Instant::now();
+    let rows = if observe {
+        let observed = run_table2_observed_with(seed, trials, jobs);
+        if let Some(path) = &args.metrics_path {
+            cli::write_metrics(
+                path,
+                &[
+                    ("experiment", MetaValue::Str("table2".to_owned())),
+                    ("seed", MetaValue::Int(seed)),
+                    ("trials", MetaValue::Int(trials as u64)),
+                ],
+                &observed.metrics,
+                started.elapsed(),
+            );
+        }
+        if let Some(path) = &args.trace_path {
+            cli::write_artifact(path, &observed.trace);
+        }
+        observed.rows
+    } else {
+        run_table2_with(seed, trials, jobs)
+    };
     print!("{}", report::table2(&rows));
 
     println!();

@@ -1,0 +1,153 @@
+//! Minimal flag parsing shared by the experiment binaries.
+//!
+//! Each binary historically took positional arguments only; the
+//! observability flags ride alongside them:
+//!
+//! ```text
+//! table2 [trials] [seed] [jobs] --metrics out/metrics.json --trace out/trace.jsonl
+//! ```
+//!
+//! `--jobs N` is equivalent to the positional jobs argument; both beat the
+//! `BLAP_JOBS` environment variable, which beats the hardware default.
+//! Wall-clock timings are excluded from metrics exports unless
+//! `BLAP_METRICS_WALL=1`, keeping the artifact byte-comparable across
+//! runs and machines.
+
+use blap::runner::{Jobs, JobsResolution, JOBS_ENV_VAR};
+use blap_obs::{export_json, MetaValue, Metrics};
+
+/// Parsed command line: positionals in order, plus the shared flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// Positional arguments, in the order given.
+    pub positional: Vec<String>,
+    /// `--metrics <path>`: write a metrics.json artifact here.
+    pub metrics_path: Option<String>,
+    /// `--trace <path>`: write the JSONL trace here.
+    pub trace_path: Option<String>,
+    /// `--jobs <n>`: explicit worker count (same as the jobs positional).
+    pub jobs: Option<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (program name skipped).
+    ///
+    /// Exits with an error message on a flag with a missing value or an
+    /// unknown `--flag`; positionals are kept verbatim for the binary to
+    /// interpret.
+    pub fn parse() -> Args {
+        Args::from_iter(std::env::args().skip(1))
+    }
+
+    fn from_iter(mut iter: impl Iterator<Item = String>) -> Args {
+        fn value(iter: &mut impl Iterator<Item = String>, flag: &str) -> String {
+            match iter.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("error: {flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let mut args = Args::default();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--metrics" => args.metrics_path = Some(value(&mut iter, "--metrics")),
+                "--trace" => args.trace_path = Some(value(&mut iter, "--trace")),
+                "--jobs" => args.jobs = Some(value(&mut iter, "--jobs")),
+                flag if flag.starts_with("--") => {
+                    eprintln!("error: unknown flag {flag}");
+                    std::process::exit(2);
+                }
+                _ => args.positional.push(arg),
+            }
+        }
+        args
+    }
+
+    /// The `i`-th positional parsed as `T`, or `default` when absent or
+    /// unparseable.
+    pub fn positional_or<T: std::str::FromStr>(&self, i: usize, default: T) -> T {
+        self.positional
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Resolves the worker count: `--jobs` / positional `i` (CLI), then
+    /// `BLAP_JOBS`, then the hardware default. Prints any resolution
+    /// warnings (e.g. a zero value falling back) to stderr.
+    pub fn resolve_jobs(&self, positional_index: usize) -> Jobs {
+        let cli = self
+            .jobs
+            .clone()
+            .or_else(|| self.positional.get(positional_index).cloned());
+        let env = std::env::var(JOBS_ENV_VAR).ok();
+        let JobsResolution { jobs, warnings, .. } =
+            Jobs::resolve_from(cli.as_deref(), env.as_deref());
+        for warning in &warnings {
+            eprintln!("warning: {warning}");
+        }
+        jobs
+    }
+}
+
+/// Writes `contents` to `path`, exiting with a message on failure.
+pub fn write_artifact(path: &str, contents: &str) {
+    if let Err(err) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {err}");
+        std::process::exit(1);
+    }
+}
+
+/// Renders and writes a metrics.json artifact.
+///
+/// `meta` identifies the run (experiment name, seed, ...) and must not
+/// contain schedule-dependent values — notably the worker count — because
+/// the artifact is byte-compared across parallelism levels. Virtual-time
+/// metrics only by default; when `BLAP_METRICS_WALL=1`, the wall-clock
+/// duration of the run is appended to the metadata (intentionally opt-in:
+/// it breaks byte-comparability between runs).
+pub fn write_metrics(
+    path: &str,
+    meta: &[(&str, MetaValue)],
+    metrics: &Metrics,
+    wall: std::time::Duration,
+) {
+    let mut meta = meta.to_vec();
+    if std::env::var("BLAP_METRICS_WALL").is_ok_and(|v| v == "1") {
+        meta.push(("wall_ms", MetaValue::Int(wall.as_millis() as u64)));
+    }
+    write_artifact(path, &export_json(&meta, metrics));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::from_iter(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_and_positionals_interleave() {
+        let args = parse(&["100", "--metrics", "m.json", "7", "--trace", "t.jsonl"]);
+        assert_eq!(args.positional, vec!["100", "7"]);
+        assert_eq!(args.metrics_path.as_deref(), Some("m.json"));
+        assert_eq!(args.trace_path.as_deref(), Some("t.jsonl"));
+        assert_eq!(args.jobs, None);
+    }
+
+    #[test]
+    fn positional_defaults_apply() {
+        let args = parse(&["50"]);
+        assert_eq!(args.positional_or(0, 100usize), 50);
+        assert_eq!(args.positional_or(1, 2022u64), 2022);
+    }
+
+    #[test]
+    fn jobs_flag_is_captured() {
+        let args = parse(&["--jobs", "4"]);
+        assert_eq!(args.jobs.as_deref(), Some("4"));
+    }
+}

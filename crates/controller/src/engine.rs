@@ -9,6 +9,7 @@ use blap_baseband::timing;
 use blap_crypto::p256::{KeyPair, Point};
 use blap_crypto::{bigint::U256, e1, ssp};
 use blap_hci::{Command, Event, Opcode, StatusCode};
+use blap_obs::{TraceEvent, Tracer};
 use blap_types::{
     AssociationModel, BdAddr, ConnectionHandle, Duration, Instant, IoCapability, LinkKey,
     LinkKeyType, Role,
@@ -70,6 +71,19 @@ pub enum ControllerTimer {
     },
 }
 
+/// Always-on LMP counters, cheap enough to keep unconditionally (plain
+/// `u64` increments) and snapshotted into experiment metrics by the world.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// LMP PDUs this controller queued for peers.
+    pub lmp_sent: u64,
+    /// LMP PDUs this controller received.
+    pub lmp_received: u64,
+    /// Procedures torn down by LMP response timeout (the extraction
+    /// attack's "disconnect without authentication failure" event).
+    pub lmp_response_timeouts: u64,
+}
+
 /// Result of a page attempt, reported back by the simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PageOutcome {
@@ -90,6 +104,11 @@ pub struct Controller {
     outputs: VecDeque<ControllerOutput>,
     rng: StdRng,
     ssp_enabled: bool,
+    tracer: Tracer,
+    stats: ControllerStats,
+    /// Virtual time of the entry point currently executing; stamps trace
+    /// events emitted from helpers that have no `now` parameter.
+    now: Instant,
 }
 
 impl Controller {
@@ -103,7 +122,21 @@ impl Controller {
             outputs: VecDeque::new(),
             rng: StdRng::seed_from_u64(seed),
             ssp_enabled: true,
+            tracer: Tracer::disabled(),
+            stats: ControllerStats::default(),
+            now: Instant::EPOCH,
         }
+    }
+
+    /// Routes this controller's trace events (LMP send/recv, scan
+    /// transitions, LMP timeouts) to the given tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Snapshot of the always-on LMP counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
     }
 
     /// The controller's current (claimed) address.
@@ -156,6 +189,14 @@ impl Controller {
     }
 
     fn send_lmp(&mut self, peer: BdAddr, pdu: LmpPdu) {
+        self.stats.lmp_sent += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::LmpSend {
+                time: self.now,
+                peer,
+                pdu: pdu.name(),
+            });
+        }
         self.emit(ControllerOutput::Lmp { peer, pdu });
     }
 
@@ -198,7 +239,8 @@ impl Controller {
     // --- HCI command processing ---------------------------------------
 
     /// Processes one HCI command from the host.
-    pub fn on_command(&mut self, _now: Instant, cmd: Command) {
+    pub fn on_command(&mut self, now: Instant, cmd: Command) {
+        self.now = now;
         match cmd {
             Command::Inquiry { inquiry_length, .. } => {
                 self.command_status(StatusCode::Success, Opcode::INQUIRY);
@@ -358,6 +400,13 @@ impl Controller {
                 page_scan,
             } => {
                 self.scan.apply_scan_enable(inquiry_scan, page_scan);
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::ScanTransition {
+                        time: self.now,
+                        page_scan: self.scan.page_scan,
+                        inquiry_scan: self.scan.inquiry_scan,
+                    });
+                }
                 self.command_complete(Opcode::WRITE_SCAN_ENABLE, StatusCode::Success);
             }
             Command::WriteClassOfDevice { cod } => {
@@ -380,12 +429,8 @@ impl Controller {
 
     /// A page addressed to our claimed BDADDR arrived and we won the
     /// response race (the simulation already arbitrated).
-    pub fn on_incoming_page(
-        &mut self,
-        _now: Instant,
-        from: BdAddr,
-        cod: blap_types::ClassOfDevice,
-    ) {
+    pub fn on_incoming_page(&mut self, now: Instant, from: BdAddr, cod: blap_types::ClassOfDevice) {
+        self.now = now;
         if !self.scan.page_scan {
             return; // not connectable: the page should never have reached us
         }
@@ -400,7 +445,8 @@ impl Controller {
     }
 
     /// The page we initiated concluded without any responder.
-    pub fn on_page_result(&mut self, _now: Instant, target: BdAddr, outcome: PageOutcome) {
+    pub fn on_page_result(&mut self, now: Instant, target: BdAddr, outcome: PageOutcome) {
+        self.now = now;
         match outcome {
             PageOutcome::TimedOut => {
                 self.links.remove(&target);
@@ -432,7 +478,8 @@ impl Controller {
     }
 
     /// A timer armed earlier fired.
-    pub fn on_timer(&mut self, _now: Instant, timer: ControllerTimer) {
+    pub fn on_timer(&mut self, now: Instant, timer: ControllerTimer) {
+        self.now = now;
         match timer {
             ControllerTimer::LmpResponse { peer } => {
                 let Some(link) = self.links.get(&peer) else {
@@ -442,6 +489,10 @@ impl Controller {
                 let pending_ssp = !matches!(link.ssp.phase, SspPhase::Idle | SspPhase::Complete);
                 if !(pending_auth || pending_ssp) {
                     return; // procedure finished before the timer fired
+                }
+                self.stats.lmp_response_timeouts += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::LmpTimeout { time: now, peer });
                 }
                 let handle = link.handle;
                 let was_verifier = matches!(
@@ -600,6 +651,15 @@ impl Controller {
 
     /// Processes one LMP PDU from the peer on the link claiming `from`.
     pub fn on_lmp(&mut self, now: Instant, from: BdAddr, pdu: LmpPdu) {
+        self.now = now;
+        self.stats.lmp_received += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::LmpRecv {
+                time: now,
+                peer: from,
+                pdu: pdu.name(),
+            });
+        }
         match pdu {
             LmpPdu::ConnectionAccepted => {
                 if let Some(link) = self.links.get_mut(&from) {

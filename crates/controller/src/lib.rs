@@ -40,5 +40,5 @@ mod links;
 pub mod lmp;
 
 pub use config::ControllerConfig;
-pub use engine::{Controller, ControllerOutput, ControllerTimer, PageOutcome};
+pub use engine::{Controller, ControllerOutput, ControllerStats, ControllerTimer, PageOutcome};
 pub use links::{LinkEntry, SspPhase};

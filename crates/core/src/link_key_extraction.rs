@@ -23,6 +23,7 @@
 //!    any pairing UI proves the key (§VI-B1).
 
 use blap_host::keystore::BondEntry;
+use blap_obs::{Metrics, Tracer};
 use blap_sim::{profiles, DeviceProfile, World};
 use blap_types::{BdAddr, Duration, LinkKey, ServiceUuid};
 
@@ -58,10 +59,17 @@ impl ExtractionScenario {
 
     /// Runs the full attack and returns the report.
     pub fn run(&self) -> ExtractionReport {
+        self.run_observed(&Tracer::disabled()).0
+    }
+
+    /// [`Self::run`] with observability: trace events flow to `tracer` and
+    /// the world's metrics snapshot is returned alongside the report.
+    pub fn run_observed(&self, tracer: &Tracer) -> (ExtractionReport, Metrics) {
         let m_addr: BdAddr = addrs::M.parse().expect("valid M address");
         let c_addr: BdAddr = addrs::C.parse().expect("valid C address");
 
         let mut world = World::new(self.seed);
+        world.set_tracer(tracer.clone());
         let m = world.add_device(self.hard_target.victim_phone(addrs::M));
         let mut c_spec = self.soft_target.soft_target(addrs::C);
         c_spec.security.filter_link_keys = self.mitigate_filter_dump;
@@ -85,7 +93,7 @@ impl ExtractionScenario {
         let bonded_key = match world.device(c).host.keystore().get(m_addr) {
             Some(entry) => entry.link_key,
             None => {
-                return ExtractionReport::failed_setup(self);
+                return (ExtractionReport::failed_setup(self), world.metrics());
             }
         };
         // Drop the honest link so the stage is clean.
@@ -188,7 +196,7 @@ impl ExtractionScenario {
             victim_saw_pairing_ui = popup_count(&world, m) > m_popups_before;
         }
 
-        ExtractionReport {
+        let report = ExtractionReport {
             soft_target: self.soft_target,
             channel,
             bonded_key: Some(bonded_key),
@@ -197,7 +205,8 @@ impl ExtractionScenario {
             victim_bond_intact,
             impersonation_validated,
             victim_saw_pairing_ui,
-        }
+        };
+        (report, world.metrics())
     }
 }
 

@@ -14,6 +14,7 @@
 //! because `A` advertises no IO.
 
 use blap_baseband::race::PageRaceModel;
+use blap_obs::{Metrics, Tracer};
 use blap_sim::{profiles, DeviceId, DeviceProfile, World};
 use blap_types::{BdAddr, Duration, LinkKeyType};
 
@@ -83,17 +84,40 @@ impl PageBlockingScenario {
     /// One baseline trial (no page blocking): `M` pages `C`'s address, the
     /// race decides. Returns the trial outcome.
     pub fn run_baseline_trial(&self, trial: usize) -> TrialOutcome {
+        self.run_baseline_trial_observed(trial, &Tracer::disabled())
+            .0
+    }
+
+    /// [`Self::run_baseline_trial`] with observability: trace events flow
+    /// to `tracer`; the trial world's metrics snapshot rides along.
+    pub fn run_baseline_trial_observed(
+        &self,
+        trial: usize,
+        tracer: &Tracer,
+    ) -> (TrialOutcome, Metrics) {
         let (mut world, m, c, a) = self.build_world(trial, false);
+        world.set_tracer(tracer.clone());
         let c_addr: BdAddr = addrs::C.parse().expect("valid C address");
         world.device_mut(m).host.pair_with(c_addr);
         world.run_for(Duration::from_secs(15));
-        self.judge(&world, m, c, a)
+        (self.judge(&world, m, c, a), world.metrics())
     }
 
     /// One page blocking trial: `A` pre-connects and parks in PLOC; the
     /// user pairs `pairing_delay` later.
     pub fn run_blocking_trial(&self, trial: usize) -> TrialOutcome {
+        self.run_blocking_trial_observed(trial, &Tracer::disabled())
+            .0
+    }
+
+    /// [`Self::run_blocking_trial`] with observability.
+    pub fn run_blocking_trial_observed(
+        &self,
+        trial: usize,
+        tracer: &Tracer,
+    ) -> (TrialOutcome, Metrics) {
         let (mut world, m, c, a) = self.build_world(trial, true);
+        world.set_tracer(tracer.clone());
         let m_addr: BdAddr = addrs::M.parse().expect("valid M address");
         let c_addr: BdAddr = addrs::C.parse().expect("valid C address");
 
@@ -106,7 +130,7 @@ impl PageBlockingScenario {
             w.device_mut(m).host.pair_with(c_addr);
         });
         world.run_for(delay + Duration::from_secs(15));
-        self.judge(&world, m, c, a)
+        (self.judge(&world, m, c, a), world.metrics())
     }
 
     fn judge(&self, world: &World, m: DeviceId, c: DeviceId, a: DeviceId) -> TrialOutcome {
@@ -175,6 +199,20 @@ impl PageBlockingScenario {
             self.run_baseline_trial(trial),
             self.run_blocking_trial(trial),
         )
+    }
+
+    /// [`Self::run_trial_pair`] with observability: the two trial worlds'
+    /// metrics are merged into one per-unit bag (counters add, so e.g.
+    /// `race.attacker_wins` covers the baseline race of this pair).
+    pub fn run_trial_pair_observed(
+        &self,
+        trial: usize,
+        tracer: &Tracer,
+    ) -> ((TrialOutcome, TrialOutcome), Metrics) {
+        let (baseline, mut metrics) = self.run_baseline_trial_observed(trial, tracer);
+        let (blocking, blocking_metrics) = self.run_blocking_trial_observed(trial, tracer);
+        metrics.merge(&blocking_metrics);
+        ((baseline, blocking), metrics)
     }
 
     /// Folds per-trial outcomes (in trial order) into a Table II row.

@@ -42,12 +42,45 @@ impl Jobs {
     /// parallelism. Unparseable or zero values fall back too, so a broken
     /// environment degrades to a sensible default instead of panicking.
     pub fn from_env() -> Jobs {
-        match std::env::var(JOBS_ENV_VAR) {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n > 0 => Jobs(n),
-                _ => Jobs::default(),
-            },
-            Err(_) => Jobs::default(),
+        Jobs::resolve_from(None, std::env::var(JOBS_ENV_VAR).ok().as_deref()).jobs
+    }
+
+    /// Resolves the worker count from an optional CLI argument and the
+    /// optional `BLAP_JOBS` environment value, in that precedence order,
+    /// falling back to [`Jobs::default`].
+    ///
+    /// Zero and unparseable values are treated identically at *both*
+    /// levels: the level is skipped (falling through to the next) and a
+    /// warning is reported. This is the one resolution path every binary
+    /// uses, so `--jobs 0` and `BLAP_JOBS=0` can no longer disagree.
+    ///
+    /// Pure function of its inputs — pass `std::env::var(JOBS_ENV_VAR)`
+    /// yourself — so resolution order is unit-testable without mutating
+    /// process environment.
+    pub fn resolve_from(cli: Option<&str>, env: Option<&str>) -> JobsResolution {
+        let mut warnings = Vec::new();
+        for (source, value) in [("cli", cli), ("env", env)] {
+            let Some(raw) = value else { continue };
+            match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => {
+                    return JobsResolution {
+                        jobs: Jobs(n),
+                        source,
+                        warnings,
+                    };
+                }
+                Ok(_) => warnings.push(format!(
+                    "ignoring {source} jobs value 0: falling back (use 1 for serial)"
+                )),
+                Err(_) => {
+                    warnings.push(format!("ignoring unparseable {source} jobs value {raw:?}"))
+                }
+            }
+        }
+        JobsResolution {
+            jobs: Jobs::default(),
+            source: "default",
+            warnings,
         }
     }
 
@@ -55,6 +88,18 @@ impl Jobs {
     pub fn get(&self) -> usize {
         self.0
     }
+}
+
+/// Outcome of [`Jobs::resolve_from`]: the resolved count, which level
+/// supplied it, and any warnings about skipped levels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobsResolution {
+    /// The resolved worker count.
+    pub jobs: Jobs,
+    /// `"cli"`, `"env"` or `"default"`.
+    pub source: &'static str,
+    /// One message per invalid (zero or unparseable) level skipped.
+    pub warnings: Vec<String>,
 }
 
 impl Default for Jobs {
@@ -69,8 +114,15 @@ impl Default for Jobs {
 
 impl std::str::FromStr for Jobs {
     type Err = std::num::ParseIntError;
+    /// Parses a worker count. `"0"` resolves to [`Jobs::default`] — the
+    /// same fallback `BLAP_JOBS=0` gets — rather than silently clamping to
+    /// serial, so the two spellings can never diverge. Prefer
+    /// [`Jobs::resolve_from`] in binaries: it also reports the fallback as
+    /// a warning.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        s.trim().parse::<usize>().map(Jobs::new)
+        s.trim()
+            .parse::<usize>()
+            .map(|n| if n == 0 { Jobs::default() } else { Jobs(n) })
     }
 }
 
@@ -243,5 +295,52 @@ mod tests {
         assert_eq!(Jobs::serial().get(), 1);
         assert_eq!("6".parse::<Jobs>().map(|j| j.get()), Ok(6));
         assert!(Jobs::default().get() >= 1);
+    }
+
+    #[test]
+    fn zero_jobs_string_matches_env_semantics() {
+        // Regression: `--jobs 0` used to clamp to serial while
+        // `BLAP_JOBS=0` fell back to available parallelism. Both spellings
+        // must now resolve identically.
+        let parsed: Jobs = "0".parse().expect("0 parses");
+        assert_eq!(parsed, Jobs::default());
+        assert_eq!(
+            Jobs::resolve_from(Some("0"), None).jobs,
+            Jobs::resolve_from(None, Some("0")).jobs
+        );
+    }
+
+    #[test]
+    fn resolve_order_is_cli_env_default() {
+        let r = Jobs::resolve_from(Some("3"), Some("5"));
+        assert_eq!((r.jobs.get(), r.source), (3, "cli"));
+        assert!(r.warnings.is_empty());
+
+        let r = Jobs::resolve_from(None, Some("5"));
+        assert_eq!((r.jobs.get(), r.source), (5, "env"));
+
+        let r = Jobs::resolve_from(None, None);
+        assert_eq!((r.jobs, r.source), (Jobs::default(), "default"));
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn resolve_skips_invalid_levels_with_warnings() {
+        // Zero CLI falls through to a valid env value.
+        let r = Jobs::resolve_from(Some("0"), Some("5"));
+        assert_eq!((r.jobs.get(), r.source), (5, "env"));
+        assert_eq!(r.warnings.len(), 1);
+        assert!(r.warnings[0].contains("cli"), "{:?}", r.warnings);
+
+        // Unparseable CLI and zero env both fall through to the default.
+        let r = Jobs::resolve_from(Some("lots"), Some("0"));
+        assert_eq!((r.jobs, r.source), (Jobs::default(), "default"));
+        assert_eq!(r.warnings.len(), 2);
+        assert!(r.warnings[1].contains("env"), "{:?}", r.warnings);
+
+        // Whitespace is tolerated, not a warning.
+        let r = Jobs::resolve_from(Some(" 2 "), None);
+        assert_eq!((r.jobs.get(), r.source), (2, "cli"));
+        assert!(r.warnings.is_empty());
     }
 }

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use blap_hci::{AclData, Command, Event, StatusCode};
+use blap_obs::{TraceEvent, Tracer};
 use blap_types::{
     AssociationModel, BdAddr, ClassOfDevice, ConnectionHandle, Duration, Instant, Role, ServiceUuid,
 };
@@ -75,6 +76,11 @@ pub struct Host {
     pending_profile: Option<(BdAddr, ServiceUuid, bool)>,
     /// Events whose processing is postponed by the PLOC hook, per peer.
     ploc_held: HashMap<BdAddr, Vec<Event>>,
+    /// Observability handle (disabled by default; see [`Host::set_tracer`]).
+    tracer: Tracer,
+    /// Virtual time of the last input, so helpers without a `now` parameter
+    /// (e.g. [`Host::install_bond`]) can stamp trace events.
+    now: Instant,
 }
 
 impl Host {
@@ -90,7 +96,15 @@ impl Host {
             pending_pair: None,
             pending_profile: None,
             ploc_held: HashMap::new(),
+            tracer: Tracer::disabled(),
+            now: Instant::EPOCH,
         }
+    }
+
+    /// Routes this host's trace events (keystore mutations, attack-phase
+    /// markers) to `tracer`. Scope it to the owning device first.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The host configuration.
@@ -117,6 +131,13 @@ impl Host {
     /// Installs a bond entry, exactly like editing `bt_config.conf`.
     pub fn install_bond(&mut self, peer: BdAddr, entry: BondEntry) {
         self.keystore.store(peer, entry);
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::KeystoreMutation {
+                time: self.now,
+                peer,
+                action: "install",
+            });
+        }
     }
 
     /// Whether an ACL link to `peer` is currently up (and processed).
@@ -292,6 +313,7 @@ impl Host {
 
     /// A host timer fired.
     pub fn on_timer(&mut self, now: Instant, timer: HostTimer) {
+        self.now = now;
         match timer {
             HostTimer::PlocRelease { peer } => self.release_ploc(now, peer),
             HostTimer::KeepAlive { peer } => {
@@ -300,6 +322,12 @@ impl Host {
                     .ploc_handle(peer)
                     .or_else(|| self.conns.get(&peer).and_then(|c| c.handle));
                 if let Some(handle) = handle {
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::AttackPhase {
+                            time: now,
+                            label: "ploc_keepalive",
+                        });
+                    }
                     // A dummy SDP service-search PDU.
                     self.emit(HostOutput::Acl(AclData::new(
                         handle,
@@ -330,6 +358,12 @@ impl Host {
     /// pairing procedure is initiated by M").
     fn release_ploc(&mut self, now: Instant, peer: BdAddr) {
         if let Some(held) = self.ploc_held.remove(&peer) {
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::AttackPhase {
+                    time: now,
+                    label: "ploc_release",
+                });
+            }
             for event in held {
                 self.process_event(now, event);
             }
@@ -348,6 +382,7 @@ impl Host {
 
     /// Processes one HCI event from the controller.
     pub fn on_event(&mut self, now: Instant, event: Event) {
+        self.now = now;
         // Fig 13 hook: hold Connection_Complete processing for PLOC peers.
         if let Some(delay) = self.config.attacker.ploc_delay {
             if let Event::ConnectionComplete {
@@ -363,6 +398,12 @@ impl Host {
                     .unwrap_or(false);
                 if initiated_plain_connection && !self.ploc_held.contains_key(bd_addr) {
                     let peer = *bd_addr;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::AttackPhase {
+                            time: now,
+                            label: "ploc_hold",
+                        });
+                    }
                     self.ploc_held.insert(peer, vec![event]);
                     self.emit(HostOutput::StartTimer {
                         timer: HostTimer::PlocRelease { peer },
@@ -485,6 +526,12 @@ impl Host {
             Event::LinkKeyRequest { bd_addr } => {
                 // Fig 9 hook: the attacker's host simply never answers.
                 if self.config.attacker.ignore_link_key_request {
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::AttackPhase {
+                            time: self.now,
+                            label: "fig9_drop_link_key_request",
+                        });
+                    }
                     return;
                 }
                 match self.keystore.get(bd_addr) {
@@ -620,6 +667,13 @@ impl Host {
                         services: Vec::new(),
                     },
                 );
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::KeystoreMutation {
+                        time: self.now,
+                        peer: bd_addr,
+                        action: "store",
+                    });
+                }
                 self.ui(UiNotification::BondStored { peer: bd_addr });
             }
             Event::SimplePairingComplete { status, bd_addr } => {
@@ -644,6 +698,13 @@ impl Host {
                 };
                 self.ui(UiNotification::AuthenticationOutcome { peer, status });
                 if status.invalidates_link_key() && self.keystore.remove(peer).is_some() {
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::KeystoreMutation {
+                            time: self.now,
+                            peer,
+                            action: "remove",
+                        });
+                    }
                     self.ui(UiNotification::BondLost { peer });
                 }
                 if status.is_success() {

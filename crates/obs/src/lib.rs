@@ -1,0 +1,36 @@
+//! Deterministic observability for the BLAP reproduction.
+//!
+//! Both BLAP attacks are diagnosed from what crosses the HCI seam, yet the
+//! simulation itself was a black box: when a Table II trial lands outside
+//! the 42–60% band, the only tool was `println!` archaeology through a
+//! 625 µs-slotted event loop. This crate is the first-class replacement —
+//! three parts, all deterministic:
+//!
+//! * [`trace`] — typed [`trace::TraceEvent`]s (scheduler dispatch, page and
+//!   scan transitions, LMP send/recv, HCI seam crossings, keystore
+//!   mutations, attack-phase markers) fanned out through a cloneable
+//!   [`trace::Tracer`] handle to pluggable [`trace::TraceSink`]s: a
+//!   ring-buffer [`trace::FlightRecorder`] for post-mortem dumps and a
+//!   [`trace::JsonlBuffer`] for byte-comparable JSONL artifacts.
+//! * [`metrics`] — counters, gauges and power-of-two [`metrics::Histogram`]s
+//!   in a [`metrics::Metrics`] bag that merges commutatively, so per-world
+//!   aggregates combined in unit-index order are identical at any worker
+//!   count.
+//! * Determinism rules — every event and metric is stamped with *virtual*
+//!   time only. Wall-clock durations exist (the runner measures them) but
+//!   are excluded from exported artifacts unless explicitly requested, so
+//!   `--metrics` / trace output is byte-identical across runs, machines and
+//!   `BLAP_JOBS` values.
+//!
+//! The whole layer is zero-cost when disabled: a disabled [`trace::Tracer`]
+//! is a `None` check per call site, and the always-on counters are plain
+//! `u64` increments on structs the hot loops already own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{export_json, Histogram, MetaValue, Metrics};
+pub use trace::{DumpOnAssert, FlightRecorder, JsonlBuffer, TraceEvent, TraceSink, Tracer};

@@ -1,0 +1,416 @@
+//! Counters, gauges, and power-of-two histograms with deterministic JSON
+//! export.
+//!
+//! A [`Metrics`] bag is built per world (or per experiment unit) and merged
+//! upward. Every merge operation is commutative and associative — counter
+//! sums, gauge maxima, bucket-wise histogram addition — so folding per-unit
+//! bags in unit-index order yields the same bytes regardless of which
+//! worker produced which unit. Keys are held in `BTreeMap`s so the JSON
+//! rendering is ordered, and all values are integers (virtual microseconds,
+//! event counts): no floats, no platform-dependent formatting.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `k` counts samples whose bit length is `k` (i.e. values in
+/// `[2^(k-1), 2^k)`, with bucket 0 holding zeros). Exact `count`/`sum`/
+/// `min`/`max` ride along, so averages stay exact even though the buckets
+/// are coarse.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: BTreeMap<u8, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        let bucket = (u64::BITS - value.leading_zeros()) as u8;
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Folds another histogram in (bucket-wise addition: commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (bucket, n) in &other.buckets {
+            *self.buckets.entry(*bucket).or_insert(0) += n;
+        }
+    }
+
+    fn render_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max()
+        );
+        for (i, (bucket, n)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Bucket label = exclusive upper bound of the value range.
+            let upper = if *bucket >= 64 {
+                u64::MAX
+            } else {
+                1u64 << bucket
+            };
+            let _ = write!(out, "\"<{upper}\":{n}");
+        }
+        out.push_str("}}");
+    }
+}
+
+/// A bag of named counters, gauges, and histograms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty bag.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to a counter, materializing the key even at 0 so "present
+    /// but zero" is distinguishable from "never instrumented".
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to the maximum of its current and `value` — the merge
+    /// rule, applied locally too, so set order never matters.
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        let slot = self.gauges.entry(name.to_owned()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Reads a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Reads a histogram, when present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds a standalone histogram into the named slot — for code that
+    /// accumulates a [`Histogram`] locally (hot paths) and exports late.
+    pub fn merge_histogram(&mut self, name: &str, histogram: &Histogram) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .merge(histogram);
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another bag in: counters add, gauges take the maximum,
+    /// histograms merge bucket-wise. Commutative, so merging per-unit bags
+    /// in index order is schedule-independent.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, v) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Like [`Metrics::merge`], but with every incoming key prefixed
+    /// `"{scope}."` — used for per-device sections of an experiment export.
+    pub fn merge_scoped(&mut self, scope: &str, other: &Metrics) {
+        for (name, n) in &other.counters {
+            *self.counters.entry(format!("{scope}.{name}")).or_insert(0) += n;
+        }
+        for (name, v) in &other.gauges {
+            let slot = self.gauges.entry(format!("{scope}.{name}")).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(format!("{scope}.{name}"))
+                .or_default()
+                .merge(h);
+        }
+    }
+
+    /// Renders the bag as a deterministic JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}` with keys in
+    /// lexicographic order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.render_json(&mut out);
+        out
+    }
+
+    fn render_json(&self, out: &mut String) {
+        out.push_str("{\"counters\":{");
+        for (i, (name, n)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(name), n);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(name), v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", escape(name));
+            h.render_json(out);
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Builds a complete `metrics.json` document: a meta header (experiment
+/// name, seed, worker count, …) followed by the metrics body. All values
+/// arrive pre-rendered so callers control number formatting; strings are
+/// escaped here.
+pub fn export_json(meta: &[(&str, MetaValue)], metrics: &Metrics) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\n");
+    for (key, value) in meta {
+        let _ = write!(out, "  \"{}\": ", escape(key));
+        match value {
+            MetaValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            MetaValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            MetaValue::Raw(raw) => out.push_str(raw),
+        }
+        out.push_str(",\n");
+    }
+    out.push_str("  \"metrics\": ");
+    out.push_str(&metrics.to_json());
+    out.push_str("\n}\n");
+    out
+}
+
+/// One meta-header value for [`export_json`].
+#[derive(Clone, Debug)]
+pub enum MetaValue {
+    /// A JSON string (escaped on render).
+    Str(String),
+    /// An integer.
+    Int(u64),
+    /// Pre-rendered JSON (arrays, objects) spliced in verbatim.
+    Raw(String),
+}
+
+fn escape(s: &str) -> String {
+    if s.chars()
+        .all(|c| c != '"' && c != '\\' && (c as u32) >= 0x20)
+    {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_render_ordered() {
+        let mut m = Metrics::new();
+        m.inc("zeta");
+        m.add("alpha", 3);
+        m.inc("zeta");
+        assert_eq!(m.counter("zeta"), 2);
+        assert_eq!(m.counter("alpha"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        let json = m.to_json();
+        let alpha = json.find("alpha").expect("alpha present");
+        let zeta = json.find("zeta").expect("zeta present");
+        assert!(alpha < zeta, "keys must render sorted: {json}");
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Metrics::new();
+        a.add("x", 2);
+        a.gauge_max("g", 7);
+        a.observe("h", 100);
+        let mut b = Metrics::new();
+        b.add("x", 5);
+        b.add("y", 1);
+        b.gauge_max("g", 3);
+        b.observe("h", 3000);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 7);
+        assert_eq!(ab.gauge("g"), 7);
+        assert_eq!(ab.histogram("h").map(|h| h.count()), Some(2));
+        assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    #[test]
+    fn scoped_merge_prefixes_keys() {
+        let mut unit = Metrics::new();
+        unit.add("races", 4);
+        let mut top = Metrics::new();
+        top.merge_scoped("device.Galaxy S8", &unit);
+        assert_eq!(top.counter("device.Galaxy S8.races"), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 900, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1930);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        let mut json = String::new();
+        h.render_json(&mut json);
+        // 0 → bucket "<1"; 1 → "<2"; 2,3 → "<4"; 900 → "<1024"; 1024 → "<2048".
+        assert!(json.contains("\"<1\":1"), "{json}");
+        assert!(json.contains("\"<4\":2"), "{json}");
+        assert!(json.contains("\"<1024\":1"), "{json}");
+        assert!(json.contains("\"<2048\":1"), "{json}");
+    }
+
+    #[test]
+    fn export_json_shape() {
+        let mut m = Metrics::new();
+        m.inc("n");
+        let doc = export_json(
+            &[
+                ("experiment", MetaValue::Str("table2".to_owned())),
+                ("seed", MetaValue::Int(2022)),
+                ("units", MetaValue::Raw("[1,2]".to_owned())),
+            ],
+            &m,
+        );
+        assert!(doc.starts_with("{\n  \"experiment\": \"table2\",\n"));
+        assert!(doc.contains("\"seed\": 2022"));
+        assert!(doc.contains("\"units\": [1,2]"));
+        assert!(doc.contains("\"metrics\": {\"counters\":{\"n\":1}"));
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_metrics_render() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        assert_eq!(
+            m.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+}

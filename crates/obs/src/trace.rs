@@ -1,0 +1,633 @@
+//! Structured tracing: typed events, sinks, and the flight recorder.
+//!
+//! Events are stamped with **virtual** time ([`Instant`]) at the emission
+//! site, never with wall-clock time, so a trace is a pure function of the
+//! world seed: byte-identical across runs, machines, and worker counts.
+//! The [`Tracer`] handle is cheap to clone and cheap to ignore — a disabled
+//! tracer is one `Option` discriminant check per call site.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use blap_types::{BdAddr, Instant};
+
+/// One typed trace event.
+///
+/// Variants mirror the seams the BLAP attacks are diagnosed from: the
+/// scheduler, the baseband page/scan machinery, the LMP channel, the HCI
+/// transport, the bond store, and the attack drivers themselves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The world scheduler dispatched one queued event.
+    SchedulerDispatch {
+        /// Virtual dispatch time.
+        time: Instant,
+        /// Scheduling sequence number (tiebreaker order).
+        seq: u64,
+        /// Event kind name.
+        kind: &'static str,
+    },
+    /// A device started paging a target address.
+    PageStarted {
+        /// Virtual time.
+        time: Instant,
+        /// Paged (claimed) address.
+        target: BdAddr,
+    },
+    /// A page resolved to a responder.
+    PageConnected {
+        /// Virtual time of resolution.
+        time: Instant,
+        /// Paged address.
+        target: BdAddr,
+        /// Winning responder's device index.
+        responder: u32,
+        /// Sampled page latency in microseconds.
+        latency_us: u64,
+        /// Whether two listeners raced for the page.
+        raced: bool,
+    },
+    /// A page found no responder and will time out.
+    PageTimeout {
+        /// Virtual time.
+        time: Instant,
+        /// Paged address.
+        target: BdAddr,
+    },
+    /// Outcome of a two-listener page race (the Table II baseline event).
+    RaceOutcome {
+        /// Virtual time.
+        time: Instant,
+        /// Raced address.
+        target: BdAddr,
+        /// Whether the spoofing attacker won.
+        attacker_won: bool,
+    },
+    /// A controller's scan state changed.
+    ScanTransition {
+        /// Virtual time.
+        time: Instant,
+        /// New page-scan state.
+        page_scan: bool,
+        /// New inquiry-scan state.
+        inquiry_scan: bool,
+    },
+    /// An LMP PDU was queued for the peer.
+    LmpSend {
+        /// Virtual time.
+        time: Instant,
+        /// Claimed peer address.
+        peer: BdAddr,
+        /// PDU name.
+        pdu: &'static str,
+    },
+    /// An LMP PDU arrived from the peer.
+    LmpRecv {
+        /// Virtual time.
+        time: Instant,
+        /// Claimed peer address.
+        peer: BdAddr,
+        /// PDU name.
+        pdu: &'static str,
+    },
+    /// An LMP procedure died by response timeout (the §IV-C extraction
+    /// primitive: disconnect *without* authentication failure).
+    LmpTimeout {
+        /// Virtual time.
+        time: Instant,
+        /// Claimed peer address.
+        peer: BdAddr,
+    },
+    /// A packet crossed the HCI seam of a device.
+    HciSeam {
+        /// Virtual time.
+        time: Instant,
+        /// `"sent"` (host→controller) or `"received"`.
+        direction: &'static str,
+        /// Packet kind: `"command"`, `"event"` or `"acl"`.
+        kind: &'static str,
+        /// Command/event name (`"acl"` packets carry the handle instead).
+        name: &'static str,
+    },
+    /// A link died (supervision timeout, detach).
+    LinkDropped {
+        /// Virtual time.
+        time: Instant,
+        /// Why the link dropped.
+        reason: &'static str,
+    },
+    /// The bond store changed.
+    KeystoreMutation {
+        /// Virtual time.
+        time: Instant,
+        /// Peer whose bond changed.
+        peer: BdAddr,
+        /// `"store"`, `"remove"` or `"install"` (attacker-planted).
+        action: &'static str,
+    },
+    /// An attack driver crossed a phase boundary.
+    AttackPhase {
+        /// Virtual time.
+        time: Instant,
+        /// Phase label (e.g. `"ploc_hold"`, `"fig9_drop_link_key_request"`).
+        label: &'static str,
+    },
+    /// A non-fatal configuration or runtime warning.
+    Warning {
+        /// Virtual time (EPOCH for pre-simulation warnings).
+        time: Instant,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Marks the start of one experiment unit in a concatenated trace.
+    UnitStart {
+        /// Unit index within the experiment.
+        unit: u64,
+        /// Condition label (e.g. `"baseline"`, `"blocking"`).
+        label: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// The event's virtual timestamp ([`Instant::EPOCH`] for unit markers).
+    pub fn time(&self) -> Instant {
+        match self {
+            TraceEvent::SchedulerDispatch { time, .. }
+            | TraceEvent::PageStarted { time, .. }
+            | TraceEvent::PageConnected { time, .. }
+            | TraceEvent::PageTimeout { time, .. }
+            | TraceEvent::RaceOutcome { time, .. }
+            | TraceEvent::ScanTransition { time, .. }
+            | TraceEvent::LmpSend { time, .. }
+            | TraceEvent::LmpRecv { time, .. }
+            | TraceEvent::LmpTimeout { time, .. }
+            | TraceEvent::HciSeam { time, .. }
+            | TraceEvent::LinkDropped { time, .. }
+            | TraceEvent::KeystoreMutation { time, .. }
+            | TraceEvent::AttackPhase { time, .. }
+            | TraceEvent::Warning { time, .. } => *time,
+            TraceEvent::UnitStart { .. } => Instant::EPOCH,
+        }
+    }
+
+    /// Renders the event as one JSONL object (no trailing newline).
+    ///
+    /// Key order is fixed so output is byte-comparable. `device` is the
+    /// emitting device's world index, when the tracer was scoped to one.
+    pub fn render_jsonl(&self, device: Option<u32>, out: &mut String) {
+        let t = self.time().as_micros();
+        let _ = write!(out, "{{\"t\":{t}");
+        if let Some(dev) = device {
+            let _ = write!(out, ",\"dev\":{dev}");
+        }
+        match self {
+            TraceEvent::SchedulerDispatch { seq, kind, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"dispatch\",\"seq\":{seq},\"kind\":\"{kind}\""
+                );
+            }
+            TraceEvent::PageStarted { target, .. } => {
+                let _ = write!(out, ",\"ev\":\"page_start\",\"target\":\"{target}\"");
+            }
+            TraceEvent::PageConnected {
+                target,
+                responder,
+                latency_us,
+                raced,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"page_connect\",\"target\":\"{target}\",\"responder\":{responder},\"latency_us\":{latency_us},\"raced\":{raced}"
+                );
+            }
+            TraceEvent::PageTimeout { target, .. } => {
+                let _ = write!(out, ",\"ev\":\"page_timeout\",\"target\":\"{target}\"");
+            }
+            TraceEvent::RaceOutcome {
+                target,
+                attacker_won,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"race\",\"target\":\"{target}\",\"attacker_won\":{attacker_won}"
+                );
+            }
+            TraceEvent::ScanTransition {
+                page_scan,
+                inquiry_scan,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"scan\",\"page_scan\":{page_scan},\"inquiry_scan\":{inquiry_scan}"
+                );
+            }
+            TraceEvent::LmpSend { peer, pdu, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"lmp_send\",\"peer\":\"{peer}\",\"pdu\":\"{pdu}\""
+                );
+            }
+            TraceEvent::LmpRecv { peer, pdu, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"lmp_recv\",\"peer\":\"{peer}\",\"pdu\":\"{pdu}\""
+                );
+            }
+            TraceEvent::LmpTimeout { peer, .. } => {
+                let _ = write!(out, ",\"ev\":\"lmp_timeout\",\"peer\":\"{peer}\"");
+            }
+            TraceEvent::HciSeam {
+                direction,
+                kind,
+                name,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"hci\",\"dir\":\"{direction}\",\"kind\":\"{kind}\",\"name\":\"{name}\""
+                );
+            }
+            TraceEvent::LinkDropped { reason, .. } => {
+                let _ = write!(out, ",\"ev\":\"link_drop\",\"reason\":\"{reason}\"");
+            }
+            TraceEvent::KeystoreMutation { peer, action, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"keystore\",\"peer\":\"{peer}\",\"action\":\"{action}\""
+                );
+            }
+            TraceEvent::AttackPhase { label, .. } => {
+                let _ = write!(out, ",\"ev\":\"attack_phase\",\"label\":\"{label}\"");
+            }
+            TraceEvent::Warning { message, .. } => {
+                out.push_str(",\"ev\":\"warning\",\"message\":\"");
+                escape_into(message, out);
+                out.push('"');
+            }
+            TraceEvent::UnitStart { unit, label, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"unit_start\",\"unit\":{unit},\"label\":\"{label}\""
+                );
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A consumer of trace events.
+///
+/// Sinks run under the tracer's lock, so implementations should be quick;
+/// both provided sinks just append to an in-memory buffer.
+pub trait TraceSink: Send {
+    /// Records one event. `device` is the emitting device's world index
+    /// when the tracer handle was scoped with [`Tracer::scoped`].
+    fn record(&mut self, device: Option<u32>, event: &TraceEvent);
+}
+
+struct TracerShared {
+    sinks: Mutex<Vec<Box<dyn TraceSink>>>,
+}
+
+/// A cloneable handle that fans events out to attached sinks.
+///
+/// The default handle is **disabled**: [`Tracer::emit`] is one `Option`
+/// check and call sites guard event construction behind
+/// [`Tracer::enabled`], so instrumented hot paths cost nothing measurable
+/// when observability is off.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<TracerShared>>,
+    device: Option<u32>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("device", &self.device)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer with no sinks yet (attach with [`Tracer::attach`]).
+    pub fn new() -> Tracer {
+        Tracer {
+            shared: Some(Arc::new(TracerShared {
+                sinks: Mutex::new(Vec::new()),
+            })),
+            device: None,
+        }
+    }
+
+    /// The disabled tracer (same as `Tracer::default()`).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether events will reach any sink.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Attaches a sink; all clones of this tracer feed it from now on.
+    ///
+    /// No-op on a disabled tracer.
+    pub fn attach<S: TraceSink + 'static>(&self, sink: S) {
+        if let Some(shared) = &self.shared {
+            shared
+                .sinks
+                .lock()
+                .expect("tracer lock")
+                .push(Box::new(sink));
+        }
+    }
+
+    /// A clone scoped to one device index: events it emits are attributed
+    /// to that device in rendered output.
+    pub fn scoped(&self, device: usize) -> Tracer {
+        Tracer {
+            shared: self.shared.clone(),
+            device: Some(device as u32),
+        }
+    }
+
+    /// Emits one event to every attached sink.
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(shared) = &self.shared {
+            let mut sinks = shared.sinks.lock().expect("tracer lock");
+            for sink in sinks.iter_mut() {
+                sink.record(self.device, &event);
+            }
+        }
+    }
+}
+
+struct RecorderInner {
+    capacity: usize,
+    lines: VecDeque<String>,
+    total: u64,
+}
+
+/// A fixed-capacity ring buffer of rendered events — the flight recorder.
+///
+/// Keeps the last `capacity` events; [`FlightRecorder::dump_on_assert`]
+/// arms a guard that prints them when a test assertion (any panic) unwinds
+/// through its scope, which turns "trial 17 failed" into the actual event
+/// tail that led there.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                capacity: capacity.max(1),
+                lines: VecDeque::new(),
+                total: 0,
+            })),
+        }
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").total
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder lock").lines.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The last `n` rendered events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<String> {
+        let inner = self.inner.lock().expect("recorder lock");
+        let skip = inner.lines.len().saturating_sub(n);
+        inner.lines.iter().skip(skip).cloned().collect()
+    }
+
+    /// A human-readable dump of the last `n` events.
+    pub fn dump(&self, n: usize) -> String {
+        let lines = self.last(n);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "--- flight recorder: last {} of {} events ---",
+            lines.len(),
+            self.total_recorded()
+        );
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("--- end flight recorder ---");
+        out
+    }
+
+    /// Arms a [`DumpOnAssert`] guard: if a panic (failed `assert!`)
+    /// unwinds while the guard is alive, the last `n` events are printed
+    /// to stderr alongside the assertion message.
+    pub fn dump_on_assert(&self, n: usize) -> DumpOnAssert {
+        DumpOnAssert {
+            recorder: self.clone(),
+            n,
+        }
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&mut self, device: Option<u32>, event: &TraceEvent) {
+        let mut line = String::with_capacity(64);
+        event.render_jsonl(device, &mut line);
+        let mut inner = self.inner.lock().expect("recorder lock");
+        inner.total += 1;
+        if inner.lines.len() == inner.capacity {
+            inner.lines.pop_front();
+        }
+        inner.lines.push_back(line);
+    }
+}
+
+/// Guard returned by [`FlightRecorder::dump_on_assert`]. On drop during a
+/// panic it prints the recorder tail to stderr; on normal drop it is
+/// silent.
+pub struct DumpOnAssert {
+    recorder: FlightRecorder,
+    n: usize,
+}
+
+impl Drop for DumpOnAssert {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("{}", self.recorder.dump(self.n));
+        }
+    }
+}
+
+/// A sink that appends rendered events as JSONL into a shared string
+/// buffer. Clone it before attaching to keep a read handle.
+#[derive(Clone, Default)]
+pub struct JsonlBuffer {
+    inner: Arc<Mutex<String>>,
+}
+
+impl JsonlBuffer {
+    /// An empty buffer.
+    pub fn new() -> JsonlBuffer {
+        JsonlBuffer::default()
+    }
+
+    /// The accumulated JSONL text (one event per line).
+    pub fn contents(&self) -> String {
+        self.inner.lock().expect("jsonl lock").clone()
+    }
+
+    /// Whether any event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("jsonl lock").is_empty()
+    }
+}
+
+impl TraceSink for JsonlBuffer {
+    fn record(&mut self, device: Option<u32>, event: &TraceEvent) {
+        let mut buf = self.inner.lock().expect("jsonl lock");
+        event.render_jsonl(device, &mut buf);
+        buf.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> BdAddr {
+        "cc:cc:cc:cc:cc:cc".parse().expect("valid address")
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.emit(TraceEvent::AttackPhase {
+            time: Instant::EPOCH,
+            label: "noop",
+        });
+        // Attaching to a disabled tracer is a no-op, not a panic.
+        tracer.attach(JsonlBuffer::new());
+    }
+
+    #[test]
+    fn jsonl_buffer_renders_fixed_key_order() {
+        let tracer = Tracer::new();
+        let buf = JsonlBuffer::new();
+        tracer.attach(buf.clone());
+        tracer.scoped(2).emit(TraceEvent::LmpSend {
+            time: Instant::from_micros(1250),
+            peer: addr(),
+            pdu: "LMP_au_rand",
+        });
+        assert_eq!(
+            buf.contents(),
+            "{\"t\":1250,\"dev\":2,\"ev\":\"lmp_send\",\"peer\":\"cc:cc:cc:cc:cc:cc\",\"pdu\":\"LMP_au_rand\"}\n"
+        );
+    }
+
+    #[test]
+    fn warning_messages_are_escaped() {
+        let mut out = String::new();
+        TraceEvent::Warning {
+            time: Instant::EPOCH,
+            message: "quote \" slash \\ newline \n".to_owned(),
+        }
+        .render_jsonl(None, &mut out);
+        assert_eq!(
+            out,
+            "{\"t\":0,\"ev\":\"warning\",\"message\":\"quote \\\" slash \\\\ newline \\n\"}"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n() {
+        let tracer = Tracer::new();
+        let recorder = FlightRecorder::new(3);
+        tracer.attach(recorder.clone());
+        for i in 0..10u64 {
+            tracer.emit(TraceEvent::SchedulerDispatch {
+                time: Instant::from_micros(i * 625),
+                seq: i,
+                kind: "TimerFire",
+            });
+        }
+        assert_eq!(recorder.total_recorded(), 10);
+        assert_eq!(recorder.len(), 3);
+        let tail = recorder.last(2);
+        assert_eq!(tail.len(), 2);
+        assert!(tail[0].contains("\"seq\":8"), "{:?}", tail);
+        assert!(tail[1].contains("\"seq\":9"), "{:?}", tail);
+        assert!(recorder.dump(2).contains("last 2 of 10 events"));
+    }
+
+    #[test]
+    fn dump_on_assert_silent_on_success() {
+        let recorder = FlightRecorder::new(4);
+        let _guard = recorder.dump_on_assert(4);
+        // Dropping without a panic must not print or panic.
+    }
+
+    #[test]
+    fn scoped_tracers_share_sinks() {
+        let tracer = Tracer::new();
+        let buf = JsonlBuffer::new();
+        tracer.attach(buf.clone());
+        let scoped = tracer.scoped(5);
+        scoped.emit(TraceEvent::PageTimeout {
+            time: Instant::from_micros(100),
+            target: addr(),
+        });
+        tracer.emit(TraceEvent::PageStarted {
+            time: Instant::from_micros(200),
+            target: addr(),
+        });
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"dev\":5"));
+        assert!(
+            !lines[1].contains("\"dev\""),
+            "unscoped line has no dev key"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 use blap_controller::{Controller, ControllerConfig};
 use blap_hci::{HciPacket, PacketDirection};
 use blap_host::{HciTransportKind, Host, HostConfig, UiNotification};
+use blap_obs::{TraceEvent, Tracer};
 use blap_snoop::btsnoop::SnoopRecord;
 use blap_snoop::log::HciTrace;
 use blap_snoop::usb::UsbCapture;
@@ -75,6 +76,9 @@ pub struct Device {
     usb: Option<UsbCapture>,
     /// Per-device session secret for mitigation 2.
     session_secret: u64,
+    /// Device-scoped observability handle (disabled by default; the world
+    /// propagates an enabled one via [`crate::world::World::set_tracer`]).
+    pub(crate) tracer: Tracer,
 }
 
 impl Device {
@@ -112,6 +116,7 @@ impl Device {
             snoop: Vec::new(),
             usb,
             session_secret,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -128,6 +133,23 @@ impl Device {
         direction: PacketDirection,
         packet: &HciPacket,
     ) {
+        if self.tracer.enabled() {
+            let (kind, name) = match packet {
+                HciPacket::Command(c) => ("command", c.name()),
+                HciPacket::Event(e) => ("event", e.name()),
+                HciPacket::AclData(_) => ("acl", "acl"),
+            };
+            let direction = match direction {
+                PacketDirection::Sent => "sent",
+                PacketDirection::Received => "received",
+            };
+            self.tracer.emit(TraceEvent::HciSeam {
+                time: now,
+                direction,
+                kind,
+                name,
+            });
+        }
         let mut bytes = packet.encode();
         if self.security.encrypt_link_key_payloads {
             redact::encrypt_sensitive_payload(&mut bytes, self.session_secret);

@@ -100,6 +100,25 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// The kind's name, for [`blap_obs::TraceEvent::SchedulerDispatch`]
+    /// stamps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::LmpDeliver { .. } => "LmpDeliver",
+            EventKind::AclDeliver { .. } => "AclDeliver",
+            EventKind::PageResolve { .. } => "PageResolve",
+            EventKind::PageDeliver { .. } => "PageDeliver",
+            EventKind::PageTimeout { .. } => "PageTimeout",
+            EventKind::InquiryResponse { .. } => "InquiryResponse",
+            EventKind::InquiryComplete { .. } => "InquiryComplete",
+            EventKind::TimerFire { .. } => "TimerFire",
+            EventKind::SupervisionCheck { .. } => "SupervisionCheck",
+            EventKind::Script { .. } => "Script",
+        }
+    }
+}
+
 /// An event queued for a point in virtual time. Ordered by `(time, seq)` so
 /// ties resolve deterministically in scheduling order.
 pub struct ScheduledEvent {

@@ -4,12 +4,13 @@ use std::collections::{BinaryHeap, HashMap};
 
 use blap_baseband::inquiry::{run_inquiry, InquiryTarget};
 use blap_baseband::paging::{resolve_page, PageListener, PageResult};
-use blap_baseband::race::PageRaceModel;
+use blap_baseband::race::{PageRaceModel, RaceTally, RaceWinner};
 use blap_baseband::timing;
 use blap_controller::lmp::LmpPdu;
 use blap_controller::{ControllerOutput, PageOutcome};
 use blap_hci::{HciPacket, PacketDirection};
 use blap_host::HostOutput;
+use blap_obs::{Histogram, Metrics, TraceEvent, Tracer};
 use blap_types::{BdAddr, Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -90,6 +91,20 @@ pub struct World {
     processed_events: u64,
     sniffer: Vec<SniffedFrame>,
     link_packet_counters: HashMap<u64, u64>,
+    tracer: Tracer,
+    counters: WorldCounters,
+}
+
+/// Always-on world counters: plain integer fields so the hot dispatch path
+/// pays no map lookups, exported via [`World::metrics`].
+#[derive(Clone, Debug, Default)]
+struct WorldCounters {
+    pages_started: u64,
+    pages_connected: u64,
+    pages_timed_out: u64,
+    links_dropped: u64,
+    race_tally: RaceTally,
+    page_latency_us: Histogram,
 }
 
 impl std::fmt::Debug for World {
@@ -122,7 +137,28 @@ impl World {
             processed_events: 0,
             sniffer: Vec::new(),
             link_packet_counters: HashMap::new(),
+            tracer: Tracer::disabled(),
+            counters: WorldCounters::default(),
         }
+    }
+
+    /// Routes this world's trace events to `tracer`: scheduler dispatches
+    /// and page/race activity from the world itself, plus device-scoped
+    /// clones handed to every device's host, controller and HCI tap.
+    /// Devices added later inherit it automatically.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        for idx in 0..self.devices.len() {
+            self.scope_device_tracer(idx);
+        }
+    }
+
+    fn scope_device_tracer(&mut self, idx: usize) {
+        let scoped = self.tracer.scoped(idx);
+        let device = &mut self.devices[idx];
+        device.controller.set_tracer(scoped.clone());
+        device.host.set_tracer(scoped.clone());
+        device.tracer = scoped;
     }
 
     /// Everything the passive air sniffer captured so far.
@@ -143,6 +179,9 @@ impl World {
         // Devices boot connectable (page scan on), matching real defaults.
         let _ = device.controller.drain_outputs();
         self.devices.push(device);
+        if self.tracer.enabled() {
+            self.scope_device_tracer(id.0);
+        }
         id
     }
 
@@ -178,6 +217,50 @@ impl World {
     /// Total processed events (sanity metric for benches).
     pub fn processed_events(&self) -> u64 {
         self.processed_events
+    }
+
+    /// Tally of every decided page race so far.
+    pub fn race_tally(&self) -> RaceTally {
+        self.counters.race_tally
+    }
+
+    /// A metrics snapshot of this world: scheduler and paging counters,
+    /// the race tally, the page-latency histogram, and per-device LMP and
+    /// keystore counters (`dev<i>.` prefix). Everything is derived from
+    /// virtual time and event counts, so snapshots are deterministic and
+    /// merge commutatively across worlds.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.add("events_dispatched", self.processed_events);
+        m.add("virtual_us", self.now.as_micros());
+        m.add("slots_simulated", self.now.as_micros() / 625);
+        m.add("pages_started", self.counters.pages_started);
+        m.add("pages_connected", self.counters.pages_connected);
+        m.add("pages_timed_out", self.counters.pages_timed_out);
+        m.add("links_dropped", self.counters.links_dropped);
+        m.add("race.attacker_wins", self.counters.race_tally.attacker_wins);
+        m.add(
+            "race.legitimate_wins",
+            self.counters.race_tally.legitimate_wins,
+        );
+        m.add("sniffed_frames", self.sniffer.len() as u64);
+        m.gauge_max("devices", self.devices.len() as u64);
+        m.merge_histogram("page_latency_us", &self.counters.page_latency_us);
+        for (i, device) in self.devices.iter().enumerate() {
+            let stats = device.controller.stats();
+            m.add(&format!("dev{i}.lmp_sent"), stats.lmp_sent);
+            m.add(&format!("dev{i}.lmp_received"), stats.lmp_received);
+            m.add(
+                &format!("dev{i}.lmp_response_timeouts"),
+                stats.lmp_response_timeouts,
+            );
+            m.add(
+                &format!("dev{i}.bonds"),
+                device.host.keystore().len() as u64,
+            );
+            m.add(&format!("dev{i}.snoop_packets"), device.snoop_len() as u64);
+        }
+        m
     }
 
     /// Whether a live baseband link exists between two devices.
@@ -233,6 +316,13 @@ impl World {
             let event = self.queue.pop().expect("peeked event");
             self.now = event.time;
             self.processed_events += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::SchedulerDispatch {
+                    time: event.time,
+                    seq: event.seq,
+                    kind: event.kind.name(),
+                });
+            }
             self.dispatch(event.kind);
         }
         self.now = deadline;
@@ -283,6 +373,13 @@ impl World {
                 if is_detach {
                     if let Some(link) = self.links.get_mut(&link_id) {
                         link.alive = false;
+                    }
+                    self.counters.links_dropped += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::LinkDropped {
+                            time: now,
+                            reason: "detach",
+                        });
                     }
                 }
                 self.pump(to);
@@ -420,6 +517,13 @@ impl World {
         let (a, b, a_sees, b_sees) = (link.a, link.b, link.a_sees, link.b_sees);
         self.links.get_mut(&link_id).expect("link exists").alive = false;
         let now = self.now;
+        self.counters.links_dropped += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::LinkDropped {
+                time: now,
+                reason: "supervision_timeout",
+            });
+        }
         self.devices[a.0].controller.on_lmp(
             now,
             a_sees,
@@ -506,8 +610,41 @@ impl World {
                 is_spoofer: d.is_attacker,
             })
             .collect();
+        let raced = listeners
+            .iter()
+            .filter(|l| l.claimed_addr == target)
+            .count()
+            == 2;
         match resolve_page(target, &listeners, &self.race_model, &mut self.rng) {
             PageResult::Connected { responder, latency } => {
+                self.counters.pages_connected += 1;
+                self.counters.page_latency_us.observe(latency.as_micros());
+                if raced {
+                    let attacker_won = self.devices[responder.0].is_attacker;
+                    self.counters.race_tally.record(if attacker_won {
+                        RaceWinner::Attacker
+                    } else {
+                        RaceWinner::Legitimate
+                    });
+                    let tracer = &self.devices[pager.0].tracer;
+                    if tracer.enabled() {
+                        tracer.emit(TraceEvent::RaceOutcome {
+                            time: self.now,
+                            target,
+                            attacker_won,
+                        });
+                    }
+                }
+                let tracer = &self.devices[pager.0].tracer;
+                if tracer.enabled() {
+                    tracer.emit(TraceEvent::PageConnected {
+                        time: self.now,
+                        target,
+                        responder: responder.0 as u32,
+                        latency_us: latency.as_micros(),
+                        raced,
+                    });
+                }
                 let time = self.now + latency;
                 self.push(
                     time,
@@ -519,6 +656,14 @@ impl World {
                 );
             }
             PageResult::Timeout => {
+                self.counters.pages_timed_out += 1;
+                let tracer = &self.devices[pager.0].tracer;
+                if tracer.enabled() {
+                    tracer.emit(TraceEvent::PageTimeout {
+                        time: self.now,
+                        target,
+                    });
+                }
                 let time = self.now + timing::PAGE_TIMEOUT;
                 self.push(time, EventKind::PageTimeout { pager, target });
             }
@@ -589,6 +734,14 @@ impl World {
                 // No live link: the PDU is lost, like RF into the void.
             }
             ControllerOutput::StartPage { target } => {
+                self.counters.pages_started += 1;
+                let tracer = &self.devices[id.0].tracer;
+                if tracer.enabled() {
+                    tracer.emit(TraceEvent::PageStarted {
+                        time: self.now,
+                        target,
+                    });
+                }
                 let now = self.now;
                 self.push(now, EventKind::PageResolve { pager: id, target });
             }

@@ -56,6 +56,25 @@ pub enum SnoopError {
         /// Byte offset at which truncation was detected.
         offset: usize,
     },
+    /// A record claimed more included bytes than its original length — a
+    /// physical impossibility, so the record (and the stream after it) is
+    /// corrupt.
+    InvalidRecord {
+        /// Byte offset of the record header.
+        offset: usize,
+        /// The original-length field.
+        original: u32,
+        /// The included-length field.
+        included: u32,
+    },
+    /// A record timestamp predates the btsnoop epoch — corrupt rather
+    /// than merely old, since the epoch is year 0.
+    PreEpochTimestamp {
+        /// Byte offset of the record header.
+        offset: usize,
+        /// The raw 64-bit timestamp field.
+        raw: u64,
+    },
 }
 
 impl fmt::Display for SnoopError {
@@ -69,6 +88,19 @@ impl fmt::Display for SnoopError {
             SnoopError::Truncated { offset } => {
                 write!(f, "truncated btsnoop file at offset {offset}")
             }
+            SnoopError::InvalidRecord {
+                offset,
+                original,
+                included,
+            } => write!(
+                f,
+                "invalid btsnoop record at offset {offset}: \
+                 included length {included} exceeds original length {original}"
+            ),
+            SnoopError::PreEpochTimestamp { offset, raw } => write!(
+                f,
+                "btsnoop record at offset {offset} has pre-epoch timestamp {raw}"
+            ),
         }
     }
 }
@@ -137,7 +169,16 @@ pub fn read_file(bytes: &[u8]) -> Result<Vec<SnoopRecord>, SnoopError> {
         }
         let be_u32 =
             |o: usize| u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
-        let included = be_u32(offset + 4) as usize;
+        let original = be_u32(offset);
+        let included = be_u32(offset + 4);
+        if included > original {
+            return Err(SnoopError::InvalidRecord {
+                offset,
+                original,
+                included,
+            });
+        }
+        let included = included as usize;
         let flags = be_u32(offset + 8);
         let ts = u64::from_be_bytes([
             bytes[offset + 16],
@@ -153,8 +194,11 @@ pub fn read_file(bytes: &[u8]) -> Result<Vec<SnoopRecord>, SnoopError> {
         if bytes.len() - data_start < included {
             return Err(SnoopError::Truncated { offset: data_start });
         }
+        let Some(micros) = ts.checked_sub(TIMESTAMP_EPOCH_OFFSET) else {
+            return Err(SnoopError::PreEpochTimestamp { offset, raw: ts });
+        };
         records.push(SnoopRecord {
-            timestamp: Instant::from_micros(ts.saturating_sub(TIMESTAMP_EPOCH_OFFSET)),
+            timestamp: Instant::from_micros(micros),
             direction: if flags & 1 == 0 {
                 PacketDirection::Sent
             } else {
@@ -238,6 +282,36 @@ mod tests {
                 "cut at {cut} should be truncated"
             );
         }
+    }
+
+    #[test]
+    fn included_exceeding_original_rejected() {
+        // Regression: the reader ignored the original-length field, so a
+        // corrupt record claiming included > original parsed fine and the
+        // stream stayed misaligned for every later record.
+        let mut bytes = write_file(&sample_records());
+        bytes[16..20].copy_from_slice(&1u32.to_be_bytes()); // original := 1
+        assert!(matches!(
+            read_file(&bytes),
+            Err(SnoopError::InvalidRecord {
+                offset: 16,
+                original: 1,
+                included: 4,
+            })
+        ));
+    }
+
+    #[test]
+    fn pre_epoch_timestamp_rejected() {
+        // Regression: timestamps before the btsnoop epoch offset were
+        // silently clamped to simulation time zero instead of flagging the
+        // record as corrupt.
+        let mut bytes = write_file(&sample_records());
+        bytes[32..40].copy_from_slice(&7u64.to_be_bytes()); // record 1 ts
+        assert!(matches!(
+            read_file(&bytes),
+            Err(SnoopError::PreEpochTimestamp { offset: 16, raw: 7 })
+        ));
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub fn to_hex_string(data: &[u8]) -> String {
 pub fn from_hex_string(text: &str) -> Option<Vec<u8>> {
     let mut out = Vec::new();
     for token in text.split_whitespace() {
-        if token.len() != 2 {
+        // `u8::from_str_radix` accepts a sign prefix ("+f" parses as 15),
+        // which a hex dump never contains — require two actual hex digits.
+        if token.len() != 2 || !token.bytes().all(|b| b.is_ascii_hexdigit()) {
             return None;
         }
         out.push(u8::from_str_radix(token, 16).ok()?);
@@ -130,6 +132,17 @@ mod tests {
         assert!(from_hex_string("0").is_none());
         assert!(from_hex_string("000").is_none());
         assert_eq!(from_hex_string("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn from_hex_rejects_sign_prefixed_tokens() {
+        // Regression: `u8::from_str_radix` accepts a sign prefix, so "+f"
+        // (two bytes, passes the length check) silently parsed as 0x0f.
+        // No hex dump contains signs — such tokens mean corrupt input.
+        assert!(from_hex_string("+f").is_none());
+        assert!(from_hex_string("-1").is_none());
+        assert!(from_hex_string("0b +4 16").is_none());
+        assert!(from_hex_string("0x").is_none());
     }
 
     #[test]

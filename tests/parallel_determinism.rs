@@ -12,9 +12,11 @@
 //!    recodings (0, 1, n−1).
 
 use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
+use blap::link_key_extraction::ExtractionScenario;
 use blap::runner::{seed_for, Jobs};
-use blap_bench::run_table2_with;
+use blap_bench::{run_table1_observed_with, run_table2_observed_with, run_table2_with};
 use blap_crypto::p256::{generator, group_order, KeyPair, Point, Scalar};
+use blap_obs::{FlightRecorder, Tracer};
 use proptest::prelude::*;
 
 #[test]
@@ -34,6 +36,74 @@ fn table2_seed_still_drives_the_experiment() {
     let a = run_table2_with(1701, 6, Jobs::new(4));
     let b = run_table2_with(90210, 6, Jobs::new(4));
     assert_ne!(a, b, "seed change must alter the sampled rows");
+}
+
+#[test]
+fn table2_observability_artifacts_identical_across_worker_counts() {
+    // The tentpole guarantee: not just the rows but the *observability
+    // artifacts* — the JSONL trace and the merged metrics document — must
+    // be byte-identical at any worker count, because CI diffs them.
+    let serial = run_table2_observed_with(1701, 3, Jobs::serial());
+    assert!(!serial.trace.is_empty(), "trace must capture events");
+    assert!(!serial.metrics.is_empty(), "metrics must capture counters");
+    let serial_metrics = serial.metrics.to_json();
+    for jobs in [4, 8] {
+        let parallel = run_table2_observed_with(1701, 3, Jobs::new(jobs));
+        assert_eq!(parallel.rows, serial.rows, "{jobs} jobs rows diverged");
+        assert_eq!(
+            parallel.trace, serial.trace,
+            "{jobs} jobs trace diverged from serial"
+        );
+        assert_eq!(
+            parallel.metrics.to_json(),
+            serial_metrics,
+            "{jobs} jobs metrics diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn table2_observed_rows_match_unobserved_rows() {
+    // Attaching observability must not perturb the experiment itself.
+    let observed = run_table2_observed_with(1701, 3, Jobs::new(4));
+    assert_eq!(observed.rows, run_table2_with(1701, 3, Jobs::new(4)));
+}
+
+#[test]
+fn table1_observability_artifacts_identical_across_worker_counts() {
+    let serial = run_table1_observed_with(1701, Jobs::serial());
+    assert!(!serial.trace.is_empty());
+    let serial_metrics = serial.metrics.to_json();
+    for jobs in [4, 8] {
+        let parallel = run_table1_observed_with(1701, Jobs::new(jobs));
+        assert_eq!(parallel.trace, serial.trace, "{jobs} jobs trace diverged");
+        assert_eq!(parallel.metrics.to_json(), serial_metrics);
+    }
+}
+
+#[test]
+fn flight_recorder_captures_extraction_tail() {
+    // The debugging loop ISSUE 2 targets: run a world with a flight
+    // recorder armed, and the ring buffer holds the (bounded) event tail
+    // ready to print if an assertion below were to fail.
+    let tracer = Tracer::new();
+    let recorder = FlightRecorder::new(64);
+    tracer.attach(recorder.clone());
+    let _guard = recorder.dump_on_assert(16);
+
+    let (report, metrics) =
+        ExtractionScenario::new(blap_sim::profiles::nexus_5x_a8(), 1).run_observed(&tracer);
+    assert!(report.vulnerable());
+    assert!(
+        recorder.total_recorded() > 64,
+        "a full run emits many events"
+    );
+    assert_eq!(recorder.len(), 64, "ring buffer stays at capacity");
+    assert!(metrics.counter("pages_connected") > 0);
+    assert!(metrics.counter("dev1.snoop_packets") > 0);
+    let dump = recorder.dump(4);
+    assert!(dump.starts_with("--- flight recorder"));
+    assert_eq!(dump.lines().count(), 6, "header + 4 events + footer");
 }
 
 #[test]

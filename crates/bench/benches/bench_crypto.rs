@@ -61,6 +61,15 @@ fn bench_pairing_functions(c: &mut Criterion) {
         b.iter(|| ssp::secure_authentication_response(black_box(&key), a1, a2, &n1, &n2))
     });
     group.bench_function("legacy_e1", |b| b.iter(|| e1::e1(black_box(&key), &n1, a1)));
+    group.bench_function("legacy_e1_reused_schedules", |b| {
+        // The E1Key context expands both SAFER+ schedules once; the gap to
+        // `legacy_e1` is the per-call key-expansion cost.
+        let ctx = e1::E1Key::new(&key);
+        b.iter(|| black_box(&ctx).e1(&n1, a1))
+    });
+    group.bench_function("legacy_e22", |b| {
+        b.iter(|| e1::e22(black_box(&n1), b"1234", a1))
+    });
     group.finish();
 }
 
@@ -81,6 +90,24 @@ fn bench_link_encryption(c: &mut Criterion) {
     let ct = ccm::encrypt(&key, &nonce, b"hd", &payload).expect("fits");
     group.bench_function("ccm_decrypt_64B", |b| {
         b.iter(|| ccm::decrypt(&key, &nonce, b"hd", black_box(&ct)).expect("valid"))
+    });
+    // Context-reuse variants: the session key is fixed, so the AES key
+    // schedule is expanded once — the shape of the eavesdrop kernel and
+    // the sniffer's per-link encryption.
+    let ccm_ctx = ccm::Ccm::new(&key);
+    group.bench_function("ccm_seal_64B_reused_key", |b| {
+        b.iter(|| {
+            black_box(&ccm_ctx)
+                .seal(&nonce, b"hd", black_box(&payload))
+                .expect("fits")
+        })
+    });
+    group.bench_function("ccm_open_64B_reused_key", |b| {
+        b.iter(|| {
+            black_box(&ccm_ctx)
+                .open(&nonce, b"hd", black_box(&ct))
+                .expect("valid")
+        })
     });
     group.finish();
 }

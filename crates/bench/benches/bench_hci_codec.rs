@@ -43,6 +43,20 @@ fn bench_codec(c: &mut Criterion) {
                 .sum::<usize>()
         })
     });
+    group.bench_function("encode_into_4_packets", |b| {
+        // The zero-alloc steady-state path: one warm scratch buffer reused
+        // across every packet, as `Device::record_hci` does.
+        let mut buf = Vec::with_capacity(64);
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &pkts {
+                buf.clear();
+                black_box(p).encode_into(&mut buf);
+                total += buf.len();
+            }
+            total
+        })
+    });
     let encoded: Vec<Vec<u8>> = pkts.iter().map(|p| p.encode()).collect();
     group.bench_function("decode_4_packets", |b| {
         b.iter(|| {

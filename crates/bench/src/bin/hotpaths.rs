@@ -1,0 +1,223 @@
+//! Hot-path benchmark summary: one JSON artifact (`BENCH_hotpaths.json`)
+//! covering the kernels the perf work targets — HCI encode/decode, the
+//! AES-CCM link cipher, legacy `E1` and the pincrack candidate loop — plus
+//! end-to-end wall times for the table drivers.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! BLAP_METRICS_WALL=1 cargo run --release -p blap-bench --bin hotpaths > BENCH_hotpaths.json
+//! ```
+//!
+//! `BLAP_METRICS_WALL=1` additionally folds the per-unit wall-time
+//! histograms the observed runners record into the `wall_ms` section
+//! (without it those fields are `null`; the deterministic artifacts the
+//! tables emit never contain wall times, which is why the flag exists).
+//!
+//! Numbers are medians over several timed batches — stable enough to spot
+//! multi-x regressions, not a substitute for the Criterion benches
+//! (`cargo bench -p blap-bench`) when microsecond precision matters.
+
+use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
+use blap::runner::Jobs;
+use blap_crypto::{aes::Aes128, ccm, e1};
+use blap_hci::{Command, Event, HciPacket};
+use blap_types::{BdAddr, ConnectionHandle, LinkKey, LinkKeyType};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median ns/op over `SAMPLES` batches of `iters` calls each.
+fn ns_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
+    const SAMPLES: usize = 9;
+    // One warm-up batch so lazy tables and allocator warm-up don't skew
+    // the first sample.
+    for _ in 0..iters {
+        op();
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let started = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            started.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[SAMPLES / 2]
+}
+
+fn sample_packets() -> Vec<HciPacket> {
+    let addr: BdAddr = "00:1b:7d:da:71:0a".parse().expect("valid");
+    let key: LinkKey = "c4f16e949f04ee9c0fd6b1023389c324".parse().expect("valid");
+    vec![
+        HciPacket::Command(Command::CreateConnection {
+            bd_addr: addr,
+            allow_role_switch: true,
+        }),
+        HciPacket::Command(Command::LinkKeyRequestReply {
+            bd_addr: addr,
+            link_key: key,
+        }),
+        HciPacket::Event(Event::ConnectionComplete {
+            status: blap_hci::StatusCode::Success,
+            handle: ConnectionHandle::new(6),
+            bd_addr: addr,
+            encryption_enabled: false,
+        }),
+        HciPacket::Event(Event::LinkKeyNotification {
+            bd_addr: addr,
+            link_key: key,
+            key_type: LinkKeyType::UnauthenticatedP256,
+        }),
+        HciPacket::AclData(blap_hci::AclData::new(
+            ConnectionHandle::new(6),
+            vec![0x5A; 48],
+        )),
+    ]
+}
+
+fn json_number(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+fn json_opt(value: Option<f64>) -> String {
+    value.map(json_number).unwrap_or_else(|| "null".into())
+}
+
+fn main() {
+    let jobs = Jobs::from_env();
+    let wall_metrics = std::env::var("BLAP_METRICS_WALL").is_ok_and(|v| v == "1");
+
+    // --- Kernel micro-timings -------------------------------------------
+    let pkts = sample_packets();
+    let mut buf = Vec::with_capacity(64);
+    let hci_encode_into = ns_per_op(20_000, || {
+        for p in &pkts {
+            buf.clear();
+            black_box(p).encode_into(&mut buf);
+            black_box(buf.len());
+        }
+    }) / pkts.len() as f64;
+    let hci_encode_alloc = ns_per_op(20_000, || {
+        for p in &pkts {
+            black_box(black_box(p).encode().len());
+        }
+    }) / pkts.len() as f64;
+    let encoded: Vec<Vec<u8>> = pkts.iter().map(|p| p.encode()).collect();
+    let hci_decode = ns_per_op(20_000, || {
+        for bytes in &encoded {
+            black_box(HciPacket::decode(black_box(bytes)).expect("valid"));
+        }
+    }) / encoded.len() as f64;
+
+    let aes = Aes128::new(&[0x42; 16]);
+    let block = [0xA5u8; 16];
+    let aes_block = ns_per_op(100_000, || {
+        black_box(aes.encrypt_block(black_box(&block)));
+    });
+
+    let ccm_key = [0x42u8; 16];
+    let nonce = [7u8; 13];
+    let payload = vec![0x5Au8; 64];
+    let ccm_ctx = ccm::Ccm::new(&ccm_key);
+    let sealed = ccm_ctx.seal(&nonce, b"hd", &payload).expect("fits");
+    let ccm_seal = ns_per_op(20_000, || {
+        black_box(
+            black_box(&ccm_ctx)
+                .seal(&nonce, b"hd", black_box(&payload))
+                .expect("fits"),
+        );
+    });
+    let ccm_open = ns_per_op(20_000, || {
+        black_box(
+            black_box(&ccm_ctx)
+                .open(&nonce, b"hd", black_box(&sealed))
+                .expect("valid"),
+        );
+    });
+
+    let e1_key: LinkKey = "71a70981f30d6af9e20adee8aafe3264".parse().expect("valid");
+    let e1_addr: BdAddr = "aa:aa:aa:aa:aa:aa".parse().expect("valid");
+    let e1_rand = [1u8; 16];
+    let legacy_e1 = ns_per_op(20_000, || {
+        black_box(e1::e1(black_box(&e1_key), &e1_rand, e1_addr));
+    });
+
+    // Per-candidate pincrack cost: a full 4-digit-space scan for a PIN
+    // near the end of the space, divided by the attempts it reports.
+    let capture = LegacyPairingCapture::synthesize(
+        "11:11:11:11:11:11".parse().expect("valid"),
+        "00:1b:7d:da:71:0a".parse().expect("valid"),
+        b"8527",
+        [0xA1; 16],
+        [0xB2; 16],
+        [0xC3; 16],
+        [0xD4; 16],
+    );
+    let serial = Jobs::serial();
+    let warm = crack_numeric_pin_with(&capture, 4, serial).expect("found");
+    let crack_started = Instant::now();
+    const CRACK_REPS: u32 = 3;
+    for _ in 0..CRACK_REPS {
+        black_box(crack_numeric_pin_with(black_box(&capture), 4, serial).expect("found"));
+    }
+    let pincrack_wall = crack_started.elapsed().as_secs_f64() * 1e3 / f64::from(CRACK_REPS);
+    let pincrack_candidate = pincrack_wall * 1e6 / warm.attempts as f64;
+
+    // --- End-to-end wall times ------------------------------------------
+    let t1_started = Instant::now();
+    let t1 = blap_bench::run_table1_observed_with(2022, jobs);
+    let table1_wall = t1_started.elapsed().as_secs_f64() * 1e3;
+    let t2_started = Instant::now();
+    let t2 = blap_bench::run_table2_observed_with(2022, 4, jobs);
+    let table2_wall = t2_started.elapsed().as_secs_f64() * 1e3;
+    assert!(!t1.rows.is_empty() && !t2.rows.is_empty());
+
+    // With BLAP_METRICS_WALL=1 the observed runners also record per-unit
+    // wall histograms; their sums measure time inside units (excluding
+    // scheduling), worth having next to the end-to-end number.
+    let unit_wall_ms = |metrics: &blap_obs::Metrics| {
+        metrics
+            .histogram("unit_wall_us")
+            .map(|h| h.sum() as f64 / 1e3)
+    };
+
+    println!("{{");
+    println!("  \"schema\": \"blap-bench-hotpaths-v1\",");
+    println!("  \"jobs\": {},", jobs.get());
+    println!("  \"metrics_wall\": {wall_metrics},");
+    println!("  \"ns_per_op\": {{");
+    println!(
+        "    \"hci_encode_into_packet\": {},",
+        json_number(hci_encode_into)
+    );
+    println!(
+        "    \"hci_encode_alloc_packet\": {},",
+        json_number(hci_encode_alloc)
+    );
+    println!("    \"hci_decode_packet\": {},", json_number(hci_decode));
+    println!("    \"aes128_encrypt_block\": {},", json_number(aes_block));
+    println!("    \"ccm_seal_64b\": {},", json_number(ccm_seal));
+    println!("    \"ccm_open_64b\": {},", json_number(ccm_open));
+    println!("    \"legacy_e1\": {},", json_number(legacy_e1));
+    println!(
+        "    \"pincrack_candidate\": {}",
+        json_number(pincrack_candidate)
+    );
+    println!("  }},");
+    println!("  \"wall_ms\": {{");
+    println!("    \"table1\": {},", json_number(table1_wall));
+    println!(
+        "    \"table1_units\": {},",
+        json_opt(unit_wall_ms(&t1.metrics))
+    );
+    println!("    \"table2_trials4\": {},", json_number(table2_wall));
+    println!(
+        "    \"table2_units\": {},",
+        json_opt(unit_wall_ms(&t2.metrics))
+    );
+    println!("    \"pincrack_4digit\": {}", json_number(pincrack_wall));
+    println!("  }}");
+    println!("}}");
+}

@@ -157,6 +157,10 @@ pub fn decrypt_capture(
     //    frame's position in the capture. The handle is not sniffable at
     //    this layer, so brute-force the 1-byte handles the simulation
     //    allocates — a real attacker reads it from the baseband header.
+    //    One CCM context serves the whole capture: the session key is
+    //    fixed, so the AES key schedule is expanded once, not per
+    //    frame × handle attempt.
+    let ccm = ccm::Ccm::new(&enc_key);
     let mut plaintexts = Vec::new();
     for frame in frames {
         if let SniffedFrame::Acl {
@@ -168,7 +172,7 @@ pub fn decrypt_capture(
         {
             let nonce = ccm::acl_nonce(*packet_counter, verifier);
             for handle in 1u16..=8 {
-                if let Ok(plain) = ccm::decrypt(&enc_key, &nonce, &handle.to_le_bytes(), data) {
+                if let Ok(plain) = ccm.open(&nonce, &handle.to_le_bytes(), data) {
                     plaintexts.push(plain);
                     break;
                 }

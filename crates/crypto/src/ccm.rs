@@ -61,18 +61,30 @@ fn cbc_mac(aes: &Aes128, nonce: &[u8; NONCE_LEN], aad: &[u8], payload: &[u8]) ->
 
     let mut x = aes.encrypt_block(&b0);
 
-    // Associated data, prefixed with its 2-byte length, zero-padded.
+    // Associated data, prefixed with its 2-byte length, zero-padded. ACL
+    // AAD is a 2-byte handle, so the one-block fast path avoids building a
+    // temporary header Vec per MAC.
     if !aad.is_empty() {
-        let mut header = Vec::with_capacity(2 + aad.len());
-        header.extend_from_slice(&(aad.len() as u16).to_be_bytes());
-        header.extend_from_slice(aad);
-        for chunk in header.chunks(16) {
+        if aad.len() <= 14 {
             let mut block = [0u8; 16];
-            block[..chunk.len()].copy_from_slice(chunk);
+            block[..2].copy_from_slice(&(aad.len() as u16).to_be_bytes());
+            block[2..2 + aad.len()].copy_from_slice(aad);
             for i in 0..16 {
                 block[i] ^= x[i];
             }
             x = aes.encrypt_block(&block);
+        } else {
+            let mut header = Vec::with_capacity(2 + aad.len());
+            header.extend_from_slice(&(aad.len() as u16).to_be_bytes());
+            header.extend_from_slice(aad);
+            for chunk in header.chunks(16) {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                for i in 0..16 {
+                    block[i] ^= x[i];
+                }
+                x = aes.encrypt_block(&block);
+            }
         }
     }
 
@@ -91,8 +103,111 @@ fn cbc_mac(aes: &Aes128, nonce: &[u8; NONCE_LEN], aad: &[u8], payload: &[u8]) ->
     tag
 }
 
+/// A CCM context with the AES key schedule expanded once.
+///
+/// The free [`encrypt`]/[`decrypt`] functions expand the 11 round keys on
+/// every call; a long-lived `Ccm` pays that cost once per session key. The
+/// eavesdropping kernel decrypts every captured frame under the same
+/// session key, so it keeps one of these per candidate key instead of
+/// re-deriving the schedule per frame.
+#[derive(Clone, Debug)]
+pub struct Ccm {
+    aes: Aes128,
+}
+
+impl Ccm {
+    /// Expands `key` into a reusable CCM context.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Ccm {
+            aes: Aes128::new(key),
+        }
+    }
+
+    /// Encrypts `payload` with associated data `aad`, returning
+    /// `ciphertext || tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcmError::PayloadTooLong`] for payloads over 65535 bytes.
+    pub fn seal(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        payload: &[u8],
+    ) -> Result<Vec<u8>, CcmError> {
+        if payload.len() > u16::MAX as usize {
+            return Err(CcmError::PayloadTooLong);
+        }
+        let raw_tag = cbc_mac(&self.aes, nonce, aad, payload);
+
+        let mut out = Vec::with_capacity(payload.len() + TAG_LEN);
+        // CTR encryption of the payload, counters 1..
+        for (i, chunk) in payload.chunks(16).enumerate() {
+            let keystream = ctr_block(&self.aes, nonce, (i + 1) as u16);
+            for (j, byte) in chunk.iter().enumerate() {
+                out.push(byte ^ keystream[j]);
+            }
+        }
+        // Tag encrypted with counter 0.
+        let a0 = ctr_block(&self.aes, nonce, 0);
+        for i in 0..TAG_LEN {
+            out.push(raw_tag[i] ^ a0[i]);
+        }
+        Ok(out)
+    }
+
+    /// Decrypts `ciphertext || tag`, verifying the tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcmError::Truncated`] for inputs shorter than a tag and
+    /// [`CcmError::TagMismatch`] when authentication fails (wrong key,
+    /// wrong nonce, or tampered data).
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+    ) -> Result<Vec<u8>, CcmError> {
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(CcmError::Truncated);
+        }
+        let (ciphertext, tag) = ciphertext_and_tag.split_at(ciphertext_and_tag.len() - TAG_LEN);
+
+        let mut payload = vec![0u8; ciphertext.len()];
+        for (i, (chunk_out, chunk_in)) in payload
+            .chunks_mut(16)
+            .zip(ciphertext.chunks(16))
+            .enumerate()
+        {
+            let keystream = ctr_block(&self.aes, nonce, (i + 1) as u16);
+            for (j, byte) in chunk_out.iter_mut().enumerate() {
+                *byte = chunk_in[j] ^ keystream[j];
+            }
+        }
+
+        let expected = cbc_mac(&self.aes, nonce, aad, &payload);
+        let a0 = ctr_block(&self.aes, nonce, 0);
+        let mut received = [0u8; TAG_LEN];
+        for i in 0..TAG_LEN {
+            received[i] = tag[i] ^ a0[i];
+        }
+        // Constant-time-ish comparison (enough for a simulation).
+        let diff = expected
+            .iter()
+            .zip(&received)
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+        if diff != 0 {
+            return Err(CcmError::TagMismatch);
+        }
+        Ok(payload)
+    }
+}
+
 /// Encrypts `payload` with associated data `aad`, returning
 /// `ciphertext || tag`.
+///
+/// One-shot form of [`Ccm::seal`]; expands the key schedule per call.
 ///
 /// # Errors
 ///
@@ -103,29 +218,12 @@ pub fn encrypt(
     aad: &[u8],
     payload: &[u8],
 ) -> Result<Vec<u8>, CcmError> {
-    if payload.len() > u16::MAX as usize {
-        return Err(CcmError::PayloadTooLong);
-    }
-    let aes = Aes128::new(key);
-    let raw_tag = cbc_mac(&aes, nonce, aad, payload);
-
-    let mut out = Vec::with_capacity(payload.len() + TAG_LEN);
-    // CTR encryption of the payload, counters 1..
-    for (i, chunk) in payload.chunks(16).enumerate() {
-        let keystream = ctr_block(&aes, nonce, (i + 1) as u16);
-        for (j, byte) in chunk.iter().enumerate() {
-            out.push(byte ^ keystream[j]);
-        }
-    }
-    // Tag encrypted with counter 0.
-    let a0 = ctr_block(&aes, nonce, 0);
-    for i in 0..TAG_LEN {
-        out.push(raw_tag[i] ^ a0[i]);
-    }
-    Ok(out)
+    Ccm::new(key).seal(nonce, aad, payload)
 }
 
 /// Decrypts `ciphertext || tag`, verifying the tag.
+///
+/// One-shot form of [`Ccm::open`]; expands the key schedule per call.
 ///
 /// # Errors
 ///
@@ -138,35 +236,7 @@ pub fn decrypt(
     aad: &[u8],
     ciphertext_and_tag: &[u8],
 ) -> Result<Vec<u8>, CcmError> {
-    if ciphertext_and_tag.len() < TAG_LEN {
-        return Err(CcmError::Truncated);
-    }
-    let (ciphertext, tag) = ciphertext_and_tag.split_at(ciphertext_and_tag.len() - TAG_LEN);
-    let aes = Aes128::new(key);
-
-    let mut payload = Vec::with_capacity(ciphertext.len());
-    for (i, chunk) in ciphertext.chunks(16).enumerate() {
-        let keystream = ctr_block(&aes, nonce, (i + 1) as u16);
-        for (j, byte) in chunk.iter().enumerate() {
-            payload.push(byte ^ keystream[j]);
-        }
-    }
-
-    let expected = cbc_mac(&aes, nonce, aad, &payload);
-    let a0 = ctr_block(&aes, nonce, 0);
-    let mut received = [0u8; TAG_LEN];
-    for i in 0..TAG_LEN {
-        received[i] = tag[i] ^ a0[i];
-    }
-    // Constant-time-ish comparison (enough for a simulation).
-    let diff = expected
-        .iter()
-        .zip(&received)
-        .fold(0u8, |acc, (a, b)| acc | (a ^ b));
-    if diff != 0 {
-        return Err(CcmError::TagMismatch);
-    }
-    Ok(payload)
+    Ccm::new(key).open(nonce, aad, ciphertext_and_tag)
 }
 
 /// Builds the simulation's 13-byte ACL nonce from a packet counter and the
@@ -202,6 +272,19 @@ mod tests {
             let pt = decrypt(&key(), &nonce(1), b"header", &ct).unwrap();
             assert_eq!(pt, payload, "length {len}");
         }
+    }
+
+    #[test]
+    fn long_aad_round_trips_and_differs_from_short() {
+        // > 14 bytes exercises the multi-block AAD path; both paths must
+        // agree with each other only through the tag semantics.
+        let long_aad = [0x31u8; 40];
+        let ct = encrypt(&key(), &nonce(11), &long_aad, b"payload").unwrap();
+        assert_eq!(
+            decrypt(&key(), &nonce(11), &long_aad, &ct).unwrap(),
+            b"payload"
+        );
+        assert!(decrypt(&key(), &nonce(11), &long_aad[..14], &ct).is_err());
     }
 
     #[test]
@@ -249,6 +332,19 @@ mod tests {
         let c1 = encrypt(&key(), &nonce(7), b"", p).unwrap();
         let c2 = encrypt(&key(), &nonce(8), b"", p).unwrap();
         assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn context_matches_one_shot_functions() {
+        let ccm = Ccm::new(&key());
+        for len in [0usize, 1, 16, 33, 100] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let one_shot = encrypt(&key(), &nonce(9), b"aad", &payload).unwrap();
+            let sealed = ccm.seal(&nonce(9), b"aad", &payload).unwrap();
+            assert_eq!(sealed, one_shot, "length {len}");
+            assert_eq!(ccm.open(&nonce(9), b"aad", &sealed).unwrap(), payload);
+        }
+        assert!(ccm.open(&nonce(10), b"aad", &[0u8; 4]).is_err());
     }
 
     #[test]

@@ -48,11 +48,62 @@ pub struct E1Output {
     pub aco: [u8; 12],
 }
 
+/// A link key with both SAFER+ schedules (`K` and the offset K̃) expanded
+/// once, for callers that run `E1`/`E3` repeatedly under the same key —
+/// mutual authentication runs both directions, and `E3` follows `E1` on
+/// every encryption start, each needing the same two schedules.
+#[derive(Clone, Debug)]
+pub struct E1Key {
+    sched: KeySchedule,
+    sched_tilde: KeySchedule,
+}
+
+impl E1Key {
+    /// Expands both schedules for `key`.
+    pub fn new(key: &LinkKey) -> Self {
+        let k = key.to_bytes();
+        E1Key {
+            sched: KeySchedule::new(&k),
+            sched_tilde: KeySchedule::new(&offset_key(&k)),
+        }
+    }
+
+    /// `E1` with the pre-expanded schedules (see [`e1`]).
+    pub fn e1(&self, rand: &[u8; 16], address: BdAddr) -> E1Output {
+        let stage1 = encrypt(&self.sched, rand);
+        // (Ar(K, RAND) XOR RAND) +16 expanded-address
+        let addr_ext = expand_addr(address);
+        let mut input2 = [0u8; 16];
+        for i in 0..16 {
+            input2[i] = (stage1[i] ^ rand[i]).wrapping_add(addr_ext[i]);
+        }
+        let out = encrypt_prime(&self.sched_tilde, &input2);
+        let mut sres = [0u8; 4];
+        sres.copy_from_slice(&out[..4]);
+        let mut aco = [0u8; 12];
+        aco.copy_from_slice(&out[4..16]);
+        E1Output { sres, aco }
+    }
+
+    /// `E3` with the pre-expanded schedules (see [`e3`]).
+    pub fn e3(&self, rand: &[u8; 16], cof: &[u8; 12]) -> [u8; 16] {
+        let stage1 = encrypt(&self.sched, rand);
+        let cof_ext = expand_cof(cof);
+        let mut input2 = [0u8; 16];
+        for i in 0..16 {
+            input2[i] = (stage1[i] ^ rand[i]).wrapping_add(cof_ext[i]);
+        }
+        encrypt_prime(&self.sched_tilde, &input2)
+    }
+}
+
 /// `E1(K, RAND, BD_ADDR)` — the legacy LMP challenge-response function.
 ///
 /// The verifier sends `RAND`; the prover (and the verifier locally) compute
 /// `E1` over the shared link key and the *claimant's* address, compare
 /// `SRES`, and keep `ACO` for encryption-key derivation.
+///
+/// One-shot form of [`E1Key::e1`]; expands both key schedules per call.
 ///
 /// # Examples
 ///
@@ -67,21 +118,7 @@ pub struct E1Output {
 /// assert_eq!(verifier.sres, prover.sres);
 /// ```
 pub fn e1(key: &LinkKey, rand: &[u8; 16], address: BdAddr) -> E1Output {
-    let k = key.to_bytes();
-    let stage1 = encrypt(&KeySchedule::new(&k), rand);
-    // (Ar(K, RAND) XOR RAND) +16 expanded-address
-    let addr_ext = expand_addr(address);
-    let mut input2 = [0u8; 16];
-    for i in 0..16 {
-        input2[i] = (stage1[i] ^ rand[i]).wrapping_add(addr_ext[i]);
-    }
-    let k_tilde = offset_key(&k);
-    let out = encrypt_prime(&KeySchedule::new(&k_tilde), &input2);
-    let mut sres = [0u8; 4];
-    sres.copy_from_slice(&out[..4]);
-    let mut aco = [0u8; 12];
-    aco.copy_from_slice(&out[4..16]);
-    E1Output { sres, aco }
+    E1Key::new(key).e1(rand, address)
 }
 
 /// `E21(RAND, BD_ADDR)` — legacy unit/combination key generation.
@@ -107,14 +144,18 @@ pub fn e22(rand: &[u8; 16], pin: &[u8], address: BdAddr) -> LinkKey {
         pin.len()
     );
     let addr = address.to_bytes();
-    let mut pin_aug = pin.to_vec();
-    for byte in addr.iter().take(16 - pin.len().min(16)) {
-        if pin_aug.len() == 16 {
+    // Augment the PIN with address bytes up to 16 total, in a fixed buffer
+    // — `pincrack` calls this once per candidate, so no per-call Vec.
+    let mut pin_aug = [0u8; 16];
+    pin_aug[..pin.len()].copy_from_slice(pin);
+    let mut l = pin.len();
+    for byte in addr.iter() {
+        if l == 16 {
             break;
         }
-        pin_aug.push(*byte);
+        pin_aug[l] = *byte;
+        l += 1;
     }
-    let l = pin_aug.len();
     let x: [u8; 16] = core::array::from_fn(|i| pin_aug[i % l]);
     let mut y = *rand;
     y[15] ^= l as u8;
@@ -124,16 +165,10 @@ pub fn e22(rand: &[u8; 16], pin: &[u8], address: BdAddr) -> LinkKey {
 /// `E3(K, RAND, COF)` — legacy encryption key generation from the link key,
 /// a public random number and the ciphering offset (the ACO from `E1`, or
 /// the central's address for broadcast encryption).
+///
+/// One-shot form of [`E1Key::e3`]; expands both key schedules per call.
 pub fn e3(key: &LinkKey, rand: &[u8; 16], cof: &[u8; 12]) -> [u8; 16] {
-    let k = key.to_bytes();
-    let stage1 = encrypt(&KeySchedule::new(&k), rand);
-    let cof_ext = expand_cof(cof);
-    let mut input2 = [0u8; 16];
-    for i in 0..16 {
-        input2[i] = (stage1[i] ^ rand[i]).wrapping_add(cof_ext[i]);
-    }
-    let k_tilde = offset_key(&k);
-    encrypt_prime(&KeySchedule::new(&k_tilde), &input2)
+    E1Key::new(key).e3(rand, cof)
 }
 
 #[cfg(test)]
@@ -197,6 +232,29 @@ mod tests {
         let k1 = e3(&key(), &rand, &[1u8; 12]);
         let k2 = e3(&key(), &rand, &[2u8; 12]);
         assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn e1key_context_matches_one_shot_functions() {
+        let ctx = E1Key::new(&key());
+        for seed in [0u8, 0x5A, 0xFF] {
+            let rand = [seed; 16];
+            assert_eq!(ctx.e1(&rand, addr()), e1(&key(), &rand, addr()));
+            assert_eq!(ctx.e3(&rand, &[seed; 12]), e3(&key(), &rand, &[seed; 12]));
+        }
+    }
+
+    #[test]
+    fn e22_short_pin_augmentation_caps_at_sixteen_bytes() {
+        // A 12-byte PIN only has room for 4 of the 6 address bytes; the
+        // fixed-buffer augmentation must stop at 16 exactly like the old
+        // Vec-based path did.
+        let rand = [7u8; 16];
+        let k12 = e22(&rand, b"012345678901", addr());
+        let k16 = e22(&rand, b"0123456789012345", addr());
+        assert_ne!(k12, k16);
+        // Deterministic across calls (buffer reuse leaks nothing).
+        assert_eq!(k12, e22(&rand, b"012345678901", addr()));
     }
 
     #[test]

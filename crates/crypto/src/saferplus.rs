@@ -30,24 +30,45 @@ const XOR_POSITIONS: [bool; 16] = [
     false, true,
 ];
 
-fn exp_tables() -> (&'static [u8; 256], &'static [u8; 256]) {
+/// Precomputed cipher tables: the exp/log S-boxes plus the key-schedule
+/// bias words `B[p][i] = exp[exp[(17p + i + 1) mod 257 mod 256]]` for
+/// p = 2..=17, which are key-independent and were previously recomputed —
+/// two chained S-box lookups and two modular reductions per byte — on
+/// every key expansion. `pincrack` expands five schedules per candidate
+/// PIN, so this table is squarely on the per-candidate hot path.
+struct SaferTables {
+    exp: [u8; 256],
+    log: [u8; 256],
+    biases: [[u8; 16]; 16],
+}
+
+fn safer_tables() -> &'static SaferTables {
     use std::sync::OnceLock;
-    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
-    let (exp, log) = TABLES.get_or_init(|| {
+    static TABLES: OnceLock<SaferTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
         let mut exp = [0u8; 256];
         let mut log = [0u8; 256];
         let mut value: u32 = 1;
-        for (i, e) in exp.iter_mut().enumerate() {
+        for e in exp.iter_mut() {
             *e = (value % 256) as u8; // 256 ≡ 0 (only at i = 128)
-            let _ = i;
             value = value * 45 % 257;
         }
         for i in 0..256 {
             log[exp[i] as usize] = i as u8;
         }
-        (exp, log)
-    });
-    (exp, log)
+        let mut biases = [[0u8; 16]; 16];
+        for p in 2..=17usize {
+            for i in 0..16 {
+                biases[p - 2][i] = exp[exp[(17 * p + i + 1) % 257 % 256] as usize];
+            }
+        }
+        SaferTables { exp, log, biases }
+    })
+}
+
+fn exp_tables() -> (&'static [u8; 256], &'static [u8; 256]) {
+    let t = safer_tables();
+    (&t.exp, &t.log)
 }
 
 /// The 17 × 16-byte subkey schedule for a 128-bit key.
@@ -65,7 +86,7 @@ impl std::fmt::Debug for KeySchedule {
 impl KeySchedule {
     /// Expands a 128-bit key.
     pub fn new(key: &[u8; 16]) -> Self {
-        let (exp, _) = exp_tables();
+        let biases = &safer_tables().biases;
         // 17-byte register: key bytes plus their XOR checksum byte.
         let mut register = [0u8; 17];
         register[..16].copy_from_slice(key);
@@ -74,13 +95,27 @@ impl KeySchedule {
         let mut subkeys = [[0u8; 16]; 17];
         subkeys[0].copy_from_slice(&register[..16]);
 
+        // Subkey `p` reads the register after `p - 1` rotate-left-by-3
+        // passes, and per-byte rotations cycle mod 8 — so the eight
+        // distinct register states are computed straight from the original
+        // register (seven SWAR passes, no serial chain) instead of
+        // chaining sixteen dependent in-place rotations. Each is stored
+        // doubled so the mod-17 extraction window below is a contiguous
+        // 16-byte slice (a vector load plus bias add) instead of sixteen
+        // modular index computations.
+        let mut rotations = [[0u8; 34]; 8];
+        rotations[0][..17].copy_from_slice(&register);
+        rotations[0][17..].copy_from_slice(&register);
+        for r in 1..8u32 {
+            let rotated = rotl_each_byte(&register, r);
+            rotations[r as usize][..17].copy_from_slice(&rotated);
+            rotations[r as usize][17..].copy_from_slice(&rotated);
+        }
         for p in 2..=17usize {
-            for byte in register.iter_mut() {
-                *byte = byte.rotate_left(3);
-            }
+            let window = &rotations[3 * (p - 1) % 8][p - 1..p + 15];
+            let bias = &biases[p - 2];
             for i in 0..16 {
-                let bias = exp[exp[(17 * p + i + 1) % 257 % 256] as usize];
-                subkeys[p - 1][i] = register[(p - 1 + i) % 17].wrapping_add(bias);
+                subkeys[p - 1][i] = window[i].wrapping_add(bias[i]);
             }
         }
         KeySchedule { subkeys }
@@ -89,6 +124,25 @@ impl KeySchedule {
     fn subkey(&self, i: usize) -> &[u8; 16] {
         &self.subkeys[i]
     }
+}
+
+/// Rotates every byte of the key register left by `r` bits (1..=7),
+/// SWAR-style: the register is processed as two 8-byte words plus a tail
+/// byte, with the bit groups masked so no byte's bits cross into its
+/// neighbour. Native byte order is fine — the masks are splatted and each
+/// byte's rotation is independent of its position in the word.
+fn rotl_each_byte(register: &[u8; 17], r: u32) -> [u8; 17] {
+    debug_assert!((1..8).contains(&r));
+    let keep = u64::from_ne_bytes([0xFF >> r; 8]); // bits that move up by r
+    let wrap = u64::from_ne_bytes([(1 << r) - 1; 8]); // bits that wrap down
+    let mut out = [0u8; 17];
+    for (dst, src) in out.chunks_exact_mut(8).zip(register.chunks_exact(8)) {
+        let w = u64::from_ne_bytes(src.try_into().expect("8-byte chunk"));
+        let rotated = ((w & keep) << r) | ((w >> (8 - r)) & wrap);
+        dst.copy_from_slice(&rotated.to_ne_bytes());
+    }
+    out[16] = register[16].rotate_left(r);
+    out
 }
 
 fn add_key_type1(state: &mut [u8; 16], key: &[u8; 16]) {
@@ -101,13 +155,25 @@ fn add_key_type1(state: &mut [u8; 16], key: &[u8; 16]) {
     }
 }
 
-fn add_key_type2(state: &mut [u8; 16], key: &[u8; 16]) {
+/// One fused SAFER+ substitution layer: key-addition 1, the exp/log
+/// S-box pass and key-addition 2 collapsed into a single sweep over the
+/// state instead of three. The per-position operation pairing (XOR→exp→add
+/// vs add→log→XOR) follows [`XOR_POSITIONS`]; [`decrypt`] still inverts
+/// each layer separately, so the encrypt/decrypt round-trip tests pin this
+/// fusion against the unfused composition.
+fn substitute_fused(
+    state: &mut [u8; 16],
+    k1: &[u8; 16],
+    k2: &[u8; 16],
+    exp: &[u8; 256],
+    log: &[u8; 256],
+) {
     for i in 0..16 {
-        if XOR_POSITIONS[i] {
-            state[i] = state[i].wrapping_add(key[i]);
+        state[i] = if XOR_POSITIONS[i] {
+            exp[(state[i] ^ k1[i]) as usize].wrapping_add(k2[i])
         } else {
-            state[i] ^= key[i];
-        }
+            log[state[i].wrapping_add(k1[i]) as usize] ^ k2[i]
+        };
     }
 }
 
@@ -128,17 +194,6 @@ fn sub_key_type1(state: &mut [u8; 16], key: &[u8; 16]) {
         } else {
             state[i] = state[i].wrapping_sub(key[i]);
         }
-    }
-}
-
-fn nonlinear_forward(state: &mut [u8; 16]) {
-    let (exp, log) = exp_tables();
-    for i in 0..16 {
-        state[i] = if XOR_POSITIONS[i] {
-            exp[state[i] as usize]
-        } else {
-            log[state[i] as usize]
-        };
     }
 }
 
@@ -197,6 +252,7 @@ pub fn encrypt_prime(key: &KeySchedule, block: &[u8; 16]) -> [u8; 16] {
 }
 
 fn run_rounds(key: &KeySchedule, block: &[u8; 16], reinject: Option<[u8; 16]>) -> [u8; 16] {
+    let (exp, log) = exp_tables();
     let mut state = *block;
     for round in 0..ROUNDS {
         if round == 2 {
@@ -204,9 +260,13 @@ fn run_rounds(key: &KeySchedule, block: &[u8; 16], reinject: Option<[u8; 16]>) -
                 add_key_type1(&mut state, &original);
             }
         }
-        add_key_type1(&mut state, key.subkey(2 * round));
-        nonlinear_forward(&mut state);
-        add_key_type2(&mut state, key.subkey(2 * round + 1));
+        substitute_fused(
+            &mut state,
+            key.subkey(2 * round),
+            key.subkey(2 * round + 1),
+            exp,
+            log,
+        );
         linear_forward(&mut state);
     }
     add_key_type1(&mut state, key.subkey(16));
@@ -246,6 +306,16 @@ mod tests {
         assert_eq!(exp[128], 0);
         assert_eq!(log[0], 128);
         assert_eq!(exp[0], 1);
+    }
+
+    #[test]
+    fn swar_rotate_matches_per_byte_rotate() {
+        let register: [u8; 17] = core::array::from_fn(|i| (i * 37 + 11) as u8);
+        for r in 1..8u32 {
+            let swar = rotl_each_byte(&register, r);
+            let reference: [u8; 17] = core::array::from_fn(|i| register[i].rotate_left(r));
+            assert_eq!(swar, reference, "rotation by {r}");
+        }
     }
 
     #[test]
@@ -295,6 +365,72 @@ mod tests {
             differing_bits >= 30,
             "weak avalanche: only {differing_bits} bits changed"
         );
+    }
+
+    #[test]
+    fn key_schedule_matches_inline_bias_reference() {
+        // The bias table hoists `exp[exp[(17p + i + 1) % 257 % 256]]` out
+        // of the expansion loop; this reference recomputes it inline (the
+        // pre-table code path) so a table regression cannot slip through
+        // the encrypt/decrypt round-trip tests, which any self-consistent
+        // schedule would pass.
+        fn reference_schedule(key: &[u8; 16]) -> [[u8; 16]; 17] {
+            let (exp, _) = exp_tables();
+            let mut register = [0u8; 17];
+            register[..16].copy_from_slice(key);
+            register[16] = key.iter().fold(0, |acc, b| acc ^ b);
+            let mut subkeys = [[0u8; 16]; 17];
+            subkeys[0].copy_from_slice(&register[..16]);
+            for p in 2..=17usize {
+                for byte in register.iter_mut() {
+                    *byte = byte.rotate_left(3);
+                }
+                for i in 0..16 {
+                    let bias = exp[exp[(17 * p + i + 1) % 257 % 256] as usize];
+                    subkeys[p - 1][i] = register[(p - 1 + i) % 17].wrapping_add(bias);
+                }
+            }
+            subkeys
+        }
+        for key in [
+            [0u8; 16],
+            [0xFF; 16],
+            core::array::from_fn(|i| (i * 31) as u8),
+        ] {
+            assert_eq!(KeySchedule::new(&key).subkeys, reference_schedule(&key));
+        }
+    }
+
+    #[test]
+    fn fused_substitution_matches_separate_layers() {
+        // Reference composition the fusion replaced: key-addition 1, the
+        // S-box pass, key-addition 2 as three sweeps.
+        let (exp, log) = exp_tables();
+        let k1: [u8; 16] = core::array::from_fn(|i| (i * 13 + 7) as u8);
+        let k2: [u8; 16] = core::array::from_fn(|i| (i * 29 + 3) as u8);
+        for seed in 0..8u8 {
+            let start: [u8; 16] =
+                core::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
+            let mut reference = start;
+            add_key_type1(&mut reference, &k1);
+            for i in 0..16 {
+                reference[i] = if XOR_POSITIONS[i] {
+                    exp[reference[i] as usize]
+                } else {
+                    log[reference[i] as usize]
+                };
+            }
+            for i in 0..16 {
+                if XOR_POSITIONS[i] {
+                    reference[i] = reference[i].wrapping_add(k2[i]);
+                } else {
+                    reference[i] ^= k2[i];
+                }
+            }
+            let mut fused = start;
+            substitute_fused(&mut fused, &k1, &k2, exp, log);
+            assert_eq!(fused, reference, "seed {seed}");
+        }
     }
 
     #[test]

@@ -174,29 +174,46 @@ impl Command {
 
     /// Encodes the command to its wire bytes (opcode, length, parameters).
     pub fn encode(&self) -> Vec<u8> {
-        let params = self.encode_params();
-        let mut out = Vec::with_capacity(3 + params.len());
-        out.extend_from_slice(&self.opcode().to_le_bytes());
-        out.push(params.len() as u8);
-        out.extend_from_slice(&params);
+        let mut out = Vec::with_capacity(3 + self.params_len_hint());
+        self.encode_into(&mut out);
         out
     }
 
-    fn encode_params(&self) -> Vec<u8> {
+    /// Appends the wire bytes to `out` without allocating (given capacity).
+    ///
+    /// This is the hot-path entry point: the simulator encodes every packet
+    /// crossing the HCI seam into a reusable per-device scratch buffer, so
+    /// the per-packet `Vec` of [`Command::encode`] never materializes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.opcode().to_le_bytes());
+        out.push(0); // parameter length, backpatched below
+        let len_at = out.len() - 1;
+        self.encode_params_into(out);
+        out[len_at] = (out.len() - len_at - 1) as u8;
+    }
+
+    /// Rough parameter size for pre-sizing buffers (exact not required).
+    fn params_len_hint(&self) -> usize {
+        match self {
+            Command::WriteLocalName { .. } => 248,
+            _ => 24,
+        }
+    }
+
+    fn encode_params_into(&self, p: &mut Vec<u8>) {
         match self {
             Command::Inquiry {
                 inquiry_length,
                 num_responses,
             } => {
                 // General Inquiry Access Code LAP 0x9E8B33.
-                vec![0x33, 0x8B, 0x9E, *inquiry_length, *num_responses]
+                p.extend_from_slice(&[0x33, 0x8B, 0x9E, *inquiry_length, *num_responses]);
             }
-            Command::InquiryCancel | Command::Reset => Vec::new(),
+            Command::InquiryCancel | Command::Reset => {}
             Command::CreateConnection {
                 bd_addr,
                 allow_role_switch,
             } => {
-                let mut p = Vec::with_capacity(13);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 // Packet type DM1/DH1/DM3/DH3/DM5/DH5.
                 p.extend_from_slice(&0xCC18u16.to_le_bytes());
@@ -204,53 +221,46 @@ impl Command {
                 p.push(0x00); // reserved
                 p.extend_from_slice(&0u16.to_le_bytes()); // clock offset
                 p.push(*allow_role_switch as u8);
-                p
             }
             Command::Disconnect { handle, reason } => {
-                let mut p = Vec::with_capacity(3);
                 p.extend_from_slice(&handle.raw().to_le_bytes());
                 p.push(*reason as u8);
-                p
             }
             Command::AcceptConnectionRequest {
                 bd_addr,
                 role_switch,
             } => {
-                let mut p = Vec::with_capacity(7);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.push(!*role_switch as u8); // 0x00 = become central
-                p
             }
             Command::RejectConnectionRequest { bd_addr, reason } => {
-                let mut p = Vec::with_capacity(7);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.push(*reason as u8);
-                p
             }
             Command::LinkKeyRequestReply { bd_addr, link_key } => {
-                let mut p = Vec::with_capacity(22);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.extend_from_slice(&link_key.to_le_bytes());
-                p
             }
-            Command::LinkKeyRequestNegativeReply { bd_addr } => bd_addr.to_le_bytes().to_vec(),
+            Command::LinkKeyRequestNegativeReply { bd_addr } => {
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+            }
             Command::PinCodeRequestReply { bd_addr, pin } => {
-                let mut p = Vec::with_capacity(23);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.push(pin.len().min(16) as u8);
                 let mut padded = [0u8; 16];
                 let take = pin.len().min(16);
                 padded[..take].copy_from_slice(&pin[..take]);
                 p.extend_from_slice(&padded);
-                p
             }
-            Command::PinCodeRequestNegativeReply { bd_addr } => bd_addr.to_le_bytes().to_vec(),
-            Command::AuthenticationRequested { handle } => handle.raw().to_le_bytes().to_vec(),
+            Command::PinCodeRequestNegativeReply { bd_addr } => {
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+            }
+            Command::AuthenticationRequested { handle } => {
+                p.extend_from_slice(&handle.raw().to_le_bytes());
+            }
             Command::SetConnectionEncryption { handle, enable } => {
-                let mut p = Vec::with_capacity(3);
                 p.extend_from_slice(&handle.raw().to_le_bytes());
                 p.push(*enable as u8);
-                p
             }
             Command::IoCapabilityRequestReply {
                 bd_addr,
@@ -258,29 +268,26 @@ impl Command {
                 oob_data_present,
                 auth_requirements,
             } => {
-                let mut p = Vec::with_capacity(9);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.push(*io_capability as u8);
                 p.push(*oob_data_present as u8);
                 p.push(*auth_requirements);
-                p
             }
             Command::UserConfirmationRequestReply { bd_addr }
             | Command::UserConfirmationRequestNegativeReply { bd_addr } => {
-                bd_addr.to_le_bytes().to_vec()
+                p.extend_from_slice(&bd_addr.to_le_bytes());
             }
             Command::WriteLocalName { name } => {
-                let mut p = vec![0u8; 248];
                 let bytes = name.as_str().as_bytes();
-                p[..bytes.len()].copy_from_slice(bytes);
-                p
+                p.extend_from_slice(bytes);
+                p.resize(p.len() + (248 - bytes.len()), 0);
             }
             Command::WriteScanEnable {
                 inquiry_scan,
                 page_scan,
-            } => vec![(*inquiry_scan as u8) | ((*page_scan as u8) << 1)],
-            Command::WriteClassOfDevice { cod } => cod.to_le_bytes().to_vec(),
-            Command::WriteSimplePairingMode { enabled } => vec![*enabled as u8],
+            } => p.push((*inquiry_scan as u8) | ((*page_scan as u8) << 1)),
+            Command::WriteClassOfDevice { cod } => p.extend_from_slice(&cod.to_le_bytes()),
+            Command::WriteSimplePairingMode { enabled } => p.push(*enabled as u8),
         }
     }
 

@@ -213,26 +213,31 @@ impl Event {
 
     /// Encodes the event to its wire bytes (code, length, parameters).
     pub fn encode(&self) -> Vec<u8> {
-        let params = self.encode_params();
-        let mut out = Vec::with_capacity(2 + params.len());
-        out.push(self.code());
-        out.push(params.len() as u8);
-        out.extend_from_slice(&params);
+        let mut out = Vec::with_capacity(26);
+        self.encode_into(&mut out);
         out
     }
 
-    fn encode_params(&self) -> Vec<u8> {
+    /// Appends the wire bytes to `out` without allocating (given capacity) —
+    /// the counterpart of [`crate::Command::encode_into`] for the hot path.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.code());
+        out.push(0); // parameter length, backpatched below
+        let len_at = out.len() - 1;
+        self.encode_params_into(out);
+        out[len_at] = (out.len() - len_at - 1) as u8;
+    }
+
+    fn encode_params_into(&self, p: &mut Vec<u8>) {
         match self {
-            Event::InquiryComplete { status } => vec![*status as u8],
+            Event::InquiryComplete { status } => p.push(*status as u8),
             Event::InquiryResult { bd_addr, cod } => {
-                let mut p = Vec::with_capacity(15);
                 p.push(1); // one response in this event
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.push(0x01); // page scan repetition mode
                 p.extend_from_slice(&[0, 0]); // reserved
                 p.extend_from_slice(&cod.to_le_bytes());
                 p.extend_from_slice(&0u16.to_le_bytes()); // clock offset
-                p
             }
             Event::ConnectionComplete {
                 status,
@@ -240,116 +245,96 @@ impl Event {
                 bd_addr,
                 encryption_enabled,
             } => {
-                let mut p = Vec::with_capacity(11);
                 p.push(*status as u8);
                 p.extend_from_slice(&handle.raw().to_le_bytes());
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.push(0x01); // ACL
                 p.push(*encryption_enabled as u8);
-                p
             }
             Event::ConnectionRequest {
                 bd_addr,
                 cod,
                 link_type,
             } => {
-                let mut p = Vec::with_capacity(10);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.extend_from_slice(&cod.to_le_bytes());
                 p.push(*link_type);
-                p
             }
             Event::DisconnectionComplete {
                 status,
                 handle,
                 reason,
             } => {
-                let mut p = Vec::with_capacity(4);
                 p.push(*status as u8);
                 p.extend_from_slice(&handle.raw().to_le_bytes());
                 p.push(*reason as u8);
-                p
             }
             Event::AuthenticationComplete { status, handle } => {
-                let mut p = Vec::with_capacity(3);
                 p.push(*status as u8);
                 p.extend_from_slice(&handle.raw().to_le_bytes());
-                p
             }
             Event::EncryptionChange {
                 status,
                 handle,
                 enabled,
             } => {
-                let mut p = Vec::with_capacity(4);
                 p.push(*status as u8);
                 p.extend_from_slice(&handle.raw().to_le_bytes());
                 p.push(*enabled as u8);
-                p
             }
             Event::CommandComplete {
                 num_packets,
                 opcode,
                 return_params,
             } => {
-                let mut p = Vec::with_capacity(3 + return_params.len());
                 p.push(*num_packets);
                 p.extend_from_slice(&opcode.to_le_bytes());
                 p.extend_from_slice(return_params);
-                p
             }
             Event::CommandStatus {
                 status,
                 num_packets,
                 opcode,
             } => {
-                let mut p = Vec::with_capacity(4);
                 p.push(*status as u8);
                 p.push(*num_packets);
                 p.extend_from_slice(&opcode.to_le_bytes());
-                p
             }
-            Event::PinCodeRequest { bd_addr } => bd_addr.to_le_bytes().to_vec(),
-            Event::LinkKeyRequest { bd_addr } => bd_addr.to_le_bytes().to_vec(),
+            Event::PinCodeRequest { bd_addr }
+            | Event::LinkKeyRequest { bd_addr }
+            | Event::IoCapabilityRequest { bd_addr } => {
+                p.extend_from_slice(&bd_addr.to_le_bytes());
+            }
             Event::LinkKeyNotification {
                 bd_addr,
                 link_key,
                 key_type,
             } => {
-                let mut p = Vec::with_capacity(23);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.extend_from_slice(&link_key.to_le_bytes());
                 p.push(*key_type as u8);
-                p
             }
-            Event::IoCapabilityRequest { bd_addr } => bd_addr.to_le_bytes().to_vec(),
             Event::IoCapabilityResponse {
                 bd_addr,
                 io_capability,
                 oob_data_present,
                 auth_requirements,
             } => {
-                let mut p = Vec::with_capacity(9);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.push(*io_capability as u8);
                 p.push(*oob_data_present as u8);
                 p.push(*auth_requirements);
-                p
             }
             Event::UserConfirmationRequest {
                 bd_addr,
                 numeric_value,
             } => {
-                let mut p = Vec::with_capacity(10);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
                 p.extend_from_slice(&numeric_value.to_le_bytes());
-                p
             }
             Event::SimplePairingComplete { status, bd_addr } => {
-                let mut p = Vec::with_capacity(7);
                 p.push(*status as u8);
                 p.extend_from_slice(&bd_addr.to_le_bytes());
-                p
             }
         }
     }

@@ -2,6 +2,8 @@
 //! host↔controller transport — and therefore the byte stream the HCI dump
 //! and USB sniffer capture.
 
+use std::sync::Arc;
+
 use blap_types::ConnectionHandle;
 
 use crate::command::Command;
@@ -22,17 +24,19 @@ pub struct AclData {
     pub handle: ConnectionHandle,
     /// Packet boundary / broadcast flags (4 bits, wire bits 12..15).
     pub flags: u8,
-    /// L2CAP payload bytes.
-    pub payload: Vec<u8>,
+    /// L2CAP payload bytes, shared immutably: the scheduler, the sniffer
+    /// tap and the receiving device all hold the same allocation instead of
+    /// cloning it at each seam.
+    pub payload: Arc<[u8]>,
 }
 
 impl AclData {
     /// Creates an ACL packet with default (first-non-flushable) flags.
-    pub fn new(handle: ConnectionHandle, payload: Vec<u8>) -> Self {
+    pub fn new(handle: ConnectionHandle, payload: impl Into<Arc<[u8]>>) -> Self {
         AclData {
             handle,
             flags: 0x02,
-            payload,
+            payload: payload.into(),
         }
     }
 }
@@ -81,25 +85,34 @@ pub enum HciPacket {
 impl HciPacket {
     /// Encodes the packet, H4 indicator byte first.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(match self {
+            HciPacket::AclData(acl) => 5 + acl.payload.len(),
+            _ => 32,
+        });
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the H4 frame to `out` in one pass — no intermediate `Vec`
+    /// per layer. A caller that reuses `out` across packets (the simulator's
+    /// per-device scratch buffer) encodes with zero steady-state
+    /// allocations.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             HciPacket::Command(cmd) => {
-                let mut out = vec![indicator::COMMAND];
-                out.extend_from_slice(&cmd.encode());
-                out
+                out.push(indicator::COMMAND);
+                cmd.encode_into(out);
             }
             HciPacket::AclData(acl) => {
-                let mut out = Vec::with_capacity(5 + acl.payload.len());
                 out.push(indicator::ACL_DATA);
                 let header = acl.handle.raw() | ((acl.flags as u16 & 0x0F) << 12);
                 out.extend_from_slice(&header.to_le_bytes());
                 out.extend_from_slice(&(acl.payload.len() as u16).to_le_bytes());
                 out.extend_from_slice(&acl.payload);
-                out
             }
             HciPacket::Event(event) => {
-                let mut out = vec![indicator::EVENT];
-                out.extend_from_slice(&event.encode());
-                out
+                out.push(indicator::EVENT);
+                event.encode_into(out);
             }
         }
     }
@@ -129,7 +142,7 @@ impl HciPacket {
                 Ok(HciPacket::AclData(AclData {
                     handle: ConnectionHandle::new(header & 0x0FFF),
                     flags: ((header >> 12) & 0x0F) as u8,
-                    payload: payload.to_vec(),
+                    payload: payload.into(),
                 }))
             }
             other => Err(DecodeError::Unsupported {
@@ -209,7 +222,7 @@ mod tests {
         let pkt = HciPacket::AclData(AclData {
             handle: ConnectionHandle::new(0x0ABC),
             flags: 0x02,
-            payload: vec![1, 2, 3, 4, 5],
+            payload: vec![1, 2, 3, 4, 5].into(),
         });
         let bytes = pkt.encode();
         assert_eq!(bytes[0], 0x02);
@@ -219,7 +232,7 @@ mod tests {
     #[test]
     fn acl_length_mismatch_rejected() {
         let mut bytes =
-            HciPacket::AclData(AclData::new(ConnectionHandle::new(1), vec![9; 4])).encode();
+            HciPacket::AclData(AclData::new(ConnectionHandle::new(1), vec![9u8; 4])).encode();
         bytes.truncate(bytes.len() - 1);
         assert!(matches!(
             HciPacket::decode(&bytes),

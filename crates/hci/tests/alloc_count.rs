@@ -1,0 +1,120 @@
+//! Allocation accounting for the H4 encode hot path.
+//!
+//! The simulator encodes every packet crossing the HCI seam; before the
+//! `encode_into` refactor each packet cost one `Vec` for the frame plus a
+//! second intermediate `Vec` from `Command::encode`/`Event::encode` that
+//! `HciPacket::encode` immediately copied and dropped. These tests pin the
+//! fixed behavior with a counting global allocator:
+//!
+//! * `encode_into` into a warm scratch buffer performs **zero** heap
+//!   allocations per packet, and
+//! * `encode` (the allocating convenience wrapper) performs exactly one —
+//!   the returned frame — never the historical double allocation.
+
+use blap_hci::{AclData, Command, Event, HciPacket, Opcode, StatusCode};
+use blap_types::ConnectionHandle;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn sample_packets() -> Vec<HciPacket> {
+    let addr = "00:1b:7d:da:71:0a".parse().expect("valid address");
+    let key = "c4f16e949f04ee9c0fd6b1023389c324".parse().expect("key");
+    vec![
+        HciPacket::Command(Command::LinkKeyRequestReply {
+            bd_addr: addr,
+            link_key: key,
+        }),
+        HciPacket::Command(Command::CreateConnection {
+            bd_addr: addr,
+            allow_role_switch: true,
+        }),
+        HciPacket::Event(Event::CommandComplete {
+            num_packets: 1,
+            opcode: Opcode::RESET,
+            return_params: vec![StatusCode::Success as u8],
+        }),
+        HciPacket::Event(Event::LinkKeyNotification {
+            bd_addr: addr,
+            link_key: key,
+            key_type: blap_types::LinkKeyType::Combination,
+        }),
+        HciPacket::AclData(AclData::new(ConnectionHandle::new(0x0042), vec![0x5A; 48])),
+    ]
+}
+
+#[test]
+fn encode_into_warm_buffer_is_allocation_free() {
+    let packets = sample_packets();
+    let mut scratch = Vec::with_capacity(512);
+    // Warm the buffer so steady-state capacity is established.
+    for packet in &packets {
+        scratch.clear();
+        packet.encode_into(&mut scratch);
+    }
+    let count = allocations_during(|| {
+        for _ in 0..100 {
+            for packet in &packets {
+                scratch.clear();
+                packet.encode_into(&mut scratch);
+            }
+        }
+    });
+    assert_eq!(count, 0, "steady-state encode_into must not allocate");
+}
+
+#[test]
+fn encode_allocates_exactly_once_per_packet() {
+    // The old Command/Event arms built an intermediate Vec and copied it:
+    // two allocations per packet. The fixed wrapper performs only the one
+    // for the returned frame.
+    for packet in sample_packets() {
+        let count = allocations_during(|| {
+            std::hint::black_box(packet.encode());
+        });
+        assert_eq!(
+            count,
+            1,
+            "{} must allocate exactly the returned frame",
+            packet.name()
+        );
+    }
+}
+
+#[test]
+fn encode_into_matches_encode_for_every_shape() {
+    let mut scratch = Vec::new();
+    for packet in sample_packets() {
+        scratch.clear();
+        packet.encode_into(&mut scratch);
+        assert_eq!(scratch, packet.encode(), "{}", packet.name());
+    }
+}

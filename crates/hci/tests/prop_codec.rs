@@ -196,9 +196,28 @@ proptest! {
     #[test]
     fn acl_round_trip(handle in arb_handle(), flags in 0u8..16,
                       payload in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let packet = HciPacket::AclData(AclData { handle, flags, payload });
+        let packet = HciPacket::AclData(AclData { handle, flags, payload: payload.into() });
         let bytes = packet.encode();
         prop_assert_eq!(HciPacket::decode(&bytes).unwrap(), packet);
+    }
+
+    #[test]
+    fn encode_into_matches_encode(cmd in arb_command(), event in arb_event(),
+                                  handle in arb_handle(), flags in 0u8..16,
+                                  payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // The zero-allocation path and the allocating wrapper must emit
+        // identical frames for every packet shape, including a dirty
+        // scratch buffer that already holds unrelated bytes.
+        let mut scratch: Vec<u8> = vec![0xEE; 7];
+        for packet in [
+            HciPacket::Command(cmd),
+            HciPacket::Event(event),
+            HciPacket::AclData(AclData { handle, flags, payload: payload.into() }),
+        ] {
+            scratch.clear();
+            packet.encode_into(&mut scratch);
+            prop_assert_eq!(&scratch, &packet.encode());
+        }
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct Device {
     usb: Option<UsbCapture>,
     /// Per-device session secret for mitigation 2.
     session_secret: u64,
+    /// Reusable scratch buffer for encoding packets at the HCI seam:
+    /// steady-state recording performs zero allocations beyond what a tap
+    /// must keep.
+    encode_buf: Vec<u8>,
     /// Device-scoped observability handle (disabled by default; the world
     /// propagates an enabled one via [`crate::world::World::set_tracer`]).
     pub(crate) tracer: Tracer,
@@ -116,6 +120,7 @@ impl Device {
             snoop: Vec::new(),
             usb,
             session_secret,
+            encode_buf: Vec::with_capacity(64),
             tracer: Tracer::disabled(),
         }
     }
@@ -150,33 +155,42 @@ impl Device {
                 name,
             });
         }
-        let mut bytes = packet.encode();
-        if self.security.encrypt_link_key_payloads {
-            redact::encrypt_sensitive_payload(&mut bytes, self.session_secret);
+        // Software HCI dump: only when supported and enabled.
+        let snoop_wants =
+            self.host.config().snoop_enabled && self.host.config().stack.supports_hci_dump();
+        if self.usb.is_none() && !snoop_wants {
+            // No tap consumes the bytes — skip encoding entirely.
+            return;
         }
+
+        // Encode once into the reusable per-device scratch buffer; nothing
+        // below allocates except the copies a tap must retain.
+        self.encode_buf.clear();
+        packet.encode_into(&mut self.encode_buf);
+        let modified = self.security.encrypt_link_key_payloads
+            && redact::encrypt_sensitive_payload(&mut self.encode_buf, self.session_secret);
 
         // USB analyzer taps the physical transport: it sees the (possibly
         // payload-encrypted) bytes regardless of any software dump filter.
         if let Some(usb) = &mut self.usb {
-            if let Ok(observed) = HciPacket::decode(&bytes) {
-                usb.observe(now, direction, &observed);
+            if !modified || HciPacket::decode(&self.encode_buf).is_ok() {
+                usb.observe_encoded(now, direction, &self.encode_buf);
             } else {
                 // Encrypted payload no longer decodes; feed the raw bytes
                 // through as an opaque transfer so the analyzer still logs
                 // *something*, like real hardware would.
-                usb.observe_raw(now, direction, bytes.clone());
+                usb.observe_raw(now, direction, self.encode_buf.clone());
             }
         }
 
-        // Software HCI dump: only when supported and enabled.
-        if self.host.config().snoop_enabled && self.host.config().stack.supports_hci_dump() {
+        if snoop_wants {
             if self.security.filter_link_keys {
-                redact::redact_link_keys(&mut bytes);
+                redact::redact_link_keys(&mut self.encode_buf);
             }
             self.snoop.push(SnoopRecord {
                 timestamp: now,
                 direction,
-                data: bytes,
+                data: self.encode_buf.clone(),
             });
         }
     }

@@ -68,7 +68,9 @@ pub enum SniffedFrame {
         /// Receiver's claimed address.
         to: BdAddr,
         /// Over-the-air bytes (ciphertext when the link was encrypted).
-        data: Vec<u8>,
+        /// Shared with the scheduler's in-flight packet when cleartext, so
+        /// the capture costs no copy.
+        data: std::sync::Arc<[u8]>,
         /// Whether the link was encrypted when captured.
         encrypted: bool,
         /// The CCM packet counter used (an eavesdropper reconstructs this
@@ -91,6 +93,10 @@ pub struct World {
     processed_events: u64,
     sniffer: Vec<SniffedFrame>,
     link_packet_counters: HashMap<u64, u64>,
+    /// Per-link CCM context cache: the session key changes at most a few
+    /// times per link, so the AES key schedule is expanded on key change
+    /// rather than per sniffed frame.
+    link_ccm: HashMap<u64, ([u8; 16], blap_crypto::ccm::Ccm)>,
     tracer: Tracer,
     counters: WorldCounters,
 }
@@ -137,6 +143,7 @@ impl World {
             processed_events: 0,
             sniffer: Vec::new(),
             link_packet_counters: HashMap::new(),
+            link_ccm: HashMap::new(),
             tracer: Tracer::disabled(),
             counters: WorldCounters::default(),
         }
@@ -568,18 +575,27 @@ impl World {
                 // which is what the responder (`b`) sees as its peer.
                 let central = self.links[&link_id].b_sees;
                 let nonce = blap_crypto::ccm::acl_nonce(counter, central);
-                let ciphertext = blap_crypto::ccm::encrypt(
-                    &key,
-                    &nonce,
-                    &data.handle.raw().to_le_bytes(),
-                    &data.payload,
-                )
-                .expect("ACL payloads are far below the CCM limit");
+                let ccm = match self.link_ccm.entry(link_id) {
+                    std::collections::hash_map::Entry::Occupied(e) if e.get().0 == key => {
+                        &e.into_mut().1
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let slot = e.into_mut();
+                        *slot = (key, blap_crypto::ccm::Ccm::new(&key));
+                        &slot.1
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        &e.insert((key, blap_crypto::ccm::Ccm::new(&key))).1
+                    }
+                };
+                let ciphertext = ccm
+                    .seal(&nonce, &data.handle.raw().to_le_bytes(), &data.payload)
+                    .expect("ACL payloads are far below the CCM limit");
                 SniffedFrame::Acl {
                     time: self.now,
                     from: from_claimed,
                     to: to_claimed,
-                    data: ciphertext,
+                    data: ciphertext.into(),
                     encrypted: true,
                     packet_counter: counter,
                 }
@@ -588,8 +604,8 @@ impl World {
                 time: self.now,
                 from: from_claimed,
                 to: to_claimed,
-                // Genuinely a copy: the receiver consumes the same payload
-                // after this capture, so the sniffer needs its own.
+                // The payload is shared immutably: this clone is a
+                // reference-count bump, not a copy of the bytes.
                 data: data.payload.clone(),
                 encrypted: false,
                 packet_counter: counter,

@@ -98,19 +98,25 @@ impl UsbCapture {
 
     /// Records one HCI packet crossing the USB transport.
     pub fn observe(&mut self, timestamp: Instant, direction: PacketDirection, packet: &HciPacket) {
-        let endpoint = match packet {
-            HciPacket::Command(_) => UsbEndpoint::Control,
-            HciPacket::Event(_) => UsbEndpoint::Interrupt,
-            HciPacket::AclData(_) => UsbEndpoint::Bulk,
-        };
         // Strip the H4 indicator: USB transports type via endpoint.
         let h4 = packet.encode();
-        let payload = h4[1..].to_vec();
+        self.observe_encoded(timestamp, direction, &h4);
+    }
+
+    /// Records one already-encoded H4 frame crossing the USB transport —
+    /// the hot-path variant: the caller's scratch buffer is borrowed, not
+    /// re-encoded. `h4` must start with a valid H4 indicator byte.
+    pub fn observe_encoded(&mut self, timestamp: Instant, direction: PacketDirection, h4: &[u8]) {
+        let endpoint = match h4.first() {
+            Some(0x01) => UsbEndpoint::Control,
+            Some(0x04) => UsbEndpoint::Interrupt,
+            _ => UsbEndpoint::Bulk,
+        };
         self.transfers.push(UsbTransfer {
             timestamp,
             endpoint,
             direction,
-            payload,
+            payload: h4[1..].to_vec(),
         });
         self.observed += 1;
         if self.null_interval > 0 && self.observed.is_multiple_of(self.null_interval) {

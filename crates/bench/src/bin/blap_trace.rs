@@ -1,0 +1,119 @@
+//! Trace analysis CLI: invariant checking, timeline profiling, and
+//! artifact diffing for the observability artifacts the experiment
+//! binaries emit with `--trace` / `--metrics`.
+//!
+//! ```text
+//! blap-trace check    <trace.jsonl>          # exit 1 on any violation
+//! blap-trace timeline <trace.jsonl>          # phase-latency profile
+//! blap-trace diff     <a> <b>                # exit 1 on unexplained drift
+//! ```
+//!
+//! `diff` picks the comparison by extension: two `.json` files are
+//! compared structurally as metrics documents (run-dependent `wall_ms` /
+//! `*wall_us*` paths excused); anything else is compared line-by-line as a
+//! trace. Exit codes: 0 clean, 1 violations/drift, 2 usage or parse error.
+
+use std::process::ExitCode;
+
+use blap_obs::{analyze_trace, diff_metrics, diff_traces};
+
+const USAGE: &str = "usage: blap-trace <check|timeline|diff> <file> [file2]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => match args.as_slice() {
+            [_, path] => check(path),
+            _ => usage(),
+        },
+        Some("timeline") => match args.as_slice() {
+            [_, path] => timeline(path),
+            _ => usage(),
+        },
+        Some("diff") => match args.as_slice() {
+            [_, a, b] => diff(a, b),
+            _ => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|err| {
+        eprintln!("error: cannot read {path}: {err}");
+        ExitCode::from(2)
+    })
+}
+
+fn check(path: &str) -> ExitCode {
+    let text = match read(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    match analyze_trace(&text) {
+        Ok(analysis) => {
+            print!("{}", analysis.report());
+            if analysis.ok() {
+                println!("OK: all invariants hold");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {path}: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn timeline(path: &str) -> ExitCode {
+    let text = match read(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    match analyze_trace(&text) {
+        Ok(analysis) => {
+            println!(
+                "{} lines, {} trial segments",
+                analysis.line_count, analysis.segment_count
+            );
+            print!("{}", analysis.profile.render());
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {path}: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn diff(a_path: &str, b_path: &str) -> ExitCode {
+    let (a, b) = match (read(a_path), read(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let both_metrics = a_path.ends_with(".json") && b_path.ends_with(".json");
+    let report = if both_metrics {
+        match diff_metrics(&a, &b) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("error: metrics parse failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        diff_traces(&a, &b)
+    };
+    print!("{}", report.render(a_path, b_path));
+    if report.no_drift() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -32,37 +32,46 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args` (program name skipped).
     ///
-    /// Exits with an error message on a flag with a missing value or an
-    /// unknown `--flag`; positionals are kept verbatim for the binary to
-    /// interpret.
+    /// Exits with an error message on a flag with a missing value, a
+    /// repeated flag, or an unknown `--flag`; positionals are kept verbatim
+    /// for the binary to interpret.
     pub fn parse() -> Args {
-        Args::from_iter(std::env::args().skip(1))
+        match Args::try_from_iter(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    fn from_iter(mut iter: impl Iterator<Item = String>) -> Args {
-        fn value(iter: &mut impl Iterator<Item = String>, flag: &str) -> String {
-            match iter.next() {
-                Some(v) => v,
-                None => {
-                    eprintln!("error: {flag} requires a value");
-                    std::process::exit(2);
-                }
+    /// [`Args::parse`] without the exit: returns the parse error instead.
+    ///
+    /// Repeating `--metrics`, `--trace`, or `--jobs` is an error rather
+    /// than last-one-wins: a duplicated artifact flag in a CI job almost
+    /// always means a copy-paste mistake silently discarding one artifact.
+    pub fn try_from_iter(mut iter: impl Iterator<Item = String>) -> Result<Args, String> {
+        fn set(slot: &mut Option<String>, flag: &str, value: Option<String>) -> Result<(), String> {
+            let value = value.ok_or_else(|| format!("{flag} requires a value"))?;
+            if slot.is_some() {
+                return Err(format!("{flag} given more than once"));
             }
+            *slot = Some(value);
+            Ok(())
         }
         let mut args = Args::default();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
-                "--metrics" => args.metrics_path = Some(value(&mut iter, "--metrics")),
-                "--trace" => args.trace_path = Some(value(&mut iter, "--trace")),
-                "--jobs" => args.jobs = Some(value(&mut iter, "--jobs")),
+                "--metrics" => set(&mut args.metrics_path, "--metrics", iter.next())?,
+                "--trace" => set(&mut args.trace_path, "--trace", iter.next())?,
+                "--jobs" => set(&mut args.jobs, "--jobs", iter.next())?,
                 flag if flag.starts_with("--") => {
-                    eprintln!("error: unknown flag {flag}");
-                    std::process::exit(2);
+                    return Err(format!("unknown flag {flag}"));
                 }
                 _ => args.positional.push(arg),
             }
         }
-        args
+        Ok(args)
     }
 
     /// The `i`-th positional parsed as `T`, or `default` when absent or
@@ -126,7 +135,11 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Args {
-        Args::from_iter(tokens.iter().map(|s| s.to_string()))
+        try_parse(tokens).expect("valid command line")
+    }
+
+    fn try_parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::try_from_iter(tokens.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -149,5 +162,27 @@ mod tests {
     fn jobs_flag_is_captured() {
         let args = parse(&["--jobs", "4"]);
         assert_eq!(args.jobs.as_deref(), Some("4"));
+    }
+
+    #[test]
+    fn duplicate_artifact_flags_are_rejected() {
+        for flag in ["--metrics", "--trace", "--jobs"] {
+            let err = try_parse(&[flag, "a", flag, "b"]).expect_err("duplicate must error");
+            assert_eq!(err, format!("{flag} given more than once"));
+        }
+    }
+
+    #[test]
+    fn flag_with_missing_value_names_the_flag() {
+        let err = try_parse(&["--metrics"]).expect_err("missing value must error");
+        assert_eq!(err, "--metrics requires a value");
+        let err = try_parse(&["100", "--trace"]).expect_err("missing value must error");
+        assert_eq!(err, "--trace requires a value");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = try_parse(&["--frobnicate"]).expect_err("unknown flag must error");
+        assert_eq!(err, "unknown flag --frobnicate");
     }
 }

@@ -9,7 +9,7 @@ use blap_baseband::timing;
 use blap_crypto::p256::{KeyPair, Point};
 use blap_crypto::{bigint::U256, e1, ssp};
 use blap_hci::{Command, Event, Opcode, StatusCode};
-use blap_obs::{TraceEvent, Tracer};
+use blap_obs::{SpanId, TraceEvent, Tracer};
 use blap_types::{
     AssociationModel, BdAddr, ConnectionHandle, Duration, Instant, IoCapability, LinkKey,
     LinkKeyType, Role,
@@ -109,6 +109,10 @@ pub struct Controller {
     /// Virtual time of the entry point currently executing; stamps trace
     /// events emitted from helpers that have no `now` parameter.
     now: Instant,
+    /// Open `lmp_auth` spans per peer: one per authentication/pairing
+    /// procedure, from the initiating PDU or host command to the
+    /// success/failure/timeout edge. Populated only while tracing.
+    auth_spans: HashMap<BdAddr, SpanId>,
 }
 
 impl Controller {
@@ -125,6 +129,25 @@ impl Controller {
             tracer: Tracer::disabled(),
             stats: ControllerStats::default(),
             now: Instant::EPOCH,
+            auth_spans: HashMap::new(),
+        }
+    }
+
+    /// Opens the peer's `lmp_auth` span if one is not already running
+    /// (authentication can escalate into pairing without a new span).
+    fn open_auth_span(&mut self, peer: BdAddr) {
+        if self.tracer.enabled() && !self.auth_spans.contains_key(&peer) {
+            let span = self
+                .tracer
+                .open_span(self.now, "lmp_auth", &peer.to_string());
+            self.auth_spans.insert(peer, span);
+        }
+    }
+
+    /// Closes the peer's `lmp_auth` span with an outcome, if one is open.
+    fn close_auth_span(&mut self, peer: BdAddr, status: &'static str) {
+        if let Some(span) = self.auth_spans.remove(&peer) {
+            self.tracer.close_span(self.now, span, status);
         }
     }
 
@@ -320,6 +343,7 @@ impl Controller {
                 if let Some(link) = self.links.get_mut(&bd_addr) {
                     link.legacy = Default::default();
                 }
+                self.close_auth_span(bd_addr, "rejected");
                 self.send_lmp(
                     bd_addr,
                     LmpPdu::AuthReject {
@@ -330,6 +354,7 @@ impl Controller {
             Command::AuthenticationRequested { handle } => match self.peer_by_handle(handle) {
                 Some(peer) => {
                     self.command_status(StatusCode::Success, Opcode::AUTHENTICATION_REQUESTED);
+                    self.open_auth_span(peer);
                     if let Some(link) = self.links.get_mut(&peer) {
                         link.auth = AuthPhase::AwaitHostKey { verifier: true };
                     }
@@ -499,6 +524,7 @@ impl Controller {
                     link.auth,
                     AuthPhase::AwaitHostKey { verifier: true } | AuthPhase::AwaitResponse { .. }
                 );
+                self.close_auth_span(peer, "timeout");
                 self.links.remove(&peer);
                 self.send_lmp(
                     peer,
@@ -591,9 +617,11 @@ impl Controller {
                 link.auth = AuthPhase::Complete;
                 link.aco = Some(aco);
                 self.send_lmp(peer, LmpPdu::AuthResponse { sres });
+                self.close_auth_span(peer, "ok");
             }
             (AuthPhase::AwaitHostKeyForChallenge { .. }, None) => {
                 link.auth = AuthPhase::Idle;
+                self.close_auth_span(peer, "rejected");
                 self.send_lmp(
                     peer,
                     LmpPdu::AuthReject {
@@ -701,6 +729,7 @@ impl Controller {
                     self.send_lmp(from, LmpPdu::AuthResponse { sres });
                 } else {
                     link.auth = AuthPhase::AwaitHostKeyForChallenge { rand };
+                    self.open_auth_span(from);
                     self.emit_event(Event::LinkKeyRequest { bd_addr: from });
                 }
             }
@@ -713,6 +742,7 @@ impl Controller {
                     if sres == *expected_sres {
                         link.auth = AuthPhase::Complete;
                         self.cancel_lmp_timer(from);
+                        self.close_auth_span(from, "ok");
                         self.emit_event(Event::AuthenticationComplete {
                             status: StatusCode::Success,
                             handle,
@@ -720,6 +750,7 @@ impl Controller {
                     } else {
                         self.links.remove(&from);
                         self.cancel_lmp_timer(from);
+                        self.close_auth_span(from, "failed");
                         self.send_lmp(
                             from,
                             LmpPdu::Detach {
@@ -745,6 +776,7 @@ impl Controller {
                 let handle = link.handle;
                 link.auth = AuthPhase::Idle;
                 self.cancel_lmp_timer(from);
+                self.close_auth_span(from, "rejected");
                 self.emit_event(Event::AuthenticationComplete {
                     status: reason,
                     handle,
@@ -761,6 +793,7 @@ impl Controller {
                 link.ssp.peer_io = Some(io_capability);
                 link.ssp.peer_auth_req = auth_requirements;
                 link.ssp.phase = SspPhase::AwaitHostIoCap;
+                self.open_auth_span(from);
                 self.emit_event(Event::IoCapabilityRequest { bd_addr: from });
             }
             LmpPdu::IoCapResponse {
@@ -826,6 +859,7 @@ impl Controller {
                 link.legacy.active = true;
                 link.legacy.initiator = false;
                 link.legacy.in_rand = Some(rand);
+                self.open_auth_span(from);
                 self.emit_event(Event::PinCodeRequest { bd_addr: from });
             }
             LmpPdu::LegacyCombKey { value } => {
@@ -852,6 +886,7 @@ impl Controller {
             LmpPdu::Detach { reason } => {
                 if let Some(link) = self.links.remove(&from) {
                     self.cancel_lmp_timer(from);
+                    self.close_auth_span(from, "detached");
                     self.emit_event(Event::DisconnectionComplete {
                         status: StatusCode::Success,
                         handle: link.handle,
@@ -932,6 +967,8 @@ impl Controller {
         // mismatch surfaces as an authentication failure here).
         if initiator {
             self.on_host_key(peer, Some(key));
+        } else {
+            self.close_auth_span(peer, "ok");
         }
     }
 
@@ -1214,6 +1251,7 @@ impl Controller {
         link.ssp.phase = SspPhase::Complete;
         link.auth = AuthPhase::Complete;
         self.cancel_lmp_timer(peer);
+        self.close_auth_span(peer, "ok");
         self.emit_event(Event::SimplePairingComplete {
             status: StatusCode::Success,
             bd_addr: peer,
@@ -1241,6 +1279,7 @@ impl Controller {
         link.ssp = Default::default();
         link.auth = AuthPhase::Idle;
         self.cancel_lmp_timer(peer);
+        self.close_auth_span(peer, "failed");
         if was_pairing {
             self.emit_event(Event::SimplePairingComplete {
                 status: reason,

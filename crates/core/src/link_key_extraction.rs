@@ -70,6 +70,7 @@ impl ExtractionScenario {
 
         let mut world = World::new(self.seed);
         world.set_tracer(tracer.clone());
+        let trial_span = tracer.open_root_span(world.now(), "trial", "extraction");
         let m = world.add_device(self.hard_target.victim_phone(addrs::M));
         let mut c_spec = self.soft_target.soft_target(addrs::C);
         c_spec.security.filter_link_keys = self.mitigate_filter_dump;
@@ -93,6 +94,7 @@ impl ExtractionScenario {
         let bonded_key = match world.device(c).host.keystore().get(m_addr) {
             Some(entry) => entry.link_key,
             None => {
+                tracer.close_span(world.now(), trial_span, "setup_failed");
                 return (ExtractionReport::failed_setup(self), world.metrics());
             }
         };
@@ -206,6 +208,12 @@ impl ExtractionScenario {
             impersonation_validated,
             victim_saw_pairing_ui,
         };
+        let status = if report.key_matches {
+            "vulnerable"
+        } else {
+            "not_vulnerable"
+        };
+        tracer.close_span(world.now(), trial_span, status);
         (report, world.metrics())
     }
 }

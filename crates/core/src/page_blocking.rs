@@ -97,10 +97,18 @@ impl PageBlockingScenario {
     ) -> (TrialOutcome, Metrics) {
         let (mut world, m, c, a) = self.build_world(trial, false);
         world.set_tracer(tracer.clone());
+        let span = tracer.open_root_span(world.now(), "trial", "baseline");
         let c_addr: BdAddr = addrs::C.parse().expect("valid C address");
         world.device_mut(m).host.pair_with(c_addr);
         world.run_for(Duration::from_secs(15));
-        (self.judge(&world, m, c, a), world.metrics())
+        let outcome = self.judge(&world, m, c, a);
+        let status = if outcome.mitm_established {
+            "attacker_won"
+        } else {
+            "attacker_lost"
+        };
+        tracer.close_span(world.now(), span, status);
+        (outcome, world.metrics())
     }
 
     /// One page blocking trial: `A` pre-connects and parks in PLOC; the
@@ -118,6 +126,7 @@ impl PageBlockingScenario {
     ) -> (TrialOutcome, Metrics) {
         let (mut world, m, c, a) = self.build_world(trial, true);
         world.set_tracer(tracer.clone());
+        let span = tracer.open_root_span(world.now(), "trial", "blocking");
         let m_addr: BdAddr = addrs::M.parse().expect("valid M address");
         let c_addr: BdAddr = addrs::C.parse().expect("valid C address");
 
@@ -130,7 +139,14 @@ impl PageBlockingScenario {
             w.device_mut(m).host.pair_with(c_addr);
         });
         world.run_for(delay + Duration::from_secs(15));
-        (self.judge(&world, m, c, a), world.metrics())
+        let outcome = self.judge(&world, m, c, a);
+        let status = if outcome.mitm_established {
+            "attacker_won"
+        } else {
+            "attacker_lost"
+        };
+        tracer.close_span(world.now(), span, status);
+        (outcome, world.metrics())
     }
 
     fn judge(&self, world: &World, m: DeviceId, c: DeviceId, a: DeviceId) -> TrialOutcome {

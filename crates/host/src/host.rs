@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use blap_hci::{AclData, Command, Event, StatusCode};
-use blap_obs::{TraceEvent, Tracer};
+use blap_obs::{SpanId, TraceEvent, Tracer};
 use blap_types::{
     AssociationModel, BdAddr, ClassOfDevice, ConnectionHandle, Duration, Instant, Role, ServiceUuid,
 };
@@ -76,6 +76,11 @@ pub struct Host {
     pending_profile: Option<(BdAddr, ServiceUuid, bool)>,
     /// Events whose processing is postponed by the PLOC hook, per peer.
     ploc_held: HashMap<BdAddr, Vec<Event>>,
+    /// Open `host_pairing` spans, one per peer this host initiated
+    /// pairing/authentication with.
+    pairing_spans: HashMap<BdAddr, SpanId>,
+    /// Open `ploc` spans, one per held peer.
+    ploc_spans: HashMap<BdAddr, SpanId>,
     /// Observability handle (disabled by default; see [`Host::set_tracer`]).
     tracer: Tracer,
     /// Virtual time of the last input, so helpers without a `now` parameter
@@ -96,6 +101,8 @@ impl Host {
             pending_pair: None,
             pending_profile: None,
             ploc_held: HashMap::new(),
+            pairing_spans: HashMap::new(),
+            ploc_spans: HashMap::new(),
             tracer: Tracer::disabled(),
             now: Instant::EPOCH,
         }
@@ -105,6 +112,16 @@ impl Host {
     /// markers) to `tracer`. Scope it to the owning device first.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Advances the host's notion of virtual time without delivering an
+    /// event. The simulation calls this before scripted actions (e.g. a
+    /// user starting pairing) so GAP entry points stamp their trace spans
+    /// at the action's true time, not the last event's.
+    pub fn sync_time(&mut self, now: Instant) {
+        if now > self.now {
+            self.now = now;
+        }
     }
 
     /// The host configuration.
@@ -166,6 +183,29 @@ impl Host {
         self.emit(HostOutput::Command(command));
     }
 
+    /// Opens the host-layer pairing span for `peer`, if tracing is on and
+    /// none is already open (re-entrant pairing attempts share one span).
+    fn open_pairing_span(&mut self, peer: BdAddr) {
+        if self.tracer.enabled() && !self.pairing_spans.contains_key(&peer) {
+            let span = self
+                .tracer
+                .open_span(self.now, "host_pairing", &peer.to_string());
+            self.pairing_spans.insert(peer, span);
+        }
+    }
+
+    fn close_pairing_span(&mut self, peer: BdAddr, status: &'static str) {
+        if let Some(span) = self.pairing_spans.remove(&peer) {
+            self.tracer.close_span(self.now, span, status);
+        }
+    }
+
+    fn close_ploc_span(&mut self, peer: BdAddr, status: &'static str) {
+        if let Some(span) = self.ploc_spans.remove(&peer) {
+            self.tracer.close_span(self.now, span, status);
+        }
+    }
+
     fn ui(&mut self, notification: UiNotification) {
         self.emit(HostOutput::Ui(notification));
     }
@@ -200,6 +240,7 @@ impl Host {
     /// PLOC connection under the accessory's spoofed address, the pairing
     /// request lands on the attacker.
     pub fn pair_with(&mut self, peer: BdAddr) {
+        self.open_pairing_span(peer);
         if let Some(conn) = self.conns.get_mut(&peer) {
             if let Some(handle) = conn.handle {
                 conn.pairing_role = Some(Role::Initiator);
@@ -253,6 +294,7 @@ impl Host {
     /// extracted keys (§VI-B1: "they do not start a new pairing procedure
     /// if the key is correct").
     pub fn connect_profile(&mut self, peer: BdAddr, service: ServiceUuid) {
+        self.open_pairing_span(peer);
         self.pending_profile = Some((peer, service, false));
         if let Some(conn) = self.conns.get_mut(&peer) {
             if let Some(handle) = conn.handle {
@@ -364,6 +406,7 @@ impl Host {
                     label: "ploc_release",
                 });
             }
+            self.close_ploc_span(peer, "released");
             for event in held {
                 self.process_event(now, event);
             }
@@ -403,6 +446,8 @@ impl Host {
                             time: now,
                             label: "ploc_hold",
                         });
+                        let span = self.tracer.open_span(now, "ploc", &peer.to_string());
+                        self.ploc_spans.insert(peer, span);
                     }
                     self.ploc_held.insert(peer, vec![event]);
                     self.emit(HostOutput::StartTimer {
@@ -491,6 +536,7 @@ impl Host {
                     }
                 } else {
                     self.conns.remove(&bd_addr);
+                    self.close_pairing_span(bd_addr, "connect_failed");
                     if self.pending_pair == Some(bd_addr) {
                         self.pending_pair = None;
                     }
@@ -513,6 +559,8 @@ impl Host {
                 if let Some(peer) = peer {
                     self.conns.remove(&peer);
                     self.ploc_held.remove(&peer);
+                    self.close_ploc_span(peer, "dropped");
+                    self.close_pairing_span(peer, "dropped");
                 }
             }
             Event::PinCodeRequest { bd_addr } => match self.config.pin.clone() {
@@ -587,6 +635,7 @@ impl Host {
                                      (page blocking suspected)"
                                 .to_owned(),
                         });
+                        self.close_pairing_span(bd_addr, "aborted");
                         self.disconnect(bd_addr);
                         self.pending_profile = None;
                     }
@@ -649,6 +698,7 @@ impl Host {
                                      link (downgrade suspected)"
                                 .to_owned(),
                         });
+                        self.close_pairing_span(bd_addr, "aborted");
                         self.disconnect(bd_addr);
                         return;
                     }
@@ -696,6 +746,7 @@ impl Host {
                 let Some(peer) = self.peer_by_handle(handle) else {
                     return;
                 };
+                self.close_pairing_span(peer, if status.is_success() { "ok" } else { "failed" });
                 self.ui(UiNotification::AuthenticationOutcome { peer, status });
                 if status.invalidates_link_key() && self.keystore.remove(peer).is_some() {
                     if self.tracer.enabled() {

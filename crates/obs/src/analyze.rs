@@ -1,0 +1,754 @@
+//! Trace analysis: parse JSONL artifacts back into typed lines, rebuild
+//! per-trial timelines, profile where virtual time went, and check the
+//! causal invariants the BLAP attack arguments rest on.
+//!
+//! The analyzer consumes exactly what [`crate::trace`] produces. A trace
+//! is first split into **segments** — one per trial — at `unit_start`
+//! markers and at root `trial` span opens (a `trial_pair` unit runs two
+//! worlds under one tracer, so virtual time resets mid-unit; the root span
+//! is the authoritative boundary). All checks are then per segment, since
+//! timestamps are only comparable within one world.
+//!
+//! ## Invariant catalog
+//!
+//! * **`lmp-matching`** — every `lmp_recv` at time *t* must match an
+//!   `lmp_send` of the same PDU at *t − 1250 µs* (the model's fixed LMP
+//!   latency). Every `lmp_send` must be consumed by a matching recv unless
+//!   the link died after the send (`link_drop` at ≥ send time) or the
+//!   world deadline passed while the PDU was in flight. `LMP_detach` is
+//!   exempt: supervision timeouts inject it directly on both ends.
+//! * **`ploc-no-pairing`** — a device holding a PLOC link (opened a
+//!   `ploc` span) must never itself open a `host_pairing` span in the same
+//!   trial: the attacker parks the link, it does not pair over it.
+//! * **`keystore-after-auth`** — keystore `store` / `remove` mutations on
+//!   a device must be preceded by an `lmp_auth` span open on that device.
+//!   `install` is exempt — planting a stolen key *without* running auth is
+//!   the Fig. 10 attack itself.
+//! * **`blocking-implies-win`** — in a `blocking` trial, if the attacker's
+//!   PLOC link predates the victim's `host_pairing` span, outlives its
+//!   start, and the attacker captured a link key, the trial must close
+//!   `attacker_won`; conversely a trial closing `attacker_won` must show a
+//!   PLOC link predating the victim's pairing.
+//! * **`span-structure`** — closes must match opens; no double-close.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+use crate::metrics::Histogram;
+
+/// The model's fixed LMP/ACL delivery latency in virtual microseconds.
+pub const LMP_LATENCY_US: u64 = 1250;
+
+/// One parsed trace line.
+#[derive(Clone, Debug)]
+pub struct TraceLine {
+    /// 1-based line number in the artifact.
+    pub line_no: usize,
+    /// Virtual timestamp (µs).
+    pub t: u64,
+    /// Emitting device index, when the line was device-scoped.
+    pub dev: Option<u32>,
+    /// Event name (`"lmp_send"`, `"span_open"`, ...).
+    pub ev: String,
+    /// The full parsed object, for event-specific fields.
+    pub value: Value,
+}
+
+impl TraceLine {
+    fn str_field(&self, key: &str) -> Option<&str> {
+        self.value.get(key).and_then(Value::as_str)
+    }
+
+    fn u64_field(&self, key: &str) -> Option<u64> {
+        self.value.get(key).and_then(Value::as_u64)
+    }
+}
+
+/// A failure to parse a trace artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant fired (e.g. `"lmp-matching"`).
+    pub invariant: &'static str,
+    /// Segment (trial) index the violation is in, 0-based.
+    pub segment: usize,
+    /// Offending artifact line, when one line can be blamed.
+    pub line: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] segment {}", self.invariant, self.segment)?;
+        if let Some(line) = self.line {
+            write!(f, " line {line}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Virtual-time attribution per span kind: where did the trial's time go.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfile {
+    phases: BTreeMap<String, PhaseStats>,
+}
+
+/// Stats for one span kind.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Durations (close − open) of completed spans, in virtual µs.
+    pub durations: Histogram,
+    /// Spans of this kind never closed before their segment ended.
+    pub unclosed: u64,
+}
+
+impl PhaseProfile {
+    /// Stats for one span kind, when any span of that kind was seen.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.get(name)
+    }
+
+    /// Iterates phases in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PhaseStats)> {
+        self.phases.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the flamegraph-style table: one row per span kind with
+    /// count, total, p50/p95 and max, ordered by total time descending.
+    pub fn render(&self) -> String {
+        let mut out = String::from("phase-latency profile (virtual time):\n");
+        let mut rows: Vec<(&String, &PhaseStats)> = self.phases.iter().collect();
+        rows.sort_by(|a, b| {
+            (b.1.durations.sum(), a.0.as_str()).cmp(&(a.1.durations.sum(), b.0.as_str()))
+        });
+        for (name, stats) in rows {
+            let h = &stats.durations;
+            let _ = write!(
+                out,
+                "  {name:<14} count={:<6} total_us={:<10} p50_us={:<8} p95_us={:<8} max_us={}",
+                h.count(),
+                h.sum(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.max()
+            );
+            if stats.unclosed > 0 {
+                let _ = write!(out, "  (+{} unclosed)", stats.unclosed);
+            }
+            out.push('\n');
+        }
+        if self.phases.is_empty() {
+            out.push_str("  (no spans in trace)\n");
+        }
+        out
+    }
+}
+
+/// The full result of analyzing one trace artifact.
+#[derive(Clone, Debug)]
+pub struct TraceAnalysis {
+    /// Number of event lines parsed.
+    pub line_count: usize,
+    /// Number of trial segments reconstructed.
+    pub segment_count: usize,
+    /// Virtual-time attribution per span kind.
+    pub profile: PhaseProfile,
+    /// Invariant violations, in artifact order.
+    pub violations: Vec<Violation>,
+    /// Informational notes (unclosed spans etc.) — not failures.
+    pub notes: Vec<String>,
+}
+
+impl TraceAnalysis {
+    /// Whether the trace passed every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the human-readable check report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} lines, {} trial segments, {} violations",
+            self.line_count,
+            self.segment_count,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "VIOLATION {v}");
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+}
+
+/// Parses a trace JSONL artifact into typed lines (blank lines skipped).
+pub fn parse_trace(text: &str) -> Result<Vec<TraceLine>, AnalyzeError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(raw).map_err(|e| AnalyzeError {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+        let t = value.get("t").and_then(Value::as_u64).ok_or(AnalyzeError {
+            line: line_no,
+            message: "missing integer \"t\" field".to_owned(),
+        })?;
+        let ev = value
+            .get("ev")
+            .and_then(Value::as_str)
+            .ok_or(AnalyzeError {
+                line: line_no,
+                message: "missing string \"ev\" field".to_owned(),
+            })?
+            .to_owned();
+        let dev = value.get("dev").and_then(Value::as_u64).map(|d| d as u32);
+        lines.push(TraceLine {
+            line_no,
+            t,
+            dev,
+            ev,
+            value,
+        });
+    }
+    Ok(lines)
+}
+
+/// A reconstructed span within one segment.
+#[derive(Clone, Debug)]
+struct Span {
+    name: String,
+    dev: Option<u32>,
+    open_t: u64,
+    open_line: usize,
+    close: Option<(u64, String)>,
+    close_line: Option<usize>,
+}
+
+/// One trial segment: a half-open range of line indices.
+#[derive(Clone, Debug)]
+struct Segment {
+    start: usize,
+    end: usize,
+}
+
+fn segment(lines: &[TraceLine]) -> Vec<Segment> {
+    let mut boundaries = Vec::new();
+    let mut trial_open_in_current = false;
+    for (i, line) in lines.iter().enumerate() {
+        let is_unit = line.ev == "unit_start";
+        let is_root_trial = line.ev == "span_open"
+            && line.str_field("name") == Some("trial")
+            && line.value.get("parent").is_none();
+        if is_unit || (is_root_trial && trial_open_in_current) {
+            boundaries.push(i);
+            trial_open_in_current = is_root_trial;
+        } else if is_root_trial {
+            trial_open_in_current = true;
+        }
+    }
+    if boundaries.first() != Some(&0) && !lines.is_empty() {
+        boundaries.insert(0, 0);
+    }
+    boundaries
+        .iter()
+        .enumerate()
+        .map(|(i, &start)| Segment {
+            start,
+            end: boundaries.get(i + 1).copied().unwrap_or(lines.len()),
+        })
+        .collect()
+}
+
+/// Parses and fully analyzes a trace artifact: segmentation, phase
+/// profile, and the invariant catalog.
+pub fn analyze_trace(text: &str) -> Result<TraceAnalysis, AnalyzeError> {
+    let lines = parse_trace(text)?;
+    let segments = segment(&lines);
+    let mut profile = PhaseProfile::default();
+    let mut violations = Vec::new();
+    let mut notes = Vec::new();
+
+    for (seg_idx, seg) in segments.iter().enumerate() {
+        let seg_lines = &lines[seg.start..seg.end];
+        let spans = collect_spans(seg_idx, seg_lines, &mut violations);
+        for span in spans.values() {
+            let stats = profile.phases.entry(span.name.clone()).or_default();
+            match &span.close {
+                Some((close_t, _)) => stats.durations.observe(close_t.saturating_sub(span.open_t)),
+                None => stats.unclosed += 1,
+            }
+        }
+        let unclosed = spans.values().filter(|s| s.close.is_none()).count();
+        if unclosed > 0 {
+            notes.push(format!(
+                "segment {seg_idx}: {unclosed} span(s) still open at segment end (world deadline)"
+            ));
+        }
+        check_lmp_matching(seg_idx, seg_lines, &mut violations);
+        check_ploc_no_pairing(seg_idx, &spans, &mut violations);
+        check_keystore_after_auth(seg_idx, seg_lines, &spans, &mut violations);
+        check_blocking_implies_win(seg_idx, seg_lines, &spans, &mut violations);
+    }
+
+    Ok(TraceAnalysis {
+        line_count: lines.len(),
+        segment_count: segments.len(),
+        profile,
+        violations,
+        notes,
+    })
+}
+
+fn collect_spans(
+    seg_idx: usize,
+    seg_lines: &[TraceLine],
+    violations: &mut Vec<Violation>,
+) -> BTreeMap<u64, Span> {
+    let mut spans: BTreeMap<u64, Span> = BTreeMap::new();
+    for line in seg_lines {
+        match line.ev.as_str() {
+            "span_open" => {
+                let (Some(id), Some(name)) = (line.u64_field("span"), line.str_field("name"))
+                else {
+                    continue;
+                };
+                if spans.contains_key(&id) {
+                    violations.push(Violation {
+                        invariant: "span-structure",
+                        segment: seg_idx,
+                        line: Some(line.line_no),
+                        message: format!("span {id} opened twice"),
+                    });
+                    continue;
+                }
+                spans.insert(
+                    id,
+                    Span {
+                        name: name.to_owned(),
+                        dev: line.dev,
+                        open_t: line.t,
+                        open_line: line.line_no,
+                        close: None,
+                        close_line: None,
+                    },
+                );
+            }
+            "span_close" => {
+                let Some(id) = line.u64_field("span") else {
+                    continue;
+                };
+                let status = line.str_field("status").unwrap_or("").to_owned();
+                match spans.get_mut(&id) {
+                    None => violations.push(Violation {
+                        invariant: "span-structure",
+                        segment: seg_idx,
+                        line: Some(line.line_no),
+                        message: format!("span {id} closed but never opened in this segment"),
+                    }),
+                    Some(span) if span.close.is_some() => violations.push(Violation {
+                        invariant: "span-structure",
+                        segment: seg_idx,
+                        line: Some(line.line_no),
+                        message: format!("span {id} closed twice"),
+                    }),
+                    Some(span) => {
+                        span.close = Some((line.t, status));
+                        span.close_line = Some(line.line_no);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+fn check_lmp_matching(seg_idx: usize, seg_lines: &[TraceLine], violations: &mut Vec<Violation>) {
+    // Multiset matching: sends at (pdu, t) pair with recvs at
+    // (pdu, t + LMP_LATENCY_US). LMP_detach is exempt — supervision
+    // timeouts inject it on both ends without a send.
+    let mut sends: HashMap<(&str, u64), Vec<usize>> = HashMap::new();
+    let mut seg_last_t = 0u64;
+    let mut drops: Vec<u64> = Vec::new();
+    for line in seg_lines {
+        seg_last_t = seg_last_t.max(line.t);
+        match line.ev.as_str() {
+            "lmp_send" => {
+                if let Some(pdu) = line.str_field("pdu") {
+                    if pdu != "LMP_detach" {
+                        sends.entry((pdu, line.t)).or_default().push(line.line_no);
+                    }
+                }
+            }
+            "link_drop" => drops.push(line.t),
+            _ => {}
+        }
+    }
+    for line in seg_lines {
+        if line.ev != "lmp_recv" {
+            continue;
+        }
+        let Some(pdu) = line.str_field("pdu") else {
+            continue;
+        };
+        if pdu == "LMP_detach" {
+            continue;
+        }
+        let matched = line
+            .t
+            .checked_sub(LMP_LATENCY_US)
+            .and_then(|sent_t| sends.get_mut(&(pdu, sent_t)))
+            .and_then(Vec::pop)
+            .is_some();
+        if !matched {
+            violations.push(Violation {
+                invariant: "lmp-matching",
+                segment: seg_idx,
+                line: Some(line.line_no),
+                message: format!(
+                    "lmp_recv of {pdu} at t={} has no matching lmp_send at t={}",
+                    line.t,
+                    line.t.saturating_sub(LMP_LATENCY_US)
+                ),
+            });
+        }
+    }
+    for ((pdu, sent_t), unmatched) in sends {
+        for line_no in unmatched {
+            let in_flight_at_deadline = sent_t + LMP_LATENCY_US > seg_last_t;
+            let link_died = drops.iter().any(|&drop_t| drop_t >= sent_t);
+            if !in_flight_at_deadline && !link_died {
+                violations.push(Violation {
+                    invariant: "lmp-matching",
+                    segment: seg_idx,
+                    line: Some(line_no),
+                    message: format!(
+                        "lmp_send of {pdu} at t={sent_t} was never received, \
+                         yet no link died and the world outlived the delivery"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_ploc_no_pairing(
+    seg_idx: usize,
+    spans: &BTreeMap<u64, Span>,
+    violations: &mut Vec<Violation>,
+) {
+    for span in spans.values() {
+        if span.name != "host_pairing" {
+            continue;
+        }
+        // A PLOC hold is "active" at the pairing span's open if it opened
+        // earlier and had not closed yet — line order is event order within
+        // a trial's single-threaded tracer.
+        let held_during = spans.values().any(|p| {
+            p.name == "ploc"
+                && p.dev == span.dev
+                && p.open_line < span.open_line
+                && p.close_line.is_none_or(|cl| cl > span.open_line)
+        });
+        if held_during {
+            violations.push(Violation {
+                invariant: "ploc-no-pairing",
+                segment: seg_idx,
+                line: Some(span.open_line),
+                message: format!(
+                    "device {:?} holds a PLOC link but opened a host_pairing span",
+                    span.dev
+                ),
+            });
+        }
+    }
+}
+
+fn check_keystore_after_auth(
+    seg_idx: usize,
+    seg_lines: &[TraceLine],
+    spans: &BTreeMap<u64, Span>,
+    violations: &mut Vec<Violation>,
+) {
+    for line in seg_lines {
+        if line.ev != "keystore" {
+            continue;
+        }
+        let action = line.str_field("action").unwrap_or("");
+        if action != "store" && action != "remove" {
+            continue; // "install" is the Fig. 10 attack: exempt by design.
+        }
+        let authed = spans
+            .values()
+            .any(|s| s.name == "lmp_auth" && s.dev == line.dev && s.open_t <= line.t);
+        if !authed {
+            violations.push(Violation {
+                invariant: "keystore-after-auth",
+                segment: seg_idx,
+                line: Some(line.line_no),
+                message: format!(
+                    "keystore {action} on device {:?} at t={} without a preceding lmp_auth span",
+                    line.dev, line.t
+                ),
+            });
+        }
+    }
+}
+
+fn check_blocking_implies_win(
+    seg_idx: usize,
+    seg_lines: &[TraceLine],
+    spans: &BTreeMap<u64, Span>,
+    violations: &mut Vec<Violation>,
+) {
+    let Some(trial) = spans
+        .values()
+        .find(|s| s.name == "trial")
+        .filter(|s| trial_detail(seg_lines, s) == Some("blocking"))
+    else {
+        return;
+    };
+    let trial_status = trial.close.as_ref().map(|(_, s)| s.as_str());
+    // The attacker's PLOC link, and the victim pairing spans it overlaps.
+    let plocs: Vec<&Span> = spans.values().filter(|s| s.name == "ploc").collect();
+    let blocked_pairing = |ploc: &Span| {
+        spans.values().any(|s| {
+            s.name == "host_pairing"
+                && s.dev != ploc.dev
+                && s.open_t > ploc.open_t
+                && ploc.close.as_ref().is_none_or(|(t, _)| *t >= s.open_t)
+        })
+    };
+    let attacker_stole_key = |ploc: &Span| {
+        seg_lines.iter().any(|l| {
+            l.ev == "keystore" && l.str_field("action") == Some("store") && l.dev == ploc.dev
+        })
+    };
+    for ploc in &plocs {
+        if blocked_pairing(ploc) && attacker_stole_key(ploc) && trial_status != Some("attacker_won")
+        {
+            violations.push(Violation {
+                invariant: "blocking-implies-win",
+                segment: seg_idx,
+                line: Some(ploc.open_line),
+                message: format!(
+                    "PLOC link predates the victim's pairing and the attacker captured a \
+                     link key, but the trial closed {trial_status:?} instead of attacker_won"
+                ),
+            });
+        }
+    }
+    if trial_status == Some("attacker_won") && !plocs.iter().any(|p| blocked_pairing(p)) {
+        violations.push(Violation {
+            invariant: "blocking-implies-win",
+            segment: seg_idx,
+            line: Some(trial.open_line),
+            message: "trial closed attacker_won but no PLOC link predates the victim's pairing"
+                .to_owned(),
+        });
+    }
+}
+
+fn trial_detail<'a>(seg_lines: &'a [TraceLine], trial: &Span) -> Option<&'a str> {
+    seg_lines
+        .iter()
+        .find(|l| l.line_no == trial.open_line)
+        .and_then(|l| l.str_field("detail"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(text: &str) -> TraceAnalysis {
+        analyze_trace(text).expect("trace parses")
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let a = analyze("");
+        assert!(a.ok());
+        assert_eq!(a.line_count, 0);
+        assert_eq!(a.segment_count, 0);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = analyze_trace("{\"t\":1,\"ev\":\"x\"}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = analyze_trace("{\"ev\":\"missing-t\"}\n").unwrap_err();
+        assert!(err.message.contains("\"t\""), "{err}");
+    }
+
+    #[test]
+    fn matched_lmp_send_recv_passes() {
+        let trace = "\
+{\"t\":0,\"ev\":\"span_open\",\"span\":1,\"name\":\"trial\",\"detail\":\"baseline\"}\n\
+{\"t\":100,\"dev\":0,\"ev\":\"lmp_send\",\"peer\":\"aa:aa:aa:aa:aa:aa\",\"pdu\":\"LMP_au_rand\"}\n\
+{\"t\":1350,\"dev\":1,\"ev\":\"lmp_recv\",\"peer\":\"bb:bb:bb:bb:bb:bb\",\"pdu\":\"LMP_au_rand\"}\n\
+{\"t\":2000,\"ev\":\"span_close\",\"span\":1,\"status\":\"done\"}\n";
+        let a = analyze(trace);
+        assert!(a.ok(), "{}", a.report());
+        assert_eq!(a.segment_count, 1);
+    }
+
+    #[test]
+    fn recv_without_send_is_flagged() {
+        let trace =
+            "{\"t\":1350,\"dev\":1,\"ev\":\"lmp_recv\",\"peer\":\"bb:bb:bb:bb:bb:bb\",\"pdu\":\"LMP_au_rand\"}\n";
+        let a = analyze(trace);
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(a.violations[0].invariant, "lmp-matching");
+    }
+
+    #[test]
+    fn unreceived_send_is_flagged_unless_excused() {
+        // Send at t=100 with the segment living to t=10000 and no link
+        // death: violation.
+        let send = "{\"t\":100,\"dev\":0,\"ev\":\"lmp_send\",\"peer\":\"aa:aa:aa:aa:aa:aa\",\"pdu\":\"LMP_au_rand\"}\n";
+        let late = "{\"t\":10000,\"ev\":\"attack_phase\",\"label\":\"end\"}\n";
+        let a = analyze(&format!("{send}{late}"));
+        assert_eq!(a.violations.len(), 1, "{}", a.report());
+
+        // Same send, but the link died after it: excused.
+        let drop = "{\"t\":600,\"dev\":1,\"ev\":\"link_drop\",\"reason\":\"detach\"}\n";
+        assert!(analyze(&format!("{send}{drop}{late}")).ok());
+
+        // Same send still in flight when the segment ends: excused.
+        assert!(analyze(send).ok());
+
+        // LMP_detach is exempt in both directions.
+        let fabricated =
+            "{\"t\":500,\"dev\":1,\"ev\":\"lmp_recv\",\"peer\":\"aa:aa:aa:aa:aa:aa\",\"pdu\":\"LMP_detach\"}\n";
+        assert!(analyze(&format!("{fabricated}{late}")).ok());
+    }
+
+    #[test]
+    fn ploc_device_pairing_is_flagged() {
+        let trace = "\
+{\"t\":0,\"dev\":2,\"ev\":\"span_open\",\"span\":1,\"name\":\"ploc\"}\n\
+{\"t\":100,\"dev\":2,\"ev\":\"span_open\",\"span\":2,\"name\":\"host_pairing\"}\n";
+        let a = analyze(trace);
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(a.violations[0].invariant, "ploc-no-pairing");
+        // A different device pairing is fine.
+        let ok = "\
+{\"t\":0,\"dev\":2,\"ev\":\"span_open\",\"span\":1,\"name\":\"ploc\"}\n\
+{\"t\":100,\"dev\":0,\"ev\":\"span_open\",\"span\":2,\"name\":\"host_pairing\"}\n";
+        assert!(analyze(ok).ok());
+    }
+
+    #[test]
+    fn keystore_store_requires_prior_auth_span() {
+        let bare = "{\"t\":500,\"dev\":0,\"ev\":\"keystore\",\"peer\":\"aa:aa:aa:aa:aa:aa\",\"action\":\"store\"}\n";
+        let a = analyze(bare);
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(a.violations[0].invariant, "keystore-after-auth");
+
+        let authed = "\
+{\"t\":100,\"dev\":0,\"ev\":\"span_open\",\"span\":1,\"name\":\"lmp_auth\"}\n\
+{\"t\":500,\"dev\":0,\"ev\":\"keystore\",\"peer\":\"aa:aa:aa:aa:aa:aa\",\"action\":\"store\"}\n";
+        assert!(analyze(authed).ok());
+
+        // The planted key of Fig. 10 is exempt by design.
+        let install = "{\"t\":500,\"dev\":0,\"ev\":\"keystore\",\"peer\":\"aa:aa:aa:aa:aa:aa\",\"action\":\"install\"}\n";
+        assert!(analyze(install).ok());
+    }
+
+    #[test]
+    fn blocking_win_consistency() {
+        let base = "\
+{\"t\":0,\"ev\":\"span_open\",\"span\":1,\"name\":\"trial\",\"detail\":\"blocking\"}\n\
+{\"t\":10,\"dev\":2,\"ev\":\"span_open\",\"span\":2,\"name\":\"ploc\"}\n\
+{\"t\":100,\"dev\":0,\"ev\":\"span_open\",\"span\":3,\"name\":\"host_pairing\"}\n\
+{\"t\":150,\"dev\":2,\"ev\":\"span_open\",\"span\":4,\"name\":\"lmp_auth\"}\n\
+{\"t\":200,\"dev\":2,\"ev\":\"keystore\",\"peer\":\"aa:aa:aa:aa:aa:aa\",\"action\":\"store\"}\n";
+        // Blocked pairing + stolen key + attacker_won: consistent.
+        let won = format!(
+            "{base}{}",
+            "{\"t\":300,\"ev\":\"span_close\",\"span\":1,\"status\":\"attacker_won\"}\n"
+        );
+        assert!(analyze(&won).ok(), "{}", analyze(&won).report());
+        // Same evidence but the trial claims the attacker lost: flagged.
+        let lost = format!(
+            "{base}{}",
+            "{\"t\":300,\"ev\":\"span_close\",\"span\":1,\"status\":\"attacker_lost\"}\n"
+        );
+        let a = analyze(&lost);
+        assert_eq!(a.violations.len(), 1, "{}", a.report());
+        assert_eq!(a.violations[0].invariant, "blocking-implies-win");
+        // attacker_won without any PLOC link predating the pairing: flagged.
+        let phantom = "\
+{\"t\":0,\"ev\":\"span_open\",\"span\":1,\"name\":\"trial\",\"detail\":\"blocking\"}\n\
+{\"t\":100,\"dev\":0,\"ev\":\"span_open\",\"span\":2,\"name\":\"host_pairing\"}\n\
+{\"t\":300,\"ev\":\"span_close\",\"span\":1,\"status\":\"attacker_won\"}\n";
+        let a = analyze(phantom);
+        assert_eq!(a.violations.len(), 1, "{}", a.report());
+    }
+
+    #[test]
+    fn trial_pair_units_are_segmented_at_root_spans() {
+        let trace = "\
+{\"t\":0,\"ev\":\"unit_start\",\"unit\":0,\"label\":\"trial_pair\"}\n\
+{\"t\":0,\"ev\":\"span_open\",\"span\":1,\"name\":\"trial\",\"detail\":\"baseline\"}\n\
+{\"t\":5000,\"ev\":\"span_close\",\"span\":1,\"status\":\"attacker_lost\"}\n\
+{\"t\":0,\"ev\":\"span_open\",\"span\":2,\"name\":\"trial\",\"detail\":\"blocking\"}\n\
+{\"t\":5000,\"ev\":\"span_close\",\"span\":2,\"status\":\"attacker_lost\"}\n\
+{\"t\":0,\"ev\":\"unit_start\",\"unit\":1,\"label\":\"trial_pair\"}\n\
+{\"t\":0,\"ev\":\"span_open\",\"span\":1,\"name\":\"trial\",\"detail\":\"baseline\"}\n\
+{\"t\":5000,\"ev\":\"span_close\",\"span\":1,\"status\":\"attacker_won\"}\n";
+        let a = analyze(trace);
+        assert_eq!(a.segment_count, 3, "{}", a.report());
+        assert!(a.ok(), "{}", a.report());
+        let trial = a.profile.phase("trial").expect("trial spans profiled");
+        assert_eq!(trial.durations.count(), 3);
+        assert_eq!(trial.durations.quantile(0.5), 5000);
+    }
+
+    #[test]
+    fn double_close_and_unknown_close_are_structural_violations() {
+        let trace = "\
+{\"t\":0,\"ev\":\"span_open\",\"span\":1,\"name\":\"page\"}\n\
+{\"t\":10,\"ev\":\"span_close\",\"span\":1,\"status\":\"connected\"}\n\
+{\"t\":20,\"ev\":\"span_close\",\"span\":1,\"status\":\"connected\"}\n\
+{\"t\":30,\"ev\":\"span_close\",\"span\":9,\"status\":\"ok\"}\n";
+        let a = analyze(trace);
+        assert_eq!(a.violations.len(), 2, "{}", a.report());
+        assert!(a.violations.iter().all(|v| v.invariant == "span-structure"));
+    }
+
+    #[test]
+    fn profile_counts_unclosed_spans() {
+        let trace = "{\"t\":0,\"dev\":1,\"ev\":\"span_open\",\"span\":1,\"name\":\"page\"}\n";
+        let a = analyze(trace);
+        assert!(a.ok());
+        assert_eq!(a.profile.phase("page").map(|p| p.unclosed), Some(1));
+        assert_eq!(a.notes.len(), 1);
+        assert!(a.profile.render().contains("unclosed"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Structural comparison of two observability artifacts.
+//!
+//! CI used to gate determinism with a bare `diff` over artifact bytes:
+//! a one-line divergence failed the job with no hint of *what* drifted.
+//! This module produces a structured report instead — for traces, the
+//! first divergent line plus divergence counts; for metrics documents, a
+//! path-by-path comparison that knows `wall_ms` is run-dependent by
+//! design (`BLAP_METRICS_WALL=1`) and must not count as drift.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, ParseError, Value};
+
+/// The result of comparing two artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Individual findings, in artifact order.
+    pub findings: Vec<String>,
+    /// Number of differing lines/paths (may exceed `findings.len()` when
+    /// the listing is capped).
+    pub differences: usize,
+}
+
+/// How many individual findings a report lists before truncating.
+const MAX_FINDINGS: usize = 50;
+
+impl DiffReport {
+    /// Whether the artifacts are equivalent (no unexplained drift).
+    pub fn no_drift(&self) -> bool {
+        self.differences == 0
+    }
+
+    /// Renders the report; `a_name`/`b_name` label the two inputs.
+    pub fn render(&self, a_name: &str, b_name: &str) -> String {
+        if self.no_drift() {
+            return format!("no drift: {a_name} == {b_name}\n");
+        }
+        let mut out = format!(
+            "DRIFT: {} difference(s) between {a_name} and {b_name}\n",
+            self.differences
+        );
+        for finding in &self.findings {
+            let _ = writeln!(out, "  {finding}");
+        }
+        if self.differences > self.findings.len() {
+            let _ = writeln!(
+                out,
+                "  ... and {} more",
+                self.differences - self.findings.len()
+            );
+        }
+        out
+    }
+
+    fn push(&mut self, finding: String) {
+        self.differences += 1;
+        if self.findings.len() < MAX_FINDINGS {
+            self.findings.push(finding);
+        }
+    }
+}
+
+/// Compares two trace JSONL artifacts line by line.
+pub fn diff_traces(a: &str, b: &str) -> DiffReport {
+    let mut report = DiffReport::default();
+    let a_lines: Vec<&str> = a.lines().collect();
+    let b_lines: Vec<&str> = b.lines().collect();
+    for (i, (la, lb)) in a_lines.iter().zip(&b_lines).enumerate() {
+        if la != lb {
+            report.push(format!("line {}: {la:?} != {lb:?}", i + 1));
+        }
+    }
+    if a_lines.len() != b_lines.len() {
+        report.push(format!(
+            "line count: {} vs {} ({} extra line(s) in the longer artifact)",
+            a_lines.len(),
+            b_lines.len(),
+            a_lines.len().abs_diff(b_lines.len())
+        ));
+    }
+    report
+}
+
+/// Compares two metrics JSON documents structurally, ignoring the
+/// run-dependent `wall_ms` meta field.
+pub fn diff_metrics(a: &str, b: &str) -> Result<DiffReport, ParseError> {
+    let a_paths = flatten(&json::parse(a)?);
+    let b_paths = flatten(&json::parse(b)?);
+    let mut report = DiffReport::default();
+    let mut bi = 0usize;
+    // Both flattenings are sorted by path, so a single merge pass finds
+    // added, removed, and changed entries.
+    let mut ai = 0usize;
+    while ai < a_paths.len() || bi < b_paths.len() {
+        match (a_paths.get(ai), b_paths.get(bi)) {
+            (Some((pa, va)), Some((pb, vb))) if pa == pb => {
+                if va != vb && !is_wall_path(pa) {
+                    report.push(format!("{pa}: {va} != {vb}"));
+                }
+                ai += 1;
+                bi += 1;
+            }
+            (Some((pa, va)), Some((pb, _))) if pa < pb => {
+                if !is_wall_path(pa) {
+                    report.push(format!("{pa}: {va} only in first artifact"));
+                }
+                ai += 1;
+            }
+            (Some(_), Some((pb, vb))) => {
+                if !is_wall_path(pb) {
+                    report.push(format!("{pb}: {vb} only in second artifact"));
+                }
+                bi += 1;
+            }
+            (Some((pa, va)), None) => {
+                if !is_wall_path(pa) {
+                    report.push(format!("{pa}: {va} only in first artifact"));
+                }
+                ai += 1;
+            }
+            (None, Some((pb, vb))) => {
+                if !is_wall_path(pb) {
+                    report.push(format!("{pb}: {vb} only in second artifact"));
+                }
+                bi += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    Ok(report)
+}
+
+fn is_wall_path(path: &str) -> bool {
+    // Wall-clock durations are run-dependent by design: the meta header's
+    // wall_ms and any *_wall_us histograms collected under
+    // BLAP_METRICS_WALL=1.
+    path.rsplit('.')
+        .next()
+        .is_some_and(|leaf| leaf == "wall_ms")
+        || path.contains("wall_us")
+}
+
+/// Flattens a JSON document into sorted `(dotted.path, scalar)` pairs.
+fn flatten(value: &Value) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    walk(value, String::new(), &mut out);
+    out.sort();
+    out
+}
+
+fn walk(value: &Value, path: String, out: &mut Vec<(String, String)>) {
+    match value {
+        Value::Object(members) => {
+            for (key, v) in members {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                walk(v, child, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk(v, format!("{path}[{i}]"), out);
+            }
+        }
+        Value::Str(s) => out.push((path, format!("{s:?}"))),
+        Value::Num(n) => out.push((path, n.clone())),
+        Value::Bool(b) => out.push((path, b.to_string())),
+        Value::Null => out.push((path, "null".to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_report_no_drift() {
+        let t = "{\"t\":0,\"ev\":\"a\"}\n{\"t\":1,\"ev\":\"b\"}\n";
+        let report = diff_traces(t, t);
+        assert!(report.no_drift());
+        assert!(report.render("a", "b").starts_with("no drift"));
+    }
+
+    #[test]
+    fn trace_divergence_names_the_line() {
+        let a = "{\"t\":0,\"ev\":\"a\"}\n{\"t\":1,\"ev\":\"b\"}\n";
+        let b = "{\"t\":0,\"ev\":\"a\"}\n{\"t\":2,\"ev\":\"b\"}\n{\"t\":3,\"ev\":\"c\"}\n";
+        let report = diff_traces(a, b);
+        assert_eq!(report.differences, 2);
+        assert!(report.findings[0].starts_with("line 2:"), "{report:?}");
+        assert!(report.findings[1].contains("line count"), "{report:?}");
+        assert!(report.render("a", "b").starts_with("DRIFT"));
+    }
+
+    #[test]
+    fn metrics_diff_finds_changed_and_missing_paths() {
+        let a = r#"{"metrics":{"counters":{"x":1,"only_a":2}}}"#;
+        let b = r#"{"metrics":{"counters":{"x":3,"only_b":4}}}"#;
+        let report = diff_metrics(a, b).expect("parses");
+        assert_eq!(report.differences, 3);
+        let text = report.render("a", "b");
+        assert!(text.contains("metrics.counters.x: 1 != 3"), "{text}");
+        assert!(text.contains("only_a"), "{text}");
+        assert!(text.contains("only_b"), "{text}");
+    }
+
+    #[test]
+    fn wall_clock_paths_are_not_drift() {
+        let a = r#"{"wall_ms": 120, "metrics":{"histograms":{"unit_wall_us":{"count":5}}}}"#;
+        let b = r#"{"wall_ms": 345, "metrics":{"histograms":{"unit_wall_us":{"count":9}}}}"#;
+        let report = diff_metrics(a, b).expect("parses");
+        assert!(report.no_drift(), "{:?}", report.findings);
+        // A wall_ms field present on only one side is also excused.
+        let c = r#"{"metrics":{"histograms":{}}}"#;
+        let d = r#"{"wall_ms": 1, "metrics":{"histograms":{}}}"#;
+        assert!(diff_metrics(c, d).expect("parses").no_drift());
+    }
+
+    #[test]
+    fn metrics_diff_rejects_malformed_input() {
+        assert!(diff_metrics("{", "{}").is_err());
+    }
+}

@@ -25,12 +25,34 @@
 //! The whole layer is zero-cost when disabled: a disabled [`trace::Tracer`]
 //! is a `None` check per call site, and the always-on counters are plain
 //! `u64` increments on structs the hot loops already own.
+//!
+//! On top of the recording tier sits the **analysis tier** (PR 4):
+//!
+//! * [`span`] — causal spans (trial → page / LMP auth / host pairing /
+//!   PLOC / HCI exchange) with parent links, allocated deterministically
+//!   per tracer and rendered as `span_open` / `span_close` trace lines.
+//! * [`analyze`] — parses trace JSONL back into typed lines, reconstructs
+//!   per-trial segments, computes a virtual-time phase-latency profile,
+//!   and runs the declarative invariant checker the attack arguments rest
+//!   on (every LMP send matched, PLOC links never pairing, keystore writes
+//!   only after auth, page blocking implying a stolen pairing).
+//! * [`diff`] — structural comparison of two trace/metrics artifacts, the
+//!   CI gate that replaced ad-hoc byte diffs.
+//! * [`json`] — the shared escaper both renderers use, plus the
+//!   dependency-free parser the analysis tier reads artifacts back with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod diff;
+pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
+pub use analyze::{analyze_trace, PhaseProfile, TraceAnalysis, Violation};
+pub use diff::{diff_metrics, diff_traces, DiffReport};
 pub use metrics::{export_json, Histogram, MetaValue, Metrics};
+pub use span::SpanId;
 pub use trace::{DumpOnAssert, FlightRecorder, JsonlBuffer, TraceEvent, TraceSink, Tracer};

@@ -12,6 +12,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::json::escape;
+
 /// A histogram over `u64` samples with power-of-two buckets.
 ///
 /// Bucket `k` counts samples whose bit length is `k` (i.e. values in
@@ -74,6 +76,37 @@ impl Histogram {
         } else {
             self.max
         }
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) under **bucket upper-bound**
+    /// interpolation: the reported value is the largest value the rank-th
+    /// sample *could* have had given its bucket (`2^k − 1`), clamped to the
+    /// exact `[min, max]` the histogram tracks. Because it reads only the
+    /// merged bucket counts and the exact min/max — all of which merge
+    /// commutatively — the result is identical no matter how per-unit
+    /// histograms were merged.
+    ///
+    /// Returns 0 when empty; with one sample it is exact for every `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Largest value in bucket k: 0 for the zero bucket,
+                // otherwise 2^k − 1 (saturating at the top bucket).
+                let upper = match *bucket {
+                    0 => 0,
+                    k if k >= 64 => u64::MAX,
+                    k => (1u64 << k) - 1,
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 
     /// Folds another histogram in (bucket-wise addition: commutative).
@@ -295,26 +328,6 @@ pub enum MetaValue {
     Raw(String),
 }
 
-fn escape(s: &str) -> String {
-    if s.chars()
-        .all(|c| c != '"' && c != '\\' && (c as u32) >= 0x20)
-    {
-        return s.to_owned();
-    }
-    let mut out = String::with_capacity(s.len() + 4);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +396,62 @@ mod tests {
         assert!(json.contains("\"<4\":2"), "{json}");
         assert!(json.contains("\"<1024\":1"), "{json}");
         assert!(json.contains("\"<2048\":1"), "{json}");
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_is_exact() {
+        let mut h = Histogram::new();
+        h.observe(900);
+        // Bucket upper bound would be 1023, but min/max clamping makes a
+        // single sample exact at every q.
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 900);
+        }
+        let mut zero = Histogram::new();
+        zero.observe(0);
+        assert_eq!(zero.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_is_merge_order_independent() {
+        let samples = [3u64, 7, 100, 250, 251, 4000, 65536, 1, 2, 12];
+        let mut whole = Histogram::new();
+        for v in samples {
+            whole.observe(v);
+        }
+        // Split the samples across three shards and merge in two different
+        // orders; every quantile must agree with the all-at-once histogram.
+        let mut shards = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, v) in samples.iter().enumerate() {
+            shards[i % 3].observe(*v);
+        }
+        let mut forward = Histogram::new();
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut backward = Histogram::new();
+        for s in shards.iter().rev() {
+            backward.merge(s);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 1.0] {
+            assert_eq!(whole.quantile(q), forward.quantile(q), "q={q}");
+            assert_eq!(forward.quantile(q), backward.quantile(q), "q={q}");
+        }
+        // Sanity on the semantics: p50 of ten samples is the 5th-ranked
+        // sample's bucket upper bound (rank 5 = 12 → bucket <16 → 15).
+        assert_eq!(whole.quantile(0.5), 15);
+        // p100 is clamped to the exact max.
+        assert_eq!(whole.quantile(1.0), 65536);
+        // p0 clamps to the exact min.
+        assert_eq!(whole.quantile(0.0), 1);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Causal spans: intervals of virtual time with parent links.
+//!
+//! A span is opened and closed through the [`crate::Tracer`], which
+//! allocates IDs from a per-tracer counter. Because every experiment unit
+//! runs single-threaded under its own tracer, allocation order — and
+//! therefore the rendered artifact — is a pure function of the world seed,
+//! never of worker scheduling.
+//!
+//! The layer is deliberately flat: a tracer tracks one **root** span (the
+//! current trial) and every non-root span opened while it is active gets
+//! that root as its parent. That is exactly the causality the BLAP
+//! analyses need — "which trial does this page attempt / LMP transaction /
+//! HCI exchange belong to" — without threading span handles through every
+//! call signature in the stack.
+
+/// Identifier of one span within a trace.
+///
+/// `SpanId::NONE` (raw value 0) is the "no span" sentinel: closing it is a
+/// no-op, and a disabled tracer returns it from every open call, so
+/// instrumented sites need no `if enabled` guards of their own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The "no span" sentinel.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Reconstructs a span ID from its raw trace representation.
+    pub fn from_raw(raw: u64) -> SpanId {
+        SpanId(raw)
+    }
+
+    /// The raw value as rendered in trace artifacts (0 = none).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the sentinel.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for SpanId {
+    fn default() -> SpanId {
+        SpanId::NONE
+    }
+}
+
+/// Span allocation state shared by all clones of one tracer.
+#[derive(Debug)]
+pub(crate) struct SpanState {
+    /// Next ID to hand out (IDs start at 1; 0 is the sentinel).
+    next: u64,
+    /// The currently open root span, if any.
+    root: SpanId,
+}
+
+impl SpanState {
+    pub(crate) fn new() -> SpanState {
+        SpanState {
+            next: 1,
+            root: SpanId::NONE,
+        }
+    }
+
+    /// Allocates the next span ID.
+    pub(crate) fn alloc(&mut self) -> SpanId {
+        let id = SpanId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Current root span ([`SpanId::NONE`] when no trial is open).
+    pub(crate) fn root(&self) -> SpanId {
+        self.root
+    }
+
+    pub(crate) fn set_root(&mut self, span: SpanId) {
+        self.root = span;
+    }
+
+    /// Clears the root if `span` is it (closing a root span ends the trial
+    /// scope; closing anything else leaves it alone).
+    pub(crate) fn clear_root_if(&mut self, span: SpanId) {
+        if self.root == span {
+            self.root = SpanId::NONE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_start_at_one_and_increment() {
+        let mut state = SpanState::new();
+        assert_eq!(state.alloc(), SpanId::from_raw(1));
+        assert_eq!(state.alloc(), SpanId::from_raw(2));
+        assert!(!SpanId::from_raw(1).is_none());
+        assert!(SpanId::NONE.is_none());
+        assert_eq!(SpanId::default(), SpanId::NONE);
+    }
+
+    #[test]
+    fn root_tracking() {
+        let mut state = SpanState::new();
+        let a = state.alloc();
+        state.set_root(a);
+        assert_eq!(state.root(), a);
+        let b = state.alloc();
+        state.clear_root_if(b);
+        assert_eq!(state.root(), a, "closing a child leaves the root");
+        state.clear_root_if(a);
+        assert_eq!(state.root(), SpanId::NONE);
+    }
+}

@@ -12,6 +12,9 @@ use std::sync::{Arc, Mutex};
 
 use blap_types::{BdAddr, Instant};
 
+use crate::json::{esc, escape_into};
+use crate::span::{SpanId, SpanState};
+
 /// One typed trace event.
 ///
 /// Variants mirror the seams the BLAP attacks are diagnosed from: the
@@ -147,6 +150,30 @@ pub enum TraceEvent {
         /// Condition label (e.g. `"baseline"`, `"blocking"`).
         label: &'static str,
     },
+    /// A causal span opened (see [`crate::span`]).
+    SpanOpen {
+        /// Virtual open time.
+        time: Instant,
+        /// Span identifier (unique within one unit's trace).
+        span: SpanId,
+        /// Enclosing span ([`SpanId::NONE`] for a root span).
+        parent: SpanId,
+        /// Span kind (`"trial"`, `"page"`, `"lmp_auth"`, `"host_pairing"`,
+        /// `"ploc"`, `"hci_cmd"`).
+        name: &'static str,
+        /// Free-form qualifier (peer address, trial condition, command
+        /// name); empty when the kind says it all.
+        detail: String,
+    },
+    /// A causal span closed.
+    SpanClose {
+        /// Virtual close time.
+        time: Instant,
+        /// The span being closed.
+        span: SpanId,
+        /// Outcome (`"ok"`, `"timeout"`, `"failed"`, ...).
+        status: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -166,7 +193,9 @@ impl TraceEvent {
             | TraceEvent::LinkDropped { time, .. }
             | TraceEvent::KeystoreMutation { time, .. }
             | TraceEvent::AttackPhase { time, .. }
-            | TraceEvent::Warning { time, .. } => *time,
+            | TraceEvent::Warning { time, .. }
+            | TraceEvent::SpanOpen { time, .. }
+            | TraceEvent::SpanClose { time, .. } => *time,
             TraceEvent::UnitStart { .. } => Instant::EPOCH,
         }
     }
@@ -185,11 +214,12 @@ impl TraceEvent {
             TraceEvent::SchedulerDispatch { seq, kind, .. } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"dispatch\",\"seq\":{seq},\"kind\":\"{kind}\""
+                    ",\"ev\":\"dispatch\",\"seq\":{seq},\"kind\":\"{}\"",
+                    esc(kind)
                 );
             }
             TraceEvent::PageStarted { target, .. } => {
-                let _ = write!(out, ",\"ev\":\"page_start\",\"target\":\"{target}\"");
+                let _ = write!(out, ",\"ev\":\"page_start\",\"target\":\"{}\"", esc(target));
             }
             TraceEvent::PageConnected {
                 target,
@@ -200,11 +230,16 @@ impl TraceEvent {
             } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"page_connect\",\"target\":\"{target}\",\"responder\":{responder},\"latency_us\":{latency_us},\"raced\":{raced}"
+                    ",\"ev\":\"page_connect\",\"target\":\"{}\",\"responder\":{responder},\"latency_us\":{latency_us},\"raced\":{raced}",
+                    esc(target)
                 );
             }
             TraceEvent::PageTimeout { target, .. } => {
-                let _ = write!(out, ",\"ev\":\"page_timeout\",\"target\":\"{target}\"");
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"page_timeout\",\"target\":\"{}\"",
+                    esc(target)
+                );
             }
             TraceEvent::RaceOutcome {
                 target,
@@ -213,7 +248,8 @@ impl TraceEvent {
             } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"race\",\"target\":\"{target}\",\"attacker_won\":{attacker_won}"
+                    ",\"ev\":\"race\",\"target\":\"{}\",\"attacker_won\":{attacker_won}",
+                    esc(target)
                 );
             }
             TraceEvent::ScanTransition {
@@ -229,17 +265,21 @@ impl TraceEvent {
             TraceEvent::LmpSend { peer, pdu, .. } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"lmp_send\",\"peer\":\"{peer}\",\"pdu\":\"{pdu}\""
+                    ",\"ev\":\"lmp_send\",\"peer\":\"{}\",\"pdu\":\"{}\"",
+                    esc(peer),
+                    esc(pdu)
                 );
             }
             TraceEvent::LmpRecv { peer, pdu, .. } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"lmp_recv\",\"peer\":\"{peer}\",\"pdu\":\"{pdu}\""
+                    ",\"ev\":\"lmp_recv\",\"peer\":\"{}\",\"pdu\":\"{}\"",
+                    esc(peer),
+                    esc(pdu)
                 );
             }
             TraceEvent::LmpTimeout { peer, .. } => {
-                let _ = write!(out, ",\"ev\":\"lmp_timeout\",\"peer\":\"{peer}\"");
+                let _ = write!(out, ",\"ev\":\"lmp_timeout\",\"peer\":\"{}\"", esc(peer));
             }
             TraceEvent::HciSeam {
                 direction,
@@ -249,20 +289,25 @@ impl TraceEvent {
             } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"hci\",\"dir\":\"{direction}\",\"kind\":\"{kind}\",\"name\":\"{name}\""
+                    ",\"ev\":\"hci\",\"dir\":\"{}\",\"kind\":\"{}\",\"name\":\"{}\"",
+                    esc(direction),
+                    esc(kind),
+                    esc(name)
                 );
             }
             TraceEvent::LinkDropped { reason, .. } => {
-                let _ = write!(out, ",\"ev\":\"link_drop\",\"reason\":\"{reason}\"");
+                let _ = write!(out, ",\"ev\":\"link_drop\",\"reason\":\"{}\"", esc(reason));
             }
             TraceEvent::KeystoreMutation { peer, action, .. } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"keystore\",\"peer\":\"{peer}\",\"action\":\"{action}\""
+                    ",\"ev\":\"keystore\",\"peer\":\"{}\",\"action\":\"{}\"",
+                    esc(peer),
+                    esc(action)
                 );
             }
             TraceEvent::AttackPhase { label, .. } => {
-                let _ = write!(out, ",\"ev\":\"attack_phase\",\"label\":\"{label}\"");
+                let _ = write!(out, ",\"ev\":\"attack_phase\",\"label\":\"{}\"", esc(label));
             }
             TraceEvent::Warning { message, .. } => {
                 out.push_str(",\"ev\":\"warning\",\"message\":\"");
@@ -272,28 +317,38 @@ impl TraceEvent {
             TraceEvent::UnitStart { unit, label, .. } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"unit_start\",\"unit\":{unit},\"label\":\"{label}\""
+                    ",\"ev\":\"unit_start\",\"unit\":{unit},\"label\":\"{}\"",
+                    esc(label)
+                );
+            }
+            TraceEvent::SpanOpen {
+                span,
+                parent,
+                name,
+                detail,
+                ..
+            } => {
+                let _ = write!(out, ",\"ev\":\"span_open\",\"span\":{}", span.raw());
+                if !parent.is_none() {
+                    let _ = write!(out, ",\"parent\":{}", parent.raw());
+                }
+                let _ = write!(out, ",\"name\":\"{}\"", esc(name));
+                if !detail.is_empty() {
+                    out.push_str(",\"detail\":\"");
+                    escape_into(detail, out);
+                    out.push('"');
+                }
+            }
+            TraceEvent::SpanClose { span, status, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"span_close\",\"span\":{},\"status\":\"{}\"",
+                    span.raw(),
+                    esc(status)
                 );
             }
         }
         out.push('}');
-    }
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-fn escape_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
     }
 }
 
@@ -309,6 +364,7 @@ pub trait TraceSink: Send {
 
 struct TracerShared {
     sinks: Mutex<Vec<Box<dyn TraceSink>>>,
+    spans: Mutex<SpanState>,
 }
 
 /// A cloneable handle that fans events out to attached sinks.
@@ -338,6 +394,7 @@ impl Tracer {
         Tracer {
             shared: Some(Arc::new(TracerShared {
                 sinks: Mutex::new(Vec::new()),
+                spans: Mutex::new(SpanState::new()),
             })),
             device: None,
         }
@@ -385,6 +442,61 @@ impl Tracer {
                 sink.record(self.device, &event);
             }
         }
+    }
+
+    /// Opens a **root** span (a trial boundary): subsequent non-root spans
+    /// opened through any clone of this tracer get it as their parent,
+    /// until it is closed. Returns [`SpanId::NONE`] when disabled.
+    pub fn open_root_span(&self, time: Instant, name: &'static str, detail: &str) -> SpanId {
+        let Some(shared) = &self.shared else {
+            return SpanId::NONE;
+        };
+        let span = {
+            let mut spans = shared.spans.lock().expect("span lock");
+            let span = spans.alloc();
+            spans.set_root(span);
+            span
+        };
+        self.emit(TraceEvent::SpanOpen {
+            time,
+            span,
+            parent: SpanId::NONE,
+            name,
+            detail: detail.to_owned(),
+        });
+        span
+    }
+
+    /// Opens a span parented to the current root (or parentless when no
+    /// root is open). Returns [`SpanId::NONE`] when disabled.
+    pub fn open_span(&self, time: Instant, name: &'static str, detail: &str) -> SpanId {
+        let Some(shared) = &self.shared else {
+            return SpanId::NONE;
+        };
+        let (span, parent) = {
+            let mut spans = shared.spans.lock().expect("span lock");
+            (spans.alloc(), spans.root())
+        };
+        self.emit(TraceEvent::SpanOpen {
+            time,
+            span,
+            parent,
+            name,
+            detail: detail.to_owned(),
+        });
+        span
+    }
+
+    /// Closes a span with an outcome status. No-op for [`SpanId::NONE`]
+    /// (the disabled-tracer return value), so call sites need no guards.
+    pub fn close_span(&self, time: Instant, span: SpanId, status: &'static str) {
+        if span.is_none() {
+            return;
+        }
+        if let Some(shared) = &self.shared {
+            shared.spans.lock().expect("span lock").clear_root_if(span);
+        }
+        self.emit(TraceEvent::SpanClose { time, span, status });
     }
 }
 
@@ -629,5 +741,141 @@ mod tests {
             !lines[1].contains("\"dev\""),
             "unscoped line has no dev key"
         );
+    }
+
+    #[test]
+    fn hostile_labels_cannot_break_jsonl_syntax() {
+        // Regression: label fields used to be interpolated raw. A hostile
+        // PDU/kind label must render as valid JSON that parses back to the
+        // original string.
+        let hostile = "pdu\",\"ev\":\"forged\u{1}\\";
+        let mut out = String::new();
+        TraceEvent::LmpSend {
+            time: Instant::from_micros(625),
+            peer: addr(),
+            pdu: hostile,
+        }
+        .render_jsonl(Some(3), &mut out);
+        let parsed = crate::json::parse(&out).expect("hostile label stays valid JSON");
+        assert_eq!(parsed.get("ev").and_then(|v| v.as_str()), Some("lmp_send"));
+        assert_eq!(parsed.get("pdu").and_then(|v| v.as_str()), Some(hostile));
+
+        let mut out = String::new();
+        TraceEvent::HciSeam {
+            time: Instant::EPOCH,
+            direction: "sent",
+            kind: "command\"",
+            name: "a\\b",
+        }
+        .render_jsonl(None, &mut out);
+        let parsed = crate::json::parse(&out).expect("hostile hci labels stay valid JSON");
+        assert_eq!(
+            parsed.get("kind").and_then(|v| v.as_str()),
+            Some("command\"")
+        );
+        assert_eq!(parsed.get("name").and_then(|v| v.as_str()), Some("a\\b"));
+    }
+
+    #[test]
+    fn flight_recorder_wraparound_ordering_and_totals() {
+        let recorder = FlightRecorder::new(4);
+        let tracer = Tracer::new();
+        tracer.attach(recorder.clone());
+        for i in 0..11u64 {
+            tracer.emit(TraceEvent::SchedulerDispatch {
+                time: Instant::from_micros(i * 625),
+                seq: i,
+                kind: "TimerFire",
+            });
+        }
+        // Capacity exceeded: only the last 4 survive, oldest first.
+        assert_eq!(recorder.total_recorded(), 11);
+        assert_eq!(recorder.len(), 4);
+        let all = recorder.last(100);
+        assert_eq!(all.len(), 4, "last(n > len) returns everything held");
+        for (slot, seq) in all.iter().zip(7..=10u64) {
+            assert!(slot.contains(&format!("\"seq\":{seq}")), "{all:?}");
+        }
+        let dump = recorder.dump(3);
+        assert!(dump.contains("last 3 of 11 events"), "{dump}");
+        let dumped: Vec<&str> = dump.lines().collect();
+        assert_eq!(dumped.len(), 5, "header + 3 events + footer");
+        assert!(dumped[1].contains("\"seq\":8"), "{dump}");
+        assert!(dumped[3].contains("\"seq\":10"), "{dump}");
+    }
+
+    #[test]
+    fn flight_recorder_zero_capacity_still_keeps_one() {
+        // capacity == 0 is clamped to 1: the recorder never panics and
+        // always holds the most recent event.
+        let recorder = FlightRecorder::new(0);
+        let tracer = Tracer::new();
+        tracer.attach(recorder.clone());
+        assert!(recorder.is_empty());
+        for i in 0..3u64 {
+            tracer.emit(TraceEvent::SchedulerDispatch {
+                time: Instant::from_micros(i),
+                seq: i,
+                kind: "TimerFire",
+            });
+        }
+        assert_eq!(recorder.total_recorded(), 3);
+        assert_eq!(recorder.len(), 1);
+        assert!(recorder.last(5)[0].contains("\"seq\":2"));
+    }
+
+    #[test]
+    fn span_open_close_renders_fixed_key_order() {
+        let tracer = Tracer::new();
+        let buf = JsonlBuffer::new();
+        tracer.attach(buf.clone());
+        let trial = tracer.open_root_span(Instant::EPOCH, "trial", "baseline");
+        let page =
+            tracer
+                .scoped(1)
+                .open_span(Instant::from_micros(625), "page", "cc:cc:cc:cc:cc:cc");
+        tracer
+            .scoped(1)
+            .close_span(Instant::from_micros(2500), page, "connected");
+        tracer.close_span(Instant::from_micros(5000), trial, "done");
+        assert_eq!(
+            buf.contents(),
+            "{\"t\":0,\"ev\":\"span_open\",\"span\":1,\"name\":\"trial\",\"detail\":\"baseline\"}\n\
+             {\"t\":625,\"dev\":1,\"ev\":\"span_open\",\"span\":2,\"parent\":1,\"name\":\"page\",\"detail\":\"cc:cc:cc:cc:cc:cc\"}\n\
+             {\"t\":2500,\"dev\":1,\"ev\":\"span_close\",\"span\":2,\"status\":\"connected\"}\n\
+             {\"t\":5000,\"ev\":\"span_close\",\"span\":1,\"status\":\"done\"}\n"
+        );
+    }
+
+    #[test]
+    fn span_parenting_follows_the_root() {
+        let tracer = Tracer::new();
+        let buf = JsonlBuffer::new();
+        tracer.attach(buf.clone());
+        let t1 = tracer.open_root_span(Instant::EPOCH, "trial", "baseline");
+        tracer.close_span(Instant::from_micros(10), t1, "done");
+        // After the root closes, a new span is parentless.
+        let orphan = tracer.open_span(Instant::from_micros(20), "page", "");
+        tracer.close_span(Instant::from_micros(30), orphan, "timeout");
+        let t2 = tracer.open_root_span(Instant::from_micros(40), "trial", "blocking");
+        let child = tracer.open_span(Instant::from_micros(50), "lmp_auth", "");
+        tracer.close_span(Instant::from_micros(60), child, "ok");
+        tracer.close_span(Instant::from_micros(70), t2, "done");
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines[2].contains("parent"), "orphan has no parent: {text}");
+        assert!(
+            lines[5].contains(&format!("\"parent\":{}", t2.raw())),
+            "child parented to second trial: {text}"
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_spans_are_inert() {
+        let tracer = Tracer::disabled();
+        let span = tracer.open_root_span(Instant::EPOCH, "trial", "x");
+        assert!(span.is_none());
+        assert!(tracer.open_span(Instant::EPOCH, "page", "").is_none());
+        tracer.close_span(Instant::EPOCH, span, "done"); // no panic
     }
 }

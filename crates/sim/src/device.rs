@@ -3,7 +3,7 @@
 use blap_controller::{Controller, ControllerConfig};
 use blap_hci::{HciPacket, PacketDirection};
 use blap_host::{HciTransportKind, Host, HostConfig, UiNotification};
-use blap_obs::{TraceEvent, Tracer};
+use blap_obs::{SpanId, TraceEvent, Tracer};
 use blap_snoop::btsnoop::SnoopRecord;
 use blap_snoop::log::HciTrace;
 use blap_snoop::usb::UsbCapture;
@@ -83,6 +83,11 @@ pub struct Device {
     /// Device-scoped observability handle (disabled by default; the world
     /// propagates an enabled one via [`crate::world::World::set_tracer`]).
     pub(crate) tracer: Tracer,
+    /// Open `hci_cmd` spans awaiting their status/complete event, in issue
+    /// order. The controller answers every command synchronously and in
+    /// order (each `on_command` arm queues exactly one `CommandStatus` or
+    /// `CommandComplete` first), so FIFO matching is exact.
+    pending_hci_spans: std::collections::VecDeque<SpanId>,
 }
 
 impl Device {
@@ -122,6 +127,7 @@ impl Device {
             session_secret,
             encode_buf: Vec::with_capacity(64),
             tracer: Tracer::disabled(),
+            pending_hci_spans: std::collections::VecDeque::new(),
         }
     }
 
@@ -144,16 +150,36 @@ impl Device {
                 HciPacket::Event(e) => ("event", e.name()),
                 HciPacket::AclData(_) => ("acl", "acl"),
             };
-            let direction = match direction {
+            let dir = match direction {
                 PacketDirection::Sent => "sent",
                 PacketDirection::Received => "received",
             };
             self.tracer.emit(TraceEvent::HciSeam {
                 time: now,
-                direction,
+                direction: dir,
                 kind,
                 name,
             });
+            // Span one command/response exchange across the seam.
+            match (direction, packet) {
+                (PacketDirection::Sent, HciPacket::Command(_)) => {
+                    let span = self.tracer.open_span(now, "hci_cmd", name);
+                    self.pending_hci_spans.push_back(span);
+                }
+                (PacketDirection::Received, HciPacket::Event(_))
+                    if name == "HCI_Command_Status" || name == "HCI_Command_Complete" =>
+                {
+                    if let Some(span) = self.pending_hci_spans.pop_front() {
+                        let status = if name == "HCI_Command_Status" {
+                            "status"
+                        } else {
+                            "complete"
+                        };
+                        self.tracer.close_span(now, span, status);
+                    }
+                }
+                _ => {}
+            }
         }
         // Software HCI dump: only when supported and enabled.
         let snoop_wants =

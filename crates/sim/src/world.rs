@@ -10,7 +10,7 @@ use blap_controller::lmp::LmpPdu;
 use blap_controller::{ControllerOutput, PageOutcome};
 use blap_hci::{HciPacket, PacketDirection};
 use blap_host::HostOutput;
-use blap_obs::{Histogram, Metrics, TraceEvent, Tracer};
+use blap_obs::{Histogram, Metrics, SpanId, TraceEvent, Tracer};
 use blap_types::{BdAddr, Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,6 +99,9 @@ pub struct World {
     link_ccm: HashMap<u64, ([u8; 16], blap_crypto::ccm::Ccm)>,
     tracer: Tracer,
     counters: WorldCounters,
+    /// Open `page` spans keyed by (pager, paged address); populated only
+    /// while a tracer is attached.
+    page_spans: HashMap<(DeviceId, BdAddr), SpanId>,
 }
 
 /// Always-on world counters: plain integer fields so the hot dispatch path
@@ -146,6 +149,7 @@ impl World {
             link_ccm: HashMap::new(),
             tracer: Tracer::disabled(),
             counters: WorldCounters::default(),
+            page_spans: HashMap::new(),
         }
     }
 
@@ -421,6 +425,11 @@ impl World {
                 responder,
                 target,
             } => {
+                if let Some(span) = self.page_spans.remove(&(pager, target)) {
+                    self.devices[pager.0]
+                        .tracer
+                        .close_span(self.now, span, "connected");
+                }
                 // Register the link before the responder reacts so the
                 // subsequent LMP (ConnectionAccepted) routes.
                 let pager_claimed = self.devices[pager.0].bd_addr();
@@ -449,6 +458,11 @@ impl World {
                 self.pump(responder);
             }
             EventKind::PageTimeout { pager, target } => {
+                if let Some(span) = self.page_spans.remove(&(pager, target)) {
+                    self.devices[pager.0]
+                        .tracer
+                        .close_span(self.now, span, "timeout");
+                }
                 let now = self.now;
                 self.devices[pager.0]
                     .controller
@@ -493,6 +507,13 @@ impl World {
             }
             EventKind::SupervisionCheck { link_id } => self.check_supervision(link_id),
             EventKind::Script { action } => {
+                // Scripted actions call GAP entry points directly; sync the
+                // hosts' clocks first so those calls stamp trace spans at
+                // the action's true time.
+                let now = self.now;
+                for device in &mut self.devices {
+                    device.host.sync_time(now);
+                }
                 action(self);
                 for id in 0..self.devices.len() {
                     self.pump(DeviceId(id));
@@ -757,6 +778,8 @@ impl World {
                         time: self.now,
                         target,
                     });
+                    let span = tracer.open_span(self.now, "page", &target.to_string());
+                    self.page_spans.insert((id, target), span);
                 }
                 let now = self.now;
                 self.push(now, EventKind::PageResolve { pager: id, target });

@@ -160,6 +160,59 @@ fn attack_window_closes_when_victim_disconnects_early() {
 }
 
 #[test]
+fn tampered_trace_is_caught_by_invariant_checker() {
+    // A healthy observed run passes every trace invariant; the same
+    // artifact with faults injected must be flagged. Two tampers:
+    // dropping LMP receive lines (a lossy capture) trips lmp-matching,
+    // and flipping the trial verdict trips blocking-implies-win.
+    use blap_obs::{analyze_trace, JsonlBuffer, Tracer};
+    use blap_repro::attacks::page_blocking::PageBlockingScenario;
+
+    let tracer = Tracer::new();
+    let buffer = JsonlBuffer::new();
+    tracer.attach(buffer.clone());
+    let scenario = PageBlockingScenario::new(profiles::galaxy_s8(), 504);
+    let (outcome, _metrics) = scenario.run_blocking_trial_observed(0, &tracer);
+    assert!(outcome.mitm_established, "blocking trial must hit");
+    let trace = buffer.contents();
+    let healthy = analyze_trace(&trace).expect("trace parses");
+    assert!(
+        healthy.ok(),
+        "untampered run must pass:\n{}",
+        healthy.report()
+    );
+
+    let lossy: String = trace
+        .lines()
+        .filter(|l| !l.contains("\"ev\":\"lmp_recv\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let analysis = analyze_trace(&lossy).expect("tampered trace still parses");
+    assert!(
+        analysis
+            .violations
+            .iter()
+            .any(|v| v.invariant == "lmp-matching"),
+        "dropped receives must violate lmp-matching:\n{}",
+        analysis.report()
+    );
+
+    let flipped = trace.replace(
+        "\"status\":\"attacker_won\"",
+        "\"status\":\"attacker_lost\"",
+    );
+    let analysis = analyze_trace(&flipped).expect("tampered trace still parses");
+    assert!(
+        analysis
+            .violations
+            .iter()
+            .any(|v| v.invariant == "blocking-implies-win"),
+        "a forged verdict must violate blocking-implies-win:\n{}",
+        analysis.report()
+    );
+}
+
+#[test]
 fn lossy_user_and_dead_links_do_not_wedge_the_world() {
     // Chaos run: devices appear, pair, drop, re-pair; the world must stay
     // consistent (no panics, keys agree wherever both ends report a bond).

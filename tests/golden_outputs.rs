@@ -17,7 +17,9 @@
 use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
 use blap::report;
 use blap::runner::Jobs;
-use blap_bench::{run_table1_with, run_table2_observed_with, run_table2_with};
+use blap_bench::{
+    run_table1_observed_with, run_table1_with, run_table2_observed_with, run_table2_with,
+};
 use blap_repro::attacks::eavesdrop::EavesdropScenario;
 use blap_repro::sim::{profiles, World};
 use blap_repro::types::{Duration, ServiceUuid};
@@ -113,6 +115,14 @@ fn golden_table2_trace_and_metrics() {
         check_fixture("table2_trace.jsonl", observed.trace.as_bytes());
         check_fixture("table2_metrics.json", observed.metrics.to_json().as_bytes());
     }
+}
+
+#[test]
+fn golden_table1_trace() {
+    // The extraction trace (with its causal spans) is pinned too, so the
+    // CI `blap-trace check` step has a representative Table I artifact.
+    let observed = run_table1_observed_with(2022, Jobs::new(8));
+    check_fixture("table1_trace.jsonl", observed.trace.as_bytes());
 }
 
 #[test]

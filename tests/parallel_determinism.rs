@@ -16,7 +16,7 @@ use blap::link_key_extraction::ExtractionScenario;
 use blap::runner::{seed_for, Jobs};
 use blap_bench::{run_table1_observed_with, run_table2_observed_with, run_table2_with};
 use blap_crypto::p256::{generator, group_order, KeyPair, Point, Scalar};
-use blap_obs::{FlightRecorder, Tracer};
+use blap_obs::{analyze_trace, diff_metrics, diff_traces, FlightRecorder, Tracer};
 use proptest::prelude::*;
 
 #[test]
@@ -60,6 +60,56 @@ fn table2_observability_artifacts_identical_across_worker_counts() {
             "{jobs} jobs metrics diverged from serial"
         );
     }
+}
+
+#[test]
+fn table2_trace_carries_spans_and_passes_invariant_checks() {
+    // The causal span layer rides the same determinism guarantee as the
+    // flat events, and a healthy run must satisfy every trace invariant.
+    let observed = run_table2_observed_with(1701, 2, Jobs::new(4));
+    assert!(
+        observed.trace.contains("\"ev\":\"span_open\""),
+        "trace must carry span_open events"
+    );
+    assert!(
+        observed.trace.contains("\"name\":\"trial\""),
+        "every trial opens a root span"
+    );
+    assert!(
+        observed.trace.contains("\"name\":\"lmp_auth\""),
+        "LMP authentication must be spanned"
+    );
+    assert!(
+        observed.trace.contains("\"name\":\"ploc\""),
+        "blocking trials hold PLOC spans"
+    );
+    let analysis = analyze_trace(&observed.trace).expect("trace parses");
+    assert!(
+        analysis.ok(),
+        "healthy run must satisfy all invariants:\n{}",
+        analysis.report()
+    );
+    // A run diffed against itself reports no drift, for both artifacts.
+    assert!(diff_traces(&observed.trace, &observed.trace).no_drift());
+    let metrics_json = observed.metrics.to_json();
+    assert!(diff_metrics(&metrics_json, &metrics_json)
+        .expect("metrics parse")
+        .no_drift());
+}
+
+#[test]
+fn table1_trace_passes_invariant_checks() {
+    let observed = run_table1_observed_with(1701, Jobs::new(4));
+    assert!(
+        observed.trace.contains("\"detail\":\"extraction\""),
+        "extraction trials label their root span"
+    );
+    let analysis = analyze_trace(&observed.trace).expect("trace parses");
+    assert!(
+        analysis.ok(),
+        "healthy run must satisfy all invariants:\n{}",
+        analysis.report()
+    );
 }
 
 #[test]

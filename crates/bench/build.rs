@@ -1,0 +1,23 @@
+//! Captures the toolchain identity at build time so the hotpaths artifact
+//! can carry a host fingerprint (`compare` uses it to decide whether a
+//! wall-time delta is comparable or cross-machine noise).
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_owned());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=BLAP_BUILD_RUSTC={version}");
+    println!(
+        "cargo:rustc-env=BLAP_BUILD_TARGET={}",
+        std::env::var("TARGET").unwrap_or_else(|_| "unknown".to_owned())
+    );
+    println!("cargo:rerun-if-changed=build.rs");
+}

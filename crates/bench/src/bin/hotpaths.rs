@@ -184,7 +184,11 @@ fn main() {
     };
 
     println!("{{");
-    println!("  \"schema\": \"blap-bench-hotpaths-v1\",");
+    println!("  \"schema\": \"blap-bench-hotpaths-v2\",");
+    println!(
+        "  \"host\": {},",
+        blap_bench::compare::HostFingerprint::current().render_json("  ")
+    );
     println!("  \"jobs\": {},", jobs.get());
     println!("  \"metrics_wall\": {wall_metrics},");
     println!("  \"ns_per_op\": {{");

@@ -24,6 +24,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "4821".to_owned());
     let jobs = args.resolve_jobs(1);
+    args.init_profiling();
     println!("== Legacy PIN cracking (E22/E21/E1 offline search) ==\n");
     println!("synthesizing a sniffed legacy pairing with PIN {pin:?}...\n");
 
@@ -75,4 +76,5 @@ fn main() {
          encryptions total) — a 4-digit PIN space is trivially searchable,\n\
          which is exactly why SSP replaced PIN pairing."
     );
+    args.write_profile();
 }

@@ -20,6 +20,7 @@ fn main() {
     let args = Args::parse();
     let seed: u64 = args.positional_or(0, 2022);
     let jobs = args.resolve_jobs(1);
+    args.init_profiling();
     let observe = args.metrics_path.is_some() || args.trace_path.is_some();
 
     println!("== Table I: link key extraction across the device catalog ==");
@@ -71,4 +72,5 @@ fn main() {
         vulnerable,
         reports.len()
     );
+    args.write_profile();
 }

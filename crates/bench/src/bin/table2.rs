@@ -21,6 +21,7 @@ fn main() {
     let trials: usize = args.positional_or(0, 100);
     let seed: u64 = args.positional_or(1, 2022);
     let jobs = args.resolve_jobs(2);
+    args.init_profiling();
     let observe = args.metrics_path.is_some() || args.trace_path.is_some();
 
     println!("== Table II: MITM establishment, baseline race vs page blocking ==");
@@ -64,4 +65,5 @@ fn main() {
         );
     }
     println!("\nExpected shape (paper): baselines scattered in 42–60%, page blocking at 100%.");
+    args.write_profile();
 }

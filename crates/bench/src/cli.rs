@@ -14,7 +14,7 @@
 //! runs and machines.
 
 use blap::runner::{Jobs, JobsResolution, JOBS_ENV_VAR};
-use blap_obs::{export_json, MetaValue, Metrics};
+use blap_obs::{export_json, prof, MetaValue, Metrics};
 
 /// Parsed command line: positionals in order, plus the shared flags.
 #[derive(Clone, Debug, Default)]
@@ -27,6 +27,9 @@ pub struct Args {
     pub trace_path: Option<String>,
     /// `--jobs <n>`: explicit worker count (same as the jobs positional).
     pub jobs: Option<String>,
+    /// `--profile <prefix>`: enable wall-time profiling and write the
+    /// sidecar `<prefix>.json` + `<prefix>.folded` pair.
+    pub profile_prefix: Option<String>,
 }
 
 impl Args {
@@ -65,6 +68,7 @@ impl Args {
                 "--metrics" => set(&mut args.metrics_path, "--metrics", iter.next())?,
                 "--trace" => set(&mut args.trace_path, "--trace", iter.next())?,
                 "--jobs" => set(&mut args.jobs, "--jobs", iter.next())?,
+                "--profile" => set(&mut args.profile_prefix, "--profile", iter.next())?,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -81,6 +85,31 @@ impl Args {
             .get(i)
             .and_then(|s| s.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// Enables wall-time profiling when `--profile` was given or
+    /// `BLAP_PROF=1` is set. Call once, before the workload runs. The
+    /// profile is sidecar-only, so flipping this can never change a
+    /// `--metrics`/`--trace` byte.
+    pub fn init_profiling(&self) {
+        if self.profile_prefix.is_some() {
+            prof::set_enabled(true);
+        } else {
+            prof::enable_from_env();
+        }
+    }
+
+    /// Drains the profiler and writes `<prefix>.json` + `<prefix>.folded`
+    /// when profiling was requested via `--profile`. Call after the
+    /// workload finishes.
+    pub fn write_profile(&self) {
+        let Some(prefix) = &self.profile_prefix else {
+            return;
+        };
+        let report = prof::report();
+        write_artifact(&format!("{prefix}.json"), &report.to_json());
+        write_artifact(&format!("{prefix}.folded"), &report.to_folded());
+        eprintln!("profile sidecar: {prefix}.json, {prefix}.folded");
     }
 
     /// Resolves the worker count: `--jobs` / positional `i` (CLI), then

@@ -1,0 +1,513 @@
+//! Perf-regression gate over the hotpaths artifact.
+//!
+//! [`compare`] diffs a freshly generated `BENCH_hotpaths.json` against the
+//! committed baseline, metric by metric, with per-section relative
+//! thresholds (kernel `ns_per_op` numbers are steadier than end-to-end
+//! `wall_ms` ones, so they get a tighter budget). Wall-clock numbers are
+//! only comparable between like machines, so the v2 artifact carries a
+//! [`HostFingerprint`]; when the fingerprints differ — or the baseline
+//! predates them (`blap-bench-hotpaths-v1`) — a threshold breach is
+//! [`Verdict::Excused`] rather than [`Verdict::Regressed`], unless the
+//! caller opts into `strict` mode.
+//!
+//! Every comparison can be appended to `BENCH_history.jsonl` via
+//! [`history_record`], one self-describing JSON line per run, so the
+//! committed history trends the same metrics the gate checks.
+
+use blap_obs::json::{self, Value};
+
+/// Identity of the machine/toolchain that produced a hotpaths artifact.
+///
+/// Captured at build time (rustc and target triple via the build script)
+/// and at run time (cpu model and core count), this is deliberately
+/// coarse: it answers "are these two wall-time numbers from comparable
+/// hosts?", not "which exact machine was this?".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// `rustc --version` of the compiler that built the binary.
+    pub rustc: String,
+    /// Target triple the binary was built for.
+    pub target: String,
+    /// CPU model name (`/proc/cpuinfo`), or `"unknown"`.
+    pub cpu: String,
+    /// Logical core count.
+    pub cores: u64,
+}
+
+impl HostFingerprint {
+    /// The fingerprint of the running binary on the current machine.
+    pub fn current() -> HostFingerprint {
+        HostFingerprint {
+            rustc: env!("BLAP_BUILD_RUSTC").to_owned(),
+            target: env!("BLAP_BUILD_TARGET").to_owned(),
+            cpu: cpu_model().unwrap_or_else(|| "unknown".to_owned()),
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Renders the fingerprint as a JSON object, one member per line,
+    /// each line prefixed with `indent`.
+    pub fn render_json(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"rustc\": \"{}\",\n{indent}  \"target\": \"{}\",\n{indent}  \"cpu\": \"{}\",\n{indent}  \"cores\": {}\n{indent}}}",
+            json::escape(&self.rustc),
+            json::escape(&self.target),
+            json::escape(&self.cpu),
+            self.cores,
+        )
+    }
+
+    /// Parses the `"host"` object of a v2 artifact. `None` when any field
+    /// is missing or mistyped.
+    pub fn from_value(value: &Value) -> Option<HostFingerprint> {
+        Some(HostFingerprint {
+            rustc: value.get("rustc")?.as_str()?.to_owned(),
+            target: value.get("target")?.as_str()?.to_owned(),
+            cpu: value.get("cpu")?.as_str()?.to_owned(),
+            cores: value.get("cores")?.as_u64()?,
+        })
+    }
+}
+
+/// First `model name` line from `/proc/cpuinfo`.
+fn cpu_model() -> Option<String> {
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    cpuinfo.lines().find_map(|line| {
+        let rest = line.strip_prefix("model name")?;
+        let (_, value) = rest.split_once(':')?;
+        let value = value.trim();
+        (!value.is_empty()).then(|| value.to_owned())
+    })
+}
+
+/// Thresholds and strictness for [`compare`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Allowed relative growth for `ns_per_op` metrics (0.35 = +35%).
+    pub ns_threshold: f64,
+    /// Allowed relative growth for `wall_ms` metrics.
+    pub wall_threshold: f64,
+    /// When set, a threshold breach regresses even across differing host
+    /// fingerprints (useful for local runs where the host is known equal
+    /// but the toolchain string moved).
+    pub strict: bool,
+}
+
+impl Default for CompareConfig {
+    fn default() -> CompareConfig {
+        CompareConfig {
+            ns_threshold: 0.35,
+            wall_threshold: 0.50,
+            strict: false,
+        }
+    }
+}
+
+/// Gate outcome for one baseline/fresh pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No metric grew past its threshold.
+    Pass,
+    /// At least one metric breached, but the artifacts came from
+    /// non-comparable hosts (differing or missing fingerprints) and the
+    /// config was not strict.
+    Excused,
+    /// At least one metric breached between comparable hosts.
+    Regressed,
+}
+
+impl Verdict {
+    /// Lower-case label used in history records and transcripts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Excused => "excused",
+            Verdict::Regressed => "regressed",
+        }
+    }
+}
+
+/// One metric's baseline/fresh pair.
+#[derive(Clone, Debug)]
+pub struct MetricDelta {
+    /// Artifact section (`ns_per_op` or `wall_ms`).
+    pub section: &'static str,
+    /// Metric name within the section.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+    /// The relative-growth budget this metric was held to.
+    pub threshold: f64,
+}
+
+impl MetricDelta {
+    /// Whether this metric grew past its budget.
+    pub fn breached(&self) -> bool {
+        self.ratio > 1.0 + self.threshold
+    }
+}
+
+/// Result of [`compare`]: the verdict plus everything needed to explain it.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// The gate outcome.
+    pub verdict: Verdict,
+    /// Per-metric deltas, artifact order.
+    pub deltas: Vec<MetricDelta>,
+    /// Baseline host fingerprint (absent for v1 artifacts).
+    pub baseline_host: Option<HostFingerprint>,
+    /// Fresh host fingerprint (absent for v1 artifacts).
+    pub fresh_host: Option<HostFingerprint>,
+    /// Non-fatal observations: skipped metrics, missing counterparts,
+    /// excusal reasons.
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether both artifacts carry fingerprints and they are equal.
+    pub fn hosts_comparable(&self) -> bool {
+        matches!((&self.baseline_host, &self.fresh_host), (Some(b), Some(f)) if b == f)
+    }
+
+    /// Metrics that grew past their budget.
+    pub fn breaches(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.breached()).collect()
+    }
+
+    /// Human-readable transcript: one line per metric, then the verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<9} {:<24} {:>12} {:>12} {:>8}  budget\n",
+            "section", "metric", "baseline", "fresh", "ratio"
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<9} {:<24} {:>12.1} {:>12.1} {:>8.3}  +{:.0}%{}\n",
+                d.section,
+                d.metric,
+                d.baseline,
+                d.fresh,
+                d.ratio,
+                d.threshold * 100.0,
+                if d.breached() {
+                    "  <-- over budget"
+                } else {
+                    ""
+                },
+            ));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out.push_str(&format!("verdict: {}\n", self.verdict.label()));
+        out
+    }
+}
+
+/// Accepted artifact schemas: the fingerprinted v2 and the fingerprint-free
+/// v1 it replaced (old committed baselines must stay readable).
+const SCHEMAS: [&str; 2] = ["blap-bench-hotpaths-v2", "blap-bench-hotpaths-v1"];
+
+/// Sections compared, with which [`CompareConfig`] threshold governs each.
+const SECTIONS: [&str; 2] = ["ns_per_op", "wall_ms"];
+
+fn parse_artifact(label: &str, text: &str) -> Result<Value, String> {
+    let value = json::parse(text).map_err(|err| format!("{label}: {err}"))?;
+    let schema = value
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{label}: missing \"schema\" field"))?;
+    if !SCHEMAS.contains(&schema) {
+        return Err(format!(
+            "{label}: unsupported schema {schema:?} (expected one of {SCHEMAS:?})"
+        ));
+    }
+    Ok(value)
+}
+
+fn numeric(value: &Value) -> Option<f64> {
+    match value {
+        Value::Num(text) => text.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Diffs two hotpaths artifacts (raw JSON text) and gates on the result.
+///
+/// Errors only on malformed input — unparseable JSON or an unknown
+/// schema. Metric-level oddities (nulls, metrics present on one side
+/// only) are reported via [`Comparison::notes`] instead, so adding a
+/// kernel to the bench never breaks the gate against an older baseline.
+pub fn compare(
+    baseline_text: &str,
+    fresh_text: &str,
+    config: &CompareConfig,
+) -> Result<Comparison, String> {
+    let baseline = parse_artifact("baseline", baseline_text)?;
+    let fresh = parse_artifact("fresh", fresh_text)?;
+    let baseline_host = baseline.get("host").and_then(HostFingerprint::from_value);
+    let fresh_host = fresh.get("host").and_then(HostFingerprint::from_value);
+
+    let mut deltas = Vec::new();
+    let mut notes = Vec::new();
+    for (section, threshold) in SECTIONS
+        .into_iter()
+        .zip([config.ns_threshold, config.wall_threshold])
+    {
+        let (Some(Value::Object(base_members)), fresh_section) =
+            (baseline.get(section), fresh.get(section))
+        else {
+            notes.push(format!("baseline has no \"{section}\" section"));
+            continue;
+        };
+        for (metric, base_value) in base_members {
+            let Some(base) = numeric(base_value) else {
+                notes.push(format!(
+                    "{section}.{metric}: baseline value not numeric, skipped"
+                ));
+                continue;
+            };
+            let Some(fresh_value) = fresh_section.and_then(|s| s.get(metric)) else {
+                notes.push(format!("{section}.{metric}: missing from fresh artifact"));
+                continue;
+            };
+            let Some(fresh_num) = numeric(fresh_value) else {
+                notes.push(format!(
+                    "{section}.{metric}: fresh value not numeric, skipped"
+                ));
+                continue;
+            };
+            if base <= 0.0 {
+                notes.push(format!(
+                    "{section}.{metric}: baseline is zero, ratio undefined"
+                ));
+                continue;
+            }
+            deltas.push(MetricDelta {
+                section,
+                metric: metric.clone(),
+                baseline: base,
+                fresh: fresh_num,
+                ratio: fresh_num / base,
+                threshold,
+            });
+        }
+    }
+
+    let breached = deltas.iter().any(MetricDelta::breached);
+    let hosts_comparable = matches!((&baseline_host, &fresh_host), (Some(b), Some(f)) if b == f);
+    let verdict = if !breached {
+        Verdict::Pass
+    } else if hosts_comparable || config.strict {
+        Verdict::Regressed
+    } else {
+        notes.push(match (&baseline_host, &fresh_host) {
+            (None, _) | (_, None) => {
+                "threshold breach excused: artifact without a host fingerprint (v1)".to_owned()
+            }
+            _ => "threshold breach excused: host fingerprints differ".to_owned(),
+        });
+        Verdict::Excused
+    };
+
+    Ok(Comparison {
+        verdict,
+        deltas,
+        baseline_host,
+        fresh_host,
+        notes,
+    })
+}
+
+/// One `BENCH_history.jsonl` line for a finished comparison: the verdict,
+/// host comparability, every fresh metric value, and the worst ratio —
+/// enough to trend the gate's inputs without re-reading old artifacts.
+pub fn history_record(comparison: &Comparison, unix_time: u64) -> String {
+    let worst = comparison
+        .deltas
+        .iter()
+        .max_by(|a, b| a.ratio.total_cmp(&b.ratio));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"blap-bench-history-v1\",\"unix_time\":{unix_time},\"verdict\":\"{}\",\"hosts_comparable\":{},\"compared\":{},\"breaches\":{}",
+        comparison.verdict.label(),
+        comparison.hosts_comparable(),
+        comparison.deltas.len(),
+        comparison.breaches().len(),
+    ));
+    match worst {
+        Some(d) => out.push_str(&format!(
+            ",\"worst\":{{\"metric\":\"{}.{}\",\"ratio\":{:.4}}}",
+            d.section,
+            json::escape(&d.metric),
+            d.ratio
+        )),
+        None => out.push_str(",\"worst\":null"),
+    }
+    if let Some(host) = &comparison.fresh_host {
+        out.push_str(&format!(
+            ",\"host\":{{\"rustc\":\"{}\",\"target\":\"{}\",\"cpu\":\"{}\",\"cores\":{}}}",
+            json::escape(&host.rustc),
+            json::escape(&host.target),
+            json::escape(&host.cpu),
+            host.cores,
+        ));
+    } else {
+        out.push_str(",\"host\":null");
+    }
+    for section in SECTIONS {
+        out.push_str(&format!(",\"{section}\":{{"));
+        let mut first = true;
+        for d in comparison.deltas.iter().filter(|d| d.section == section) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{:.1}", json::escape(&d.metric), d.fresh));
+        }
+        out.push('}');
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(
+        schema: &str,
+        host: Option<&HostFingerprint>,
+        e1_ns: f64,
+        table1_ms: f64,
+    ) -> String {
+        let host_block = host
+            .map(|h| format!("  \"host\": {},\n", h.render_json("  ")))
+            .unwrap_or_default();
+        format!(
+            "{{\n  \"schema\": \"{schema}\",\n{host_block}  \"ns_per_op\": {{\n    \"legacy_e1\": {e1_ns:.1},\n    \"aes128_encrypt_block\": 60.0\n  }},\n  \"wall_ms\": {{\n    \"table1\": {table1_ms:.1},\n    \"table1_units\": null\n  }}\n}}\n"
+        )
+    }
+
+    fn host(cpu: &str) -> HostFingerprint {
+        HostFingerprint {
+            rustc: "rustc 1.75.0".to_owned(),
+            target: "x86_64-unknown-linux-gnu".to_owned(),
+            cpu: cpu.to_owned(),
+            cores: 8,
+        }
+    }
+
+    #[test]
+    fn fingerprint_render_parse_round_trips() {
+        let original = HostFingerprint::current();
+        let rendered = original.render_json("");
+        let parsed = json::parse(&rendered).expect("valid JSON");
+        assert_eq!(HostFingerprint::from_value(&parsed), Some(original));
+    }
+
+    #[test]
+    fn identical_artifacts_pass_with_unit_ratios() {
+        let h = host("cpu0");
+        let text = artifact("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0);
+        let cmp = compare(&text, &text, &CompareConfig::default()).expect("comparable");
+        assert_eq!(cmp.verdict, Verdict::Pass);
+        assert!(cmp.hosts_comparable());
+        // The null wall metric is skipped with a note, the rest compare.
+        assert_eq!(cmp.deltas.len(), 3);
+        assert!(cmp.deltas.iter().all(|d| d.ratio == 1.0));
+        assert!(cmp.notes.iter().any(|n| n.contains("table1_units")));
+    }
+
+    #[test]
+    fn same_host_breach_regresses() {
+        let h = host("cpu0");
+        let base = artifact("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0);
+        let fresh = artifact("blap-bench-hotpaths-v2", Some(&h), 350.0 * 1.4, 13.0);
+        let cmp = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
+        assert_eq!(cmp.verdict, Verdict::Regressed);
+        assert_eq!(cmp.breaches().len(), 1);
+        assert_eq!(cmp.breaches()[0].metric, "legacy_e1");
+    }
+
+    #[test]
+    fn cross_host_breach_is_excused_unless_strict() {
+        let base = artifact("blap-bench-hotpaths-v2", Some(&host("cpu0")), 350.0, 13.0);
+        let fresh = artifact("blap-bench-hotpaths-v2", Some(&host("cpu1")), 800.0, 13.0);
+        let lax = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
+        assert_eq!(lax.verdict, Verdict::Excused);
+        assert!(lax.notes.iter().any(|n| n.contains("fingerprints differ")));
+        let strict = CompareConfig {
+            strict: true,
+            ..CompareConfig::default()
+        };
+        let strict_cmp = compare(&base, &fresh, &strict).expect("comparable");
+        assert_eq!(strict_cmp.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn v1_baseline_without_fingerprint_is_readable_and_excuses() {
+        let base = artifact("blap-bench-hotpaths-v1", None, 350.0, 13.0);
+        let fresh = artifact("blap-bench-hotpaths-v2", Some(&host("cpu0")), 800.0, 13.0);
+        let cmp = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
+        assert_eq!(cmp.verdict, Verdict::Excused);
+        assert!(cmp.baseline_host.is_none());
+        assert!(cmp.notes.iter().any(|n| n.contains("v1")));
+    }
+
+    #[test]
+    fn wall_metrics_get_the_looser_budget() {
+        let h = host("cpu0");
+        let base = artifact("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0);
+        // +40%: over the 35% ns budget, under the 50% wall budget.
+        let fresh = artifact("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0 * 1.4);
+        let cmp = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
+        assert_eq!(cmp.verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn unknown_schema_is_an_error() {
+        let good = artifact("blap-bench-hotpaths-v2", None, 1.0, 1.0);
+        let bad = good.replace("hotpaths-v2", "hotpaths-v9");
+        let err = compare(&bad, &good, &CompareConfig::default()).expect_err("must reject");
+        assert!(err.contains("unsupported schema"), "{err}");
+        let err = compare("not json", &good, &CompareConfig::default()).expect_err("must reject");
+        assert!(err.contains("baseline"), "{err}");
+    }
+
+    #[test]
+    fn history_record_is_single_line_json_with_fresh_values() {
+        let h = host("cpu0");
+        let base = artifact("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0);
+        let fresh = artifact("blap-bench-hotpaths-v2", Some(&h), 420.0, 14.0);
+        let cmp = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
+        let record = history_record(&cmp, 1_700_000_000);
+        assert!(record.ends_with('\n'));
+        assert_eq!(record.trim_end().lines().count(), 1);
+        let value = json::parse(record.trim_end()).expect("valid JSON");
+        assert_eq!(
+            value.get("schema").and_then(Value::as_str),
+            Some("blap-bench-history-v1")
+        );
+        assert_eq!(value.get("verdict").and_then(Value::as_str), Some("pass"));
+        assert_eq!(
+            value
+                .get("worst")
+                .and_then(|w| w.get("metric"))
+                .and_then(Value::as_str),
+            Some("ns_per_op.legacy_e1")
+        );
+        assert!(value
+            .get("ns_per_op")
+            .and_then(|s| s.get("legacy_e1"))
+            .is_some());
+        assert!(value.get("host").and_then(|h| h.get("cores")).is_some());
+    }
+}

@@ -15,6 +15,7 @@ use blap_obs::{JsonlBuffer, Metrics, TraceEvent, Tracer};
 use blap_sim::profiles;
 
 pub mod cli;
+pub mod compare;
 
 /// An experiment run with observability attached: the rows the unobserved
 /// runner would have produced, plus the merged metrics and the

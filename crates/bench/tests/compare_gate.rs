@@ -1,0 +1,99 @@
+//! Exit-code contract of the `blap-bench compare` gate, end to end: the
+//! same invocations CI runs, against real artifacts on disk.
+
+use std::process::Command;
+
+fn blap_bench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_blap-bench"))
+}
+
+/// The committed baseline at the repository root.
+fn committed_baseline() -> String {
+    format!("{}/../../BENCH_hotpaths.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("blap_compare_gate_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn committed_baseline_against_itself_exits_zero() {
+    let baseline = committed_baseline();
+    let output = blap_bench()
+        .args(["compare", &baseline, &baseline])
+        .output()
+        .expect("gate binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "self-comparison must pass:\n{stdout}{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("verdict: pass"), "{stdout}");
+}
+
+#[test]
+fn synthetic_regression_exits_nonzero_and_appends_history() {
+    let baseline = std::fs::read_to_string(committed_baseline()).expect("baseline readable");
+    // Triple one kernel metric: far past the 35% ns budget. The fresh
+    // artifact keeps the baseline's host block (or lack of one), so under
+    // --strict the breach cannot be excused either way.
+    let needle = "\"legacy_e1\": ";
+    let at = baseline.find(needle).expect("baseline has legacy_e1") + needle.len();
+    let end = at + baseline[at..].find(',').expect("value terminated");
+    let value: f64 = baseline[at..end].trim().parse().expect("numeric value");
+    let regressed = format!("{}{:.1}{}", &baseline[..at], value * 3.0, &baseline[end..]);
+    let fresh_path = scratch_path("regressed.json");
+    let history_path = scratch_path("history.jsonl");
+    let _ = std::fs::remove_file(&history_path);
+    std::fs::write(&fresh_path, regressed).expect("scratch artifact written");
+
+    let output = blap_bench()
+        .args([
+            "compare",
+            &committed_baseline(),
+            fresh_path.to_str().expect("utf8 path"),
+            "--strict",
+            "--history",
+            history_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("gate binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "a same-host regression must exit 1:\n{stdout}"
+    );
+    assert!(stdout.contains("verdict: regressed"), "{stdout}");
+    assert!(stdout.contains("legacy_e1"), "{stdout}");
+
+    let history = std::fs::read_to_string(&history_path).expect("history written");
+    assert_eq!(history.trim_end().lines().count(), 1);
+    assert!(history.contains("\"verdict\":\"regressed\""), "{history}");
+    assert!(history.contains("blap-bench-history-v1"), "{history}");
+
+    let _ = std::fs::remove_file(&fresh_path);
+    let _ = std::fs::remove_file(&history_path);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &["compare"] as &[&str],
+        &["compare", "only-one.json"],
+        &["frobnicate"],
+        &[],
+    ] {
+        let output = blap_bench().args(args).output().expect("gate binary runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?} must be a usage error"
+        );
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("usage:"),
+            "args {args:?} must print usage"
+        );
+    }
+}

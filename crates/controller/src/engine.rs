@@ -9,7 +9,7 @@ use blap_baseband::timing;
 use blap_crypto::p256::{KeyPair, Point};
 use blap_crypto::{bigint::U256, e1, ssp};
 use blap_hci::{Command, Event, Opcode, StatusCode};
-use blap_obs::{SpanId, TraceEvent, Tracer};
+use blap_obs::{prof, SpanId, TraceEvent, Tracer};
 use blap_types::{
     AssociationModel, BdAddr, ConnectionHandle, Duration, Instant, IoCapability, LinkKey,
     LinkKeyType, Role,
@@ -688,6 +688,16 @@ impl Controller {
                 pdu: pdu.name(),
             });
         }
+        // Wall-clock attribution: the deterministic lmp_auth *span* runs
+        // across many scheduler callbacks, so the stack-shaped profiling
+        // scope instead covers each auth/pairing PDU's processing.
+        let _prof = match &pdu {
+            LmpPdu::ConnectionAccepted
+            | LmpPdu::ConnectionRejected { .. }
+            | LmpPdu::Detach { .. }
+            | LmpPdu::KeepAlive => None,
+            _ => Some(prof::scope("lmp_auth")),
+        };
         match pdu {
             LmpPdu::ConnectionAccepted => {
                 if let Some(link) = self.links.get_mut(&from) {

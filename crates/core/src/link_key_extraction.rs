@@ -23,7 +23,7 @@
 //!    any pairing UI proves the key (§VI-B1).
 
 use blap_host::keystore::BondEntry;
-use blap_obs::{Metrics, Tracer};
+use blap_obs::{prof, Metrics, Tracer};
 use blap_sim::{profiles, DeviceProfile, World};
 use blap_types::{BdAddr, Duration, LinkKey, ServiceUuid};
 
@@ -65,6 +65,7 @@ impl ExtractionScenario {
     /// [`Self::run`] with observability: trace events flow to `tracer` and
     /// the world's metrics snapshot is returned alongside the report.
     pub fn run_observed(&self, tracer: &Tracer) -> (ExtractionReport, Metrics) {
+        let _prof = prof::scope("trial");
         let m_addr: BdAddr = addrs::M.parse().expect("valid M address");
         let c_addr: BdAddr = addrs::C.parse().expect("valid C address");
 

@@ -14,7 +14,7 @@
 //! because `A` advertises no IO.
 
 use blap_baseband::race::PageRaceModel;
-use blap_obs::{Metrics, Tracer};
+use blap_obs::{prof, Metrics, Tracer};
 use blap_sim::{profiles, DeviceId, DeviceProfile, World};
 use blap_types::{BdAddr, Duration, LinkKeyType};
 
@@ -95,6 +95,7 @@ impl PageBlockingScenario {
         trial: usize,
         tracer: &Tracer,
     ) -> (TrialOutcome, Metrics) {
+        let _prof = prof::scope("trial");
         let (mut world, m, c, a) = self.build_world(trial, false);
         world.set_tracer(tracer.clone());
         let span = tracer.open_root_span(world.now(), "trial", "baseline");
@@ -124,6 +125,7 @@ impl PageBlockingScenario {
         trial: usize,
         tracer: &Tracer,
     ) -> (TrialOutcome, Metrics) {
+        let _prof = prof::scope("trial");
         let (mut world, m, c, a) = self.build_world(trial, true);
         world.set_tracer(tracer.clone());
         let span = tracer.open_root_span(world.now(), "trial", "blocking");

@@ -16,6 +16,9 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use blap_obs::prof;
 
 /// Worker-thread count for an experiment run.
 ///
@@ -153,23 +156,56 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let workers = jobs.get().min(units.max(1));
+    // Snapshot the profiling state once per run so a mid-run toggle can't
+    // produce half-accounted pools. Wall-clock accounting is sidecar-only:
+    // it never touches the results, so determinism is unaffected.
+    let prof_on = prof::enabled();
+    let run_started = prof_on.then(Instant::now);
     if workers <= 1 {
-        return (0..units).map(f).collect();
+        let out: Vec<R> = if prof_on {
+            let busy_started = Instant::now();
+            let out = (0..units).map(f).collect();
+            prof::record_worker("parallel_map", 0, busy_started.elapsed(), units as u64);
+            out
+        } else {
+            (0..units).map(f).collect()
+        };
+        if let Some(started) = run_started {
+            prof::record_pool("parallel_map", started.elapsed());
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 scope.spawn(move || {
                     let mut done = Vec::new();
+                    let mut busy = Duration::ZERO;
+                    let mut tasks = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= units {
                             break;
                         }
-                        done.push((i, f(i)));
+                        if prof_on {
+                            let task_started = Instant::now();
+                            done.push((i, f(i)));
+                            busy += task_started.elapsed();
+                            tasks += 1;
+                        } else {
+                            done.push((i, f(i)));
+                        }
+                    }
+                    if prof_on {
+                        prof::record_worker("parallel_map", worker, busy, tasks);
+                        // Drain before the closure returns: thread::scope
+                        // signals completion ahead of TLS destructors, so
+                        // relying on the Drop-merge backstop would race a
+                        // report() right after this join.
+                        prof::drain_thread();
                     }
                     done
                 })
@@ -180,6 +216,9 @@ where
             .map(|h| h.join().expect("experiment worker panicked"))
             .collect()
     });
+    if let Some(started) = run_started {
+        prof::record_pool("parallel_map", started.elapsed());
+    }
     // Reassemble in unit order; completion order is irrelevant.
     let mut slots: Vec<Option<R>> = (0..units).map(|_| None).collect();
     for bucket in buckets {
@@ -237,20 +276,29 @@ where
 {
     assert!(chunk_size > 0, "chunk_size must be positive");
     let workers = jobs.get();
+    let prof_on = prof::enabled();
+    let run_started = prof_on.then(Instant::now);
     if workers <= 1 || total <= chunk_size {
         let mut scratch = init();
-        return search_chunk(&mut scratch, 0, total).map(|(_, r)| r);
+        let result = search_chunk(&mut scratch, 0, total).map(|(_, r)| r);
+        if let Some(started) = run_started {
+            prof::record_worker("parallel_search", 0, started.elapsed(), 1);
+            prof::record_pool("parallel_search", started.elapsed());
+        }
+        return result;
     }
     let best: Mutex<Option<(u64, R)>> = Mutex::new(None);
     let next_chunk = AtomicU64::new(0);
     let best_index = AtomicU64::new(u64::MAX);
     let n_chunks = total.div_ceil(chunk_size);
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n_chunks as usize) {
+        for worker in 0..workers.min(n_chunks as usize) {
             let (init, search_chunk, next_chunk, best_index, best) =
                 (&init, &search_chunk, &next_chunk, &best_index, &best);
             scope.spawn(move || {
                 let mut scratch = init();
+                let mut busy = Duration::ZERO;
+                let mut chunks_scanned = 0u64;
                 loop {
                     let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                     if chunk >= n_chunks {
@@ -263,7 +311,13 @@ where
                         break;
                     }
                     let end = (start + chunk_size).min(total);
-                    if let Some((index, payload)) = search_chunk(&mut scratch, start, end) {
+                    let chunk_started = prof_on.then(Instant::now);
+                    let hit = search_chunk(&mut scratch, start, end);
+                    if let Some(started) = chunk_started {
+                        busy += started.elapsed();
+                        chunks_scanned += 1;
+                    }
+                    if let Some((index, payload)) = hit {
                         let mut guard = best.lock().expect("search lock");
                         if guard.as_ref().map(|(i, _)| index < *i).unwrap_or(true) {
                             *guard = Some((index, payload));
@@ -271,9 +325,16 @@ where
                         }
                     }
                 }
+                if prof_on {
+                    prof::record_worker("parallel_search", worker, busy, chunks_scanned);
+                    prof::drain_thread();
+                }
             });
         }
     });
+    if let Some(started) = run_started {
+        prof::record_pool("parallel_search", started.elapsed());
+    }
     best.into_inner()
         .expect("search lock")
         .map(|(_, payload)| payload)

@@ -11,6 +11,8 @@
 //! structural tests; CBC-MAC and CTR components follow RFC 3610 §2 with
 //! `M = 8` (8-byte tag) and `L = 2` (2-byte length field).
 
+use blap_obs::prof;
+
 use crate::aes::Aes128;
 
 /// Tag length in bytes (`M` in RFC 3610 terms).
@@ -135,6 +137,10 @@ impl Ccm {
         aad: &[u8],
         payload: &[u8],
     ) -> Result<Vec<u8>, CcmError> {
+        // One scope per sealed frame, not per AES block: the kernel runs
+        // thousands of blocks per eavesdrop sweep, and a per-block guard
+        // would dominate what it measures.
+        let _prof = prof::scope("crypto.ccm_seal");
         if payload.len() > u16::MAX as usize {
             return Err(CcmError::PayloadTooLong);
         }
@@ -169,6 +175,7 @@ impl Ccm {
         aad: &[u8],
         ciphertext_and_tag: &[u8],
     ) -> Result<Vec<u8>, CcmError> {
+        let _prof = prof::scope("crypto.ccm_open");
         if ciphertext_and_tag.len() < TAG_LEN {
             return Err(CcmError::Truncated);
         }

@@ -70,6 +70,7 @@ impl E1Key {
 
     /// `E1` with the pre-expanded schedules (see [`e1`]).
     pub fn e1(&self, rand: &[u8; 16], address: BdAddr) -> E1Output {
+        let _prof = blap_obs::prof::scope("crypto.e1");
         let stage1 = encrypt(&self.sched, rand);
         // (Ar(K, RAND) XOR RAND) +16 expanded-address
         let addr_ext = expand_addr(address);

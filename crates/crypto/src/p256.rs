@@ -674,6 +674,7 @@ impl Point {
     /// otherwise (the ECDH hot path). Both are pinned property-test-equal
     /// to [`Self::mul_double_and_add`].
     pub fn mul(&self, k: &Scalar) -> Point {
+        let _prof = blap_obs::prof::scope("crypto.p256");
         if let Point::Affine { x, y } = self {
             if *x == GX && *y == GY {
                 return mul_generator(&k.0);

@@ -4,45 +4,33 @@
 //! `encode_into` refactor each packet cost one `Vec` for the frame plus a
 //! second intermediate `Vec` from `Command::encode`/`Event::encode` that
 //! `HciPacket::encode` immediately copied and dropped. These tests pin the
-//! fixed behavior with a counting global allocator:
+//! fixed behavior with the shared counting allocator from
+//! `blap_obs::prof` (feature `prof-alloc`):
 //!
 //! * `encode_into` into a warm scratch buffer performs **zero** heap
 //!   allocations per packet, and
 //! * `encode` (the allocating convenience wrapper) performs exactly one —
 //!   the returned frame — never the historical double allocation.
+//!
+//! Because the allocator is the profiler's, the same installation also
+//! exercises scope attribution: allocations made under an open profiling
+//! scope land on that scope's report node.
 
 use blap_hci::{AclData, Command, Event, HciPacket, Opcode, StatusCode};
+use blap_obs::prof;
 use blap_types::ConnectionHandle;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
 
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: prof::CountingAlloc = prof::CountingAlloc;
+
+/// The exact-count assertions below read process-wide counters, so the
+/// tests in this binary must not allocate concurrently with each other's
+/// measurement windows.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn allocations_during(f: impl FnOnce()) -> usize {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    f();
-    ALLOCATIONS.load(Ordering::Relaxed) - before
+    let (count, _bytes) = prof::allocations_during(f);
+    count as usize
 }
 
 fn sample_packets() -> Vec<HciPacket> {
@@ -73,6 +61,7 @@ fn sample_packets() -> Vec<HciPacket> {
 
 #[test]
 fn encode_into_warm_buffer_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
     let packets = sample_packets();
     let mut scratch = Vec::with_capacity(512);
     // Warm the buffer so steady-state capacity is established.
@@ -93,6 +82,7 @@ fn encode_into_warm_buffer_is_allocation_free() {
 
 #[test]
 fn encode_allocates_exactly_once_per_packet() {
+    let _serial = SERIAL.lock().unwrap();
     // The old Command/Event arms built an intermediate Vec and copied it:
     // two allocations per packet. The fixed wrapper performs only the one
     // for the returned frame.
@@ -111,10 +101,36 @@ fn encode_allocates_exactly_once_per_packet() {
 
 #[test]
 fn encode_into_matches_encode_for_every_shape() {
+    let _serial = SERIAL.lock().unwrap();
     let mut scratch = Vec::new();
     for packet in sample_packets() {
         scratch.clear();
         packet.encode_into(&mut scratch);
         assert_eq!(scratch, packet.encode(), "{}", packet.name());
     }
+}
+
+#[test]
+fn allocations_attribute_to_open_profiling_scopes() {
+    let _serial = SERIAL.lock().unwrap();
+    prof::reset();
+    prof::set_enabled(true);
+    {
+        let _scope = prof::scope("alloc_probe");
+        std::hint::black_box(Vec::<u8>::with_capacity(4096));
+    }
+    prof::set_enabled(false);
+    let report = prof::report();
+    let scopes = report.walk();
+    let (_, node) = scopes
+        .iter()
+        .find(|(path, _)| path == "alloc_probe")
+        .expect("probe scope must appear in the report");
+    assert!(node.alloc_count >= 1, "the Vec allocation must be counted");
+    assert!(
+        node.alloc_bytes >= 4096,
+        "at least the Vec's bytes must be attributed, got {}",
+        node.alloc_bytes
+    );
+    prof::reset();
 }

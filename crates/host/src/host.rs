@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use blap_hci::{AclData, Command, Event, StatusCode};
-use blap_obs::{SpanId, TraceEvent, Tracer};
+use blap_obs::{prof, SpanId, TraceEvent, Tracer};
 use blap_types::{
     AssociationModel, BdAddr, ClassOfDevice, ConnectionHandle, Duration, Instant, Role, ServiceUuid,
 };
@@ -440,6 +440,7 @@ impl Host {
                     .map(|c| c.pairing_role.is_none() && c.handle.is_none())
                     .unwrap_or(false);
                 if initiated_plain_connection && !self.ploc_held.contains_key(bd_addr) {
+                    let _prof = prof::scope("ploc");
                     let peer = *bd_addr;
                     if self.tracer.enabled() {
                         self.tracer.emit(TraceEvent::AttackPhase {
@@ -471,6 +472,10 @@ impl Host {
                 }
             }
         }
+        // Stack-shaped counterpart of the causal host_pairing span, which
+        // stays open across scheduler callbacks: attribute each pairing
+        // event's processing instead.
+        let _prof = is_pairing_event(&event).then(|| prof::scope("host_pairing"));
         self.process_event(now, event);
     }
 

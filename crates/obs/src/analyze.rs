@@ -145,8 +145,8 @@ impl PhaseProfile {
                 "  {name:<14} count={:<6} total_us={:<10} p50_us={:<8} p95_us={:<8} max_us={}",
                 h.count(),
                 h.sum(),
-                h.quantile(0.5),
-                h.quantile(0.95),
+                h.quantile(0.5).unwrap_or(0),
+                h.quantile(0.95).unwrap_or(0),
                 h.max()
             );
             if stats.unclosed > 0 {
@@ -727,7 +727,7 @@ mod tests {
         assert!(a.ok(), "{}", a.report());
         let trial = a.profile.phase("trial").expect("trial spans profiled");
         assert_eq!(trial.durations.count(), 3);
-        assert_eq!(trial.durations.quantile(0.5), 5000);
+        assert_eq!(trial.durations.quantile(0.5), Some(5000));
     }
 
     #[test]

@@ -140,12 +140,20 @@ fn is_wall_path(path: &str) -> bool {
         || path.contains("wall_us")
 }
 
-/// Flattens a JSON document into sorted `(dotted.path, scalar)` pairs.
-fn flatten(value: &Value) -> Vec<(String, String)> {
+/// Flattens a parsed JSON document into sorted `(dotted.path, scalar)`
+/// pairs: object members become `path.key`, array elements `path[i]`,
+/// strings render `Debug`-quoted, numbers keep their literal text. This is
+/// the canonical form both the metrics differ and the exporter round-trip
+/// tests compare in.
+pub fn flatten_json(value: &Value) -> Vec<(String, String)> {
     let mut out = Vec::new();
     walk(value, String::new(), &mut out);
     out.sort();
     out
+}
+
+fn flatten(value: &Value) -> Vec<(String, String)> {
+    flatten_json(value)
 }
 
 fn walk(value: &Value, path: String, out: &mut Vec<(String, String)>) {

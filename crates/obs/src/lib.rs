@@ -40,19 +40,30 @@
 //!   CI gate that replaced ad-hoc byte diffs.
 //! * [`json`] — the shared escaper both renderers use, plus the
 //!   dependency-free parser the analysis tier reads artifacts back with.
+//!
+//! Beside the deterministic tier — never inside it — sits [`prof`], the
+//! wall-clock profiling subsystem (`blap-prof`): RAII scope guards keyed
+//! by the same span names, per-worker pool utilization, flamegraph-folded
+//! export, and (behind the `prof-alloc` feature) a counting global
+//! allocator. Its output is sidecar-only, so enabling it never perturbs a
+//! `--trace`/`--metrics` byte.
 
-#![forbid(unsafe_code)]
+// `prof-alloc` implements `GlobalAlloc`, which is inherently unsafe; the
+// rest of the crate stays forbid-clean.
+#![cfg_attr(not(feature = "prof-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "prof-alloc", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod analyze;
 pub mod diff;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod span;
 pub mod trace;
 
 pub use analyze::{analyze_trace, PhaseProfile, TraceAnalysis, Violation};
-pub use diff::{diff_metrics, diff_traces, DiffReport};
+pub use diff::{diff_metrics, diff_traces, flatten_json, DiffReport};
 pub use metrics::{export_json, Histogram, MetaValue, Metrics};
 pub use span::SpanId;
 pub use trace::{DumpOnAssert, FlightRecorder, JsonlBuffer, TraceEvent, TraceSink, Tracer};

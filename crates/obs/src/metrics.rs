@@ -86,10 +86,11 @@ impl Histogram {
     /// commutatively — the result is identical no matter how per-unit
     /// histograms were merged.
     ///
-    /// Returns 0 when empty; with one sample it is exact for every `q`.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// Returns `None` when empty; with one sample it is exact for every
+    /// `q`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -103,10 +104,17 @@ impl Histogram {
                     k if k >= 64 => u64::MAX,
                     k => (1u64 << k) - 1,
                 };
-                return upper.clamp(self.min, self.max);
+                return Some(upper.clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Number of samples recorded in power-of-two bucket `k` (values with
+    /// bit length `k`; bucket 0 holds zeros, bucket 64 holds
+    /// `[2^63, u64::MAX]`).
+    pub fn bucket(&self, k: u8) -> u64 {
+        self.buckets.get(&k).copied().unwrap_or(0)
     }
 
     /// Folds another histogram in (bucket-wise addition: commutative).
@@ -140,13 +148,14 @@ impl Histogram {
             if i > 0 {
                 out.push(',');
             }
-            // Bucket label = exclusive upper bound of the value range.
-            let upper = if *bucket >= 64 {
-                u64::MAX
+            // Bucket label = exclusive upper bound of the value range. The
+            // top bucket has no exclusive bound above it — u64::MAX itself
+            // lands there — so its label is the inclusive "<=MAX".
+            if *bucket >= 64 {
+                let _ = write!(out, "\"<={}\":{n}", u64::MAX);
             } else {
-                1u64 << bucket
-            };
-            let _ = write!(out, "\"<{upper}\":{n}");
+                let _ = write!(out, "\"<{}\":{n}", 1u64 << bucket);
+            }
         }
         out.push_str("}}");
     }
@@ -399,10 +408,10 @@ mod tests {
     }
 
     #[test]
-    fn quantile_empty_histogram_is_zero() {
+    fn quantile_empty_histogram_is_none() {
         let h = Histogram::new();
         for q in [0.0, 0.5, 0.95, 1.0] {
-            assert_eq!(h.quantile(q), 0);
+            assert_eq!(h.quantile(q), None, "empty histogram has no quantile");
         }
     }
 
@@ -413,11 +422,40 @@ mod tests {
         // Bucket upper bound would be 1023, but min/max clamping makes a
         // single sample exact at every q.
         for q in [0.0, 0.5, 0.95, 1.0] {
-            assert_eq!(h.quantile(q), 900);
+            assert_eq!(h.quantile(q), Some(900));
         }
         let mut zero = Histogram::new();
         zero.observe(0);
-        assert_eq!(zero.quantile(0.5), 0);
+        assert_eq!(zero.quantile(0.5), Some(0));
+    }
+
+    #[test]
+    fn bucketing_at_pow2_boundaries() {
+        let mut h = Histogram::new();
+        // Zero gets its own bucket, distinct from 1.
+        h.observe(0);
+        assert_eq!(h.bucket(0), 1);
+        // An exact power of two 2^k starts bucket k+1 (range [2^k, 2^(k+1))),
+        // while 2^k − 1 tops off bucket k.
+        h.observe(1);
+        h.observe(2);
+        h.observe(1023);
+        h.observe(1024);
+        assert_eq!(h.bucket(1), 1, "1 is in [1,2)");
+        assert_eq!(h.bucket(2), 1, "2 is in [2,4)");
+        assert_eq!(h.bucket(10), 1, "1023 is in [512,1024)");
+        assert_eq!(h.bucket(11), 1, "1024 is in [1024,2048)");
+        // u64::MAX must land in the top bucket, not overflow past it.
+        h.observe(u64::MAX);
+        h.observe(1u64 << 63);
+        assert_eq!(h.bucket(64), 2, "[2^63, u64::MAX] is bucket 64");
+        assert_eq!(h.max(), u64::MAX);
+        let mut json = String::new();
+        h.render_json(&mut json);
+        // The top bucket's bound is inclusive — u64::MAX itself is inside —
+        // so its label must say so.
+        assert!(json.contains("\"<=18446744073709551615\":2"), "{json}");
+        assert!(!json.contains("\"<18446744073709551615\""), "{json}");
     }
 
     #[test]
@@ -447,11 +485,11 @@ mod tests {
         }
         // Sanity on the semantics: p50 of ten samples is the 5th-ranked
         // sample's bucket upper bound (rank 5 = 12 → bucket <16 → 15).
-        assert_eq!(whole.quantile(0.5), 15);
+        assert_eq!(whole.quantile(0.5), Some(15));
         // p100 is clamped to the exact max.
-        assert_eq!(whole.quantile(1.0), 65536);
+        assert_eq!(whole.quantile(1.0), Some(65536));
         // p0 clamps to the exact min.
-        assert_eq!(whole.quantile(0.0), 1);
+        assert_eq!(whole.quantile(0.0), Some(1));
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Exporter ↔ parser round-trip properties.
+//!
+//! The metrics and profile JSON documents are rendered by hand (no serde),
+//! and read back by the equally hand-rolled parser in `blap_obs::json`.
+//! These two implementations can drift independently — an escaping bug in
+//! the renderer or a decoding bug in the parser would silently corrupt the
+//! analyzer's view while every unit test of either side still passes.
+//! The property here pins them together: any document the exporter emits
+//! must parse back with flattened key-paths and values equal to the source
+//! data, including hostile label strings (quotes, backslashes, control
+//! characters, non-ASCII).
+
+use std::collections::BTreeMap;
+
+use blap_obs::json;
+use blap_obs::{export_json, flatten_json, prof, MetaValue, Metrics};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Labels that stress the escaper: every JSON escape class plus plain
+/// pattern-generated names.
+fn label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9_. ]{1,12}".prop_map(|s| s),
+        Just("he said \"hi\"".to_owned()),
+        Just("back\\slash\\".to_owned()),
+        Just("tab\there".to_owned()),
+        Just("new\nline".to_owned()),
+        Just("ctrl\u{1}\u{1f}char".to_owned()),
+        Just("snowman ☃ naïve".to_owned()),
+        Just("\"".to_owned()),
+        Just("\\\"\\".to_owned()),
+    ]
+}
+
+/// Looks up a flattened path, panicking with the full table on a miss.
+fn lookup<'a>(flat: &'a [(String, String)], path: &str) -> &'a str {
+    flat.iter()
+        .find(|(p, _)| p == path)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("path {path:?} missing from flattened export:\n{flat:#?}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_export_parses_back_to_source(
+        counters in vec((label(), any::<u32>()), 0..8),
+        gauges in vec((label(), any::<u64>()), 0..8),
+        samples in vec((label(), vec(any::<u64>(), 1..6)), 0..4),
+        experiment in label(),
+        seed in any::<u64>(),
+    ) {
+        // Build the bag and, in parallel, the ground-truth aggregates the
+        // same way Metrics defines them (counters add, gauges max).
+        let mut m = Metrics::new();
+        let mut want_counters: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, n) in &counters {
+            m.add(name, u64::from(*n));
+            *want_counters.entry(name.clone()).or_insert(0) += u64::from(*n);
+        }
+        let mut want_gauges: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, v) in &gauges {
+            m.gauge_max(name, *v);
+            let slot = want_gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        let mut want_hist: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (name, values) in &samples {
+            for v in values {
+                m.observe(name, *v);
+            }
+            want_hist.entry(name.clone()).or_default().extend(values);
+        }
+
+        let doc = export_json(
+            &[
+                ("experiment", MetaValue::Str(experiment.clone())),
+                ("seed", MetaValue::Int(seed)),
+            ],
+            &m,
+        );
+        let parsed = json::parse(&doc)
+            .unwrap_or_else(|e| panic!("exported document must parse: {e:?}\n{doc}"));
+        let flat = flatten_json(&parsed);
+
+        // Meta strings survive escape → parse exactly.
+        prop_assert_eq!(lookup(&flat, "experiment"), format!("{experiment:?}"));
+        prop_assert_eq!(lookup(&flat, "seed"), seed.to_string());
+
+        // Every source key is present at its dotted path with its exact
+        // aggregate; hostile characters in `name` must not corrupt either
+        // the path or neighboring entries.
+        for (name, total) in &want_counters {
+            prop_assert_eq!(
+                lookup(&flat, &format!("metrics.counters.{name}")),
+                total.to_string()
+            );
+        }
+        for (name, max) in &want_gauges {
+            prop_assert_eq!(
+                lookup(&flat, &format!("metrics.gauges.{name}")),
+                max.to_string()
+            );
+        }
+        for (name, values) in &want_hist {
+            let base = format!("metrics.histograms.{name}");
+            prop_assert_eq!(
+                lookup(&flat, &format!("{base}.count")),
+                values.len().to_string()
+            );
+            let sum: u64 = values.iter().fold(0, |acc, v| acc.saturating_add(*v));
+            prop_assert_eq!(lookup(&flat, &format!("{base}.sum")), sum.to_string());
+            prop_assert_eq!(
+                lookup(&flat, &format!("{base}.min")),
+                values.iter().min().expect("non-empty").to_string()
+            );
+            prop_assert_eq!(
+                lookup(&flat, &format!("{base}.max")),
+                values.iter().max().expect("non-empty").to_string()
+            );
+        }
+
+        // Scalar-path count must match the source exactly: nothing extra
+        // materializes, nothing is swallowed. Meta (2) + counters + gauges
+        // + per-histogram (count/sum/min/max + one path per occupied
+        // bucket).
+        let bucket_paths: usize = want_hist
+            .keys()
+            .map(|name| {
+                let h = m.histogram(name).expect("histogram present");
+                (0..=64).filter(|k| h.bucket(*k) > 0).count()
+            })
+            .sum();
+        let expected_paths =
+            2 + want_counters.len() + want_gauges.len() + want_hist.len() * 4 + bucket_paths;
+        prop_assert_eq!(flat.len(), expected_paths, "flat: {:#?}", flat);
+    }
+}
+
+/// The profile sidecar must round-trip through the same parser: scope
+/// paths (span-name vocabulary), call counts, and pool rows all come back
+/// intact.
+#[test]
+fn profile_export_parses_back_to_source() {
+    prof::reset();
+    prof::set_enabled(true);
+    {
+        let _t = prof::scope("trial");
+        {
+            let _p = prof::scope("page");
+            let _h = prof::scope("hci_cmd");
+        }
+        let _a = prof::scope("lmp_auth");
+        let _e = prof::scope("crypto.e1");
+    }
+    prof::record_worker("parallel_map", 0, std::time::Duration::from_millis(3), 2);
+    prof::record_worker("parallel_map", 1, std::time::Duration::from_millis(1), 1);
+    prof::record_pool("parallel_map", std::time::Duration::from_millis(4));
+    prof::set_enabled(false);
+    let report = prof::report();
+    let doc = report.to_json();
+    prof::reset();
+
+    let parsed =
+        json::parse(&doc).unwrap_or_else(|e| panic!("profile sidecar must parse: {e:?}\n{doc}"));
+    let flat = flatten_json(&parsed);
+    assert_eq!(lookup(&flat, "schema"), "\"blap-prof-v1\"");
+
+    // Each (path, calls) pair in the report appears verbatim in the
+    // parsed document, in the same order the exporter walked them.
+    for (i, (path, node)) in report.walk().iter().enumerate() {
+        assert_eq!(
+            lookup(&flat, &format!("scopes[{i}].path")),
+            format!("{path:?}")
+        );
+        assert_eq!(
+            lookup(&flat, &format!("scopes[{i}].calls")),
+            node.calls.to_string()
+        );
+        assert_eq!(
+            lookup(&flat, &format!("scopes[{i}].self_ns")),
+            node.self_ns.to_string()
+        );
+    }
+    assert_eq!(lookup(&flat, "pools[0].pool"), "\"parallel_map\"");
+    assert_eq!(lookup(&flat, "pools[0].workers[0].tasks"), "2");
+    assert_eq!(lookup(&flat, "pools[0].workers[1].tasks"), "1");
+}

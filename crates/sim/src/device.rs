@@ -3,7 +3,7 @@
 use blap_controller::{Controller, ControllerConfig};
 use blap_hci::{HciPacket, PacketDirection};
 use blap_host::{HciTransportKind, Host, HostConfig, UiNotification};
-use blap_obs::{SpanId, TraceEvent, Tracer};
+use blap_obs::{prof, SpanId, TraceEvent, Tracer};
 use blap_snoop::btsnoop::SnoopRecord;
 use blap_snoop::log::HciTrace;
 use blap_snoop::usb::UsbCapture;
@@ -144,6 +144,7 @@ impl Device {
         direction: PacketDirection,
         packet: &HciPacket,
     ) {
+        let _prof = prof::scope("hci_cmd");
         if self.tracer.enabled() {
             let (kind, name) = match packet {
                 HciPacket::Command(c) => ("command", c.name()),

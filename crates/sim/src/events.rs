@@ -117,6 +117,26 @@ impl EventKind {
             EventKind::Script { .. } => "Script",
         }
     }
+
+    /// The wall-time profiling scope this dispatch is attributed to.
+    ///
+    /// The deterministic span layer tracks page/LMP/pairing causally
+    /// *across* scheduler callbacks; wall-clock scopes must instead be
+    /// stack-shaped, so dispatch cost is grouped by event family here and
+    /// the handler-level scopes (`lmp_auth`, `hci_cmd`, …) nest beneath.
+    pub fn prof_scope(&self) -> &'static str {
+        match self {
+            EventKind::LmpDeliver { .. } => "lmp_deliver",
+            EventKind::AclDeliver { .. } => "acl_deliver",
+            EventKind::PageResolve { .. }
+            | EventKind::PageDeliver { .. }
+            | EventKind::PageTimeout { .. } => "page",
+            EventKind::InquiryResponse { .. } | EventKind::InquiryComplete { .. } => "inquiry",
+            EventKind::TimerFire { .. } => "timer",
+            EventKind::SupervisionCheck { .. } => "supervision",
+            EventKind::Script { .. } => "script",
+        }
+    }
 }
 
 /// An event queued for a point in virtual time. Ordered by `(time, seq)` so

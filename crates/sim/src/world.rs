@@ -10,7 +10,7 @@ use blap_controller::lmp::LmpPdu;
 use blap_controller::{ControllerOutput, PageOutcome};
 use blap_hci::{HciPacket, PacketDirection};
 use blap_host::HostOutput;
-use blap_obs::{Histogram, Metrics, SpanId, TraceEvent, Tracer};
+use blap_obs::{prof, Histogram, Metrics, SpanId, TraceEvent, Tracer};
 use blap_types::{BdAddr, Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -334,6 +334,7 @@ impl World {
                     kind: event.kind.name(),
                 });
             }
+            let _dispatch = prof::scope(event.kind.prof_scope());
             self.dispatch(event.kind);
         }
         self.now = deadline;

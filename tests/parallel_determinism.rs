@@ -16,7 +16,7 @@ use blap::link_key_extraction::ExtractionScenario;
 use blap::runner::{seed_for, Jobs};
 use blap_bench::{run_table1_observed_with, run_table2_observed_with, run_table2_with};
 use blap_crypto::p256::{generator, group_order, KeyPair, Point, Scalar};
-use blap_obs::{analyze_trace, diff_metrics, diff_traces, FlightRecorder, Tracer};
+use blap_obs::{analyze_trace, diff_metrics, diff_traces, prof, FlightRecorder, Tracer};
 use proptest::prelude::*;
 
 #[test]
@@ -110,6 +110,38 @@ fn table1_trace_passes_invariant_checks() {
         "healthy run must satisfy all invariants:\n{}",
         analysis.report()
     );
+}
+
+#[test]
+fn profiling_never_perturbs_deterministic_artifacts() {
+    // The sidecar rule: the wall-time profiler may never leak into the
+    // deterministic artifacts. Byte-compare trace and metrics with
+    // profiling off vs on, at one worker and at eight.
+    prof::set_enabled(false);
+    let off = run_table2_observed_with(1701, 2, Jobs::serial());
+    for jobs in [Jobs::serial(), Jobs::new(8)] {
+        prof::set_enabled(true);
+        let on = run_table2_observed_with(1701, 2, jobs);
+        prof::set_enabled(false);
+        assert_eq!(
+            on.trace,
+            off.trace,
+            "profiling changed the trace at {} jobs",
+            jobs.get()
+        );
+        assert_eq!(
+            on.metrics.to_json(),
+            off.metrics.to_json(),
+            "profiling changed the metrics at {} jobs",
+            jobs.get()
+        );
+        // The profiler itself did record the run it observed.
+        assert!(
+            !prof::report().is_empty(),
+            "profiled run must record scopes"
+        );
+        prof::reset();
+    }
 }
 
 #[test]

@@ -1,0 +1,130 @@
+//! Integration checks for the wall-time profiler (`blap_obs::prof`).
+//!
+//! The profiler is a sidecar: it must *observe* the attack pipeline's
+//! wall-clock shape without ever perturbing the deterministic artifacts
+//! (that half of the guarantee is pinned in `parallel_determinism.rs`).
+//! These tests pin the observing half:
+//!
+//! * a profiled Table I run produces the trial→phase scope hierarchy the
+//!   scope-naming contract promises, with self-times that sum to no more
+//!   than the run's wall time, and
+//! * the worker-utilization accounting in `blap::runner` notices a
+//!   deliberately skewed workload — the worker stuck with the slow task
+//!   reports imbalance above 1, and busy time stays within the pool's
+//!   wall envelope.
+//!
+//! The profiler's state is process-global, so every test here serializes
+//! on one lock and resets the registry around its measurements.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use blap::runner::{parallel_map, Jobs};
+use blap_obs::prof;
+
+static PROF: Mutex<()> = Mutex::new(());
+
+#[test]
+fn folded_table1_profile_has_trial_phase_hierarchy_within_wall_time() {
+    let _serial = PROF.lock().unwrap();
+    prof::reset();
+    prof::set_enabled(true);
+    let wall_started = Instant::now();
+    let observed = blap_bench::run_table1_observed_with(2022, Jobs::serial());
+    let wall = wall_started.elapsed();
+    prof::set_enabled(false);
+    assert_eq!(observed.rows.len(), 9, "Table I runs nine profiles");
+
+    let report = prof::report();
+    let folded = report.to_folded();
+    prof::reset();
+
+    // Scope-naming contract: trials at the root, dispatch phases beneath
+    // them, handler and crypto scopes beneath those.
+    let paths: Vec<&str> = folded
+        .lines()
+        .filter_map(|line| line.rsplit_once(' ').map(|(path, _)| path))
+        .collect();
+    assert!(paths.contains(&"trial"), "root trial scope:\n{folded}");
+    assert!(
+        paths.contains(&"trial;lmp_deliver"),
+        "LMP dispatch nests under the trial:\n{folded}"
+    );
+    assert!(
+        paths.contains(&"trial;lmp_deliver;lmp_auth"),
+        "authentication handling nests under LMP dispatch:\n{folded}"
+    );
+    assert!(
+        paths.contains(&"trial;lmp_deliver;lmp_auth;crypto.p256"),
+        "the P-256 kernel nests under authentication:\n{folded}"
+    );
+    assert!(
+        paths.contains(&"trial;page"),
+        "paging dispatch nests under the trial:\n{folded}"
+    );
+
+    // Self-times are disjoint slices of the run, so their sum is bounded
+    // by the wall clock that enclosed it.
+    let total_self_us: u64 = folded
+        .lines()
+        .filter_map(|line| {
+            line.rsplit_once(' ')
+                .and_then(|(_, us)| us.parse::<u64>().ok())
+        })
+        .sum();
+    assert!(total_self_us > 0, "a full Table I run records time");
+    assert!(
+        u128::from(total_self_us) <= wall.as_micros(),
+        "self-time sum {total_self_us}us exceeds wall {}us",
+        wall.as_micros()
+    );
+}
+
+#[test]
+fn skewed_parallel_map_reports_imbalance_within_wall_envelope() {
+    let _serial = PROF.lock().unwrap();
+    prof::reset();
+    prof::set_enabled(true);
+    const WORKERS: usize = 4;
+    // One task spins an order of magnitude longer than the rest combined:
+    // whichever worker draws it must dominate the pool's busy time.
+    let out = parallel_map(Jobs::new(WORKERS), 8, |i| {
+        if i == 0 {
+            let spin = Instant::now();
+            while spin.elapsed() < Duration::from_millis(25) {
+                std::hint::black_box(i);
+            }
+        }
+        i
+    });
+    prof::set_enabled(false);
+    assert_eq!(out, (0..8).collect::<Vec<_>>());
+
+    let report = prof::report();
+    prof::reset();
+    let pool = report.pool("parallel_map").expect("pool stats recorded");
+    assert_eq!(pool.runs, 1, "exactly the one profiled run");
+    assert_eq!(pool.workers.len(), WORKERS, "every worker reports");
+    let tasks: u64 = pool.workers.iter().map(|w| w.tasks).sum();
+    assert_eq!(tasks, 8, "every task is accounted to some worker");
+
+    // Busy time can never exceed the wall envelope: each worker was busy
+    // at most for the pool's whole wall time.
+    assert!(
+        pool.busy_ns() <= pool.wall_ns.saturating_mul(WORKERS as u64),
+        "busy {}ns exceeds wall envelope {}ns x {WORKERS}",
+        pool.busy_ns(),
+        pool.wall_ns
+    );
+
+    // The slow worker's share is far above the mean.
+    let max_imbalance = pool
+        .workers
+        .iter()
+        .map(|w| w.imbalance)
+        .fold(0.0_f64, f64::max);
+    assert!(
+        max_imbalance > 1.0,
+        "the worker that drew the slow task must exceed the mean, got {max_imbalance:.2}"
+    );
+}

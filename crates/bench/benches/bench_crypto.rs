@@ -112,8 +112,41 @@ fn bench_link_encryption(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_kernels(c: &mut Criterion) {
+    use blap_crypto::batch::{self, Batch16, E1Batch, KeyScheduleBatch};
+    let mut group = c.benchmark_group("crypto/batch16");
+    // Every figure here covers 16 lanes; divide by 16 to compare against
+    // the scalar `crypto/ssp` numbers.
+    let keys: [[u8; 16]; 16] =
+        core::array::from_fn(|lane| core::array::from_fn(|i| (lane * 16 + i) as u8));
+    let key_batch = Batch16::from_lanes(&keys);
+    let block = Batch16::splat(&[0xA5u8; 16]);
+    let addr: BdAddr = "aa:aa:aa:aa:aa:aa".parse().expect("valid");
+    let addr_ext = batch::expand_addr_splat(addr);
+    group.bench_function("key_schedule_x16", |b| {
+        b.iter(|| KeyScheduleBatch::new(black_box(&key_batch)))
+    });
+    let sched = KeyScheduleBatch::new(&key_batch);
+    group.bench_function("encrypt_x16", |b| {
+        b.iter(|| batch::encrypt_batch(black_box(&sched), &block))
+    });
+    group.bench_function("encrypt_prime_x16", |b| {
+        b.iter(|| batch::encrypt_prime_batch(black_box(&sched), &block))
+    });
+    group.bench_function("e21_x16", |b| {
+        b.iter(|| batch::e21_batch(black_box(&key_batch), &addr_ext))
+    });
+    let e1_ctx = E1Batch::new(&key_batch);
+    group.bench_function("e1_output_x16_reused_schedules", |b| {
+        b.iter(|| black_box(&e1_ctx).e1_output(&block, &addr_ext))
+    });
+    group.finish();
+}
+
 fn bench_pin_crack(c: &mut Criterion) {
-    use blap::legacy_pin::{crack_numeric_pin, LegacyPairingCapture};
+    use blap::legacy_pin::{crack_numeric_pin, LegacyPairingCapture, PinCracker};
+    use blap_crypto::batch::Batch16;
+    use blap_crypto::e1::AugmentedPin;
     let mut group = c.benchmark_group("crypto/pin_crack");
     group.sample_size(10);
     let capture = LegacyPairingCapture::synthesize(
@@ -143,6 +176,20 @@ fn bench_pin_crack(c: &mut Criterion) {
     group.bench_function("four_digit_pin", |b| {
         b.iter(|| crack_numeric_pin(black_box(&deep), 4).expect("found"))
     });
+    // One batched verdict: the full E22→E21→E1 recomputation chain for 16
+    // candidates against the hoisted capture context — the inner-loop unit
+    // of the sweep (per-candidate cost = this / 16).
+    let cracker = PinCracker::new(&deep);
+    let mut aug = AugmentedPin::new(b"0000", deep.responder);
+    let e22_y = Batch16::splat(&aug.e22_input(&deep.in_rand));
+    let keys: [[u8; 16]; 16] = core::array::from_fn(|lane| {
+        aug.set_pin(format!("{lane:04}").as_bytes());
+        aug.safer_key()
+    });
+    let pin_keys = Batch16::from_lanes(&keys);
+    group.bench_function("check_batch_x16", |b| {
+        b.iter(|| black_box(&cracker).check_batch(&e22_y, black_box(&pin_keys)))
+    });
     group.finish();
 }
 
@@ -152,6 +199,7 @@ criterion_group!(
     bench_p256,
     bench_pairing_functions,
     bench_link_encryption,
+    bench_batch_kernels,
     bench_pin_crack
 );
 criterion_main!(benches);

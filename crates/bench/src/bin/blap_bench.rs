@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! blap-bench compare <baseline.json> <fresh.json> [--strict]
-//!     [--ns-threshold F] [--wall-threshold F] [--history PATH]
+//!     [--ns-threshold F] [--wall-threshold F] [--throughput-threshold F]
+//!     [--history PATH]
 //! blap-bench prof <table1|table2> [positionals] [--jobs N] [--profile PREFIX]
 //! ```
 //!
@@ -23,7 +24,8 @@ use blap_bench::compare::{compare, history_record, CompareConfig};
 use blap_obs::prof;
 
 const USAGE: &str = "usage:\n  blap-bench compare <baseline.json> <fresh.json> [--strict] \
-                     [--ns-threshold F] [--wall-threshold F] [--history PATH]\n  \
+                     [--ns-threshold F] [--wall-threshold F] [--throughput-threshold F] \
+                     [--history PATH]\n  \
                      blap-bench prof <table1|table2> [positionals] [--jobs N] [--profile PREFIX]";
 
 fn usage_exit(message: &str) -> ! {
@@ -55,6 +57,9 @@ fn run_compare(mut argv: impl Iterator<Item = String>) -> ! {
             "--ns-threshold" => config.ns_threshold = parse_threshold(&value("--ns-threshold")),
             "--wall-threshold" => {
                 config.wall_threshold = parse_threshold(&value("--wall-threshold"))
+            }
+            "--throughput-threshold" => {
+                config.throughput_threshold = parse_threshold(&value("--throughput-threshold"))
             }
             "--history" => history = Some(value("--history")),
             flag if flag.starts_with("--") => usage_exit(&format!("unknown flag {flag}")),

@@ -1,7 +1,9 @@
 //! Hot-path benchmark summary: one JSON artifact (`BENCH_hotpaths.json`)
 //! covering the kernels the perf work targets — HCI encode/decode, the
 //! AES-CCM link cipher, legacy `E1` and the pincrack candidate loop — plus
-//! end-to-end wall times for the table drivers.
+//! end-to-end wall times for the table drivers and a `throughput` section
+//! with the batched full-6-digit-sweep candidates-per-second figure (gated
+//! as a floor by `blap-bench compare`: only a drop regresses).
 //!
 //! Regenerate with:
 //!
@@ -165,6 +167,28 @@ fn main() {
     let pincrack_wall = crack_started.elapsed().as_secs_f64() * 1e3 / f64::from(CRACK_REPS);
     let pincrack_candidate = pincrack_wall * 1e6 / warm.attempts as f64;
 
+    // Batched sweep throughput over the full 6-digit space: a PIN near the
+    // end of the space keeps the sweep long enough (~1.1M candidates) that
+    // per-sweep setup is noise. Floor-gated in `compare` — the one number
+    // the batching work exists to defend.
+    let capture6 = LegacyPairingCapture::synthesize(
+        "11:11:11:11:11:11".parse().expect("valid"),
+        "00:1b:7d:da:71:0a".parse().expect("valid"),
+        b"987654",
+        [0xA1; 16],
+        [0xB2; 16],
+        [0xC3; 16],
+        [0xD4; 16],
+    );
+    let warm6 = crack_numeric_pin_with(&capture6, 6, serial).expect("found");
+    let sweep_started = Instant::now();
+    const SWEEP_REPS: u32 = 2;
+    for _ in 0..SWEEP_REPS {
+        black_box(crack_numeric_pin_with(black_box(&capture6), 6, serial).expect("found"));
+    }
+    let sweep_secs = sweep_started.elapsed().as_secs_f64() / f64::from(SWEEP_REPS);
+    let pincrack_candidates_per_sec = warm6.attempts as f64 / sweep_secs;
+
     // --- End-to-end wall times ------------------------------------------
     let t1_started = Instant::now();
     let t1 = blap_bench::run_table1_observed_with(2022, jobs);
@@ -222,6 +246,12 @@ fn main() {
         json_opt(unit_wall_ms(&t2.metrics))
     );
     println!("    \"pincrack_4digit\": {}", json_number(pincrack_wall));
+    println!("  }},");
+    println!("  \"throughput\": {{");
+    println!(
+        "    \"pincrack_candidates_per_sec\": {}",
+        json_number(pincrack_candidates_per_sec)
+    );
     println!("  }}");
     println!("}}");
 }

@@ -30,6 +30,12 @@ pub struct Args {
     /// `--profile <prefix>`: enable wall-time profiling and write the
     /// sidecar `<prefix>.json` + `<prefix>.folded` pair.
     pub profile_prefix: Option<String>,
+    /// Binary-specific valued flags that were present (flag → value), as
+    /// declared to [`Args::parse_with`].
+    pub extra: Vec<(String, String)>,
+    /// Binary-specific boolean switches that were present, as declared to
+    /// [`Args::parse_with`].
+    pub switches: Vec<String>,
 }
 
 impl Args {
@@ -39,7 +45,14 @@ impl Args {
     /// repeated flag, or an unknown `--flag`; positionals are kept verbatim
     /// for the binary to interpret.
     pub fn parse() -> Args {
-        match Args::try_from_iter(std::env::args().skip(1)) {
+        Args::parse_with(&[], &[])
+    }
+
+    /// [`Args::parse`] plus binary-specific flags: `valued` flags take one
+    /// value (`--digits 6`), `switches` take none (`--reference`). Anything
+    /// not in either list still errors as unknown.
+    pub fn parse_with(valued: &[&str], switches: &[&str]) -> Args {
+        match Args::try_from_iter_with(std::env::args().skip(1), valued, switches) {
             Ok(args) => args,
             Err(message) => {
                 eprintln!("error: {message}");
@@ -49,11 +62,21 @@ impl Args {
     }
 
     /// [`Args::parse`] without the exit: returns the parse error instead.
+    pub fn try_from_iter(iter: impl Iterator<Item = String>) -> Result<Args, String> {
+        Args::try_from_iter_with(iter, &[], &[])
+    }
+
+    /// [`Args::parse_with`] without the exit: returns the parse error
+    /// instead.
     ///
-    /// Repeating `--metrics`, `--trace`, or `--jobs` is an error rather
-    /// than last-one-wins: a duplicated artifact flag in a CI job almost
-    /// always means a copy-paste mistake silently discarding one artifact.
-    pub fn try_from_iter(mut iter: impl Iterator<Item = String>) -> Result<Args, String> {
+    /// Repeating any flag is an error rather than last-one-wins: a
+    /// duplicated artifact flag in a CI job almost always means a
+    /// copy-paste mistake silently discarding one artifact.
+    pub fn try_from_iter_with(
+        mut iter: impl Iterator<Item = String>,
+        valued: &[&str],
+        switches: &[&str],
+    ) -> Result<Args, String> {
         fn set(slot: &mut Option<String>, flag: &str, value: Option<String>) -> Result<(), String> {
             let value = value.ok_or_else(|| format!("{flag} requires a value"))?;
             if slot.is_some() {
@@ -69,6 +92,20 @@ impl Args {
                 "--trace" => set(&mut args.trace_path, "--trace", iter.next())?,
                 "--jobs" => set(&mut args.jobs, "--jobs", iter.next())?,
                 "--profile" => set(&mut args.profile_prefix, "--profile", iter.next())?,
+                flag if valued.contains(&flag) => {
+                    let mut slot = None;
+                    if args.extra.iter().any(|(f, _)| f == flag) {
+                        return Err(format!("{flag} given more than once"));
+                    }
+                    set(&mut slot, flag, iter.next())?;
+                    args.extra.push((flag.to_owned(), slot.expect("just set")));
+                }
+                flag if switches.contains(&flag) => {
+                    if args.switches.iter().any(|f| f == flag) {
+                        return Err(format!("{flag} given more than once"));
+                    }
+                    args.switches.push(flag.to_owned());
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -76,6 +113,25 @@ impl Args {
             }
         }
         Ok(args)
+    }
+
+    /// The value of a binary-specific valued flag parsed as `T`, or
+    /// `default` when the flag is absent.
+    ///
+    /// A present-but-unparseable value is an error, not a silent default: a
+    /// typo in `--digits` must not quietly run a different search space.
+    pub fn extra_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.extra.iter().find(|(f, _)| f == flag) {
+            None => Ok(default),
+            Some((_, value)) => value
+                .parse()
+                .map_err(|_| format!("{flag} value {value:?} is not valid")),
+        }
+    }
+
+    /// Whether a binary-specific boolean switch was present.
+    pub fn has_switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|f| f == flag)
     }
 
     /// The `i`-th positional parsed as `T`, or `default` when absent or
@@ -213,5 +269,49 @@ mod tests {
     fn unknown_flag_is_rejected() {
         let err = try_parse(&["--frobnicate"]).expect_err("unknown flag must error");
         assert_eq!(err, "unknown flag --frobnicate");
+    }
+
+    fn try_parse_with(tokens: &[&str], valued: &[&str], switches: &[&str]) -> Result<Args, String> {
+        Args::try_from_iter_with(tokens.iter().map(|s| s.to_string()), valued, switches)
+    }
+
+    #[test]
+    fn extra_flags_parse_and_default() {
+        let args = try_parse_with(
+            &["987654", "--digits", "6", "--reference"],
+            &["--digits", "--trials"],
+            &["--reference"],
+        )
+        .expect("valid command line");
+        assert_eq!(args.positional, vec!["987654"]);
+        assert_eq!(args.extra_or("--digits", 4u32), Ok(6));
+        assert_eq!(args.extra_or("--trials", 1u32), Ok(1));
+        assert!(args.has_switch("--reference"));
+        assert!(!args.has_switch("--verify"));
+    }
+
+    #[test]
+    fn extra_flags_must_be_declared() {
+        let err = try_parse_with(&["--digits", "6"], &[], &[]).expect_err("undeclared flag");
+        assert_eq!(err, "unknown flag --digits");
+    }
+
+    #[test]
+    fn extra_flag_bad_value_is_an_error_not_a_default() {
+        let args = try_parse_with(&["--digits", "six"], &["--digits"], &[]).expect("parses");
+        assert_eq!(
+            args.extra_or("--digits", 6u32),
+            Err("--digits value \"six\" is not valid".to_owned())
+        );
+    }
+
+    #[test]
+    fn duplicate_extra_flags_are_rejected() {
+        let err = try_parse_with(&["--digits", "4", "--digits", "6"], &["--digits"], &[])
+            .expect_err("duplicate must error");
+        assert_eq!(err, "--digits given more than once");
+        let err = try_parse_with(&["--reference", "--reference"], &[], &["--reference"])
+            .expect_err("duplicate must error");
+        assert_eq!(err, "--reference given more than once");
     }
 }

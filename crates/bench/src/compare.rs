@@ -3,7 +3,10 @@
 //! [`compare`] diffs a freshly generated `BENCH_hotpaths.json` against the
 //! committed baseline, metric by metric, with per-section relative
 //! thresholds (kernel `ns_per_op` numbers are steadier than end-to-end
-//! `wall_ms` ones, so they get a tighter budget). Wall-clock numbers are
+//! `wall_ms` ones, so they get a tighter budget). The `throughput` section
+//! is gated as a *floor*: its metrics (candidates per second) regress by
+//! dropping, so only a ratio below `1 - threshold` breaches and a gain can
+//! never fail the gate. Wall-clock numbers are
 //! only comparable between like machines, so the v2 artifact carries a
 //! [`HostFingerprint`]; when the fingerprints differ — or the baseline
 //! predates them (`blap-bench-hotpaths-v1`) — a threshold breach is
@@ -89,6 +92,10 @@ pub struct CompareConfig {
     pub ns_threshold: f64,
     /// Allowed relative growth for `wall_ms` metrics.
     pub wall_threshold: f64,
+    /// Allowed relative *shrink* for `throughput` metrics (0.25 = -25%).
+    /// Throughput is a floor, not a ceiling: bigger is better, so only a
+    /// drop can breach.
+    pub throughput_threshold: f64,
     /// When set, a threshold breach regresses even across differing host
     /// fingerprints (useful for local runs where the host is known equal
     /// but the toolchain string moved).
@@ -100,6 +107,7 @@ impl Default for CompareConfig {
         CompareConfig {
             ns_threshold: 0.35,
             wall_threshold: 0.50,
+            throughput_threshold: 0.25,
             strict: false,
         }
     }
@@ -132,7 +140,7 @@ impl Verdict {
 /// One metric's baseline/fresh pair.
 #[derive(Clone, Debug)]
 pub struct MetricDelta {
-    /// Artifact section (`ns_per_op` or `wall_ms`).
+    /// Artifact section (`ns_per_op`, `wall_ms` or `throughput`).
     pub section: &'static str,
     /// Metric name within the section.
     pub metric: String,
@@ -142,14 +150,33 @@ pub struct MetricDelta {
     pub fresh: f64,
     /// `fresh / baseline`.
     pub ratio: f64,
-    /// The relative-growth budget this metric was held to.
+    /// The relative budget this metric was held to.
     pub threshold: f64,
+    /// Floor semantics: bigger is better (throughput), so a breach is a
+    /// ratio *below* `1 - threshold`. Ceiling metrics (latencies) breach
+    /// above `1 + threshold`.
+    pub floor: bool,
 }
 
 impl MetricDelta {
-    /// Whether this metric grew past its budget.
+    /// Whether this metric moved past its budget in the bad direction.
     pub fn breached(&self) -> bool {
-        self.ratio > 1.0 + self.threshold
+        if self.floor {
+            self.ratio < 1.0 - self.threshold
+        } else {
+            self.ratio > 1.0 + self.threshold
+        }
+    }
+
+    /// How bad this delta is, normalized so ceilings and floors compare:
+    /// `ratio` for ceiling metrics, `baseline / fresh` for floor metrics.
+    /// `> 1` means "moved in the bad direction".
+    pub fn badness(&self) -> f64 {
+        if self.floor {
+            self.ratio.recip()
+        } else {
+            self.ratio
+        }
     }
 }
 
@@ -184,17 +211,18 @@ impl Comparison {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<9} {:<24} {:>12} {:>12} {:>8}  budget\n",
+            "{:<10} {:<27} {:>12} {:>12} {:>8}  budget\n",
             "section", "metric", "baseline", "fresh", "ratio"
         ));
         for d in &self.deltas {
             out.push_str(&format!(
-                "{:<9} {:<24} {:>12.1} {:>12.1} {:>8.3}  +{:.0}%{}\n",
+                "{:<10} {:<27} {:>12.1} {:>12.1} {:>8.3}  {}{:.0}%{}\n",
                 d.section,
                 d.metric,
                 d.baseline,
                 d.fresh,
                 d.ratio,
+                if d.floor { '-' } else { '+' },
                 d.threshold * 100.0,
                 if d.breached() {
                     "  <-- over budget"
@@ -215,8 +243,29 @@ impl Comparison {
 /// v1 it replaced (old committed baselines must stay readable).
 const SCHEMAS: [&str; 2] = ["blap-bench-hotpaths-v2", "blap-bench-hotpaths-v1"];
 
-/// Sections compared, with which [`CompareConfig`] threshold governs each.
-const SECTIONS: [&str; 2] = ["ns_per_op", "wall_ms"];
+/// One comparable artifact section: its JSON key and whether its metrics
+/// are floors (bigger is better) or ceilings (smaller is better).
+struct Section {
+    name: &'static str,
+    floor: bool,
+}
+
+/// Sections compared, with which [`CompareConfig`] threshold governs each
+/// (paired up inside [`compare`], artifact order).
+const SECTIONS: [Section; 3] = [
+    Section {
+        name: "ns_per_op",
+        floor: false,
+    },
+    Section {
+        name: "wall_ms",
+        floor: false,
+    },
+    Section {
+        name: "throughput",
+        floor: true,
+    },
+];
 
 fn parse_artifact(label: &str, text: &str) -> Result<Value, String> {
     let value = json::parse(text).map_err(|err| format!("{label}: {err}"))?;
@@ -257,10 +306,15 @@ pub fn compare(
 
     let mut deltas = Vec::new();
     let mut notes = Vec::new();
-    for (section, threshold) in SECTIONS
-        .into_iter()
-        .zip([config.ns_threshold, config.wall_threshold])
-    {
+    for (section, threshold) in SECTIONS.iter().zip([
+        config.ns_threshold,
+        config.wall_threshold,
+        config.throughput_threshold,
+    ]) {
+        let Section {
+            name: section,
+            floor,
+        } = *section;
         let (Some(Value::Object(base_members)), fresh_section) =
             (baseline.get(section), fresh.get(section))
         else {
@@ -297,6 +351,7 @@ pub fn compare(
                 fresh: fresh_num,
                 ratio: fresh_num / base,
                 threshold,
+                floor,
             });
         }
     }
@@ -333,7 +388,7 @@ pub fn history_record(comparison: &Comparison, unix_time: u64) -> String {
     let worst = comparison
         .deltas
         .iter()
-        .max_by(|a, b| a.ratio.total_cmp(&b.ratio));
+        .max_by(|a, b| a.badness().total_cmp(&b.badness()));
     let mut out = String::new();
     out.push_str(&format!(
         "{{\"schema\":\"blap-bench-history-v1\",\"unix_time\":{unix_time},\"verdict\":\"{}\",\"hosts_comparable\":{},\"compared\":{},\"breaches\":{}",
@@ -362,7 +417,7 @@ pub fn history_record(comparison: &Comparison, unix_time: u64) -> String {
     } else {
         out.push_str(",\"host\":null");
     }
-    for section in SECTIONS {
+    for section in SECTIONS.iter().map(|s| s.name) {
         out.push_str(&format!(",\"{section}\":{{"));
         let mut first = true;
         for d in comparison.deltas.iter().filter(|d| d.section == section) {
@@ -388,11 +443,21 @@ mod tests {
         e1_ns: f64,
         table1_ms: f64,
     ) -> String {
+        artifact_with_throughput(schema, host, e1_ns, table1_ms, 2_000_000.0)
+    }
+
+    fn artifact_with_throughput(
+        schema: &str,
+        host: Option<&HostFingerprint>,
+        e1_ns: f64,
+        table1_ms: f64,
+        cand_per_sec: f64,
+    ) -> String {
         let host_block = host
             .map(|h| format!("  \"host\": {},\n", h.render_json("  ")))
             .unwrap_or_default();
         format!(
-            "{{\n  \"schema\": \"{schema}\",\n{host_block}  \"ns_per_op\": {{\n    \"legacy_e1\": {e1_ns:.1},\n    \"aes128_encrypt_block\": 60.0\n  }},\n  \"wall_ms\": {{\n    \"table1\": {table1_ms:.1},\n    \"table1_units\": null\n  }}\n}}\n"
+            "{{\n  \"schema\": \"{schema}\",\n{host_block}  \"ns_per_op\": {{\n    \"legacy_e1\": {e1_ns:.1},\n    \"aes128_encrypt_block\": 60.0\n  }},\n  \"wall_ms\": {{\n    \"table1\": {table1_ms:.1},\n    \"table1_units\": null\n  }},\n  \"throughput\": {{\n    \"pincrack_candidates_per_sec\": {cand_per_sec:.1}\n  }}\n}}\n"
         )
     }
 
@@ -421,7 +486,7 @@ mod tests {
         assert_eq!(cmp.verdict, Verdict::Pass);
         assert!(cmp.hosts_comparable());
         // The null wall metric is skipped with a note, the rest compare.
-        assert_eq!(cmp.deltas.len(), 3);
+        assert_eq!(cmp.deltas.len(), 4);
         assert!(cmp.deltas.iter().all(|d| d.ratio == 1.0));
         assert!(cmp.notes.iter().any(|n| n.contains("table1_units")));
     }
@@ -470,6 +535,58 @@ mod tests {
         let fresh = artifact("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0 * 1.4);
         let cmp = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
         assert_eq!(cmp.verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn throughput_drop_past_floor_regresses() {
+        let h = host("cpu0");
+        let base = artifact_with_throughput("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0, 2e6);
+        // -30%: under the default -25% throughput floor.
+        let fresh =
+            artifact_with_throughput("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0, 2e6 * 0.7);
+        let cmp = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
+        assert_eq!(cmp.verdict, Verdict::Regressed);
+        assert_eq!(cmp.breaches().len(), 1);
+        let breach = cmp.breaches()[0];
+        assert_eq!(breach.metric, "pincrack_candidates_per_sec");
+        assert!(breach.floor);
+        assert!(cmp.render().contains("-25%"), "{}", cmp.render());
+    }
+
+    #[test]
+    fn throughput_gain_never_breaches() {
+        let h = host("cpu0");
+        let base = artifact_with_throughput("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0, 2e6);
+        // A 10x throughput gain would breach a ceiling budget; as a floor
+        // metric it must pass untouched.
+        let fresh = artifact_with_throughput("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0, 2e7);
+        let cmp = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
+        assert_eq!(cmp.verdict, Verdict::Pass);
+        assert!(cmp.breaches().is_empty());
+    }
+
+    #[test]
+    fn history_worst_metric_accounts_for_floor_direction() {
+        let h = host("cpu0");
+        let base = artifact_with_throughput("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0, 2e6);
+        // Latencies improve slightly; throughput halves. The throughput
+        // drop (badness 2.0) must win "worst" over the sub-1.0 latency
+        // ratios even though its raw ratio is the *smallest*.
+        let fresh = artifact_with_throughput("blap-bench-hotpaths-v2", Some(&h), 340.0, 12.5, 1e6);
+        let cmp = compare(&base, &fresh, &CompareConfig::default()).expect("comparable");
+        let record = history_record(&cmp, 1_700_000_000);
+        let value = json::parse(record.trim_end()).expect("valid JSON");
+        assert_eq!(
+            value
+                .get("worst")
+                .and_then(|w| w.get("metric"))
+                .and_then(Value::as_str),
+            Some("throughput.pincrack_candidates_per_sec")
+        );
+        assert!(value
+            .get("throughput")
+            .and_then(|s| s.get("pincrack_candidates_per_sec"))
+            .is_some());
     }
 
     #[test]

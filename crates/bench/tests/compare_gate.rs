@@ -78,6 +78,50 @@ fn synthetic_regression_exits_nonzero_and_appends_history() {
 }
 
 #[test]
+fn synthetic_throughput_drop_trips_the_floor() {
+    let baseline = std::fs::read_to_string(committed_baseline()).expect("baseline readable");
+    // Halve the sweep throughput: far below the -25% floor. Unlike the
+    // latency metrics a *larger* value must never trip this gate, so the
+    // companion check doubles it and expects a pass.
+    let needle = "\"pincrack_candidates_per_sec\": ";
+    let at = baseline
+        .find(needle)
+        .expect("baseline has the throughput metric")
+        + needle.len();
+    let end = at + baseline[at..].find('\n').expect("value terminated");
+    let value: f64 = baseline[at..end].trim().parse().expect("numeric value");
+    for (factor, expected_code, expected_verdict) in
+        [(0.5, 1, "verdict: regressed"), (2.0, 0, "verdict: pass")]
+    {
+        let fresh = format!(
+            "{}{:.1}{}",
+            &baseline[..at],
+            value * factor,
+            &baseline[end..]
+        );
+        let fresh_path = scratch_path(&format!("throughput_{expected_code}.json"));
+        std::fs::write(&fresh_path, fresh).expect("scratch artifact written");
+        let output = blap_bench()
+            .args([
+                "compare",
+                &committed_baseline(),
+                fresh_path.to_str().expect("utf8 path"),
+                "--strict",
+            ])
+            .output()
+            .expect("gate binary runs");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert_eq!(
+            output.status.code(),
+            Some(expected_code),
+            "throughput x{factor} must exit {expected_code}:\n{stdout}"
+        );
+        assert!(stdout.contains(expected_verdict), "{stdout}");
+        let _ = std::fs::remove_file(&fresh_path);
+    }
+}
+
+#[test]
 fn usage_errors_exit_two() {
     for args in [
         &["compare"] as &[&str],

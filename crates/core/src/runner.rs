@@ -383,6 +383,50 @@ mod tests {
     }
 
     #[test]
+    fn parallel_search_chunk_larger_than_space() {
+        // One chunk covers everything; every worker count degenerates to
+        // the serial scan and must agree with it.
+        let scan = |start: u64, end: u64| (start..end).find(|&i| i == 7).map(|i| (i, i));
+        for jobs in [1, 2, 8] {
+            assert_eq!(
+                parallel_search(Jobs::new(jobs), 10, 64, scan),
+                Some(7),
+                "{jobs} jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_search_space_not_divisible_by_chunk() {
+        // 1000 = 15 × 64 + 40: the last chunk is short, and a hit inside
+        // it must still surface at any worker count.
+        let scan = |start: u64, end: u64| (start..end).find(|&i| i == 993).map(|i| (i, i * 3));
+        for jobs in [1, 2, 4, 8] {
+            assert_eq!(
+                parallel_search(Jobs::new(jobs), 1000, 64, scan),
+                Some(2979),
+                "{jobs} jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_search_hit_at_last_index() {
+        let scan = |start: u64, end: u64| (start..end).find(|&i| i == 999).map(|i| (i, i));
+        for jobs in [1, 2, 4, 8] {
+            assert_eq!(
+                parallel_search(Jobs::new(jobs), 1000, 64, scan),
+                Some(999),
+                "{jobs} jobs"
+            );
+        }
+        // ...but one past the end is out of reach.
+        for jobs in [1, 8] {
+            assert_eq!(parallel_search(Jobs::new(jobs), 999, 64, scan), None);
+        }
+    }
+
+    #[test]
     fn parallel_search_scratch_persists_per_worker_and_stays_deterministic() {
         use std::sync::atomic::AtomicUsize;
         // Scratch counts the chunks each worker scanned; it must persist

@@ -1,0 +1,77 @@
+//! Allocation accounting for the PIN-crack inner loop.
+//!
+//! The batched sweep holds all per-candidate state on the stack or in
+//! per-worker scratch reused across chunks: the odometer buffer, the E22
+//! augmentation template, and the splatted cipher input. These tests pin
+//! that discipline with the shared counting allocator from
+//! `blap_obs::prof` (feature `prof-alloc`): a full multi-thousand-candidate
+//! sweep must cost a small constant number of heap allocations — the
+//! scratch buffer and, on a hit, the returned PIN — never one per
+//! candidate or per batch.
+
+use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
+use blap::runner::Jobs;
+use blap_obs::prof;
+use blap_types::BdAddr;
+
+#[global_allocator]
+static GLOBAL: prof::CountingAlloc = prof::CountingAlloc;
+
+/// The exact-count assertions below read process-wide counters, so the
+/// tests in this binary must not allocate concurrently with each other's
+/// measurement windows.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let (count, _bytes) = prof::allocations_during(f);
+    count as usize
+}
+
+fn capture_for(pin: &[u8]) -> LegacyPairingCapture {
+    LegacyPairingCapture::synthesize(
+        BdAddr::new([0x00, 0x1B, 0x7D, 0xDA, 0x71, 0x0A]),
+        BdAddr::new([0xA4, 0x0E, 0x2B, 0x01, 0x02, 0x03]),
+        pin,
+        [0x11; 16],
+        [0x22; 16],
+        [0x33; 16],
+        [0x44; 16],
+    )
+}
+
+#[test]
+fn exhaustive_miss_sweep_allocates_only_worker_scratch() {
+    let _serial = SERIAL.lock().unwrap();
+    // Plant a 6-digit PIN but sweep only up to 4 digits: all 11,110
+    // candidates run the full batch verdict chain and miss.
+    let capture = capture_for(b"987654");
+    // Warm the process-wide SAFER+ table caches outside the window.
+    assert!(crack_numeric_pin_with(&capture, 4, Jobs::new(1)).is_none());
+    let count = allocations_during(|| {
+        assert!(crack_numeric_pin_with(&capture, 4, Jobs::new(1)).is_none());
+    });
+    assert!(
+        count <= 2,
+        "an 11,110-candidate miss sweep must only allocate per-worker \
+         scratch (got {count} allocations — is the inner loop allocating \
+         per candidate or per batch?)"
+    );
+}
+
+#[test]
+fn hit_sweep_allocates_scratch_and_result_only() {
+    let _serial = SERIAL.lock().unwrap();
+    let capture = capture_for(b"2042");
+    assert!(crack_numeric_pin_with(&capture, 4, Jobs::new(1)).is_some());
+    let count = allocations_during(|| {
+        let result =
+            crack_numeric_pin_with(&capture, 4, Jobs::new(1)).expect("planted PIN must be found");
+        assert_eq!(result.pin, b"2042");
+        std::hint::black_box(result);
+    });
+    assert!(
+        count <= 4,
+        "a hit sweep must only allocate scratch plus the returned result, \
+         got {count} allocations"
+    );
+}

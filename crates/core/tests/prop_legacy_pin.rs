@@ -1,0 +1,103 @@
+//! Property tests pinning the batched PIN-cracking pipeline to the scalar
+//! reference: for arbitrary sniffed challenges and candidate windows, every
+//! batch lane verdict must equal the scalar `check_pin` verdict, and the
+//! batched sweep must reproduce the serial scalar scan bit for bit.
+
+use blap::legacy_pin::{
+    crack_numeric_pin_reference, crack_numeric_pin_with, LegacyPairingCapture, PinCracker,
+};
+use blap::runner::Jobs;
+use blap_crypto::batch::{Batch16, LANES};
+use blap_crypto::e1::AugmentedPin;
+use blap_types::BdAddr;
+use proptest::prelude::*;
+
+fn capture_from(
+    addr_a: [u8; 6],
+    addr_b: [u8; 6],
+    pin: &[u8],
+    rand_bytes: [u8; 64],
+) -> LegacyPairingCapture {
+    let rands: [[u8; 16]; 4] =
+        core::array::from_fn(|n| core::array::from_fn(|i| rand_bytes[n * 16 + i]));
+    LegacyPairingCapture::synthesize(
+        BdAddr::new(addr_a),
+        BdAddr::new(addr_b),
+        pin,
+        rands[0],
+        rands[1],
+        rands[2],
+        rands[3],
+    )
+}
+
+proptest! {
+    #[test]
+    fn batch_verdicts_equal_scalar_verdicts(
+        addr_a in any::<[u8; 6]>(),
+        addr_b in any::<[u8; 6]>(),
+        rands in any::<[u8; 64]>(),
+        digits in 4u32..=6,
+        planted_offset in 0u64..200,
+        window_start in 0u64..200,
+    ) {
+        // Plant a PIN near the candidate window so some windows contain it
+        // (hit lane) and some do not (all-miss mask).
+        let planted = format!("{:0width$}", planted_offset, width = digits as usize);
+        let capture = capture_from(addr_a, addr_b, planted.as_bytes(), rands);
+        let cracker = PinCracker::new(&capture);
+
+        let first = format!("{:0width$}", window_start, width = digits as usize);
+        let mut aug = AugmentedPin::new(first.as_bytes(), capture.responder);
+        let e22_y = Batch16::splat(&aug.e22_input(&capture.in_rand));
+        let mut lane_keys = [[0u8; 16]; LANES];
+        let mut pins = Vec::new();
+        for (lane, key) in lane_keys.iter_mut().enumerate() {
+            let pin = format!(
+                "{:0width$}",
+                window_start + lane as u64,
+                width = digits as usize
+            );
+            aug.set_pin(pin.as_bytes());
+            *key = aug.safer_key();
+            pins.push(pin);
+        }
+        let mask = cracker.check_batch(&e22_y, &Batch16::from_lanes(&lane_keys));
+        for (lane, pin) in pins.iter().enumerate() {
+            prop_assert_eq!(
+                mask & (1 << lane) != 0,
+                capture.check_pin(pin.as_bytes()).is_some(),
+                "lane {} (PIN {}) disagrees with the scalar verdict",
+                lane,
+                pin
+            );
+        }
+    }
+
+    #[test]
+    fn batched_sweep_equals_scalar_reference_sweep(
+        addr_a in any::<[u8; 6]>(),
+        addr_b in any::<[u8; 6]>(),
+        rands in any::<[u8; 64]>(),
+        digits in 1u32..=4,
+        planted_offset in 0u64..300,
+    ) {
+        let space = 10u64.pow(digits);
+        let planted = format!(
+            "{:0width$}",
+            planted_offset % space,
+            width = digits as usize
+        );
+        let capture = capture_from(addr_a, addr_b, planted.as_bytes(), rands);
+        let reference = crack_numeric_pin_reference(&capture, digits);
+        prop_assert!(reference.is_some(), "reference must find the planted PIN");
+        for jobs in [1, 3] {
+            prop_assert_eq!(
+                &crack_numeric_pin_with(&capture, digits, Jobs::new(jobs)),
+                &reference,
+                "{} jobs diverges from the scalar reference scan",
+                jobs
+            );
+        }
+    }
+}

@@ -13,15 +13,20 @@ use crate::saferplus::{encrypt, encrypt_prime, KeySchedule};
 
 /// The byte offsets applied to the link key to form K̃ for `Ar'`
 /// (the "offset" step of E1/E3). Alternating add/XOR of eight primes.
-const OFFSET_CONSTANTS: [u8; 8] = [233, 229, 223, 193, 179, 167, 149, 131];
+pub(crate) const OFFSET_CONSTANTS: [u8; 8] = [233, 229, 223, 193, 179, 167, 149, 131];
 
-fn offset_key(key: &[u8; 16]) -> [u8; 16] {
+/// Whether position `i` of the offset step *adds* its constant (the rest
+/// XOR it): first half add on even, XOR on odd; second half the reverse.
+pub(crate) const OFFSET_IS_ADD: [bool; 16] = [
+    true, false, true, false, true, false, true, false, false, true, false, true, false, true,
+    false, true,
+];
+
+pub(crate) fn offset_key(key: &[u8; 16]) -> [u8; 16] {
     let mut out = [0u8; 16];
     for i in 0..16 {
         let c = OFFSET_CONSTANTS[i % 8];
-        // First half: add on even, xor on odd; second half: the reverse.
-        let add = if i < 8 { i % 2 == 0 } else { i % 2 == 1 };
-        out[i] = if add {
+        out[i] = if OFFSET_IS_ADD[i] {
             key[i].wrapping_add(c)
         } else {
             key[i] ^ c
@@ -30,7 +35,7 @@ fn offset_key(key: &[u8; 16]) -> [u8; 16] {
     out
 }
 
-fn expand_addr(addr: BdAddr) -> [u8; 16] {
+pub(crate) fn expand_addr(addr: BdAddr) -> [u8; 16] {
     let bytes = addr.to_bytes();
     core::array::from_fn(|i| bytes[i % 6])
 }
@@ -130,37 +135,113 @@ pub fn e21(rand: &[u8; 16], address: BdAddr) -> LinkKey {
     LinkKey::new(encrypt_prime(&KeySchedule::new(&x), &y))
 }
 
+/// The address-augmented PIN buffer `E22` derives its SAFER+ key from.
+///
+/// The augmentation (address bytes appended up to 16 total) depends only
+/// on the PIN *length* and the claimant address, so a candidate sweep over
+/// fixed-length PINs builds this once per batch and rewrites just the
+/// digit bytes per candidate ([`AugmentedPin::set_pin`]) instead of
+/// re-deriving the whole buffer per call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AugmentedPin {
+    /// The cyclic 16-byte expansion of the augmented buffer — maintained
+    /// directly, so a candidate sweep never re-expands it: `set_pin`
+    /// rewrites just the (at most three) expanded slots each PIN byte
+    /// cycles into.
+    key: [u8; 16],
+    pin_len: usize,
+    aug_len: usize,
+}
+
+impl AugmentedPin {
+    /// Augments `pin` with `address` bytes up to 16 total.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pin` is empty or longer than 16 bytes.
+    pub fn new(pin: &[u8], address: BdAddr) -> AugmentedPin {
+        assert!(
+            !pin.is_empty() && pin.len() <= 16,
+            "PIN must be 1..=16 bytes, got {}",
+            pin.len()
+        );
+        let addr = address.to_bytes();
+        let mut buf = [0u8; 16];
+        buf[..pin.len()].copy_from_slice(pin);
+        let mut aug_len = pin.len();
+        for byte in addr.iter() {
+            if aug_len == 16 {
+                break;
+            }
+            buf[aug_len] = *byte;
+            aug_len += 1;
+        }
+        AugmentedPin {
+            key: core::array::from_fn(|i| buf[i % aug_len]),
+            pin_len: pin.len(),
+            aug_len,
+        }
+    }
+
+    /// Replaces the PIN bytes, keeping the address augmentation — the
+    /// amortized per-candidate update of a fixed-length sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pin` is not exactly the length this buffer was built
+    /// for (a different length changes the augmentation itself).
+    pub fn set_pin(&mut self, pin: &[u8]) {
+        assert_eq!(
+            pin.len(),
+            self.pin_len,
+            "augmented buffer was built for a {}-byte PIN",
+            self.pin_len
+        );
+        for (j, &byte) in pin.iter().enumerate() {
+            let mut i = j;
+            while i < 16 {
+                self.key[i] = byte;
+                i += self.aug_len;
+            }
+        }
+    }
+
+    /// The cyclic 16-byte expansion forming the SAFER+ key.
+    pub fn safer_key(&self) -> [u8; 16] {
+        self.key
+    }
+
+    /// The candidate-independent `E22` cipher input: `RAND` with the
+    /// augmented length folded into its last byte.
+    pub fn e22_input(&self, rand: &[u8; 16]) -> [u8; 16] {
+        let mut y = *rand;
+        y[15] ^= self.aug_len as u8;
+        y
+    }
+}
+
 /// `E22(RAND, PIN, BD_ADDR)` — legacy initialization key generation.
 ///
 /// The PIN (1–16 bytes) is augmented with the claimant's address when
 /// shorter than 16 bytes, then expanded cyclically to form the SAFER+ key.
 ///
+/// One-shot form of [`e22_with_augmented`]; re-derives the augmentation
+/// per call.
+///
 /// # Panics
 ///
 /// Panics when `pin` is empty or longer than 16 bytes.
 pub fn e22(rand: &[u8; 16], pin: &[u8], address: BdAddr) -> LinkKey {
-    assert!(
-        !pin.is_empty() && pin.len() <= 16,
-        "PIN must be 1..=16 bytes, got {}",
-        pin.len()
-    );
-    let addr = address.to_bytes();
-    // Augment the PIN with address bytes up to 16 total, in a fixed buffer
-    // — `pincrack` calls this once per candidate, so no per-call Vec.
-    let mut pin_aug = [0u8; 16];
-    pin_aug[..pin.len()].copy_from_slice(pin);
-    let mut l = pin.len();
-    for byte in addr.iter() {
-        if l == 16 {
-            break;
-        }
-        pin_aug[l] = *byte;
-        l += 1;
-    }
-    let x: [u8; 16] = core::array::from_fn(|i| pin_aug[i % l]);
-    let mut y = *rand;
-    y[15] ^= l as u8;
-    LinkKey::new(encrypt_prime(&KeySchedule::new(&x), &y))
+    e22_with_augmented(rand, &AugmentedPin::new(pin, address))
+}
+
+/// `E22` over a pre-augmented PIN buffer — the candidate-sweep entry point
+/// that skips re-deriving the address augmentation per call.
+pub fn e22_with_augmented(rand: &[u8; 16], aug: &AugmentedPin) -> LinkKey {
+    LinkKey::new(encrypt_prime(
+        &KeySchedule::new(&aug.safer_key()),
+        &aug.e22_input(rand),
+    ))
 }
 
 /// `E3(K, RAND, COF)` — legacy encryption key generation from the link key,
@@ -256,6 +337,40 @@ mod tests {
         assert_ne!(k12, k16);
         // Deterministic across calls (buffer reuse leaks nothing).
         assert_eq!(k12, e22(&rand, b"012345678901", addr()));
+    }
+
+    #[test]
+    fn e22_with_augmented_matches_one_shot() {
+        let rand = [0x3Cu8; 16];
+        for pin in [b"1".as_slice(), b"4821", b"985310", b"0123456789abcdef"] {
+            let aug = AugmentedPin::new(pin, addr());
+            assert_eq!(
+                e22_with_augmented(&rand, &aug),
+                e22(&rand, pin, addr()),
+                "pin {pin:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn augmented_set_pin_reuses_the_address_suffix() {
+        let rand = [0x77u8; 16];
+        let mut aug = AugmentedPin::new(b"000000", addr());
+        for pin in [b"123456".as_slice(), b"999999", b"000000"] {
+            aug.set_pin(pin);
+            assert_eq!(
+                e22_with_augmented(&rand, &aug),
+                e22(&rand, pin, addr()),
+                "pin {pin:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "built for a 6-byte PIN")]
+    fn augmented_set_pin_rejects_length_change() {
+        let mut aug = AugmentedPin::new(b"000000", addr());
+        aug.set_pin(b"1234");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! * [`ssp`] — the Secure Simple Pairing functions `f1`, `f2`, `f3`, `g` and
 //!   the Secure-Connections functions `h3`, `h4`, `h5`,
 //! * [`saferplus`] + [`e1`] — the legacy SAFER+-based `E1`/`E21`/`E22`/`E3`
-//!   functions used by pre-SSP LMP authentication.
+//!   functions used by pre-SSP LMP authentication,
+//! * [`batch`] — byte-sliced SWAR batch kernels running the SAFER+
+//!   pipeline for eight candidate keys at once (the PIN-cracking hot path).
 //!
 //! # Example: derive the same link key on both sides
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod batch;
 pub mod bigint;
 pub mod ccm;
 pub mod e1;

@@ -19,13 +19,13 @@
 pub const BLOCK_LEN: usize = 16;
 
 /// Number of rounds for the 128-bit key variant.
-const ROUNDS: usize = 8;
+pub(crate) const ROUNDS: usize = 8;
 
 /// The "Armenian shuffle" permutation applied after each PHT layer.
-const SHUFFLE: [usize; 16] = [8, 11, 12, 15, 2, 1, 6, 5, 10, 9, 14, 13, 0, 7, 4, 3];
+pub(crate) const SHUFFLE: [usize; 16] = [8, 11, 12, 15, 2, 1, 6, 5, 10, 9, 14, 13, 0, 7, 4, 3];
 
 /// Positions that take XOR in key-addition 1 / EXP in the S-box layer.
-const XOR_POSITIONS: [bool; 16] = [
+pub(crate) const XOR_POSITIONS: [bool; 16] = [
     true, false, false, true, true, false, false, true, true, false, false, true, true, false,
     false, true,
 ];
@@ -36,13 +36,13 @@ const XOR_POSITIONS: [bool; 16] = [
 /// two chained S-box lookups and two modular reductions per byte — on
 /// every key expansion. `pincrack` expands five schedules per candidate
 /// PIN, so this table is squarely on the per-candidate hot path.
-struct SaferTables {
-    exp: [u8; 256],
-    log: [u8; 256],
-    biases: [[u8; 16]; 16],
+pub(crate) struct SaferTables {
+    pub(crate) exp: [u8; 256],
+    pub(crate) log: [u8; 256],
+    pub(crate) biases: [[u8; 16]; 16],
 }
 
-fn safer_tables() -> &'static SaferTables {
+pub(crate) fn safer_tables() -> &'static SaferTables {
     use std::sync::OnceLock;
     static TABLES: OnceLock<SaferTables> = OnceLock::new();
     TABLES.get_or_init(|| {
@@ -66,7 +66,7 @@ fn safer_tables() -> &'static SaferTables {
     })
 }
 
-fn exp_tables() -> (&'static [u8; 256], &'static [u8; 256]) {
+pub(crate) fn exp_tables() -> (&'static [u8; 256], &'static [u8; 256]) {
     let t = safer_tables();
     (&t.exp, &t.log)
 }

@@ -1,0 +1,82 @@
+//! Ad-hoc component timing for the batch kernels. Run manually with
+//! `cargo test --release -p blap-crypto --test batch_timing -- --ignored --nocapture`.
+
+use blap_crypto::batch::{self, Batch16, E1Batch, KeyScheduleBatch};
+use blap_crypto::e1;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time<F: FnMut() -> R, R>(label: &str, iters: u32, mut f: F) {
+    // warm up
+    for _ in 0..iters / 4 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!(
+        "{label:32} {ns:10.1} ns/op  ({:6.1} ns/lane)",
+        ns / batch::LANES as f64
+    );
+}
+
+#[test]
+#[ignore]
+fn component_timing() {
+    let iters = 200_000;
+    let mut lanes = [[0u8; 16]; batch::LANES];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        for (j, b) in lane.iter_mut().enumerate() {
+            *b = (i * 17 + j * 3 + 1) as u8;
+        }
+    }
+    let keys = Batch16::from_lanes(&lanes);
+    let input = Batch16::splat(&[0x5au8; 16]);
+    let addr: blap_types::BdAddr = "aa:bb:cc:dd:ee:ff".parse().unwrap();
+    let addr_ext = batch::expand_addr_splat(addr);
+
+    time("from_lanes", iters, || {
+        Batch16::from_lanes(black_box(&lanes))
+    });
+    time("KeyScheduleBatch::new", iters, || {
+        KeyScheduleBatch::new(black_box(&keys))
+    });
+    let sched = KeyScheduleBatch::new(&keys);
+    time("encrypt_batch", iters, || {
+        batch::encrypt_batch(black_box(&sched), black_box(&input))
+    });
+    time("encrypt_prime_batch", iters, || {
+        batch::encrypt_prime_batch(black_box(&sched), black_box(&input))
+    });
+    time("e21_batch", iters, || {
+        batch::e21_batch(black_box(&keys), black_box(&addr_ext))
+    });
+    time("E1Batch::new", iters, || E1Batch::new(black_box(&keys)));
+    let e1b = E1Batch::new(&keys);
+    time("e1_output", iters, || {
+        e1b.e1_output(black_box(&input), black_box(&addr_ext))
+    });
+
+    // scalar reference costs
+    let key = lanes[0];
+    time("scalar key schedule", iters, || {
+        blap_crypto::saferplus::KeySchedule::new(black_box(&key))
+    });
+    let sk = blap_crypto::saferplus::KeySchedule::new(&key);
+    time("scalar encrypt", iters, || {
+        blap_crypto::saferplus::encrypt(black_box(&sk), black_box(&[0x5au8; 16]))
+    });
+    time("scalar e21", iters, || {
+        e1::e21(black_box(&[0x5au8; 16]), black_box(addr))
+    });
+    let link_key = blap_types::LinkKey::from(key);
+    time("scalar e1", iters, || {
+        e1::e1(
+            black_box(&link_key),
+            black_box(&[0x5au8; 16]),
+            black_box(addr),
+        )
+    });
+}

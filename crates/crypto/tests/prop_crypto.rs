@@ -207,4 +207,65 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn e22_augmented_sweep_equals_one_shot(rand in any::<[u8; 16]>(),
+                                           addr_bytes in any::<[u8; 6]>(),
+                                           pins in proptest::collection::vec(any::<[u8; 6]>(), 1..8)) {
+        use blap_crypto::e1::{self, AugmentedPin};
+        // Reusing one augmentation across a sweep of same-length PINs must
+        // match rebuilding it from scratch for every candidate.
+        let addr = BdAddr::new(addr_bytes);
+        let mut aug = AugmentedPin::new(&pins[0], addr);
+        for pin in &pins {
+            aug.set_pin(pin);
+            prop_assert_eq!(
+                e1::e22_with_augmented(&rand, &aug),
+                e1::e22(&rand, pin, addr),
+                "pin {:?}", pin
+            );
+        }
+    }
+
+    #[test]
+    fn batch_encrypt_matches_scalar_lanewise(key_bytes in any::<[u8; 256]>(),
+                                             block in any::<[u8; 16]>()) {
+        use blap_crypto::batch::{self, Batch16, KeyScheduleBatch};
+        let keys: [[u8; 16]; 16] =
+            core::array::from_fn(|lane| core::array::from_fn(|i| key_bytes[lane * 16 + i]));
+        let sched = KeyScheduleBatch::new(&Batch16::from_lanes(&keys));
+        let input = Batch16::splat(&block);
+        let plain = batch::encrypt_batch(&sched, &input);
+        let prime = batch::encrypt_prime_batch(&sched, &input);
+        for (lane, key) in keys.iter().enumerate() {
+            let ks = KeySchedule::new(key);
+            prop_assert_eq!(plain.lane(lane), encrypt(&ks, &block), "Ar lane {}", lane);
+            prop_assert_eq!(prime.lane(lane), encrypt_prime(&ks, &block), "Ar' lane {}", lane);
+        }
+    }
+
+    #[test]
+    fn batch_e21_e1_match_scalar_lanewise(key_bytes in any::<[u8; 256]>(),
+                                          rand in any::<[u8; 16]>(),
+                                          addr_bytes in any::<[u8; 6]>()) {
+        use blap_crypto::batch::{self, Batch16, E1Batch};
+        let keys: [[u8; 16]; 16] =
+            core::array::from_fn(|lane| core::array::from_fn(|i| key_bytes[lane * 16 + i]));
+        let addr = BdAddr::new(addr_bytes);
+        let key_batch = Batch16::from_lanes(&keys);
+        let addr_ext = batch::expand_addr_splat(addr);
+        let e21_out = batch::e21_batch(&key_batch, &addr_ext);
+        let e1_out = E1Batch::new(&key_batch).e1_output(&Batch16::splat(&rand), &addr_ext);
+        for (lane, key) in keys.iter().enumerate() {
+            prop_assert_eq!(
+                blap_types::LinkKey::new(e21_out.lane(lane)),
+                e1::e21(key, addr),
+                "e21 lane {}", lane
+            );
+            let expected = e1::e1(&blap_types::LinkKey::new(*key), &rand, addr);
+            let got = e1_out.lane(lane);
+            prop_assert_eq!(&got[..4], &expected.sres[..], "sres lane {}", lane);
+            prop_assert_eq!(&got[4..], &expected.aco[..], "aco lane {}", lane);
+        }
+    }
 }

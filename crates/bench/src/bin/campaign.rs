@@ -1,0 +1,299 @@
+//! `blap-campaign` — fleet-scale population sweeps over the page blocking
+//! attack, with streaming aggregation and checkpoint/resume.
+//!
+//! ```text
+//! cargo run --release -p blap-bench --bin blap-campaign -- \
+//!     [--population fleet|table2|mitigated] [--trials N] [--shards N] \
+//!     [--seed N] [--jobs N] [--metrics out/metrics.json] \
+//!     [--checkpoint ck.json] [--checkpoint-every N] [--resume] \
+//!     [--stop-after N]
+//! ```
+//!
+//! Trials are sharded across workers; each shard runs its own worlds and
+//! folds them into one metrics bag, so memory stays bounded at any trial
+//! count. The metrics artifact and the checkpoint file are byte-identical
+//! at any `--jobs`/`BLAP_JOBS` value and across an interrupt/resume split
+//! (merge associativity; pinned in `tests/parallel_determinism.rs`).
+//!
+//! `--checkpoint` writes the running aggregate (atomically, tmp+rename)
+//! every `--checkpoint-every` shards (default 64); `--resume` continues
+//! from it after an interrupt. `--stop-after N` exits cleanly after N
+//! shards — deterministic interrupt injection for the CI resume smoke.
+
+use std::time::Instant;
+
+use blap::campaign::{Campaign, Population};
+use blap_bench::cli::{self, Args};
+use blap_obs::{json, prof, MetaValue, Metrics};
+
+/// Checkpoint document schema tag.
+const SCHEMA: &str = "blap-campaign-checkpoint-v1";
+
+/// Default shard count between checkpoint writes.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 64;
+
+fn main() {
+    let args = Args::parse_with(
+        &[
+            "--population",
+            "--trials",
+            "--shards",
+            "--seed",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--stop-after",
+        ],
+        &["--resume"],
+    );
+    let population_name: String = args
+        .extra_or("--population", "fleet".to_owned())
+        .unwrap_or_else(die);
+    let population = Population::by_name(&population_name).unwrap_or_else(|| {
+        die(format!(
+            "--population {population_name:?} is not one of {:?}",
+            Population::names()
+        ))
+    });
+    let trials: u64 = args.extra_or("--trials", 10_000).unwrap_or_else(die);
+    let seed: u64 = args.extra_or("--seed", 2022).unwrap_or_else(die);
+    let shards: u64 = args.extra_or("--shards", 0).unwrap_or_else(die);
+    let checkpoint_every: u64 = args
+        .extra_or("--checkpoint-every", DEFAULT_CHECKPOINT_EVERY)
+        .unwrap_or_else(die);
+    let stop_after: u64 = args.extra_or("--stop-after", u64::MAX).unwrap_or_else(die);
+    let checkpoint_path: String = args
+        .extra_or("--checkpoint", String::new())
+        .unwrap_or_else(die);
+    let checkpoint_path = (!checkpoint_path.is_empty()).then_some(checkpoint_path);
+    if checkpoint_every == 0 {
+        die::<u64>("--checkpoint-every must be at least 1".to_owned());
+    }
+    if args.has_switch("--resume") && checkpoint_path.is_none() {
+        die::<u64>("--resume needs --checkpoint <path> to resume from".to_owned());
+    }
+
+    let mut campaign = Campaign::new(population, trials, seed);
+    if shards > 0 {
+        campaign.shards = shards;
+    }
+    let total_shards = campaign.shard_count();
+    let jobs = args.resolve_jobs(usize::MAX);
+    args.init_profiling();
+    // Worker accounting is sidecar-only (never a metrics byte), so the
+    // utilization report at the end is free to always be on.
+    prof::set_enabled(true);
+
+    println!(
+        "== blap-campaign: population {:?}, {trials} trials, {total_shards} shards, seed {seed} ==",
+        campaign.population.name
+    );
+
+    let (mut next_shard, mut merged) = if args.has_switch("--resume") {
+        let path = checkpoint_path.as_deref().expect("checked above");
+        let (next, metrics) = read_checkpoint(path, &campaign);
+        println!("resumed from {path}: {next}/{total_shards} shards already aggregated");
+        (next, metrics)
+    } else {
+        (0, Metrics::new())
+    };
+
+    let stop_at = next_shard.saturating_add(stop_after).min(total_shards);
+    let started = Instant::now();
+    let resumed_from = next_shard;
+    while next_shard < stop_at {
+        let wave_end = next_shard
+            .saturating_add(checkpoint_every)
+            .min(stop_at)
+            .max(next_shard + 1);
+        merged.merge(&campaign.run_shards(jobs, next_shard, wave_end));
+        next_shard = wave_end;
+        if let Some(path) = &checkpoint_path {
+            write_checkpoint(path, &campaign, next_shard, &merged);
+        }
+    }
+    let wall = started.elapsed();
+
+    let already_swept = if resumed_from >= total_shards {
+        trials
+    } else {
+        campaign.shard_range(resumed_from).0
+    };
+    let swept = merged.counter("campaign.trials") - already_swept;
+    println!(
+        "ran {swept} trials across {} shards in {wall:.2?} ({:.0} trials/s, {} workers)",
+        next_shard - resumed_from,
+        swept as f64 / wall.as_secs_f64().max(1e-9),
+        jobs.get()
+    );
+    print_utilization();
+
+    if next_shard < total_shards {
+        println!(
+            "stopped after {} shards ({next_shard}/{total_shards} aggregated); \
+             rerun with --resume to finish",
+            next_shard - resumed_from
+        );
+        return;
+    }
+
+    print_summary(&campaign, &merged);
+    if let Some(path) = &args.metrics_path {
+        cli::write_metrics(
+            path,
+            &[
+                ("experiment", MetaValue::Str("campaign".to_owned())),
+                (
+                    "population",
+                    MetaValue::Str(campaign.population.name.to_owned()),
+                ),
+                ("trials", MetaValue::Int(trials)),
+                ("shards", MetaValue::Int(total_shards)),
+                ("seed", MetaValue::Int(seed)),
+            ],
+            &merged,
+            wall,
+        );
+    }
+    args.write_profile();
+}
+
+/// Prints the campaign verdict counters and the per-device win table.
+fn print_summary(campaign: &Campaign, merged: &Metrics) {
+    let total = merged.counter("campaign.trials").max(1);
+    let percent = |n: u64| 100.0 * n as f64 / total as f64;
+    println!(
+        "\nmitm established: {}/{} ({:.1}%)  paired with attacker: {} ({:.1}%)",
+        merged.counter("campaign.mitm_established"),
+        total,
+        percent(merged.counter("campaign.mitm_established")),
+        merged.counter("campaign.paired_with_attacker"),
+        percent(merged.counter("campaign.paired_with_attacker")),
+    );
+    println!(
+        "modes: {} blocking / {} baseline   downgraded to Just Works: {}   security alerts: {}",
+        merged.counter("campaign.mode.blocking"),
+        merged.counter("campaign.mode.baseline"),
+        merged.counter("campaign.downgraded_to_just_works"),
+        merged.counter("campaign.security_alert"),
+    );
+    println!(
+        "\n{:<24} {:>18} {:>18}",
+        "device", "blocking wins", "baseline wins"
+    );
+    for (profile, _) in &campaign.population.pool {
+        let scoped =
+            |suffix: &str| merged.counter(&format!("campaign.device.{}.{suffix}", profile.name));
+        let cell = |wins: u64, runs: u64| {
+            if runs == 0 {
+                "-".to_owned()
+            } else {
+                format!("{wins}/{runs} ({:.0}%)", 100.0 * wins as f64 / runs as f64)
+            }
+        };
+        println!(
+            "{:<24} {:>18} {:>18}",
+            profile.name,
+            cell(scoped("blocking_wins"), scoped("blocking_trials")),
+            cell(scoped("baseline_wins"), scoped("baseline_trials")),
+        );
+    }
+}
+
+/// Prints per-worker busy time and imbalance for the shard pool.
+fn print_utilization() {
+    let report = prof::report();
+    let Some(pool) = report.pool("parallel_map") else {
+        return;
+    };
+    println!(
+        "worker utilization: {:.1}% over {} pool runs",
+        100.0 * pool.utilization(),
+        pool.runs
+    );
+    for worker in &pool.workers {
+        println!(
+            "  worker {:>2}: {:>5} shards  {:>8.2?} busy  imbalance {:+.1}%",
+            worker.worker,
+            worker.tasks,
+            std::time::Duration::from_nanos(worker.busy_ns),
+            100.0 * worker.imbalance,
+        );
+    }
+}
+
+/// Atomically writes the checkpoint: config echo, resume cursor, and the
+/// merged metrics so far. Byte-deterministic at any worker count.
+fn write_checkpoint(path: &str, campaign: &Campaign, next_shard: u64, merged: &Metrics) {
+    let body = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"population\": \"{}\",\n  \
+         \"trials\": {},\n  \"shards\": {},\n  \"seed\": {},\n  \
+         \"next_shard\": {next_shard},\n  \"metrics\": {}\n}}\n",
+        campaign.population.name,
+        campaign.trials,
+        campaign.shard_count(),
+        campaign.seed,
+        merged.to_json().trim_end(),
+    );
+    let tmp = format!("{path}.tmp");
+    cli::write_artifact(&tmp, &body);
+    if let Err(err) = std::fs::rename(&tmp, path) {
+        eprintln!("error: cannot move {tmp} into place: {err}");
+        std::process::exit(1);
+    }
+}
+
+/// Reads a checkpoint back, refusing a document whose configuration does
+/// not match this invocation (resuming under a different population, seed,
+/// or shard shape would silently corrupt the aggregate).
+fn read_checkpoint(path: &str, campaign: &Campaign) -> (u64, Metrics) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|err| die(format!("cannot read checkpoint {path}: {err}")));
+    let value = json::parse(&text)
+        .unwrap_or_else(|err| die(format!("checkpoint {path} is not valid JSON: {err}")));
+    let field = |key: &str| {
+        value
+            .get(key)
+            .unwrap_or_else(|| die(format!("checkpoint {path} is missing {key:?}")))
+    };
+    if field("schema").as_str() != Some(SCHEMA) {
+        die::<u64>(format!("checkpoint {path} is not a {SCHEMA} document"));
+    }
+    let uint = |key: &str| {
+        field(key)
+            .as_u64()
+            .unwrap_or_else(|| die(format!("checkpoint {path} field {key:?} is not an integer")))
+    };
+    let expect = |key: &str, want: u64| {
+        let got = uint(key);
+        if got != want {
+            die::<u64>(format!(
+                "checkpoint {path} was taken with {key} {got}, this run uses {want}"
+            ));
+        }
+    };
+    if field("population").as_str() != Some(campaign.population.name) {
+        die::<u64>(format!(
+            "checkpoint {path} was taken with population {:?}, this run uses {:?}",
+            field("population").as_str().unwrap_or("?"),
+            campaign.population.name
+        ));
+    }
+    expect("trials", campaign.trials);
+    expect("shards", campaign.shard_count());
+    expect("seed", campaign.seed);
+    let next_shard = uint("next_shard");
+    if next_shard > campaign.shard_count() {
+        die::<u64>(format!(
+            "checkpoint {path} cursor {next_shard} exceeds the {} shards",
+            campaign.shard_count()
+        ));
+    }
+    let metrics = Metrics::from_value(field("metrics"))
+        .unwrap_or_else(|err| die(format!("checkpoint {path} metrics are malformed: {err}")));
+    (next_shard, metrics)
+}
+
+fn die<T>(message: String) -> T {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

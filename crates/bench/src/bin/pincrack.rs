@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use blap::legacy_pin::{
     crack_numeric_pin_reference, crack_numeric_pin_with, CrackResult, LegacyPairingCapture,
+    MAX_PIN_DIGITS,
 };
 use blap_bench::cli::{self, Args};
 use blap_obs::{MetaValue, Metrics};
@@ -40,8 +41,10 @@ fn main() {
     let digits: u32 = args.extra_or("--digits", 6).unwrap_or_else(die);
     let trials: u32 = args.extra_or("--trials", 1).unwrap_or_else(die);
     let reference = args.has_switch("--reference");
-    if !(1..=9).contains(&digits) {
-        die::<u32>("--digits must be between 1 and 9".to_owned());
+    if !(1..=MAX_PIN_DIGITS).contains(&digits) {
+        die::<u32>(format!(
+            "--digits must be between 1 and {MAX_PIN_DIGITS} (E22 PINs are 1-16 digits)"
+        ));
     }
     if trials == 0 {
         die::<u32>("--trials must be at least 1".to_owned());

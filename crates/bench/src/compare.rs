@@ -338,10 +338,28 @@ pub fn compare(
                 ));
                 continue;
             };
-            if base <= 0.0 {
-                notes.push(format!(
-                    "{section}.{metric}: baseline is zero, ratio undefined"
-                ));
+            // A ratio needs a positive finite baseline and a finite fresh
+            // value. A zero baseline divides to ±inf, inf/inf is NaN, and
+            // every NaN comparison is false — `breached()` would quietly
+            // report "within budget" for garbage inputs. Lax mode skips the
+            // metric with a note (an old baseline missing a real value must
+            // not fail CI); strict mode treats it as a broken artifact.
+            let undefined = if !(base.is_finite() && base > 0.0) {
+                Some(format!(
+                    "{section}.{metric}: baseline value {base} is zero or not finite, ratio undefined"
+                ))
+            } else if !fresh_num.is_finite() {
+                Some(format!(
+                    "{section}.{metric}: fresh value {fresh_num} is not finite, ratio undefined"
+                ))
+            } else {
+                None
+            };
+            if let Some(reason) = undefined {
+                if config.strict {
+                    return Err(format!("{reason} (strict mode rejects ungateable metrics)"));
+                }
+                notes.push(reason);
                 continue;
             }
             deltas.push(MetricDelta {
@@ -587,6 +605,63 @@ mod tests {
             .get("throughput")
             .and_then(|s| s.get("pincrack_candidates_per_sec"))
             .is_some());
+    }
+
+    #[test]
+    fn zero_baseline_is_skipped_lax_and_fatal_strict() {
+        let h = host("cpu0");
+        let base = artifact_with_throughput("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0, 0.0);
+        let fresh = artifact_with_throughput("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0, 2e6);
+        let lax = compare(&base, &fresh, &CompareConfig::default()).expect("lax mode skips");
+        assert_eq!(lax.verdict, Verdict::Pass);
+        assert!(
+            lax.deltas
+                .iter()
+                .all(|d| d.metric != "pincrack_candidates_per_sec"),
+            "an undefined ratio must not be gated"
+        );
+        assert!(
+            lax.notes.iter().any(|n| n.contains("ratio undefined")),
+            "{:?}",
+            lax.notes
+        );
+        let strict = CompareConfig {
+            strict: true,
+            ..CompareConfig::default()
+        };
+        let err = compare(&base, &fresh, &strict).expect_err("strict mode rejects");
+        assert!(err.contains("pincrack_candidates_per_sec"), "{err}");
+        assert!(err.contains("ratio undefined"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_values_cannot_silently_pass_the_gate() {
+        let h = host("cpu0");
+        let good = artifact("blap-bench-hotpaths-v2", Some(&h), 350.0, 13.0);
+        // 1e999 parses to +inf; inf/inf is NaN and every NaN comparison is
+        // false, so before the explicit check this self-comparison passed
+        // the gate with the metric silently ungated.
+        let inf = good.replace("\"legacy_e1\": 350.0", "\"legacy_e1\": 1e999");
+        let lax = compare(&inf, &inf, &CompareConfig::default()).expect("lax mode skips");
+        assert_eq!(lax.verdict, Verdict::Pass);
+        assert!(lax.deltas.iter().all(|d| d.metric != "legacy_e1"));
+        assert!(
+            lax.notes
+                .iter()
+                .any(|n| n.contains("legacy_e1") && n.contains("not finite")),
+            "{:?}",
+            lax.notes
+        );
+        let strict = CompareConfig {
+            strict: true,
+            ..CompareConfig::default()
+        };
+        let err = compare(&inf, &inf, &strict).expect_err("strict rejects inf baseline");
+        assert!(err.contains("legacy_e1"), "{err}");
+        // A non-finite *fresh* value against a healthy baseline is just as
+        // ungateable.
+        let err = compare(&good, &inf, &strict).expect_err("strict rejects inf fresh");
+        assert!(err.contains("fresh value"), "{err}");
     }
 
     #[test]

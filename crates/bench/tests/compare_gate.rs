@@ -122,6 +122,48 @@ fn synthetic_throughput_drop_trips_the_floor() {
 }
 
 #[test]
+fn zero_baseline_skips_lax_and_exits_two_strict() {
+    let baseline = std::fs::read_to_string(committed_baseline()).expect("baseline readable");
+    // Zero out the throughput metric in a baseline copy: the ratio divides
+    // by it, so the gate must either skip it loudly (lax) or refuse the
+    // artifact (strict) — never let inf/NaN comparisons decide.
+    let needle = "\"pincrack_candidates_per_sec\": ";
+    let at = baseline.find(needle).expect("baseline has the metric") + needle.len();
+    let end = at + baseline[at..].find('\n').expect("value terminated");
+    let zeroed = format!("{}0.0{}", &baseline[..at], &baseline[end..]);
+    let zero_path = scratch_path("zero_baseline.json");
+    std::fs::write(&zero_path, zeroed).expect("scratch artifact written");
+    let zero_path = zero_path.to_str().expect("utf8 path");
+
+    let lax = blap_bench()
+        .args(["compare", zero_path, &committed_baseline()])
+        .output()
+        .expect("gate binary runs");
+    let stdout = String::from_utf8_lossy(&lax.stdout);
+    assert_eq!(
+        lax.status.code(),
+        Some(0),
+        "lax mode skips the metric:\n{stdout}"
+    );
+    assert!(stdout.contains("ratio undefined"), "{stdout}");
+    assert!(stdout.contains("verdict: pass"), "{stdout}");
+
+    let strict = blap_bench()
+        .args(["compare", zero_path, &committed_baseline(), "--strict"])
+        .output()
+        .expect("gate binary runs");
+    let stderr = String::from_utf8_lossy(&strict.stderr);
+    assert_eq!(
+        strict.status.code(),
+        Some(2),
+        "strict mode must reject the artifact:\n{stderr}"
+    );
+    assert!(stderr.contains("ratio undefined"), "{stderr}");
+
+    let _ = std::fs::remove_file(zero_path);
+}
+
+#[test]
 fn usage_errors_exit_two() {
     for args in [
         &["compare"] as &[&str],

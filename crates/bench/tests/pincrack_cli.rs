@@ -1,0 +1,55 @@
+//! Exit-code contract of the `pincrack` binary's argument validation.
+
+use std::process::Command;
+
+fn pincrack() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pincrack"))
+}
+
+#[test]
+fn out_of_range_digits_exit_two_with_a_clear_error() {
+    // 0 is a degenerate empty space; 17 is past the E22 bound; 20 used to
+    // overflow the u64 space computation before validation caught it.
+    for digits in ["0", "17", "20", "4294967295"] {
+        let output = pincrack()
+            .args(["4821", "--digits", digits])
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "--digits {digits} must be a usage error"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("between 1 and 16"),
+            "--digits {digits}: error must state the valid range, got {stderr:?}"
+        );
+    }
+}
+
+#[test]
+fn non_numeric_digits_exit_two() {
+    let output = pincrack()
+        .args(["4821", "--digits", "six"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--digits"));
+}
+
+#[test]
+fn one_digit_sweep_succeeds() {
+    // The smallest valid space (10 candidates) must still crack.
+    let output = pincrack()
+        .args(["7", "1", "--digits", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("cracked: PIN \"7\""), "{stdout}");
+}

@@ -188,9 +188,23 @@ pub struct CrackResult {
 /// SAFER+ work) and small enough to keep the early exit tight.
 const PIN_CHUNK: u64 = 512;
 
+/// The longest PIN the E22 algorithm admits: the spec caps PINs at 16
+/// bytes, so a numeric search space never has more than 16 digit
+/// positions. Also the overflow bound for [`pin_space_size`] arithmetic —
+/// `10 + 100 + … + 10^16` fits a `u64`, `10^20` does not.
+pub const MAX_PIN_DIGITS: u32 = 16;
+
 /// How many candidate PINs the numeric search space holds up to
 /// `max_digits` digits: `10 + 100 + … + 10^max_digits`.
+///
+/// Panics past [`MAX_PIN_DIGITS`]: beyond the E22 bound the geometric sum
+/// would silently wrap in release builds (`10^20 > u64::MAX`) and scan a
+/// nonsense space.
 fn pin_space_size(max_digits: u32) -> u64 {
+    assert!(
+        max_digits <= MAX_PIN_DIGITS,
+        "max_digits {max_digits} exceeds the E22 bound of {MAX_PIN_DIGITS} digits"
+    );
     let mut total = 0u64;
     let mut block = 10u64;
     for _ in 0..max_digits {
@@ -428,6 +442,22 @@ mod tests {
         assert_eq!(pin_for_index(109), b"99");
         assert_eq!(pin_for_index(110), b"000");
         assert_eq!(pin_space_size(4), 11_110);
+    }
+
+    #[test]
+    fn pin_space_size_covers_the_full_e22_range_without_overflow() {
+        // The full 16-digit space is the largest the E22 bound admits; the
+        // sum must come out exact, not wrapped.
+        assert_eq!(pin_space_size(MAX_PIN_DIGITS), 11_111_111_111_111_110);
+        assert_eq!(pin_space_size(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the E22 bound")]
+    fn pin_space_size_past_e22_bound_panics_with_context() {
+        // 10^20 overflows u64: before the bound check this panicked with a
+        // bare multiply-overflow in debug and silently wrapped in release.
+        pin_space_size(20);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! * [`report`] — table/figure rendering for the benchmark binaries,
 //! * [`runner`] — the deterministic parallel experiment engine: every
 //!   driver maps over independent units with per-unit derived seeds, so
-//!   `BLAP_JOBS=8` output is byte-identical to the serial run.
+//!   `BLAP_JOBS=8` output is byte-identical to the serial run,
+//! * [`campaign`] — the fleet-scale sweep layer on top of [`runner`]:
+//!   seeded populations of device/user/attack configurations sharded
+//!   across workers with streaming metric aggregation.
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod eavesdrop;
 pub mod extract;
 pub mod legacy_pin;

@@ -279,10 +279,31 @@ where
     let prof_on = prof::enabled();
     let run_started = prof_on.then(Instant::now);
     if workers <= 1 || total <= chunk_size {
+        // Same accounting contract as the parallel path below: busy time
+        // covers the chunk scans only (scratch `init()` is setup, not
+        // work) and one task per chunk scanned, so serial and parallel
+        // utilization numbers are comparable.
         let mut scratch = init();
-        let result = search_chunk(&mut scratch, 0, total).map(|(_, r)| r);
+        let mut busy = Duration::ZERO;
+        let mut chunks_scanned = 0u64;
+        let mut result = None;
+        let mut start = 0u64;
+        while start < total {
+            let end = (start + chunk_size).min(total);
+            let chunk_started = prof_on.then(Instant::now);
+            let hit = search_chunk(&mut scratch, start, end);
+            if let Some(started) = chunk_started {
+                busy += started.elapsed();
+                chunks_scanned += 1;
+            }
+            if let Some((_, payload)) = hit {
+                result = Some(payload);
+                break;
+            }
+            start = end;
+        }
         if let Some(started) = run_started {
-            prof::record_worker("parallel_search", 0, started.elapsed(), 1);
+            prof::record_worker("parallel_search", 0, busy, chunks_scanned);
             prof::record_pool("parallel_search", started.elapsed());
         }
         return result;

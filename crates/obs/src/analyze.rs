@@ -226,7 +226,16 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceLine>, AnalyzeError> {
                 message: "missing string \"ev\" field".to_owned(),
             })?
             .to_owned();
-        let dev = value.get("dev").and_then(Value::as_u64).map(|d| d as u32);
+        // Device ids are u32 everywhere else in the pipeline; a larger
+        // value is a corrupt or forged line, and truncating it would
+        // silently attribute the event to an unrelated device.
+        let dev = match value.get("dev").and_then(Value::as_u64) {
+            Some(d) => Some(u32::try_from(d).map_err(|_| AnalyzeError {
+                line: line_no,
+                message: format!("\"dev\" value {d} exceeds the u32 device-id range"),
+            })?),
+            None => None,
+        };
         lines.push(TraceLine {
             line_no,
             t,
@@ -595,6 +604,22 @@ mod tests {
         assert!(a.ok());
         assert_eq!(a.line_count, 0);
         assert_eq!(a.segment_count, 0);
+    }
+
+    #[test]
+    fn out_of_range_device_id_is_rejected_not_truncated() {
+        // 2^32 truncates to dev 0 under an `as u32` cast — the line would
+        // silently attribute its span to the victim device. It must be a
+        // parse error instead.
+        let trace = "{\"t\":1,\"dev\":4294967296,\"ev\":\"lmp_send\"}\n";
+        let err = parse_trace(trace).expect_err("oversized dev must not parse");
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("4294967296"), "{}", err.message);
+        assert!(err.message.contains("u32"), "{}", err.message);
+        // u32::MAX itself is still a valid id.
+        let ok = parse_trace("{\"t\":1,\"dev\":4294967295,\"ev\":\"lmp_send\"}\n")
+            .expect("u32::MAX device id parses");
+        assert_eq!(ok[0].dev, Some(u32::MAX));
     }
 
     #[test]

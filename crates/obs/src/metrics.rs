@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::json::escape;
+use crate::json::{self, escape, Value};
 
 /// A histogram over `u64` samples with power-of-two buckets.
 ///
@@ -86,12 +86,14 @@ impl Histogram {
     /// commutatively — the result is identical no matter how per-unit
     /// histograms were merged.
     ///
-    /// Returns `None` when empty; with one sample it is exact for every
-    /// `q`.
+    /// Returns `None` when empty or when `q` is NaN; a finite `q` outside
+    /// `[0, 1]` (and ±∞) is clamped to the nearest valid quantile rather
+    /// than silently aliasing some in-range rank.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return None;
         }
+        let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (bucket, n) in &self.buckets {
@@ -135,6 +137,47 @@ impl Histogram {
         }
     }
 
+    /// Reconstructs a histogram from the object [`Histogram::render_json`]
+    /// produced. Exact inverse: re-rendering the result reproduces the
+    /// input bytes.
+    fn from_value(value: &Value) -> Result<Histogram, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing u64 {key:?} field"))
+        };
+        let count = field("count")?;
+        let sum = field("sum")?;
+        let min = field("min")?;
+        let max = field("max")?;
+        let Some(Value::Object(members)) = value.get("buckets") else {
+            return Err("missing \"buckets\" object".to_owned());
+        };
+        if count == 0 {
+            if !members.is_empty() {
+                return Err("empty histogram with non-empty buckets".to_owned());
+            }
+            return Ok(Histogram::new());
+        }
+        let mut buckets = BTreeMap::new();
+        for (label, n) in members {
+            let k = bucket_index(label)
+                .ok_or_else(|| format!("unrecognized bucket label {label:?}"))?;
+            let n = n
+                .as_u64()
+                .ok_or_else(|| format!("bucket {label:?}: count is not a u64"))?;
+            buckets.insert(k, n);
+        }
+        Ok(Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+
     fn render_json(&self, out: &mut String) {
         let _ = write!(
             out,
@@ -159,6 +202,18 @@ impl Histogram {
         }
         out.push_str("}}");
     }
+}
+
+/// Maps a rendered bucket label back to its power-of-two bucket index:
+/// `"<1"` → 0, `"<2"` → 1, …, `"<=18446744073709551615"` → 64.
+fn bucket_index(label: &str) -> Option<u8> {
+    if label == "<=18446744073709551615" {
+        return Some(64);
+    }
+    let bound: u64 = label.strip_prefix('<')?.parse().ok()?;
+    bound
+        .is_power_of_two()
+        .then(|| bound.trailing_zeros() as u8)
 }
 
 /// A bag of named counters, gauges, and histograms.
@@ -262,6 +317,44 @@ impl Metrics {
                 .or_default()
                 .merge(h);
         }
+    }
+
+    /// Parses a JSON object previously rendered by [`Metrics::to_json`] —
+    /// the checkpoint/resume reload path. Exact inverse for anything this
+    /// module rendered: all values are integers, so `to_json` of the
+    /// result reproduces the input bytes.
+    pub fn parse_json(text: &str) -> Result<Metrics, String> {
+        let value = json::parse(text).map_err(|e| format!("metrics: {e}"))?;
+        Metrics::from_value(&value)
+    }
+
+    /// [`Metrics::parse_json`] over an already-parsed [`Value`] — for
+    /// metrics objects embedded in a larger document.
+    pub fn from_value(value: &Value) -> Result<Metrics, String> {
+        fn members<'a>(value: &'a Value, key: &str) -> Result<&'a [(String, Value)], String> {
+            match value.get(key) {
+                Some(Value::Object(members)) => Ok(members),
+                _ => Err(format!("missing {key:?} object")),
+            }
+        }
+        fn uint(value: &Value, name: &str) -> Result<u64, String> {
+            value
+                .as_u64()
+                .ok_or_else(|| format!("{name:?}: value is not a u64"))
+        }
+        let mut metrics = Metrics::new();
+        for (name, v) in members(value, "counters")? {
+            metrics.counters.insert(name.clone(), uint(v, name)?);
+        }
+        for (name, v) in members(value, "gauges")? {
+            metrics.gauges.insert(name.clone(), uint(v, name)?);
+        }
+        for (name, v) in members(value, "histograms")? {
+            let histogram =
+                Histogram::from_value(v).map_err(|e| format!("histogram {name:?}: {e}"))?;
+            metrics.histograms.insert(name.clone(), histogram);
+        }
+        Ok(metrics)
     }
 
     /// Renders the bag as a deterministic JSON object:
@@ -490,6 +583,99 @@ mod tests {
         assert_eq!(whole.quantile(1.0), Some(65536));
         // p0 clamps to the exact min.
         assert_eq!(whole.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn quantile_rejects_nan_and_clamps_out_of_range() {
+        let mut h = Histogram::new();
+        for v in [15u64, 20, 3000] {
+            h.observe(v);
+        }
+        // NaN used to as-cast to rank 0 → clamp to 1 → silently report a
+        // low quantile; it must be None.
+        assert_eq!(h.quantile(f64::NAN), None);
+        // Out-of-range q (including ±∞) clamps to the nearest valid rank.
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), h.quantile(0.0));
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
+        assert_eq!(h.quantile(0.0), Some(15));
+        assert_eq!(h.quantile(1.0), Some(3000));
+    }
+
+    #[test]
+    fn parse_json_round_trips_rendered_bags() {
+        let mut m = Metrics::new();
+        m.add("campaign.trials", 1_000_000);
+        m.add("zero_counter", 0);
+        m.gauge_max("peak", 17);
+        for v in [0u64, 1, 3, 900, 1024, u64::MAX, 1u64 << 63] {
+            m.observe("latency_us", v);
+        }
+        m.observe("single", 42);
+        let json = m.to_json();
+        let parsed = Metrics::parse_json(&json).expect("own rendering parses");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.to_json(), json, "byte-exact round trip");
+        // Empty bags round-trip too.
+        let empty = Metrics::new();
+        assert_eq!(
+            Metrics::parse_json(&empty.to_json()).expect("empty parses"),
+            empty
+        );
+    }
+
+    #[test]
+    fn parse_json_preserves_histogram_semantics() {
+        let mut m = Metrics::new();
+        for v in [3u64, 7, 100, 250, 4000] {
+            m.observe("h", v);
+        }
+        let parsed = Metrics::parse_json(&m.to_json()).expect("parses");
+        let (original, reloaded) = (
+            m.histogram("h").expect("present"),
+            parsed.histogram("h").expect("present"),
+        );
+        assert_eq!(reloaded.count(), original.count());
+        assert_eq!(reloaded.sum(), original.sum());
+        assert_eq!(reloaded.min(), original.min());
+        assert_eq!(reloaded.max(), original.max());
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(reloaded.quantile(q), original.quantile(q), "q={q}");
+        }
+        // A reloaded bag keeps merging exactly like the original — the
+        // property checkpoint/resume rests on.
+        let mut more = Metrics::new();
+        more.observe("h", 9999);
+        let mut a = m.clone();
+        a.merge(&more);
+        let mut b = parsed.clone();
+        b.merge(&more);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn parse_json_rejects_malformed_documents() {
+        assert!(Metrics::parse_json("not json").is_err());
+        assert!(Metrics::parse_json("{}").is_err(), "missing sections");
+        assert!(
+            Metrics::parse_json(r#"{"counters":{"n":-1},"gauges":{},"histograms":{}}"#).is_err(),
+            "negative counter"
+        );
+        assert!(
+            Metrics::parse_json(
+                r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":5,"min":5,"max":5,"buckets":{"<3":1}}}}"#
+            )
+            .is_err(),
+            "non-power-of-two bucket label"
+        );
+        assert!(
+            Metrics::parse_json(
+                r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":5,"min":5,"buckets":{}}}}"#
+            )
+            .is_err(),
+            "missing max field"
+        );
     }
 
     #[test]

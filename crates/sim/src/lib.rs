@@ -37,5 +37,5 @@ mod world;
 
 pub use device::{Device, DeviceId, DeviceSpec, TransportSecurity};
 pub use profiles::DeviceProfile;
-pub use user::UserAgent;
+pub use user::{UserAgent, UserBehaviorMix};
 pub use world::{SniffedFrame, World};

@@ -240,6 +240,24 @@ pub fn table2_profiles() -> Vec<DeviceProfile> {
     ]
 }
 
+/// The device pool campaign populations sample victims from: every Table
+/// II profile (each carries the measured baseline MITM rate the
+/// simulator's race model is calibrated against) with a relative
+/// popularity weight. The weights are a plausible fleet mix — recent
+/// flagships common, the aging Nexus 5x rare — not a paper measurement;
+/// they only shape how often each stack/version combination is exercised.
+pub fn campaign_pool() -> Vec<(DeviceProfile, u32)> {
+    vec![
+        (iphone_xs(), 30),
+        (galaxy_s21(), 25),
+        (pixel_2_xl(), 15),
+        (lg_velvet(), 10),
+        (galaxy_s8(), 10),
+        (lg_v50(), 7),
+        (nexus_5x_a8(), 3),
+    ]
+}
+
 /// A benign car-kit / headset accessory (`C` in the page blocking attack):
 /// NoInputNoOutput, discoverable, hands-free class of device.
 pub fn car_kit(addr: &str) -> DeviceSpec {
@@ -315,6 +333,20 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn campaign_pool_covers_table2_with_positive_weights() {
+        let pool = campaign_pool();
+        assert_eq!(pool.len(), table2_profiles().len());
+        for (profile, weight) in &pool {
+            assert!(*weight > 0, "{}: zero weight never samples", profile.name);
+            assert!(
+                profile.baseline_mitm_rate.is_some(),
+                "{}: campaign victims need a calibrated race model",
+                profile.name
+            );
         }
     }
 

@@ -40,6 +40,15 @@ impl UserAgent {
         }
     }
 
+    /// The behavior a [`UserBehaviorMix`] roll selected.
+    pub fn with_acceptance(accept_pairing: bool) -> Self {
+        if accept_pairing {
+            UserAgent::accepting()
+        } else {
+            UserAgent::declining()
+        }
+    }
+
     /// Records a notification.
     pub fn observe(&mut self, now: Instant, notification: UiNotification) {
         self.log.push((now, notification));
@@ -68,6 +77,37 @@ impl UserAgent {
     /// Finds the first notification matching a predicate.
     pub fn find<F: Fn(&UiNotification) -> bool>(&self, pred: F) -> Option<&UiNotification> {
         self.log.iter().map(|(_, n)| n).find(|n| pred(n))
+    }
+}
+
+/// A seeded distribution over user behaviors, for campaign populations:
+/// what fraction of sampled victims accept the pairing popup.
+///
+/// Sampling is a pure function of the caller-supplied roll (derive it from
+/// the trial seed), so a population's user mix is reproducible at any
+/// parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UserBehaviorMix {
+    /// Percent of users (0–100) who tap "yes" on pairing confirmations.
+    pub accept_percent: u8,
+}
+
+impl UserBehaviorMix {
+    /// Every sampled user accepts — the paper's §V-B2 victim.
+    pub fn always_accepting() -> Self {
+        UserBehaviorMix {
+            accept_percent: 100,
+        }
+    }
+
+    /// Whether the user drawn for `roll` accepts pairing popups.
+    pub fn accepts(&self, roll: u64) -> bool {
+        (roll % 100) < u64::from(self.accept_percent.min(100))
+    }
+
+    /// Builds the [`UserAgent`] the roll selected.
+    pub fn sample(&self, roll: u64) -> UserAgent {
+        UserAgent::with_acceptance(self.accepts(roll))
     }
 }
 
@@ -106,5 +146,22 @@ mod tests {
     fn presets() {
         assert!(UserAgent::accepting().accept_pairing);
         assert!(!UserAgent::declining().accept_pairing);
+    }
+
+    #[test]
+    fn behavior_mix_is_pure_and_proportional() {
+        let mix = UserBehaviorMix { accept_percent: 30 };
+        // Pure: the same roll always draws the same behavior.
+        assert_eq!(mix.accepts(17), mix.accepts(17));
+        // Exactly 30 of 100 consecutive residues accept.
+        let accepted = (0u64..100).filter(|&r| mix.accepts(r)).count();
+        assert_eq!(accepted, 30);
+        assert!(
+            UserBehaviorMix::always_accepting()
+                .sample(99)
+                .accept_pairing
+        );
+        let mix = UserBehaviorMix { accept_percent: 0 };
+        assert!(!mix.sample(0).accept_pairing);
     }
 }

@@ -1,6 +1,6 @@
 //! The discrete-event world.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use blap_baseband::inquiry::{run_inquiry, InquiryTarget};
 use blap_baseband::paging::{resolve_page, PageListener, PageResult};
@@ -87,7 +87,12 @@ pub struct World {
     seq: u64,
     rng: StdRng,
     race_model: PageRaceModel,
-    links: HashMap<u64, LinkState>,
+    /// Live links by id. A `BTreeMap`, not a `HashMap`, on purpose:
+    /// [`World::route`] scans it when two links are live to the *same*
+    /// claimed address (the attacker's spoofed link next to the honest
+    /// one), and the winner must be the same on every run — hash-order
+    /// iteration made that pick depend on the process's random hash seed.
+    links: BTreeMap<u64, LinkState>,
     next_link_id: u64,
     timer_generations: HashMap<(DeviceId, SimTimer), u64>,
     processed_events: u64,
@@ -140,7 +145,7 @@ impl World {
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             race_model: PageRaceModel::default(),
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             next_link_id: 0,
             timer_generations: HashMap::new(),
             processed_events: 0,
@@ -710,6 +715,10 @@ impl World {
 
     /// Finds the live link on which `device` talks to claimed address
     /// `peer_addr`, returning `(link_id, other_device, other's view)`.
+    ///
+    /// When two live links claim the same address (spoofing attacker next
+    /// to the honest device), the earliest-established link wins — the map
+    /// iterates in link-id order, so this tie-break is deterministic.
     fn route(&self, device: DeviceId, peer_addr: BdAddr) -> Option<(u64, DeviceId, BdAddr)> {
         self.links.iter().find_map(|(id, l)| {
             if !l.alive {

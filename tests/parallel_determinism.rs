@@ -11,12 +11,13 @@
 //!    on every scalar, including the edge cases that break windowed
 //!    recodings (0, 1, n−1).
 
+use blap::campaign::{Campaign, Population};
 use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
 use blap::link_key_extraction::ExtractionScenario;
 use blap::runner::{seed_for, Jobs};
 use blap_bench::{run_table1_observed_with, run_table2_observed_with, run_table2_with};
 use blap_crypto::p256::{generator, group_order, KeyPair, Point, Scalar};
-use blap_obs::{analyze_trace, diff_metrics, diff_traces, prof, FlightRecorder, Tracer};
+use blap_obs::{analyze_trace, diff_metrics, diff_traces, prof, FlightRecorder, Metrics, Tracer};
 use proptest::prelude::*;
 
 #[test]
@@ -208,6 +209,52 @@ fn pin_crack_identical_across_worker_counts() {
             "{jobs} jobs diverged from serial"
         );
     }
+}
+
+#[test]
+fn campaign_metrics_identical_across_worker_counts() {
+    // The fleet-scale sweep inherits the tentpole guarantee: the merged
+    // campaign metrics document is byte-identical at any worker count.
+    // This is also the regression net for the `World::route` tie-break:
+    // with two live links claiming the same spoofed address, the routed
+    // link used to follow hash-map iteration order, which differs between
+    // worker threads — blocking-trial LMP/snoop counters drifted across
+    // `BLAP_JOBS` values until the link table became ordered.
+    let campaign = Campaign {
+        population: Population::fleet(),
+        trials: 96,
+        shards: 6,
+        seed: 1701,
+    };
+    let serial = campaign.run(Jobs::serial()).to_json();
+    assert!(serial.contains("\"campaign.trials\":96"), "{serial}");
+    for jobs in [4, 8] {
+        assert_eq!(
+            campaign.run(Jobs::new(jobs)).to_json(),
+            serial,
+            "{jobs} jobs diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn campaign_checkpoint_resume_split_is_byte_identical() {
+    // The `blap-campaign` checkpoint contract end to end: aggregate a
+    // prefix of the shards, serialize the partial bag to JSON (exactly
+    // what the checkpoint file stores), parse it back, then merge the
+    // remaining shards — the result must match a straight run byte for
+    // byte, at mixed worker counts on the two sides of the split.
+    let campaign = Campaign {
+        population: Population::mitigated(),
+        trials: 90,
+        shards: 5,
+        seed: 42,
+    };
+    let whole = campaign.run(Jobs::new(4)).to_json();
+    let prefix = campaign.run_shards(Jobs::serial(), 0, 2);
+    let mut resumed = Metrics::parse_json(&prefix.to_json()).expect("checkpoint bag round-trips");
+    resumed.merge(&campaign.run_shards(Jobs::new(8), 2, 5));
+    assert_eq!(resumed.to_json(), whole);
 }
 
 #[test]

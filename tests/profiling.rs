@@ -19,7 +19,7 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use blap::runner::{parallel_map, Jobs};
+use blap::runner::{parallel_map, parallel_search_scratch, Jobs};
 use blap_obs::prof;
 
 static PROF: Mutex<()> = Mutex::new(());
@@ -77,6 +77,54 @@ fn folded_table1_profile_has_trial_phase_hierarchy_within_wall_time() {
         u128::from(total_self_us) <= wall.as_micros(),
         "self-time sum {total_self_us}us exceeds wall {}us",
         wall.as_micros()
+    );
+}
+
+#[test]
+fn serial_search_accounts_chunks_and_excludes_init_from_busy() {
+    let _serial = PROF.lock().unwrap();
+    prof::reset();
+    prof::set_enabled(true);
+    // Scratch setup spins for 25 ms — an order of magnitude longer than
+    // the scan itself. The serial fast path used to charge all of it
+    // (init included) as one busy task with busy == wall; it must now
+    // report one task per chunk scanned and keep init out of busy time,
+    // exactly like the parallel path.
+    let init = || {
+        let spin = Instant::now();
+        while spin.elapsed() < Duration::from_millis(25) {
+            std::hint::black_box(0u64);
+        }
+        0u64
+    };
+    let wall_started = Instant::now();
+    let found = parallel_search_scratch(Jobs::serial(), 1000, 100, init, |_, start, end| {
+        (start..end).find(|&i| i == 550).map(|i| (i, i))
+    });
+    let wall = wall_started.elapsed();
+    prof::set_enabled(false);
+    assert_eq!(found, Some(550), "early exit still finds the hit");
+
+    let report = prof::report();
+    prof::reset();
+    let pool = report.pool("parallel_search").expect("pool stats recorded");
+    assert_eq!(pool.workers.len(), 1, "serial run has one worker");
+    let worker = &pool.workers[0];
+    // Chunks 0..=5 are scanned before the hit in chunk 5 stops the sweep.
+    assert_eq!(
+        worker.tasks, 6,
+        "one task per chunk scanned, not one for the whole run"
+    );
+    // The 25 ms init dominates the wall clock; busy time must exclude it.
+    assert!(
+        worker.busy_ns < Duration::from_millis(20).as_nanos() as u64,
+        "init time leaked into busy: {}ns busy vs {}ns wall",
+        worker.busy_ns,
+        wall.as_nanos()
+    );
+    assert!(
+        pool.wall_ns >= Duration::from_millis(25).as_nanos() as u64,
+        "the pool envelope still covers the whole run including init"
     );
 }
 

@@ -112,6 +112,68 @@ fn bench_link_encryption(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ccm_batch(c: &mut Criterion) {
+    use blap_crypto::aes::{Aes128, PARALLEL_BLOCKS};
+    use blap_crypto::ccm::{self, Ccm, OpenBatch, SealedFrame, FRAME_LANES, KEY_LANES};
+    let mut group = c.benchmark_group("crypto/ccm_batch");
+    let key = [0x42u8; 16];
+
+    // The raw interleaved kernel: per-block cost = this / PARALLEL_BLOCKS,
+    // compare against crypto/link_encryption's aes128_block.
+    let aes = Aes128::new(&key);
+    let blocks: [[u8; 16]; PARALLEL_BLOCKS] = core::array::from_fn(|i| [i as u8; 16]);
+    group.bench_function("encrypt_blocks_x8", |b| {
+        b.iter(|| aes.encrypt_blocks(black_box(&blocks)))
+    });
+
+    // The batched open over the hotpaths frame shape (4 full chunks plus a
+    // ragged tail of 64-byte frames); per-frame cost = this / 35.
+    let ccm_ctx = Ccm::new(&key);
+    let payload = vec![0x5Au8; 64];
+    let sealed: Vec<([u8; 13], Vec<u8>)> = (0..4 * FRAME_LANES + 3)
+        .map(|i| {
+            let mut nonce = [7u8; 13];
+            nonce[0] = i as u8;
+            let ct = ccm_ctx.seal(&nonce, b"hd", &payload).expect("fits");
+            (nonce, ct)
+        })
+        .collect();
+    let views: Vec<SealedFrame<'_>> = sealed
+        .iter()
+        .map(|(nonce, ct)| SealedFrame {
+            nonce: *nonce,
+            aad: b"hd",
+            ciphertext_and_tag: ct,
+        })
+        .collect();
+    let mut out = OpenBatch::new();
+    group.bench_function("open_many_into_35x64B", |b| {
+        b.iter(|| {
+            ccm_ctx.open_many_into(black_box(&views), &mut out);
+            black_box(&out);
+        })
+    });
+
+    // The multi-key confirmation lane: one frame verified under KEY_LANES
+    // candidate session keys at once (per-key cost = this / 8).
+    let ccms: Vec<Ccm> = (0..KEY_LANES as u8).map(|i| Ccm::new(&[i; 16])).collect();
+    let refs: [&Ccm; KEY_LANES] = core::array::from_fn(|i| &ccms[i]);
+    let probe = ccms[3].seal(&[7u8; 13], b"hd", &payload).expect("fits");
+    let mut scratch = Vec::new();
+    group.bench_function("open_check_keys_x8", |b| {
+        b.iter(|| {
+            black_box(ccm::open_check_keys(
+                refs,
+                &[7u8; 13],
+                b"hd",
+                black_box(&probe),
+                &mut scratch,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_batch_kernels(c: &mut Criterion) {
     use blap_crypto::batch::{self, Batch16, E1Batch, KeyScheduleBatch};
     let mut group = c.benchmark_group("crypto/batch16");
@@ -199,6 +261,7 @@ criterion_group!(
     bench_p256,
     bench_pairing_functions,
     bench_link_encryption,
+    bench_ccm_batch,
     bench_batch_kernels,
     bench_pin_crack
 );

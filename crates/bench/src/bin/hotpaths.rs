@@ -1,9 +1,12 @@
 //! Hot-path benchmark summary: one JSON artifact (`BENCH_hotpaths.json`)
 //! covering the kernels the perf work targets — HCI encode/decode, the
-//! AES-CCM link cipher, legacy `E1` and the pincrack candidate loop — plus
-//! end-to-end wall times for the table drivers and a `throughput` section
-//! with the batched full-6-digit-sweep candidates-per-second figure (gated
-//! as a floor by `blap-bench compare`: only a drop regresses).
+//! AES-CCM link cipher (scalar and batched `open_many`), the batched
+//! eavesdrop decrypt pipeline, legacy `E1` and the pincrack candidate
+//! loop — plus end-to-end wall times for the table drivers and a
+//! `throughput` section with the batched sweep figures
+//! (`pincrack_candidates_per_sec`, `ccm_open_bytes_per_sec`; every
+//! `throughput` key is floor-gated by `blap-bench compare`: only a drop
+//! regresses).
 //!
 //! Regenerate with:
 //!
@@ -20,11 +23,15 @@
 //! multi-x regressions, not a substitute for the Criterion benches
 //! (`cargo bench -p blap-bench`) when microsecond precision matters.
 
+use blap::eavesdrop::decrypt_capture_batched;
 use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
 use blap::runner::Jobs;
+use blap::{addrs, extract};
+use blap_crypto::ccm::{OpenBatch, SealedFrame};
 use blap_crypto::{aes::Aes128, ccm, e1};
 use blap_hci::{Command, Event, HciPacket};
-use blap_types::{BdAddr, ConnectionHandle, LinkKey, LinkKeyType};
+use blap_sim::{profiles, SniffedFrame, World};
+use blap_types::{BdAddr, ConnectionHandle, Duration, LinkKey, LinkKeyType, ServiceUuid};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -139,6 +146,60 @@ fn main() {
         );
     });
 
+    // Batched CCM over the same 64-byte frame shape: full FRAME_LANES
+    // chunks (steady state — a ragged tail pays a whole chunk's passes and
+    // is covered by the criterion bench), plaintexts landing in one reused
+    // arena. Per-frame ns and the derived bytes/s floor the compare gate
+    // defends.
+    const BATCH_FRAMES: usize = 4 * ccm::FRAME_LANES;
+    let batch_sealed: Vec<([u8; 13], Vec<u8>)> = (0..BATCH_FRAMES)
+        .map(|i| {
+            let mut n = nonce;
+            n[0] = i as u8;
+            (n, ccm_ctx.seal(&n, b"hd", &payload).expect("fits"))
+        })
+        .collect();
+    let batch_views: Vec<SealedFrame<'_>> = batch_sealed
+        .iter()
+        .map(|(n, ct)| SealedFrame {
+            nonce: *n,
+            aad: b"hd",
+            ciphertext_and_tag: ct,
+        })
+        .collect();
+    let mut batch_out = OpenBatch::new();
+    let ccm_open_batched = ns_per_op(2_000, || {
+        black_box(&ccm_ctx).open_many_into(black_box(&batch_views), &mut batch_out);
+        black_box(&batch_out);
+    }) / BATCH_FRAMES as f64;
+    let ccm_open_bytes_per_sec = payload.len() as f64 * 1e9 / ccm_open_batched;
+
+    // Eavesdrop pipeline: batched decrypt of a real sniffed capture
+    // (session-key replay + handle resolution + open_many), per encrypted
+    // frame. The capture is built once outside the timed region.
+    let (eaves_frames, eaves_key, eaves_c, eaves_m) = eavesdrop_capture();
+    let n_encrypted = eaves_frames
+        .iter()
+        .filter(|f| {
+            matches!(
+                f,
+                SniffedFrame::Acl {
+                    encrypted: true,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(n_encrypted > 0, "capture must contain encrypted frames");
+    let eavesdrop_decrypt = ns_per_op(500, || {
+        black_box(decrypt_capture_batched(
+            black_box(&eaves_frames),
+            eaves_key,
+            eaves_c,
+            eaves_m,
+        ));
+    }) / n_encrypted as f64;
+
     let e1_key: LinkKey = "71a70981f30d6af9e20adee8aafe3264".parse().expect("valid");
     let e1_addr: BdAddr = "aa:aa:aa:aa:aa:aa".parse().expect("valid");
     let e1_rand = [1u8; 16];
@@ -228,6 +289,14 @@ fn main() {
     println!("    \"aes128_encrypt_block\": {},", json_number(aes_block));
     println!("    \"ccm_seal_64b\": {},", json_number(ccm_seal));
     println!("    \"ccm_open_64b\": {},", json_number(ccm_open));
+    println!(
+        "    \"ccm_open_batched_64b\": {},",
+        json_number(ccm_open_batched)
+    );
+    println!(
+        "    \"eavesdrop_decrypt_frame\": {},",
+        json_number(eavesdrop_decrypt)
+    );
     println!("    \"legacy_e1\": {},", json_number(legacy_e1));
     println!(
         "    \"pincrack_candidate\": {}",
@@ -249,9 +318,41 @@ fn main() {
     println!("  }},");
     println!("  \"throughput\": {{");
     println!(
-        "    \"pincrack_candidates_per_sec\": {}",
+        "    \"pincrack_candidates_per_sec\": {},",
         json_number(pincrack_candidates_per_sec)
+    );
+    println!(
+        "    \"ccm_open_bytes_per_sec\": {}",
+        json_number(ccm_open_bytes_per_sec)
     );
     println!("  }}");
     println!("}}");
+}
+
+/// An encrypted PBAP session capture plus the extracted key — the same
+/// world the `eavesdrop` scenario runs, rebuilt here so the timed region
+/// covers only the attacker-side decrypt.
+fn eavesdrop_capture() -> (Vec<SniffedFrame>, LinkKey, BdAddr, BdAddr) {
+    let m_addr: BdAddr = addrs::M.parse().expect("valid address");
+    let c_addr: BdAddr = addrs::C.parse().expect("valid address");
+    let mut world = World::new(404);
+    let _m = world.add_device(profiles::lg_velvet().victim_phone(addrs::M));
+    let c = world.add_device(profiles::galaxy_s8().soft_target(addrs::C));
+    world.device_mut(c).host.pair_with(m_addr);
+    world.run_for(Duration::from_secs(5));
+    world.device_mut(c).host.disconnect(m_addr);
+    world.run_for(Duration::from_secs(2));
+    world
+        .device_mut(c)
+        .host
+        .connect_profile(m_addr, ServiceUuid::PBAP_PSE);
+    world.run_for(Duration::from_secs(5));
+    for i in 0..8u8 {
+        world.device_mut(c).host.send_data(m_addr, vec![i; 64]);
+        world.run_for(Duration::from_millis(100));
+    }
+    world.run_for(Duration::from_secs(1));
+    let frames = world.sniffed_frames().to_vec();
+    let key = extract::from_snoop_log(world.device(c), m_addr).expect("key extracted");
+    (frames, key, c_addr, m_addr)
 }

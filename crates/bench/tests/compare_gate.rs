@@ -16,6 +16,15 @@ fn scratch_path(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("blap_compare_gate_{}_{name}", std::process::id()))
 }
 
+/// Byte range of the numeric value following `needle` in `artifact`,
+/// ending at the first comma or newline so the metric may sit anywhere in
+/// its section.
+fn value_span(artifact: &str, needle: &str) -> (usize, usize) {
+    let at = artifact.find(needle).expect("artifact has the metric") + needle.len();
+    let len = artifact[at..].find([',', '\n']).expect("value terminated");
+    (at, at + len)
+}
+
 #[test]
 fn committed_baseline_against_itself_exits_zero() {
     let baseline = committed_baseline();
@@ -83,12 +92,7 @@ fn synthetic_throughput_drop_trips_the_floor() {
     // Halve the sweep throughput: far below the -25% floor. Unlike the
     // latency metrics a *larger* value must never trip this gate, so the
     // companion check doubles it and expects a pass.
-    let needle = "\"pincrack_candidates_per_sec\": ";
-    let at = baseline
-        .find(needle)
-        .expect("baseline has the throughput metric")
-        + needle.len();
-    let end = at + baseline[at..].find('\n').expect("value terminated");
+    let (at, end) = value_span(&baseline, "\"pincrack_candidates_per_sec\": ");
     let value: f64 = baseline[at..end].trim().parse().expect("numeric value");
     for (factor, expected_code, expected_verdict) in
         [(0.5, 1, "verdict: regressed"), (2.0, 0, "verdict: pass")]
@@ -127,9 +131,7 @@ fn zero_baseline_skips_lax_and_exits_two_strict() {
     // Zero out the throughput metric in a baseline copy: the ratio divides
     // by it, so the gate must either skip it loudly (lax) or refuse the
     // artifact (strict) — never let inf/NaN comparisons decide.
-    let needle = "\"pincrack_candidates_per_sec\": ";
-    let at = baseline.find(needle).expect("baseline has the metric") + needle.len();
-    let end = at + baseline[at..].find('\n').expect("value terminated");
+    let (at, end) = value_span(&baseline, "\"pincrack_candidates_per_sec\": ");
     let zeroed = format!("{}0.0{}", &baseline[..at], &baseline[end..]);
     let zero_path = scratch_path("zero_baseline.json");
     std::fs::write(&zero_path, zeroed).expect("scratch artifact written");

@@ -1,18 +1,21 @@
-//! Allocation accounting for the PIN-crack inner loop.
+//! Allocation accounting for the PIN-crack and eavesdrop inner loops.
 //!
-//! The batched sweep holds all per-candidate state on the stack or in
+//! The batched sweeps hold per-candidate state on the stack or in
 //! per-worker scratch reused across chunks: the odometer buffer, the E22
-//! augmentation template, and the splatted cipher input. These tests pin
-//! that discipline with the shared counting allocator from
-//! `blap_obs::prof` (feature `prof-alloc`): a full multi-thousand-candidate
-//! sweep must cost a small constant number of heap allocations — the
-//! scratch buffer and, on a hit, the returned PIN — never one per
-//! candidate or per batch.
+//! augmentation template, the splatted cipher input, and (for eavesdrop)
+//! the `OpenBatch` plaintext arena. These tests pin that discipline with
+//! the shared counting allocator from `blap_obs::prof` (feature
+//! `prof-alloc`): a full sweep must cost a number of heap allocations
+//! proportional to its *outputs* plus a small constant — never one per
+//! candidate, per batch, or per frame × handle attempt.
 
+use blap::eavesdrop::{decrypt_capture_batched, KeyConfirm};
 use blap::legacy_pin::{crack_numeric_pin_with, LegacyPairingCapture};
 use blap::runner::Jobs;
+use blap::{addrs, extract};
 use blap_obs::prof;
-use blap_types::BdAddr;
+use blap_sim::{profiles, SniffedFrame, World};
+use blap_types::{BdAddr, Duration, LinkKey, ServiceUuid};
 
 #[global_allocator]
 static GLOBAL: prof::CountingAlloc = prof::CountingAlloc;
@@ -55,6 +58,84 @@ fn exhaustive_miss_sweep_allocates_only_worker_scratch() {
         "an 11,110-candidate miss sweep must only allocate per-worker \
          scratch (got {count} allocations — is the inner loop allocating \
          per candidate or per batch?)"
+    );
+}
+
+/// An encrypted-session capture plus the extracted key, built outside the
+/// measurement windows (world simulation allocates freely, by design).
+fn eavesdrop_capture() -> (Vec<SniffedFrame>, LinkKey, BdAddr, BdAddr) {
+    let m_addr: BdAddr = addrs::M.parse().expect("valid address");
+    let c_addr: BdAddr = addrs::C.parse().expect("valid address");
+    let mut world = World::new(57);
+    let _m = world.add_device(profiles::lg_velvet().victim_phone(addrs::M));
+    let c = world.add_device(profiles::galaxy_s8().soft_target(addrs::C));
+    world.device_mut(c).host.pair_with(m_addr);
+    world.run_for(Duration::from_secs(5));
+    world.device_mut(c).host.disconnect(m_addr);
+    world.run_for(Duration::from_secs(2));
+    world
+        .device_mut(c)
+        .host
+        .connect_profile(m_addr, ServiceUuid::PBAP_PSE);
+    world.run_for(Duration::from_secs(5));
+    for i in 0..4u8 {
+        world.device_mut(c).host.send_data(m_addr, vec![i; 48]);
+        world.run_for(Duration::from_millis(100));
+    }
+    world.run_for(Duration::from_secs(1));
+    let frames = world.sniffed_frames().to_vec();
+    let key = extract::from_snoop_log(world.device(c), m_addr).expect("key extracted");
+    (frames, key, c_addr, m_addr)
+}
+
+#[test]
+fn batched_decrypt_allocates_per_plaintext_not_per_attempt() {
+    let _serial = SERIAL.lock().unwrap();
+    let (frames, key, c_addr, m_addr) = eavesdrop_capture();
+    let plain = decrypt_capture_batched(&frames, key, c_addr, m_addr);
+    assert!(!plain.is_empty(), "fixture must decrypt something");
+    let count = allocations_during(|| {
+        let out = decrypt_capture_batched(&frames, key, c_addr, m_addr);
+        assert_eq!(out.len(), plain.len());
+        std::hint::black_box(out);
+    });
+    // Budget: the returned plaintext `Vec`s (inherent to the signature)
+    // plus the frame-view collects, the `OpenBatch` arena, and the CCM
+    // context — never the scalar engine's fresh `Vec` per frame × handle
+    // attempt.
+    let budget = plain.len() + 16;
+    assert!(
+        count <= budget,
+        "batched decrypt of {} frames must allocate O(plaintexts), got \
+         {count} allocations (budget {budget}) — is a per-frame or \
+         per-handle buffer back?",
+        plain.len()
+    );
+}
+
+#[test]
+fn key_confirm_batch_reuses_scratch_across_calls() {
+    let _serial = SERIAL.lock().unwrap();
+    let (frames, key, c_addr, m_addr) = eavesdrop_capture();
+    let mut confirm = KeyConfirm::new(&frames, c_addr, m_addr).expect("probe frame exists");
+    let candidates = [key; 2];
+    assert_eq!(confirm.check_batch(&candidates), 0b11);
+    let count = allocations_during(|| {
+        for _ in 0..10 {
+            std::hint::black_box(confirm.check_batch(&candidates));
+        }
+    });
+    // Each call re-derives the candidates' session keys (the `ssp`
+    // functions build small message buffers) and collects the CCM
+    // contexts — O(candidates) per call. The trial-decrypt scratch must
+    // be reused: at 8 handle probes per call, per-probe regrowth would
+    // add 80 allocations to this window.
+    let budget = 10 * (2 + 4 * candidates.len());
+    assert!(
+        count <= budget,
+        "check_batch must allocate O(candidates) per call, got {count} \
+         (budget {budget}) — is the trial-decrypt scratch regrown per \
+         handle probe?"
     );
 }
 

@@ -198,6 +198,74 @@ impl Aes128 {
         out
     }
 
+    /// Encrypts `N` independent 16-byte blocks with the round passes
+    /// interleaved: every T-table round runs across all `N` states before
+    /// the next round starts, so one block's table-load latency overlaps
+    /// the XOR arithmetic of the others instead of the whole round chain
+    /// serializing behind a single state register (the reason
+    /// [`Self::encrypt_block`] is latency-bound rather than
+    /// throughput-bound). Plain-loop style on purpose — like
+    /// [`crate::batch`], the per-block inner loops are independent and the
+    /// compiler schedules them freely; the scalar path stays as the pinned
+    /// reference.
+    ///
+    /// Measured on the committed-baseline host the raw kernel plateaus at
+    /// `N = 8` ([`PARALLEL_BLOCKS`], ~38 ns/block vs ~54 scalar) — the
+    /// interleave is µop-throughput-bound, not load-bound, so widths 2–16
+    /// sit within noise of each other (DESIGN §6 has the sweep). CCM's
+    /// batched paths are the intended caller: CTR keystream blocks are
+    /// independent within a frame and CBC-MAC chains are independent
+    /// across frames.
+    pub fn encrypt_blocks<const N: usize>(&self, blocks: &[[u8; 16]; N]) -> [[u8; 16]; N] {
+        let t = tables();
+        let rk0 = round_key_words(&self.round_keys[0]);
+        // State as four little-endian column words per block: the T-table
+        // rounds read bytes out of words and write whole words, so keeping
+        // words end to end avoids a pack/unpack per round per block.
+        let mut state = [[0u32; 4]; N];
+        for b in 0..N {
+            for c in 0..4 {
+                state[b][c] = u32::from_le_bytes([
+                    blocks[b][4 * c],
+                    blocks[b][4 * c + 1],
+                    blocks[b][4 * c + 2],
+                    blocks[b][4 * c + 3],
+                ]) ^ rk0[c];
+            }
+        }
+        for round in 1..10 {
+            let rk = round_key_words(&self.round_keys[round]);
+            for st in state.iter_mut() {
+                // Per-block temporaries instead of a second `[[u32; 4]; N]`
+                // buffer: at N = 8 the double buffer is 2 × 128 bytes of
+                // live state and LLVM spills the copy every round; four
+                // locals keep the rotation in registers.
+                let s = *st;
+                let mut n = [0u32; 4];
+                for c in 0..4 {
+                    n[c] = t.t0[(s[c] & 0xff) as usize]
+                        ^ t.t1[((s[(c + 1) % 4] >> 8) & 0xff) as usize]
+                        ^ t.t2[((s[(c + 2) % 4] >> 16) & 0xff) as usize]
+                        ^ t.t3[(s[(c + 3) % 4] >> 24) as usize]
+                        ^ rk[c];
+                }
+                *st = n;
+            }
+        }
+        let rk = &self.round_keys[10];
+        let mut out = [[0u8; 16]; N];
+        for b in 0..N {
+            for c in 0..4 {
+                for r in 0..4 {
+                    out[b][4 * c + r] = t.sbox
+                        [((state[b][(c + r) % 4] >> (8 * r)) & 0xff) as usize]
+                        ^ rk[4 * c + r];
+                }
+            }
+        }
+        out
+    }
+
     /// Decrypts one 16-byte block.
     pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
         let t = tables();
@@ -216,8 +284,71 @@ impl Aes128 {
     }
 }
 
+/// Interleave width the batched callers default to. The raw kernel's
+/// per-block cost is flat from N = 2 up (µop-throughput-bound; see DESIGN
+/// §6 *Batched kernels* for the sweep), so the width is chosen to divide
+/// CCM batches evenly and to double as the multi-key lane count.
+pub const PARALLEL_BLOCKS: usize = 8;
+
+/// Encrypts `N` blocks under `N` *different* expanded keys, rounds
+/// interleaved exactly like [`Aes128::encrypt_blocks`] — the multi-key
+/// axis the bulk key-confirmation path batches over (one candidate session
+/// key per slot, same probe frame). Each slot's round key comes from its
+/// own schedule; everything else is the single-key kernel.
+pub fn encrypt_blocks_multikey<const N: usize>(
+    keys: [&Aes128; N],
+    blocks: &[[u8; 16]; N],
+) -> [[u8; 16]; N] {
+    let t = tables();
+    let mut state = [[0u32; 4]; N];
+    for b in 0..N {
+        let rk0 = round_key_words(&keys[b].round_keys[0]);
+        for c in 0..4 {
+            state[b][c] = u32::from_le_bytes([
+                blocks[b][4 * c],
+                blocks[b][4 * c + 1],
+                blocks[b][4 * c + 2],
+                blocks[b][4 * c + 3],
+            ]) ^ rk0[c];
+        }
+    }
+    for round in 1..10 {
+        for b in 0..N {
+            let rk = round_key_words(&keys[b].round_keys[round]);
+            let s = state[b];
+            let mut n = [0u32; 4];
+            for c in 0..4 {
+                n[c] = t.t0[(s[c] & 0xff) as usize]
+                    ^ t.t1[((s[(c + 1) % 4] >> 8) & 0xff) as usize]
+                    ^ t.t2[((s[(c + 2) % 4] >> 16) & 0xff) as usize]
+                    ^ t.t3[(s[(c + 3) % 4] >> 24) as usize]
+                    ^ rk[c];
+            }
+            state[b] = n;
+        }
+    }
+    let mut out = [[0u8; 16]; N];
+    for b in 0..N {
+        let rk = &keys[b].round_keys[10];
+        for c in 0..4 {
+            for r in 0..4 {
+                out[b][4 * c + r] =
+                    t.sbox[((state[b][(c + r) % 4] >> (8 * r)) & 0xff) as usize] ^ rk[4 * c + r];
+            }
+        }
+    }
+    out
+}
+
 // State layout: state[4*c + r] is row r, column c (column-major, matching
 // the FIPS byte order of the input block).
+
+#[inline(always)]
+fn round_key_words(rk: &[u8; 16]) -> [u32; 4] {
+    core::array::from_fn(|c| {
+        u32::from_le_bytes([rk[4 * c], rk[4 * c + 1], rk[4 * c + 2], rk[4 * c + 3]])
+    })
+}
 
 fn add_round_key(state: &mut [u8; 16], key: &[u8; 16]) {
     for i in 0..16 {
@@ -368,6 +499,42 @@ mod tests {
             let block: [u8; 16] =
                 core::array::from_fn(|j| i.wrapping_mul(17).wrapping_add(j as u8));
             assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn interleaved_blocks_match_scalar_path() {
+        let aes = Aes128::new(&[0x3C; 16]);
+        // Widths 1, 2, 4 and 8: the kernel is width-generic even though
+        // callers pin PARALLEL_BLOCKS.
+        fn check<const N: usize>(aes: &Aes128) {
+            for seed in 0..4u8 {
+                let blocks: [[u8; 16]; N] = core::array::from_fn(|b| {
+                    core::array::from_fn(|i| {
+                        seed.wrapping_mul(89).wrapping_add((b * 31 + i * 13) as u8)
+                    })
+                });
+                let batched = aes.encrypt_blocks(&blocks);
+                for (b, block) in blocks.iter().enumerate() {
+                    assert_eq!(batched[b], aes.encrypt_block(block), "seed {seed} slot {b}");
+                }
+            }
+        }
+        check::<1>(&aes);
+        check::<2>(&aes);
+        check::<PARALLEL_BLOCKS>(&aes);
+        check::<8>(&aes);
+    }
+
+    #[test]
+    fn multikey_blocks_match_per_key_scalar_path() {
+        let keys: [Aes128; 4] = core::array::from_fn(|k| Aes128::new(&[k as u8 * 55 + 3; 16]));
+        let blocks: [[u8; 16]; 4] =
+            core::array::from_fn(|b| core::array::from_fn(|i| (b * 47 + i * 11) as u8));
+        let refs: [&Aes128; 4] = core::array::from_fn(|k| &keys[k]);
+        let batched = encrypt_blocks_multikey(refs, &blocks);
+        for b in 0..4 {
+            assert_eq!(batched[b], keys[b].encrypt_block(&blocks[b]), "slot {b}");
         }
     }
 

@@ -13,13 +13,24 @@
 
 use blap_obs::prof;
 
-use crate::aes::Aes128;
+use crate::aes::{self, Aes128};
 
 /// Tag length in bytes (`M` in RFC 3610 terms).
 pub const TAG_LEN: usize = 8;
 
 /// Nonce length in bytes (`15 - L` with `L = 2`).
 pub const NONCE_LEN: usize = 13;
+
+/// Frames processed in lockstep by [`Ccm::open_many`]/[`Ccm::seal_many`]:
+/// their CBC-MAC chains are serial *within* a frame but independent
+/// *across* frames, so the batched paths run one chain per interleave slot
+/// of [`Aes128::encrypt_blocks`].
+pub const FRAME_LANES: usize = aes::PARALLEL_BLOCKS;
+
+/// Candidate session keys tested in lockstep by [`open_check_keys`] — the
+/// multi-key axis ([`aes::encrypt_blocks_multikey`]) the bulk
+/// key-confirmation path batches over.
+pub const KEY_LANES: usize = aes::PARALLEL_BLOCKS;
 
 /// Errors from CCM operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,24 +55,81 @@ impl std::fmt::Display for CcmError {
 
 impl std::error::Error for CcmError {}
 
-fn ctr_block(aes: &Aes128, nonce: &[u8; NONCE_LEN], counter: u16) -> [u8; 16] {
+/// The CTR input block `A_i` (RFC 3610 §2.3), *before* encryption.
+#[inline(always)]
+fn a_block(nonce: &[u8; NONCE_LEN], counter: u16) -> [u8; 16] {
     let mut a = [0u8; 16];
     a[0] = 0x01; // L' = L - 1 = 1
     a[1..14].copy_from_slice(nonce);
     a[14..16].copy_from_slice(&counter.to_be_bytes());
-    aes.encrypt_block(&a)
+    a
+}
+
+fn ctr_block(aes: &Aes128, nonce: &[u8; NONCE_LEN], counter: u16) -> [u8; 16] {
+    aes.encrypt_block(&a_block(nonce, counter))
+}
+
+/// The CBC-MAC header block `B_0`: flags, nonce, message length.
+#[inline(always)]
+fn b0_block(nonce: &[u8; NONCE_LEN], adata: bool, payload_len: usize) -> [u8; 16] {
+    let mut b0 = [0u8; 16];
+    // flags = 64*Adata + 8*((M-2)/2) + (L-1)
+    b0[0] = 64 * adata as u8 + 8 * (((TAG_LEN - 2) / 2) as u8) + 1;
+    b0[1..14].copy_from_slice(nonce);
+    b0[14..16].copy_from_slice(&(payload_len as u16).to_be_bytes());
+    b0
+}
+
+/// How many CBC-MAC blocks the length-prefixed associated data occupies.
+fn aad_blocks(aad: &[u8]) -> usize {
+    if aad.is_empty() {
+        0
+    } else {
+        (2 + aad.len()).div_ceil(16)
+    }
+}
+
+/// The `j`-th 16-byte chunk (zero-padded) of the conceptual stream
+/// `len(aad) as u16_be || aad` — the associated-data section of the
+/// CBC-MAC input, built without materializing a header Vec.
+#[inline(always)]
+fn aad_chunk(aad: &[u8], j: usize) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    let mut fill = 0usize;
+    if j == 0 {
+        block[..2].copy_from_slice(&(aad.len() as u16).to_be_bytes());
+        fill = 2;
+    }
+    let start = (16 * j).saturating_sub(2);
+    let end = (16 * (j + 1) - 2).min(aad.len());
+    if start < end {
+        block[fill..fill + (end - start)].copy_from_slice(&aad[start..end]);
+    }
+    block
+}
+
+/// The `j`-th CBC-MAC input block of a frame (`B_0`, then the
+/// length-prefixed associated data, then the zero-padded payload), for the
+/// lockstep batched chains. `j` must be below `1 + aad_blocks(aad) +
+/// payload.len().div_ceil(16)`.
+#[inline(always)]
+fn mac_block(nonce: &[u8; NONCE_LEN], aad: &[u8], payload: &[u8], j: usize) -> [u8; 16] {
+    if j == 0 {
+        return b0_block(nonce, !aad.is_empty(), payload.len());
+    }
+    let header = aad_blocks(aad);
+    if j <= header {
+        return aad_chunk(aad, j - 1);
+    }
+    let mut block = [0u8; 16];
+    let chunk = &payload[16 * (j - 1 - header)..];
+    let take = chunk.len().min(16);
+    block[..take].copy_from_slice(&chunk[..take]);
+    block
 }
 
 fn cbc_mac(aes: &Aes128, nonce: &[u8; NONCE_LEN], aad: &[u8], payload: &[u8]) -> [u8; TAG_LEN] {
-    // B0: flags | nonce | message length.
-    let mut b0 = [0u8; 16];
-    let adata = !aad.is_empty() as u8;
-    // flags = 64*Adata + 8*((M-2)/2) + (L-1)
-    b0[0] = 64 * adata + 8 * (((TAG_LEN - 2) / 2) as u8) + 1;
-    b0[1..14].copy_from_slice(nonce);
-    b0[14..16].copy_from_slice(&(payload.len() as u16).to_be_bytes());
-
-    let mut x = aes.encrypt_block(&b0);
+    let mut x = aes.encrypt_block(&b0_block(nonce, !aad.is_empty(), payload.len()));
 
     // Associated data, prefixed with its 2-byte length, zero-padded. ACL
     // AAD is a 2-byte handle, so the one-block fast path avoids building a
@@ -209,6 +277,661 @@ impl Ccm {
         }
         Ok(payload)
     }
+}
+
+impl Ccm {
+    /// Zero-allocation [`Ccm::seal`]: clears `out` and appends
+    /// `ciphertext || tag`. With enough capacity retained from a previous
+    /// call this never allocates — the scratch-reuse form the per-frame
+    /// loops use (PR-3 HCI `encode_into` idiom). The CTR keystream runs
+    /// through the interleaved kernel ([`Aes128::encrypt_blocks`]),
+    /// [`aes::PARALLEL_BLOCKS`] counters per pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcmError::PayloadTooLong`] for payloads over 65535 bytes
+    /// (`out` is left cleared).
+    pub fn seal_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CcmError> {
+        let _prof = prof::scope("crypto.ccm_seal");
+        out.clear();
+        if payload.len() > u16::MAX as usize {
+            return Err(CcmError::PayloadTooLong);
+        }
+        out.reserve(payload.len() + TAG_LEN);
+        let raw_tag = cbc_mac(&self.aes, nonce, aad, payload);
+        let a0 = self.ctr_xor_into(nonce, payload, out);
+        for i in 0..TAG_LEN {
+            out.push(raw_tag[i] ^ a0[i]);
+        }
+        Ok(())
+    }
+
+    /// Zero-allocation [`Ccm::open`]: clears `out` and appends the
+    /// verified plaintext. On any error `out` is left cleared — the
+    /// unauthenticated bytes are never observable. Keystream generation is
+    /// batched like [`Ccm::seal_into`]; the CBC-MAC chain stays serial
+    /// (it is serial by construction *within* a frame — [`Ccm::open_many`]
+    /// batches it *across* frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcmError::Truncated`] for inputs shorter than a tag and
+    /// [`CcmError::TagMismatch`] when authentication fails.
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CcmError> {
+        let _prof = prof::scope("crypto.ccm_open");
+        out.clear();
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(CcmError::Truncated);
+        }
+        let (ciphertext, tag) = ciphertext_and_tag.split_at(ciphertext_and_tag.len() - TAG_LEN);
+        out.reserve(ciphertext.len());
+        let a0 = self.ctr_xor_into(nonce, ciphertext, out);
+        let expected = cbc_mac(&self.aes, nonce, aad, out);
+        let mut diff = 0u8;
+        for i in 0..TAG_LEN {
+            diff |= expected[i] ^ tag[i] ^ a0[i];
+        }
+        if diff != 0 {
+            out.clear();
+            return Err(CcmError::TagMismatch);
+        }
+        Ok(())
+    }
+
+    /// Verifies the tag without materializing the plaintext (one stack
+    /// block of scratch) — the scalar confirmation path for the batched
+    /// key-candidate verdicts of [`open_check_keys`], mirroring how the
+    /// PIN cracker re-confirms batch hits with the scalar engine.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ccm::open`]: [`CcmError::Truncated`] or
+    /// [`CcmError::TagMismatch`].
+    pub fn verify(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+    ) -> Result<(), CcmError> {
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(CcmError::Truncated);
+        }
+        let (ciphertext, tag) = ciphertext_and_tag.split_at(ciphertext_and_tag.len() - TAG_LEN);
+        let mut x = self
+            .aes
+            .encrypt_block(&b0_block(nonce, !aad.is_empty(), ciphertext.len()));
+        for j in 0..aad_blocks(aad) {
+            x = self.aes.encrypt_block(&xor16(&x, &aad_chunk(aad, j)));
+        }
+        for (i, chunk) in ciphertext.chunks(16).enumerate() {
+            let ks = ctr_block(&self.aes, nonce, (i + 1) as u16);
+            let mut block = [0u8; 16];
+            for (b, &byte) in chunk.iter().enumerate() {
+                block[b] = byte ^ ks[b];
+            }
+            x = self.aes.encrypt_block(&xor16(&x, &block));
+        }
+        let a0 = ctr_block(&self.aes, nonce, 0);
+        let mut diff = 0u8;
+        for i in 0..TAG_LEN {
+            diff |= x[i] ^ tag[i] ^ a0[i];
+        }
+        if diff != 0 {
+            return Err(CcmError::TagMismatch);
+        }
+        Ok(())
+    }
+
+    /// Opens a slice of frames with both parallelism axes exploited:
+    /// CTR keystream blocks interleaved across frames *and* the per-frame
+    /// CBC-MAC chains run [`FRAME_LANES`] frames in lockstep (serial
+    /// within a frame, independent across frames — the across-frames
+    /// batching axis PR 6 used for SAFER+ candidates). Results land in the
+    /// reusable `out` buffer: one plaintext arena plus a per-frame
+    /// verdict, allocation-free once `out` has warmed up.
+    ///
+    /// Per-frame errors surface through [`OpenBatch::get`]; a truncated or
+    /// tampered frame never hides the neighbours in its batch.
+    pub fn open_many_into(&self, frames: &[SealedFrame<'_>], out: &mut OpenBatch) {
+        let _prof = prof::scope("crypto.ccm_open_many");
+        out.data.clear();
+        out.frames.clear();
+        const W: usize = FRAME_LANES;
+        let mut iter = frames.chunks(W);
+        let Some(first) = iter.next() else {
+            return;
+        };
+        // Software pipeline, one chunk deep: a chunk's CBC-MAC passes are
+        // serially dependent (pass j+1 chains on pass j's outputs), which
+        // leaves the out-of-order window starved between passes — measured
+        // ~60 ns/block against the kernel's ~38 ns throughput. CTR passes
+        // have no such chain, so the loop below runs chunk k's MAC passes
+        // alternated with chunk k+1's CTR passes: every serial MAC step
+        // has a full pass of independent work in flight next to it.
+        let mut cur_chunk = first;
+        let mut cur = prepare_chunk(cur_chunk, &mut out.data);
+        let cur_start = cur.start;
+        for j in 0..=cur.max_ctr {
+            let region = &mut out.data[cur_start..];
+            self.ctr_pass(&mut cur, cur_chunk, j, region, cur_start);
+        }
+        loop {
+            match iter.next() {
+                Some(next_chunk) => {
+                    let mut next = prepare_chunk(next_chunk, &mut out.data);
+                    let split = next.start;
+                    let (mac_data, ctr_data) = out.data.split_at_mut(split);
+                    let mut x = [[0u8; 16]; W];
+                    let passes = cur.mac_max.max(next.max_ctr + 1);
+                    for j in 0..passes {
+                        if j <= next.max_ctr {
+                            self.ctr_pass(&mut next, next_chunk, j, ctr_data, split);
+                        }
+                        if j < cur.mac_max {
+                            self.mac_pass(&cur, cur_chunk, j, mac_data, &mut x);
+                        }
+                    }
+                    push_verdicts(&cur, cur_chunk, &x, out);
+                    cur = next;
+                    cur_chunk = next_chunk;
+                }
+                None => {
+                    // Drain: the last chunk's MAC has no CTR to overlap.
+                    let mut x = [[0u8; 16]; W];
+                    for j in 0..cur.mac_max {
+                        let data = &out.data;
+                        self.mac_pass(&cur, cur_chunk, j, data, &mut x);
+                    }
+                    push_verdicts(&cur, cur_chunk, &x, out);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One lockstep CTR pass: encrypts counter `j` of every lane in the
+    /// chunk and xors the keystream into the arena region (`rebase` maps
+    /// the chunk's absolute arena offsets into `data`). Pass 0 captures the
+    /// per-lane tag-whitening pad `A_0` instead of producing payload.
+    fn ctr_pass(
+        &self,
+        g: &mut ChunkGeom,
+        chunk: &[SealedFrame<'_>],
+        j: usize,
+        data: &mut [u8],
+        rebase: usize,
+    ) {
+        let mut inputs = g.template;
+        if j == 0 {
+            g.a0 = self.aes.encrypt_blocks(&inputs);
+            return;
+        }
+        let cb = (j as u16).to_be_bytes();
+        for input in &mut inputs {
+            input[14] = cb[0];
+            input[15] = cb[1];
+        }
+        let ks = self.aes.encrypt_blocks(&inputs);
+        for (i, frame) in chunk.iter().enumerate() {
+            if j <= g.nblocks[i] {
+                let lo = 16 * (j - 1);
+                let hi = g.ct_len[i].min(16 * j);
+                let ct = &frame.ciphertext_and_tag[lo..hi];
+                let dst = &mut data[g.base[i] - rebase + lo..g.base[i] - rebase + hi];
+                for (b, (&c, k)) in ct.iter().zip(&ks[i]).enumerate() {
+                    dst[b] = c ^ k;
+                }
+            }
+        }
+    }
+
+    /// One lockstep CBC-MAC pass: chains block `j` of every live lane
+    /// (`B_0`, then length-prefixed AAD, then the decrypted payload read
+    /// back out of the arena). Exhausted lanes re-encrypt their state into
+    /// a discarded slot rather than branching the kernel.
+    fn mac_pass(
+        &self,
+        g: &ChunkGeom,
+        chunk: &[SealedFrame<'_>],
+        j: usize,
+        data: &[u8],
+        x: &mut [[u8; 16]; FRAME_LANES],
+    ) {
+        let mut inputs = *x;
+        for i in 0..FRAME_LANES {
+            if j >= g.blocks[i] {
+                continue;
+            }
+            if j == 0 {
+                inputs[i] = xor16(&x[i], &g.b0[i]);
+            } else if j <= g.header[i] {
+                inputs[i] = xor16(&x[i], &aad_chunk(chunk[i].aad, j - 1));
+            } else {
+                // Payload block: xor the (zero-padded) chunk straight into
+                // the chaining state — no 16-byte staging copy.
+                let off = 16 * (j - 1 - g.header[i]);
+                let take = (g.ct_len[i] - off).min(16);
+                let payload = &data[g.base[i] + off..g.base[i] + off + take];
+                for (b, &byte) in payload.iter().enumerate() {
+                    inputs[i][b] ^= byte;
+                }
+            }
+        }
+        let y = self.aes.encrypt_blocks(&inputs);
+        for i in 0..FRAME_LANES {
+            if j < g.blocks[i] {
+                x[i] = y[i];
+            }
+        }
+    }
+
+    /// Allocating convenience over [`Ccm::open_many_into`]: one
+    /// `Vec<u8>` per successfully opened frame.
+    pub fn open_many(&self, frames: &[SealedFrame<'_>]) -> Vec<Result<Vec<u8>, CcmError>> {
+        let mut batch = OpenBatch::new();
+        self.open_many_into(frames, &mut batch);
+        (0..batch.len())
+            .map(|i| batch.get(i).map(<[u8]>::to_vec))
+            .collect()
+    }
+
+    /// Seals a slice of frames with the CBC-MAC chains batched
+    /// [`FRAME_LANES`]-wide across frames and each frame's CTR keystream
+    /// through the interleaved kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcmError::PayloadTooLong`] if *any* payload exceeds the
+    /// 2-byte length field (nothing is sealed — a mixed batch is a caller
+    /// bug, not a partial success).
+    pub fn seal_many(&self, frames: &[PlainFrame<'_>]) -> Result<Vec<Vec<u8>>, CcmError> {
+        let _prof = prof::scope("crypto.ccm_seal_many");
+        if frames.iter().any(|f| f.payload.len() > u16::MAX as usize) {
+            return Err(CcmError::PayloadTooLong);
+        }
+        const W: usize = FRAME_LANES;
+        let mut sealed = Vec::with_capacity(frames.len());
+        for chunk in frames.chunks(W) {
+            let lanes = chunk.len();
+            let mac_lanes: [MacLane<'_>; W] = core::array::from_fn(|i| {
+                let lane = i.min(lanes - 1);
+                let aad = chunk[lane].aad;
+                MacLane {
+                    b0: b0_block(
+                        &chunk[lane].nonce,
+                        !aad.is_empty(),
+                        chunk[lane].payload.len(),
+                    ),
+                    aad,
+                    header: aad_blocks(aad),
+                    payload: chunk[lane].payload,
+                    blocks: if i < lanes {
+                        1 + aad_blocks(aad) + chunk[lane].payload.len().div_ceil(16)
+                    } else {
+                        0
+                    },
+                }
+            });
+            let tags = cbc_mac_lockstep(&self.aes, &mac_lanes);
+            for (i, frame) in chunk.iter().enumerate() {
+                let mut out = Vec::with_capacity(frame.payload.len() + TAG_LEN);
+                let a0 = self.ctr_xor_into(&frame.nonce, frame.payload, &mut out);
+                for b in 0..TAG_LEN {
+                    out.push(tags[i][b] ^ a0[b]);
+                }
+                sealed.push(out);
+            }
+        }
+        Ok(sealed)
+    }
+
+    /// CTR-transforms `src` (counters 1..) appending to `out`, keystream
+    /// blocks generated [`aes::PARALLEL_BLOCKS`] at a time through the
+    /// interleaved kernel; returns the counter-0 keystream block (the tag
+    /// whitening pad), which rides in the first interleave pass for free.
+    fn ctr_xor_into(&self, nonce: &[u8; NONCE_LEN], src: &[u8], out: &mut Vec<u8>) -> [u8; 16] {
+        const W: usize = aes::PARALLEL_BLOCKS;
+        let nblocks = src.len().div_ceil(16);
+        let mut a0 = [0u8; 16];
+        let mut counter = 0usize;
+        while counter <= nblocks {
+            // Over-generating up to W-1 keystream blocks past the end is
+            // harmless: the counters stay far below the u16 field (the
+            // 65535-byte payload cap bounds them at 4096).
+            let inputs: [[u8; 16]; W] =
+                core::array::from_fn(|i| a_block(nonce, (counter + i) as u16));
+            let ks = self.aes.encrypt_blocks(&inputs);
+            for (i, k) in ks.iter().enumerate() {
+                let c = counter + i;
+                if c == 0 {
+                    a0 = *k;
+                } else if c <= nblocks {
+                    let chunk = &src[16 * (c - 1)..src.len().min(16 * c)];
+                    for (b, &byte) in chunk.iter().enumerate() {
+                        out.push(byte ^ k[b]);
+                    }
+                }
+            }
+            counter += W;
+        }
+        a0
+    }
+}
+
+/// Borrowed view of one sealed frame for the batched open paths.
+#[derive(Clone, Copy, Debug)]
+pub struct SealedFrame<'a> {
+    /// The 13-byte CCM nonce the frame was sealed under.
+    pub nonce: [u8; NONCE_LEN],
+    /// Associated data (authenticated, not encrypted).
+    pub aad: &'a [u8],
+    /// `ciphertext || tag` as captured.
+    pub ciphertext_and_tag: &'a [u8],
+}
+
+/// Borrowed view of one plaintext frame for [`Ccm::seal_many`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlainFrame<'a> {
+    /// The 13-byte CCM nonce to seal under (unique per frame!).
+    pub nonce: [u8; NONCE_LEN],
+    /// Associated data (authenticated, not encrypted).
+    pub aad: &'a [u8],
+    /// The payload to seal.
+    pub payload: &'a [u8],
+}
+
+/// Reusable output of [`Ccm::open_many_into`]: all plaintexts in one
+/// arena plus a per-frame verdict. Clearing on reuse retains capacity, so
+/// a steady-state decrypt loop stops allocating once the arena has grown
+/// to the largest batch it has seen.
+#[derive(Clone, Debug, Default)]
+pub struct OpenBatch {
+    /// Plaintext arena, frames concatenated in input order.
+    data: Vec<u8>,
+    /// Per-frame verdict: arena byte range, or the open error.
+    frames: Vec<Result<(u32, u32), CcmError>>,
+}
+
+impl OpenBatch {
+    /// An empty buffer; capacity grows on first use.
+    pub fn new() -> OpenBatch {
+        OpenBatch::default()
+    }
+
+    /// Number of frames in the last [`Ccm::open_many_into`] call.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the buffer holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The verified plaintext of frame `i`, or why it failed to open.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn get(&self, i: usize) -> Result<&[u8], CcmError> {
+        match &self.frames[i] {
+            Ok((lo, hi)) => Ok(&self.data[*lo as usize..*hi as usize]),
+            Err(err) => Err(err.clone()),
+        }
+    }
+
+    /// Per-frame outcomes in input order.
+    pub fn iter(&self) -> impl Iterator<Item = Result<&[u8], CcmError>> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// Per-chunk lane geometry and carried CTR results for the pipelined
+/// [`Ccm::open_many_into`]: everything the CTR and MAC passes need, with
+/// no borrows into the arena so two chunks can be in flight at once.
+struct ChunkGeom {
+    /// Arena offset where this chunk's plaintext region starts.
+    start: usize,
+    /// Absolute arena offset of each lane's plaintext.
+    base: [usize; FRAME_LANES],
+    ct_len: [usize; FRAME_LANES],
+    valid: [bool; FRAME_LANES],
+    /// CTR payload blocks per lane (`ct_len.div_ceil(16)`).
+    nblocks: [usize; FRAME_LANES],
+    max_ctr: usize,
+    /// `aad_blocks(aad)` per lane.
+    header: [usize; FRAME_LANES],
+    /// Total MAC blocks per lane; 0 marks a padding/invalid lane.
+    blocks: [usize; FRAME_LANES],
+    mac_max: usize,
+    /// Precomputed `B_0` per lane (flags, nonce, length).
+    b0: [[u8; 16]; FRAME_LANES],
+    /// `A_0` CTR template per lane — passes re-stamp only the counter.
+    template: [[u8; 16]; FRAME_LANES],
+    /// Per-lane tag-whitening pad, captured by CTR pass 0.
+    a0: [[u8; 16]; FRAME_LANES],
+}
+
+/// Lays out a chunk's plaintext region in the arena and precomputes the
+/// per-lane block geometry. Too-short frames get zero blocks of work and a
+/// [`CcmError::Truncated`] verdict later. Padding lanes (ragged last
+/// chunk) replicate lane 0's nonce into their templates so the kernel
+/// encrypts something valid into a discarded slot.
+fn prepare_chunk(chunk: &[SealedFrame<'_>], data: &mut Vec<u8>) -> ChunkGeom {
+    const W: usize = FRAME_LANES;
+    let lanes = chunk.len();
+    let start = data.len();
+    let mut base = [0usize; W];
+    let mut ct_len = [0usize; W];
+    let mut valid = [false; W];
+    for (i, frame) in chunk.iter().enumerate() {
+        if frame.ciphertext_and_tag.len() >= TAG_LEN {
+            valid[i] = true;
+            ct_len[i] = frame.ciphertext_and_tag.len() - TAG_LEN;
+        }
+        base[i] = data.len();
+        data.resize(data.len() + ct_len[i], 0);
+    }
+    let nblocks: [usize; W] = core::array::from_fn(|i| ct_len[i].div_ceil(16));
+    let mut header = [0usize; W];
+    let mut blocks = [0usize; W];
+    let mut b0 = [[0u8; 16]; W];
+    let mut template = [[0u8; 16]; W];
+    for i in 0..W {
+        let lane = i.min(lanes - 1);
+        let aad = chunk[lane].aad;
+        header[i] = aad_blocks(aad);
+        b0[i] = b0_block(&chunk[lane].nonce, !aad.is_empty(), ct_len[lane]);
+        template[i] = a_block(&chunk[lane].nonce, 0);
+        if i < lanes && valid[i] {
+            blocks[i] = 1 + header[i] + nblocks[i];
+        }
+    }
+    ChunkGeom {
+        start,
+        base,
+        ct_len,
+        valid,
+        nblocks,
+        max_ctr: *nblocks.iter().max().expect("W > 0"),
+        header,
+        blocks,
+        mac_max: *blocks.iter().max().expect("W > 0"),
+        b0,
+        template,
+        a0: [[0u8; 16]; W],
+    }
+}
+
+/// Compares each lane's final MAC state against its (whitened) received
+/// tag and records the per-frame verdicts.
+fn push_verdicts(
+    g: &ChunkGeom,
+    chunk: &[SealedFrame<'_>],
+    x: &[[u8; 16]; FRAME_LANES],
+    out: &mut OpenBatch,
+) {
+    for (i, frame) in chunk.iter().enumerate() {
+        if !g.valid[i] {
+            out.frames.push(Err(CcmError::Truncated));
+            continue;
+        }
+        let tag = &frame.ciphertext_and_tag[g.ct_len[i]..];
+        let mut diff = 0u8;
+        for b in 0..TAG_LEN {
+            diff |= x[i][b] ^ tag[b] ^ g.a0[i][b];
+        }
+        if diff == 0 {
+            out.frames
+                .push(Ok((g.base[i] as u32, (g.base[i] + g.ct_len[i]) as u32)));
+        } else {
+            out.frames.push(Err(CcmError::TagMismatch));
+        }
+    }
+}
+
+/// One lane of a lockstep CBC-MAC batch.
+struct MacLane<'a> {
+    /// The precomputed `B_0` header block (flags, nonce, length) — built
+    /// once per lane so the per-pass hot loop never touches the nonce.
+    b0: [u8; 16],
+    aad: &'a [u8],
+    /// `aad_blocks(aad)`, hoisted out of the per-block selection.
+    header: usize,
+    payload: &'a [u8],
+    /// Total MAC blocks; 0 marks a padding/invalid lane that only keeps an
+    /// interleave slot occupied.
+    blocks: usize,
+}
+
+/// Runs [`FRAME_LANES`] CBC-MAC chains in lockstep: step `j` encrypts
+/// block `j` of every live lane in one interleaved pass. Lanes past their
+/// last block re-encrypt garbage in their slot without updating their
+/// state — ragged batches stay branch-light.
+fn cbc_mac_lockstep(
+    aes: &Aes128,
+    lanes: &[MacLane<'_>; FRAME_LANES],
+) -> [[u8; TAG_LEN]; FRAME_LANES] {
+    const W: usize = FRAME_LANES;
+    let max_blocks = lanes.iter().map(|l| l.blocks).max().unwrap_or(0);
+    let mut x = [[0u8; 16]; W];
+    for j in 0..max_blocks {
+        let mut inputs = x;
+        for (i, lane) in lanes.iter().enumerate() {
+            if j >= lane.blocks {
+                // Exhausted lane: re-encrypt the current state into a
+                // discarded slot rather than branching the kernel.
+            } else if j == 0 {
+                inputs[i] = xor16(&x[i], &lane.b0);
+            } else if j <= lane.header {
+                inputs[i] = xor16(&x[i], &aad_chunk(lane.aad, j - 1));
+            } else {
+                // Payload block: xor the (zero-padded) chunk straight into
+                // the chaining state — no 16-byte staging copy.
+                let off = 16 * (j - 1 - lane.header);
+                let take = (lane.payload.len() - off).min(16);
+                for (dst, src) in inputs[i].iter_mut().zip(&lane.payload[off..off + take]) {
+                    *dst ^= src;
+                }
+            }
+        }
+        let y = aes.encrypt_blocks(&inputs);
+        for i in 0..W {
+            if j < lanes[i].blocks {
+                x[i] = y[i];
+            }
+        }
+    }
+    core::array::from_fn(|i| core::array::from_fn(|b| x[i][b]))
+}
+
+/// Verifies one sealed frame under [`KEY_LANES`] candidate session keys at
+/// once — the eavesdrop analogue of the PIN cracker's
+/// `check_batch`: lanes are *keys*, not frames, interleaved through
+/// [`aes::encrypt_blocks_multikey`]. Returns a bitmask of lanes whose tag
+/// authenticated (bit `i` = `ccms[i]`); a truncated input returns 0.
+///
+/// `scratch` holds the per-lane trial decryptions between the CTR and MAC
+/// phases and is reused across calls without allocating in steady state.
+/// Callers should re-confirm any set lane with the scalar [`Ccm::verify`],
+/// like the PIN cracker re-confirms batch hits.
+pub fn open_check_keys(
+    ccms: [&Ccm; KEY_LANES],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext_and_tag: &[u8],
+    scratch: &mut Vec<u8>,
+) -> u8 {
+    let _prof = prof::scope("crypto.ccm_check_keys");
+    const W: usize = KEY_LANES;
+    if ciphertext_and_tag.len() < TAG_LEN {
+        return 0;
+    }
+    let (ct, tag) = ciphertext_and_tag.split_at(ciphertext_and_tag.len() - TAG_LEN);
+    let nblocks = ct.len().div_ceil(16);
+    let keys: [&Aes128; W] = core::array::from_fn(|i| &ccms[i].aes);
+
+    // CTR phase: the A_j input is key-independent, so every pass encrypts
+    // the same block under the W candidate schedules.
+    scratch.clear();
+    scratch.resize(W * ct.len(), 0);
+    let mut a0 = [[0u8; 16]; W];
+    for j in 0..=nblocks {
+        let block = a_block(nonce, j as u16);
+        let ks = aes::encrypt_blocks_multikey(keys, &[block; W]);
+        if j == 0 {
+            a0 = ks;
+            continue;
+        }
+        let lo = 16 * (j - 1);
+        let hi = ct.len().min(16 * j);
+        for i in 0..W {
+            let dst = &mut scratch[i * ct.len() + lo..i * ct.len() + hi];
+            for (b, (&c, k)) in ct[lo..hi].iter().zip(&ks[i]).enumerate() {
+                dst[b] = c ^ k;
+            }
+        }
+    }
+
+    // MAC phase: each lane chains over its own trial plaintext.
+    let blocks = 1 + aad_blocks(aad) + nblocks;
+    let mut x = [[0u8; 16]; W];
+    for j in 0..blocks {
+        let inputs: [[u8; 16]; W] = core::array::from_fn(|i| {
+            let payload = &scratch[i * ct.len()..(i + 1) * ct.len()];
+            xor16(&x[i], &mac_block(nonce, aad, payload, j))
+        });
+        x = aes::encrypt_blocks_multikey(keys, &inputs);
+    }
+
+    let mut mask = 0u8;
+    for i in 0..W {
+        let mut diff = 0u8;
+        for b in 0..TAG_LEN {
+            diff |= x[i][b] ^ tag[b] ^ a0[i][b];
+        }
+        if diff == 0 {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+#[inline(always)]
+fn xor16(a: &[u8; 16], b: &[u8; 16]) -> [u8; 16] {
+    core::array::from_fn(|i| a[i] ^ b[i])
 }
 
 /// Encrypts `payload` with associated data `aad`, returning
@@ -360,5 +1083,228 @@ mod tests {
         let n1 = acl_nonce(1, central);
         let n2 = acl_nonce(2, central);
         assert_ne!(n1, n2);
+    }
+
+    /// RFC 3610 Packet Vector #1 uses exactly our parameters (M = 8,
+    /// L = 2), so the published bytes pin the scalar kernel against an
+    /// external reference instead of only self-round-trips.
+    #[test]
+    fn rfc3610_packet_vector_1() {
+        let key: [u8; 16] = core::array::from_fn(|i| 0xC0 + i as u8);
+        let nonce: [u8; NONCE_LEN] = [
+            0x00, 0x00, 0x00, 0x03, 0x02, 0x01, 0x00, 0xA0, 0xA1, 0xA2, 0xA3, 0xA4, 0xA5,
+        ];
+        let aad: Vec<u8> = (0x00..=0x07).collect();
+        let payload: Vec<u8> = (0x08..=0x1E).collect();
+        let expected: [u8; 31] = [
+            0x58, 0x8C, 0x97, 0x9A, 0x61, 0xC6, 0x63, 0xD2, 0xF0, 0x66, 0xD0, 0xC2, 0xC0, 0xF9,
+            0x89, 0x80, 0x6D, 0x5F, 0x6B, 0x61, 0xDA, 0xC3, 0x84, 0x17, 0xE8, 0xD1, 0x2C, 0xFD,
+            0xF9, 0x26, 0xE0,
+        ];
+        let sealed = encrypt(&key, &nonce, &aad, &payload).unwrap();
+        assert_eq!(sealed, expected);
+        assert_eq!(decrypt(&key, &nonce, &aad, &expected).unwrap(), payload);
+        let ccm = Ccm::new(&key);
+        assert_eq!(ccm.verify(&nonce, &aad, &expected), Ok(()));
+        let mut out = Vec::new();
+        ccm.open_into(&nonce, &aad, &expected, &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn seal_into_open_into_match_scalar_paths() {
+        let ccm = Ccm::new(&key());
+        let mut sealed = Vec::new();
+        let mut opened = Vec::new();
+        for len in [0usize, 1, 15, 16, 17, 48, 63, 64, 65, 200] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+            ccm.seal_into(&nonce(20), b"aad", &payload, &mut sealed)
+                .unwrap();
+            assert_eq!(
+                sealed,
+                ccm.seal(&nonce(20), b"aad", &payload).unwrap(),
+                "length {len}"
+            );
+            ccm.open_into(&nonce(20), b"aad", &sealed, &mut opened)
+                .unwrap();
+            assert_eq!(opened, payload, "length {len}");
+        }
+    }
+
+    #[test]
+    fn open_into_clears_output_on_failure() {
+        let ccm = Ccm::new(&key());
+        let mut sealed = ccm.seal(&nonce(21), b"", b"sensitive").unwrap();
+        let mut out = Vec::new();
+        *sealed.last_mut().unwrap() ^= 1;
+        assert_eq!(
+            ccm.open_into(&nonce(21), b"", &sealed, &mut out),
+            Err(CcmError::TagMismatch)
+        );
+        assert!(out.is_empty());
+        assert_eq!(
+            ccm.open_into(&nonce(21), b"", &[0u8; TAG_LEN - 1], &mut out),
+            Err(CcmError::Truncated)
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn verify_agrees_with_open() {
+        let ccm = Ccm::new(&key());
+        for len in [0usize, 5, 16, 40, 100] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 3) as u8).collect();
+            let sealed = ccm.seal(&nonce(22), b"hdr", &payload).unwrap();
+            assert_eq!(ccm.verify(&nonce(22), b"hdr", &sealed), Ok(()));
+            let mut bad = sealed.clone();
+            bad[len / 2] ^= 0x80;
+            assert_eq!(
+                ccm.verify(&nonce(22), b"hdr", &bad),
+                Err(CcmError::TagMismatch),
+                "length {len}"
+            );
+        }
+        assert_eq!(
+            ccm.verify(&nonce(22), b"", &[0u8; 3]),
+            Err(CcmError::Truncated)
+        );
+    }
+
+    /// Batched open must agree with the scalar reference lane for lane,
+    /// including ragged final batches (every count around FRAME_LANES).
+    #[test]
+    fn open_many_matches_scalar_lane_for_lane() {
+        let ccm = Ccm::new(&key());
+        for count in 0..=2 * FRAME_LANES + 1 {
+            let aads: Vec<Vec<u8>> = (0..count)
+                .map(|i| (0..(i * 5) % 23).map(|b| b as u8).collect())
+                .collect();
+            let sealed: Vec<Vec<u8>> = (0..count)
+                .map(|i| {
+                    let payload: Vec<u8> = (0..(i * 31) % 70).map(|b| (b + i) as u8).collect();
+                    ccm.seal(&nonce(i as u8), &aads[i], &payload).unwrap()
+                })
+                .collect();
+            let frames: Vec<SealedFrame<'_>> = (0..count)
+                .map(|i| SealedFrame {
+                    nonce: nonce(i as u8),
+                    aad: &aads[i],
+                    ciphertext_and_tag: &sealed[i],
+                })
+                .collect();
+            let batched = ccm.open_many(&frames);
+            assert_eq!(batched.len(), count);
+            for (i, got) in batched.iter().enumerate() {
+                let want = ccm.open(&nonce(i as u8), &aads[i], &sealed[i]);
+                assert_eq!(got, &want, "count {count} lane {i}");
+            }
+        }
+    }
+
+    /// A tampered or truncated lane fails alone; its batch neighbours
+    /// still open.
+    #[test]
+    fn open_many_isolates_bad_lanes() {
+        let ccm = Ccm::new(&key());
+        let sealed: Vec<Vec<u8>> = (0..FRAME_LANES + 2)
+            .map(|i| {
+                ccm.seal(&nonce(i as u8), b"aad", format!("payload {i}").as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        let mut tampered = sealed[1].clone();
+        tampered[0] ^= 1;
+        let frames: Vec<SealedFrame<'_>> = (0..sealed.len())
+            .map(|i| SealedFrame {
+                nonce: nonce(i as u8),
+                aad: b"aad",
+                ciphertext_and_tag: match i {
+                    1 => &tampered,
+                    2 => &sealed[2][..TAG_LEN - 1],
+                    _ => &sealed[i],
+                },
+            })
+            .collect();
+        let mut batch = OpenBatch::new();
+        ccm.open_many_into(&frames, &mut batch);
+        assert_eq!(batch.len(), frames.len());
+        for (i, got) in batch.iter().enumerate() {
+            match i {
+                1 => assert_eq!(got, Err(CcmError::TagMismatch)),
+                2 => assert_eq!(got, Err(CcmError::Truncated)),
+                _ => assert_eq!(got, Ok(format!("payload {i}").as_bytes())),
+            }
+        }
+    }
+
+    #[test]
+    fn seal_many_matches_scalar_lane_for_lane() {
+        let ccm = Ccm::new(&key());
+        for count in [0usize, 1, FRAME_LANES - 1, FRAME_LANES, FRAME_LANES + 1, 9] {
+            let payloads: Vec<Vec<u8>> = (0..count)
+                .map(|i| (0..(i * 17) % 50).map(|b| (b * 3 + i) as u8).collect())
+                .collect();
+            let frames: Vec<PlainFrame<'_>> = (0..count)
+                .map(|i| PlainFrame {
+                    nonce: nonce(i as u8),
+                    aad: b"hdr",
+                    payload: &payloads[i],
+                })
+                .collect();
+            let batched = ccm.seal_many(&frames).unwrap();
+            for (i, got) in batched.iter().enumerate() {
+                let want = ccm.seal(&nonce(i as u8), b"hdr", &payloads[i]).unwrap();
+                assert_eq!(got, &want, "count {count} lane {i}");
+            }
+        }
+        let too_long = vec![0u8; u16::MAX as usize + 1];
+        let frames = [PlainFrame {
+            nonce: nonce(0),
+            aad: b"",
+            payload: &too_long,
+        }];
+        assert_eq!(ccm.seal_many(&frames), Err(CcmError::PayloadTooLong));
+    }
+
+    #[test]
+    fn open_check_keys_flags_exactly_the_right_lane() {
+        let right = Ccm::new(&key());
+        let sealed = right
+            .seal(&nonce(30), b"aad", b"confirm me please")
+            .unwrap();
+        let wrong: Vec<Ccm> = (0..KEY_LANES)
+            .map(|i| {
+                let mut k = key();
+                k[0] ^= (i + 1) as u8;
+                Ccm::new(&k)
+            })
+            .collect();
+        let mut scratch = Vec::new();
+        for slot in 0..KEY_LANES {
+            let ccms: [&Ccm; KEY_LANES] =
+                core::array::from_fn(|i| if i == slot { &right } else { &wrong[i] });
+            let mask = open_check_keys(ccms, &nonce(30), b"aad", &sealed, &mut scratch);
+            assert_eq!(mask, 1 << slot, "right key in slot {slot}");
+        }
+        let all_wrong: [&Ccm; KEY_LANES] = core::array::from_fn(|i| &wrong[i]);
+        assert_eq!(
+            open_check_keys(all_wrong, &nonce(30), b"aad", &sealed, &mut scratch),
+            0
+        );
+        let all_right: [&Ccm; KEY_LANES] = core::array::from_fn(|_| &right);
+        assert_eq!(
+            open_check_keys(all_right, &nonce(30), b"aad", &sealed, &mut scratch),
+            ((1u16 << KEY_LANES) - 1) as u8
+        );
+        assert_eq!(
+            open_check_keys(
+                all_right,
+                &nonce(30),
+                b"aad",
+                &sealed[..TAG_LEN - 1],
+                &mut scratch
+            ),
+            0
+        );
     }
 }

@@ -15,7 +15,12 @@
 //! * [`saferplus`] + [`e1`] — the legacy SAFER+-based `E1`/`E21`/`E22`/`E3`
 //!   functions used by pre-SSP LMP authentication,
 //! * [`batch`] — byte-sliced SWAR batch kernels running the SAFER+
-//!   pipeline for eight candidate keys at once (the PIN-cracking hot path).
+//!   pipeline for eight candidate keys at once (the PIN-cracking hot path),
+//! * [`aes`] + [`ccm`] — AES-128 (T-table, with an interleaved
+//!   multi-block kernel) and AES-CCM link encryption, including batched
+//!   `open_many`/`seal_many` over frame slices and a multi-key
+//!   `open_check_keys` lane for bulk link-key confirmation (the
+//!   eavesdrop hot path).
 //!
 //! # Example: derive the same link key on both sides
 //!

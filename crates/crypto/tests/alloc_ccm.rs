@@ -1,0 +1,144 @@
+//! Allocation accounting for the batched CCM paths.
+//!
+//! The eavesdrop decrypt loop feeds captures through `open_many_into` and
+//! falls back to `open_into` — both promise allocation-free steady state
+//! once their output buffers have warmed up to the workload's high-water
+//! mark. These tests pin that with the shared counting allocator from
+//! `blap_obs::prof` (feature `prof-alloc`), the same discipline
+//! `crates/core/tests/alloc_count.rs` enforces for the PIN-crack loop.
+
+use blap_crypto::ccm::{Ccm, OpenBatch, SealedFrame, FRAME_LANES, KEY_LANES};
+use blap_obs::prof;
+
+#[global_allocator]
+static GLOBAL: prof::CountingAlloc = prof::CountingAlloc;
+
+/// The exact-count assertions below read process-wide counters, so the
+/// tests in this binary must not allocate concurrently with each other's
+/// measurement windows.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Minimum allocation count over several windows: the counters are
+/// process-wide, so the libtest coordinator thread can allocate (status
+/// lines, spawning the next test) concurrently with one window — but not
+/// with all of them. A genuinely allocation-free steady state shows at
+/// least one clean window; a per-call allocation never does.
+fn min_allocations_during(mut f: impl FnMut()) -> usize {
+    (0..5)
+        .map(|_| {
+            let (count, _bytes) = prof::allocations_during(&mut f);
+            count as usize
+        })
+        .min()
+        .expect("non-empty window set")
+}
+
+fn sealed_frames(ccm: &Ccm, count: usize) -> Vec<([u8; 13], Vec<u8>, Vec<u8>)> {
+    (0..count)
+        .map(|i| {
+            let mut nonce = [0u8; 13];
+            nonce[0] = i as u8;
+            let aad = vec![i as u8; 2];
+            let payload: Vec<u8> = (0..64u8).map(|b| b.wrapping_add(i as u8)).collect();
+            let ct = ccm.seal(&nonce, &aad, &payload).expect("seal");
+            (nonce, aad, ct)
+        })
+        .collect()
+}
+
+#[test]
+fn open_into_is_zero_alloc_once_warm() {
+    let _serial = SERIAL.lock().unwrap();
+    let ccm = Ccm::new(&[0x42; 16]);
+    let frames = sealed_frames(&ccm, 1);
+    let (nonce, aad, ct) = &frames[0];
+    let mut out = Vec::new();
+    // Warm-up grows `out` to the payload length; steady state reuses it.
+    ccm.open_into(nonce, aad, ct, &mut out).expect("open");
+    let count = min_allocations_during(|| {
+        for _ in 0..100 {
+            ccm.open_into(nonce, aad, ct, &mut out).expect("open");
+        }
+        std::hint::black_box(&out);
+    });
+    assert_eq!(
+        count, 0,
+        "open_into must not allocate once its scratch is warm, got {count}"
+    );
+}
+
+#[test]
+fn seal_into_is_zero_alloc_once_warm() {
+    let _serial = SERIAL.lock().unwrap();
+    let ccm = Ccm::new(&[0x42; 16]);
+    let nonce = [7u8; 13];
+    let payload = [0x5A; 64];
+    let mut out = Vec::new();
+    ccm.seal_into(&nonce, b"hd", &payload, &mut out)
+        .expect("seal");
+    let count = min_allocations_during(|| {
+        for _ in 0..100 {
+            ccm.seal_into(&nonce, b"hd", &payload, &mut out)
+                .expect("seal");
+        }
+        std::hint::black_box(&out);
+    });
+    assert_eq!(
+        count, 0,
+        "seal_into must not allocate once its scratch is warm, got {count}"
+    );
+}
+
+#[test]
+fn open_many_into_is_zero_alloc_once_warm() {
+    let _serial = SERIAL.lock().unwrap();
+    let ccm = Ccm::new(&[0x42; 16]);
+    // A ragged batch: 2 full chunks plus a partial tail.
+    let frames = sealed_frames(&ccm, 2 * FRAME_LANES + 3);
+    let views: Vec<SealedFrame<'_>> = frames
+        .iter()
+        .map(|(nonce, aad, ct)| SealedFrame {
+            nonce: *nonce,
+            aad,
+            ciphertext_and_tag: ct,
+        })
+        .collect();
+    let mut batch = OpenBatch::new();
+    ccm.open_many_into(&views, &mut batch);
+    assert!(batch.iter().all(|v| v.is_ok()));
+    let count = min_allocations_during(|| {
+        for _ in 0..20 {
+            ccm.open_many_into(&views, &mut batch);
+        }
+        std::hint::black_box(&batch);
+    });
+    assert_eq!(
+        count, 0,
+        "open_many_into must reuse the warmed OpenBatch arena, got {count} \
+         allocations — is a per-chunk or per-frame buffer being rebuilt?"
+    );
+}
+
+#[test]
+fn open_check_keys_is_zero_alloc_once_warm() {
+    let _serial = SERIAL.lock().unwrap();
+    let ccms: Vec<Ccm> = (0..KEY_LANES as u8).map(|i| Ccm::new(&[i; 16])).collect();
+    let refs: [&Ccm; KEY_LANES] = core::array::from_fn(|i| &ccms[i]);
+    let frames = sealed_frames(&ccms[3], 1);
+    let (nonce, aad, ct) = &frames[0];
+    let mut scratch = Vec::new();
+    assert_eq!(
+        blap_crypto::ccm::open_check_keys(refs, nonce, aad, ct, &mut scratch),
+        1 << 3
+    );
+    let count = min_allocations_during(|| {
+        for _ in 0..100 {
+            let mask = blap_crypto::ccm::open_check_keys(refs, nonce, aad, ct, &mut scratch);
+            std::hint::black_box(mask);
+        }
+    });
+    assert_eq!(
+        count, 0,
+        "open_check_keys must reuse the caller's scratch, got {count}"
+    );
+}

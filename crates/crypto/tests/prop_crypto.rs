@@ -269,3 +269,138 @@ proptest! {
         }
     }
 }
+
+mod ccm_batch {
+    use blap_crypto::ccm::{
+        self, open_check_keys, Ccm, CcmError, OpenBatch, PlainFrame, SealedFrame, KEY_LANES,
+        TAG_LEN,
+    };
+    use proptest::prelude::*;
+
+    /// Frame material for batched-vs-scalar equivalence: arbitrary payload
+    /// lengths and AADs per lane, frame counts straddling multiples of
+    /// `FRAME_LANES` so ragged final batches are always exercised.
+    fn frames_strategy() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>, [u8; ccm::NONCE_LEN])>> {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(any::<u8>(), 0..80),
+                proptest::collection::vec(any::<u8>(), 0..40),
+                any::<[u8; ccm::NONCE_LEN]>(),
+            ),
+            1..2 * ccm::FRAME_LANES + 4,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn open_many_matches_scalar_open_lane_for_lane(key in any::<[u8; 16]>(),
+                                                       frames in frames_strategy()) {
+            let ccm = Ccm::new(&key);
+            let sealed: Vec<Vec<u8>> = frames
+                .iter()
+                .map(|(payload, aad, nonce)| ccm.seal(nonce, aad, payload).unwrap())
+                .collect();
+            let views: Vec<SealedFrame<'_>> = frames
+                .iter()
+                .zip(&sealed)
+                .map(|((_, aad, nonce), ct)| SealedFrame {
+                    nonce: *nonce,
+                    aad,
+                    ciphertext_and_tag: ct,
+                })
+                .collect();
+            let batched = ccm.open_many(&views);
+            prop_assert_eq!(batched.len(), frames.len());
+            for (i, ((payload, aad, nonce), got)) in frames.iter().zip(&batched).enumerate() {
+                let want = ccm.open(nonce, aad, &sealed[i]);
+                prop_assert_eq!(got, &want, "lane {}", i);
+                prop_assert_eq!(got.as_deref().ok(), Some(payload.as_slice()), "lane {}", i);
+            }
+        }
+
+        #[test]
+        fn open_many_rejects_tamper_and_truncation_per_lane(key in any::<[u8; 16]>(),
+                                                            frames in frames_strategy(),
+                                                            bad in 0usize..64,
+                                                            short in 0usize..64,
+                                                            flip_at in 0usize..4096) {
+            let ccm = Ccm::new(&key);
+            let mut sealed: Vec<Vec<u8>> = frames
+                .iter()
+                .map(|(payload, aad, nonce)| ccm.seal(nonce, aad, payload).unwrap())
+                .collect();
+            let bad = bad % frames.len();
+            let short = short % frames.len();
+            let flip = flip_at % sealed[bad].len();
+            sealed[bad][flip] ^= 0x01;
+            if short != bad {
+                sealed[short].truncate(TAG_LEN - 1);
+            }
+            let views: Vec<SealedFrame<'_>> = frames
+                .iter()
+                .zip(&sealed)
+                .map(|((_, aad, nonce), ct)| SealedFrame {
+                    nonce: *nonce,
+                    aad,
+                    ciphertext_and_tag: ct,
+                })
+                .collect();
+            let mut batch = OpenBatch::new();
+            ccm.open_many_into(&views, &mut batch);
+            for (i, (payload, _, _)) in frames.iter().enumerate() {
+                let got = batch.get(i);
+                if i == bad {
+                    prop_assert_eq!(got, Err(CcmError::TagMismatch), "tampered lane {}", i);
+                } else if i == short {
+                    prop_assert_eq!(got, Err(CcmError::Truncated), "truncated lane {}", i);
+                } else {
+                    prop_assert_eq!(got, Ok(payload.as_slice()), "honest lane {}", i);
+                }
+            }
+        }
+
+        #[test]
+        fn seal_many_and_into_paths_match_scalar(key in any::<[u8; 16]>(),
+                                                 frames in frames_strategy()) {
+            let ccm = Ccm::new(&key);
+            let views: Vec<PlainFrame<'_>> = frames
+                .iter()
+                .map(|(payload, aad, nonce)| PlainFrame {
+                    nonce: *nonce,
+                    aad,
+                    payload,
+                })
+                .collect();
+            let batched = ccm.seal_many(&views).unwrap();
+            let mut scratch = Vec::new();
+            let mut opened = Vec::new();
+            for (i, (payload, aad, nonce)) in frames.iter().enumerate() {
+                let want = ccm.seal(nonce, aad, payload).unwrap();
+                prop_assert_eq!(&batched[i], &want, "seal lane {}", i);
+                ccm.seal_into(nonce, aad, payload, &mut scratch).unwrap();
+                prop_assert_eq!(&scratch, &want, "seal_into lane {}", i);
+                ccm.open_into(nonce, aad, &want, &mut opened).unwrap();
+                prop_assert_eq!(&opened, payload, "open_into lane {}", i);
+                prop_assert_eq!(ccm.verify(nonce, aad, &want), Ok(()), "verify lane {}", i);
+            }
+        }
+
+        #[test]
+        fn open_check_keys_matches_scalar_verify(keys in proptest::collection::vec(any::<[u8; 16]>(), KEY_LANES..KEY_LANES + 1),
+                                                 right in 0usize..KEY_LANES,
+                                                 payload in proptest::collection::vec(any::<u8>(), 0..64),
+                                                 aad in proptest::collection::vec(any::<u8>(), 0..20),
+                                                 nonce in any::<[u8; ccm::NONCE_LEN]>()) {
+            let ccms: Vec<Ccm> = keys.iter().map(Ccm::new).collect();
+            let sealed = ccms[right].seal(&nonce, &aad, &payload).unwrap();
+            let refs: [&Ccm; KEY_LANES] = core::array::from_fn(|i| &ccms[i]);
+            let mut scratch = Vec::new();
+            let mask = open_check_keys(refs, &nonce, &aad, &sealed, &mut scratch);
+            for (i, ccm) in ccms.iter().enumerate() {
+                let scalar_ok = ccm.verify(&nonce, &aad, &sealed).is_ok();
+                prop_assert_eq!(mask & (1 << i) != 0, scalar_ok, "lane {}", i);
+            }
+            prop_assert!(mask & (1 << right) != 0, "sealing key must verify");
+        }
+    }
+}

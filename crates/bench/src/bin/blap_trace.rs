@@ -1,23 +1,37 @@
-//! Trace analysis CLI: invariant checking, timeline profiling, and
-//! artifact diffing for the observability artifacts the experiment
-//! binaries emit with `--trace` / `--metrics`.
+//! Trace analysis CLI: invariant checking, timeline profiling, format
+//! conversion, and artifact diffing for the observability artifacts the
+//! experiment binaries emit with `--trace` / `--metrics`.
 //!
 //! ```text
-//! blap-trace check    <trace.jsonl>          # exit 1 on any violation
-//! blap-trace timeline <trace.jsonl>          # phase-latency profile
+//! blap-trace check    <trace>                # exit 1 on any violation
+//! blap-trace timeline <trace>                # phase-latency profile
+//! blap-trace convert  <in> <out>             # binary <-> JSONL
 //! blap-trace diff     <a> <b>                # exit 1 on unexplained drift
 //! ```
+//!
+//! `check`, `timeline`, `convert`, and trace `diff` all **stream**: lines
+//! (or binary frames) are fed through the constant-memory
+//! [`blap_obs::StreamAnalyzer`] / [`blap_obs::TraceDiff`] as they are
+//! read, so a campaign-scale artifact is analyzed without ever being
+//! materialized. Trace inputs may be JSONL or the `b"BLAPTRC1"` binary
+//! encoding — the format is sniffed from the first 8 bytes. `convert`
+//! flips the format: a JSONL input is written as binary and vice versa,
+//! and the round trip is byte-deterministic (a non-canonical JSONL line
+//! is an error, not a silent rewrite).
 //!
 //! `diff` picks the comparison by extension: two `.json` files are
 //! compared structurally as metrics documents (run-dependent `wall_ms` /
 //! `*wall_us*` paths excused); anything else is compared line-by-line as a
 //! trace. Exit codes: 0 clean, 1 violations/drift, 2 usage or parse error.
 
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
-use blap_obs::{analyze_trace, diff_metrics, diff_traces};
+use blap_obs::binfmt::{self, Frame, FrameWriter};
+use blap_obs::{diff_metrics, FrameReader, StreamAnalyzer, TraceDiff};
 
-const USAGE: &str = "usage: blap-trace <check|timeline|diff> <file> [file2]";
+const USAGE: &str = "usage: blap-trace <check|timeline|convert|diff> <file> [file2]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +42,10 @@ fn main() -> ExitCode {
         },
         Some("timeline") => match args.as_slice() {
             [_, path] => timeline(path),
+            _ => usage(),
+        },
+        Some("convert") => match args.as_slice() {
+            [_, input, output] => convert(input, output),
             _ => usage(),
         },
         Some("diff") => match args.as_slice() {
@@ -43,19 +61,135 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn read(path: &str) -> Result<String, ExitCode> {
-    std::fs::read_to_string(path).map_err(|err| {
+/// A trace input stream with its sniffed format: the first
+/// `MAGIC.len()` bytes decide binary vs JSONL, and are pushed back so
+/// the reader sees the stream from byte 0.
+enum TraceInput {
+    Jsonl(BufReader<PrefixedReader>),
+    Binary(FrameReader<BufReader<PrefixedReader>>),
+}
+
+/// A file with its sniffed prefix stitched back on.
+struct PrefixedReader {
+    prefix: std::io::Cursor<Vec<u8>>,
+    file: File,
+}
+
+impl Read for PrefixedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.prefix.read(buf)?;
+        if n > 0 {
+            return Ok(n);
+        }
+        self.file.read(buf)
+    }
+}
+
+fn open_trace(path: &str) -> Result<TraceInput, ExitCode> {
+    let mut file = File::open(path).map_err(|err| {
         eprintln!("error: cannot read {path}: {err}");
         ExitCode::from(2)
-    })
+    })?;
+    let mut prefix = vec![0u8; binfmt::MAGIC.len()];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match file.read(&mut prefix[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) => {
+                eprintln!("error: cannot read {path}: {err}");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    prefix.truncate(filled);
+    let binary = binfmt::is_binary(&prefix);
+    let reader = BufReader::new(PrefixedReader {
+        prefix: std::io::Cursor::new(prefix),
+        file,
+    });
+    if binary {
+        let frames = FrameReader::new(reader).map_err(|err| {
+            eprintln!("error: {path}: {err}");
+            ExitCode::from(2)
+        })?;
+        Ok(TraceInput::Binary(frames))
+    } else {
+        Ok(TraceInput::Jsonl(reader))
+    }
+}
+
+/// Reads one line into `buf` (cleared first), stripping the trailing
+/// `\n` / `\r\n` exactly as `str::lines` does. `Ok(false)` at EOF.
+fn next_line<R: BufRead>(reader: &mut R, buf: &mut String) -> std::io::Result<bool> {
+    buf.clear();
+    if reader.read_line(buf)? == 0 {
+        return Ok(false);
+    }
+    if buf.ends_with('\n') {
+        buf.pop();
+        if buf.ends_with('\r') {
+            buf.pop();
+        }
+    }
+    Ok(true)
+}
+
+/// Streams a trace — either format — through a fresh analyzer.
+fn analyze_stream(path: &str, input: TraceInput) -> Result<blap_obs::TraceAnalysis, ExitCode> {
+    let mut analyzer = StreamAnalyzer::new();
+    match input {
+        TraceInput::Jsonl(mut reader) => {
+            let mut line = String::new();
+            loop {
+                match next_line(&mut reader, &mut line) {
+                    Ok(false) => break,
+                    Ok(true) => {
+                        if let Err(err) = analyzer.push_line(&line) {
+                            eprintln!("error: {path}: {err}");
+                            return Err(ExitCode::from(2));
+                        }
+                    }
+                    Err(err) => {
+                        eprintln!("error: cannot read {path}: {err}");
+                        return Err(ExitCode::from(2));
+                    }
+                }
+            }
+        }
+        TraceInput::Binary(mut frames) => {
+            // Frames render to canonical JSONL lines and take the same
+            // path as a converted file would: one analyzer, two formats.
+            let mut line = String::new();
+            loop {
+                match frames.next_frame() {
+                    Ok(Some(frame)) => {
+                        line.clear();
+                        frame.render_jsonl(&mut line);
+                        if let Err(err) = analyzer.push_line(&line) {
+                            eprintln!("error: {path}: {err}");
+                            return Err(ExitCode::from(2));
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(err) => {
+                        eprintln!("error: {path}: {err}");
+                        return Err(ExitCode::from(2));
+                    }
+                }
+            }
+        }
+    }
+    Ok(analyzer.finish())
 }
 
 fn check(path: &str) -> ExitCode {
-    let text = match read(path) {
-        Ok(text) => text,
+    let input = match open_trace(path) {
+        Ok(input) => input,
         Err(code) => return code,
     };
-    match analyze_trace(&text) {
+    match analyze_stream(path, input) {
         Ok(analysis) => {
             print!("{}", analysis.report());
             if analysis.ok() {
@@ -65,19 +199,16 @@ fn check(path: &str) -> ExitCode {
                 ExitCode::from(1)
             }
         }
-        Err(err) => {
-            eprintln!("error: {path}: {err}");
-            ExitCode::from(2)
-        }
+        Err(code) => code,
     }
 }
 
 fn timeline(path: &str) -> ExitCode {
-    let text = match read(path) {
-        Ok(text) => text,
+    let input = match open_trace(path) {
+        Ok(input) => input,
         Err(code) => return code,
     };
-    match analyze_trace(&text) {
+    match analyze_stream(path, input) {
         Ok(analysis) => {
             println!(
                 "{} lines, {} trial segments",
@@ -86,20 +217,110 @@ fn timeline(path: &str) -> ExitCode {
             print!("{}", analysis.profile.render());
             ExitCode::SUCCESS
         }
-        Err(err) => {
-            eprintln!("error: {path}: {err}");
-            ExitCode::from(2)
-        }
+        Err(code) => code,
     }
 }
 
-fn diff(a_path: &str, b_path: &str) -> ExitCode {
-    let (a, b) = match (read(a_path), read(b_path)) {
-        (Ok(a), Ok(b)) => (a, b),
-        (Err(code), _) | (_, Err(code)) => return code,
+fn convert(input_path: &str, output_path: &str) -> ExitCode {
+    let input = match open_trace(input_path) {
+        Ok(input) => input,
+        Err(code) => return code,
     };
+    let output = match File::create(output_path) {
+        Ok(file) => BufWriter::new(file),
+        Err(err) => {
+            eprintln!("error: cannot create {output_path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let write_failed = |err: std::io::Error| {
+        eprintln!("error: cannot write {output_path}: {err}");
+        ExitCode::from(2)
+    };
+    let mut converted = 0u64;
+    match input {
+        // JSONL in -> binary out. Every line must be a canonical trace
+        // line; anything else would not survive the round trip.
+        TraceInput::Jsonl(mut reader) => {
+            let mut writer = match FrameWriter::new(output) {
+                Ok(writer) => writer,
+                Err(err) => return write_failed(err),
+            };
+            let mut line = String::new();
+            let mut line_no = 0u64;
+            loop {
+                match next_line(&mut reader, &mut line) {
+                    Ok(false) => break,
+                    Ok(true) => {
+                        line_no += 1;
+                        let frame = match Frame::from_jsonl(&line) {
+                            Ok(frame) => frame,
+                            Err(err) => {
+                                eprintln!("error: {input_path} line {line_no}: {err}");
+                                return ExitCode::from(2);
+                            }
+                        };
+                        if let Err(err) = writer.write_frame(&frame) {
+                            return write_failed(err);
+                        }
+                        converted += 1;
+                    }
+                    Err(err) => {
+                        eprintln!("error: cannot read {input_path}: {err}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            if let Err(err) = writer.finish() {
+                return write_failed(err);
+            }
+        }
+        // Binary in -> JSONL out.
+        TraceInput::Binary(mut frames) => {
+            let mut output = output;
+            let mut line = String::new();
+            loop {
+                match frames.next_frame() {
+                    Ok(Some(frame)) => {
+                        line.clear();
+                        frame.render_jsonl(&mut line);
+                        line.push('\n');
+                        if let Err(err) = output.write_all(line.as_bytes()) {
+                            return write_failed(err);
+                        }
+                        converted += 1;
+                    }
+                    Ok(None) => break,
+                    Err(err) => {
+                        eprintln!("error: {input_path}: {err}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            if let Err(err) = output.flush() {
+                return write_failed(err);
+            }
+        }
+    }
+    println!("converted {converted} event(s): {input_path} -> {output_path}");
+    ExitCode::SUCCESS
+}
+
+fn diff(a_path: &str, b_path: &str) -> ExitCode {
     let both_metrics = a_path.ends_with(".json") && b_path.ends_with(".json");
     let report = if both_metrics {
+        // Metrics documents are small (one meta header + one metrics
+        // line); structural comparison needs the parsed form anyway.
+        let read = |path: &str| {
+            std::fs::read_to_string(path).map_err(|err| {
+                eprintln!("error: cannot read {path}: {err}");
+                ExitCode::from(2)
+            })
+        };
+        let (a, b) = match (read(a_path), read(b_path)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(code), _) | (_, Err(code)) => return code,
+        };
         match diff_metrics(&a, &b) {
             Ok(report) => report,
             Err(err) => {
@@ -108,12 +329,40 @@ fn diff(a_path: &str, b_path: &str) -> ExitCode {
             }
         }
     } else {
-        diff_traces(&a, &b)
+        match diff_trace_files(a_path, b_path) {
+            Ok(report) => report,
+            Err(code) => return code,
+        }
     };
     print!("{}", report.render(a_path, b_path));
     if report.no_drift() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+/// Streams two trace files through the bounded-memory line differ.
+fn diff_trace_files(a_path: &str, b_path: &str) -> Result<blap_obs::DiffReport, ExitCode> {
+    let open = |path: &str| {
+        File::open(path).map(BufReader::new).map_err(|err| {
+            eprintln!("error: cannot read {path}: {err}");
+            ExitCode::from(2)
+        })
+    };
+    let (mut a, mut b) = (open(a_path)?, open(b_path)?);
+    let read_failed = |path: &str, err: std::io::Error| {
+        eprintln!("error: cannot read {path}: {err}");
+        ExitCode::from(2)
+    };
+    let mut diff = TraceDiff::new();
+    let (mut la, mut lb) = (String::new(), String::new());
+    loop {
+        let more_a = next_line(&mut a, &mut la).map_err(|e| read_failed(a_path, e))?;
+        let more_b = next_line(&mut b, &mut lb).map_err(|e| read_failed(b_path, e))?;
+        if !more_a && !more_b {
+            return Ok(diff.finish());
+        }
+        diff.push_pair(more_a.then_some(la.as_str()), more_b.then_some(lb.as_str()));
     }
 }

@@ -6,7 +6,7 @@
 //!     [--population fleet|table2|mitigated] [--trials N] [--shards N] \
 //!     [--seed N] [--jobs N] [--metrics out/metrics.json] \
 //!     [--checkpoint ck.json] [--checkpoint-every N] [--resume] \
-//!     [--stop-after N]
+//!     [--stop-after N] [--check-invariants]
 //! ```
 //!
 //! Trials are sharded across workers; each shard runs its own worlds and
@@ -19,12 +19,20 @@
 //! every `--checkpoint-every` shards (default 64); `--resume` continues
 //! from it after an interrupt. `--stop-after N` exits cleanly after N
 //! shards — deterministic interrupt injection for the CI resume smoke.
+//!
+//! `--check-invariants` streams every trial's trace through the
+//! per-trial invariant checkers *while the campaign runs*: violations
+//! surface live on stderr (capped per shard), and the merged
+//! [`ViolationSummary`] — byte-identical at any `--jobs` value — is
+//! printed with the final report, embedded in the checkpoint, and turns
+//! the exit status to 1 (after all artifacts are written). Metrics bytes
+//! are unchanged by the flag.
 
 use std::time::Instant;
 
 use blap::campaign::{Campaign, Population};
 use blap_bench::cli::{self, Args};
-use blap_obs::{json, prof, MetaValue, Metrics};
+use blap_obs::{json, prof, MetaValue, Metrics, ViolationSummary};
 
 /// Checkpoint document schema tag.
 const SCHEMA: &str = "blap-campaign-checkpoint-v1";
@@ -43,7 +51,7 @@ fn main() {
             "--checkpoint-every",
             "--stop-after",
         ],
-        &["--resume"],
+        &["--resume", "--check-invariants"],
     );
     let population_name: String = args
         .extra_or("--population", "fleet".to_owned())
@@ -71,6 +79,7 @@ fn main() {
     if args.has_switch("--resume") && checkpoint_path.is_none() {
         die::<u64>("--resume needs --checkpoint <path> to resume from".to_owned());
     }
+    let check_invariants = args.has_switch("--check-invariants");
 
     let mut campaign = Campaign::new(population, trials, seed);
     if shards > 0 {
@@ -88,13 +97,13 @@ fn main() {
         campaign.population.name
     );
 
-    let (mut next_shard, mut merged) = if args.has_switch("--resume") {
+    let (mut next_shard, mut merged, mut summary) = if args.has_switch("--resume") {
         let path = checkpoint_path.as_deref().expect("checked above");
-        let (next, metrics) = read_checkpoint(path, &campaign);
+        let (next, metrics, summary) = read_checkpoint(path, &campaign, check_invariants);
         println!("resumed from {path}: {next}/{total_shards} shards already aggregated");
-        (next, metrics)
+        (next, metrics, summary)
     } else {
-        (0, Metrics::new())
+        (0, Metrics::new(), ViolationSummary::new())
     };
 
     let stop_at = next_shard.saturating_add(stop_after).min(total_shards);
@@ -105,10 +114,17 @@ fn main() {
             .saturating_add(checkpoint_every)
             .min(stop_at)
             .max(next_shard + 1);
-        merged.merge(&campaign.run_shards(jobs, next_shard, wave_end));
+        if check_invariants {
+            let (metrics, violations) = campaign.run_shards_checked(jobs, next_shard, wave_end);
+            merged.merge(&metrics);
+            summary.merge(&violations);
+        } else {
+            merged.merge(&campaign.run_shards(jobs, next_shard, wave_end));
+        }
         next_shard = wave_end;
         if let Some(path) = &checkpoint_path {
-            write_checkpoint(path, &campaign, next_shard, &merged);
+            let invariants = check_invariants.then_some(&summary);
+            write_checkpoint(path, &campaign, next_shard, &merged, invariants);
         }
     }
     let wall = started.elapsed();
@@ -137,6 +153,9 @@ fn main() {
     }
 
     print_summary(&campaign, &merged);
+    if check_invariants {
+        print!("\n{}", summary.render());
+    }
     if let Some(path) = &args.metrics_path {
         cli::write_metrics(
             path,
@@ -155,6 +174,11 @@ fn main() {
         );
     }
     args.write_profile();
+    // Violations flip the exit status, but only after every artifact is
+    // on disk — a dirty campaign is still a complete one.
+    if check_invariants && !summary.is_clean() {
+        std::process::exit(1);
+    }
 }
 
 /// Prints the campaign verdict counters and the per-device win table.
@@ -221,13 +245,23 @@ fn print_utilization() {
     }
 }
 
-/// Atomically writes the checkpoint: config echo, resume cursor, and the
-/// merged metrics so far. Byte-deterministic at any worker count.
-fn write_checkpoint(path: &str, campaign: &Campaign, next_shard: u64, merged: &Metrics) {
+/// Atomically writes the checkpoint: config echo, resume cursor, the
+/// invariant summary (only under `--check-invariants`), and the merged
+/// metrics so far. Byte-deterministic at any worker count.
+fn write_checkpoint(
+    path: &str,
+    campaign: &Campaign,
+    next_shard: u64,
+    merged: &Metrics,
+    invariants: Option<&ViolationSummary>,
+) {
+    let invariants_section = invariants
+        .map(|summary| format!("  \"invariants\": {},\n", summary.to_json()))
+        .unwrap_or_default();
     let body = format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"population\": \"{}\",\n  \
          \"trials\": {},\n  \"shards\": {},\n  \"seed\": {},\n  \
-         \"next_shard\": {next_shard},\n  \"metrics\": {}\n}}\n",
+         \"next_shard\": {next_shard},\n{invariants_section}  \"metrics\": {}\n}}\n",
         campaign.population.name,
         campaign.trials,
         campaign.shard_count(),
@@ -244,8 +278,15 @@ fn write_checkpoint(path: &str, campaign: &Campaign, next_shard: u64, merged: &M
 
 /// Reads a checkpoint back, refusing a document whose configuration does
 /// not match this invocation (resuming under a different population, seed,
-/// or shard shape would silently corrupt the aggregate).
-fn read_checkpoint(path: &str, campaign: &Campaign) -> (u64, Metrics) {
+/// or shard shape would silently corrupt the aggregate). When resuming
+/// under `--check-invariants`, the checkpoint must carry an `invariants`
+/// summary — one written without the flag skipped the checks for the
+/// shards it covers, so the combined summary would silently under-count.
+fn read_checkpoint(
+    path: &str,
+    campaign: &Campaign,
+    check_invariants: bool,
+) -> (u64, Metrics, ViolationSummary) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|err| die(format!("cannot read checkpoint {path}: {err}")));
     let value = json::parse(&text)
@@ -290,7 +331,20 @@ fn read_checkpoint(path: &str, campaign: &Campaign) -> (u64, Metrics) {
     }
     let metrics = Metrics::from_value(field("metrics"))
         .unwrap_or_else(|err| die(format!("checkpoint {path} metrics are malformed: {err}")));
-    (next_shard, metrics)
+    let summary = if check_invariants {
+        let invariants = value.get("invariants").unwrap_or_else(|| {
+            die(format!(
+                "checkpoint {path} has no \"invariants\" summary — it was written \
+                 without --check-invariants, so the covered shards were never checked; \
+                 restart the campaign from scratch to check every trial"
+            ))
+        });
+        ViolationSummary::from_value(invariants)
+            .unwrap_or_else(|err| die(format!("checkpoint {path} invariants are malformed: {err}")))
+    } else {
+        ViolationSummary::new()
+    };
+    (next_shard, metrics, summary)
 }
 
 fn die<T>(message: String) -> T {

@@ -25,7 +25,7 @@
 //!   the `blap-campaign` driver's checkpoint/resume rests on, pinned in
 //!   `tests/parallel_determinism.rs`.
 
-use blap_obs::{Metrics, Tracer};
+use blap_obs::{Metrics, StreamSink, Tracer, ViolationSummary};
 use blap_sim::{profiles, DeviceProfile, UserBehaviorMix};
 use blap_types::Duration;
 
@@ -252,10 +252,13 @@ impl Campaign {
     }
 
     /// Runs one trial: builds the sampled scenario, runs it in a fresh
-    /// world (no tracing — campaign memory must not scale with trials),
-    /// and folds the world's metrics plus the campaign verdict counters
-    /// into `shard_metrics`.
-    fn run_trial(&self, trial: u64, shard_metrics: &mut Metrics) {
+    /// world, and folds the world's metrics plus the campaign verdict
+    /// counters into `shard_metrics`. `tracer` is disabled on the plain
+    /// path (campaign memory must not scale with trials) and carries a
+    /// [`StreamSink`] on the `--check-invariants` path, where the
+    /// streaming analyzer retires each trial's events as they complete —
+    /// still constant memory.
+    fn run_trial(&self, trial: u64, shard_metrics: &mut Metrics, tracer: &Tracer) {
         let spec = self.sample(trial);
         let (profile, _) = self.population.pool[spec.profile_index];
         let mut scenario = PageBlockingScenario::new(profile, runner::seed_for(self.seed, trial));
@@ -264,11 +267,10 @@ impl Campaign {
         scenario.keepalive = spec.keepalive;
         scenario.mitigate_role_check = spec.mitigate_role_check;
         scenario.pairing_delay = Duration::from_millis(spec.pairing_delay_ms);
-        let tracer = Tracer::disabled();
         let (outcome, world_metrics) = if spec.blocking {
-            scenario.run_blocking_trial_observed(0, &tracer)
+            scenario.run_blocking_trial_observed(0, tracer)
         } else {
-            scenario.run_baseline_trial_observed(0, &tracer)
+            scenario.run_baseline_trial_observed(0, tracer)
         };
         shard_metrics.merge(&world_metrics);
 
@@ -319,11 +321,56 @@ impl Campaign {
     pub fn run_shard(&self, shard: u64) -> Metrics {
         let (start, end) = self.shard_range(shard);
         let mut metrics = Metrics::new();
+        let tracer = Tracer::disabled();
         for trial in start..end {
-            self.run_trial(trial, &mut metrics);
+            self.run_trial(trial, &mut metrics, &tracer);
         }
         metrics.inc("campaign.shards");
         metrics
+    }
+
+    /// How many violations one checked shard reports live on stderr
+    /// before suppressing the rest (the [`ViolationSummary`] still counts
+    /// them all). Keeps a badly broken campaign from flooding the
+    /// terminal at millions of trials.
+    pub const MAX_LIVE_VIOLATIONS_PER_SHARD: usize = 8;
+
+    /// [`Campaign::run_shard`] with live invariant checking: every
+    /// trial's trace events stream through a per-trial
+    /// [`blap_obs::StreamAnalyzer`] (retired as the trial completes, so
+    /// memory stays bounded by one trial's span table), violations are
+    /// surfaced on stderr as they are found, and the shard's verdict
+    /// comes back as a [`ViolationSummary`].
+    ///
+    /// The metrics bag is byte-identical to the unchecked
+    /// [`Campaign::run_shard`]: tracing feeds the analyzer only, never
+    /// the metrics (pinned in `tests/parallel_determinism.rs`).
+    pub fn run_shard_checked(&self, shard: u64) -> (Metrics, ViolationSummary) {
+        let (start, end) = self.shard_range(shard);
+        let mut metrics = Metrics::new();
+        let mut summary = ViolationSummary::new();
+        let mut live = 0usize;
+        for trial in start..end {
+            let tracer = Tracer::new();
+            let sink = StreamSink::new();
+            tracer.attach(sink.clone());
+            self.run_trial(trial, &mut metrics, &tracer);
+            let analysis = sink.finish();
+            for v in &analysis.violations {
+                if live < Campaign::MAX_LIVE_VIOLATIONS_PER_SHARD {
+                    eprintln!("campaign shard {shard} trial {trial}: VIOLATION {v}");
+                } else if live == Campaign::MAX_LIVE_VIOLATIONS_PER_SHARD {
+                    eprintln!(
+                        "campaign shard {shard}: further violations suppressed \
+                         (see the final summary)"
+                    );
+                }
+                live += 1;
+            }
+            summary.record(&format!("trial {trial}"), &analysis);
+        }
+        metrics.inc("campaign.shards");
+        (metrics, summary)
     }
 
     /// Runs shards `[first, last)` across `jobs` workers and merges their
@@ -347,9 +394,41 @@ impl Campaign {
         merged
     }
 
+    /// [`Campaign::run_shards`] with live invariant checking: per-shard
+    /// `(Metrics, ViolationSummary)` pairs merge in shard-index order, so
+    /// both aggregates are byte-identical at any worker count and across
+    /// checkpoint/resume splits.
+    pub fn run_shards_checked(
+        &self,
+        jobs: Jobs,
+        first: u64,
+        last: u64,
+    ) -> (Metrics, ViolationSummary) {
+        let shards = self.shard_count();
+        assert!(
+            first <= last && last <= shards,
+            "shard wave {first}..{last} out of {shards}"
+        );
+        let results = runner::parallel_map(jobs, (last - first) as usize, |i| {
+            self.run_shard_checked(first + i as u64)
+        });
+        let mut merged = Metrics::new();
+        let mut summary = ViolationSummary::new();
+        for (bag, shard_summary) in &results {
+            merged.merge(bag);
+            summary.merge(shard_summary);
+        }
+        (merged, summary)
+    }
+
     /// Runs the whole campaign.
     pub fn run(&self, jobs: Jobs) -> Metrics {
         self.run_shards(jobs, 0, self.shard_count())
+    }
+
+    /// Runs the whole campaign with live invariant checking.
+    pub fn run_checked(&self, jobs: Jobs) -> (Metrics, ViolationSummary) {
+        self.run_shards_checked(jobs, 0, self.shard_count())
     }
 }
 
@@ -446,6 +525,25 @@ mod tests {
         let mut split = c.run_shards(Jobs::serial(), 0, 3);
         split.merge(&c.run_shards(Jobs::serial(), 3, c.shard_count()));
         assert_eq!(split.to_json(), whole.to_json());
+    }
+
+    #[test]
+    fn checked_shards_match_unchecked_metrics_and_pass_invariants() {
+        let c = small();
+        let plain = c.run(Jobs::serial());
+        let (checked, summary) = c.run_checked(Jobs::serial());
+        // Tracing feeds the analyzer only — the metrics bag must not
+        // notice that invariant checking was on.
+        assert_eq!(checked.to_json(), plain.to_json());
+        assert!(summary.is_clean(), "{}", summary.render());
+        assert_eq!(summary.trials_checked, c.trials);
+        // Wave-split merge invariance holds for the summary too.
+        let (mut m, mut s) = c.run_shards_checked(Jobs::serial(), 0, 3);
+        let (m2, s2) = c.run_shards_checked(Jobs::serial(), 3, c.shard_count());
+        m.merge(&m2);
+        s.merge(&s2);
+        assert_eq!(m.to_json(), checked.to_json());
+        assert_eq!(s, summary);
     }
 
     #[test]

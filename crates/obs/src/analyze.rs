@@ -3,11 +3,18 @@
 //! causal invariants the BLAP attack arguments rest on.
 //!
 //! The analyzer consumes exactly what [`crate::trace`] produces. A trace
-//! is first split into **segments** — one per trial — at `unit_start`
+//! is split into **segments** — one per trial — at `unit_start`
 //! markers and at root `trial` span opens (a `trial_pair` unit runs two
 //! worlds under one tracer, so virtual time resets mid-unit; the root span
 //! is the authoritative boundary). All checks are then per segment, since
 //! timestamps are only comparable within one world.
+//!
+//! Since the streaming rework, this module is a thin batch facade over
+//! [`crate::stream::StreamAnalyzer`], which holds state for one in-flight
+//! trial at a time and retires each segment as its boundary arrives. The
+//! wrapper exists for callers that already hold the whole artifact (tests,
+//! small fixtures); anything campaign-scale should push lines or typed
+//! events at the streaming core directly.
 //!
 //! ## Invariant catalog
 //!
@@ -27,11 +34,17 @@
 //! * **`blocking-implies-win`** — in a `blocking` trial, if the attacker's
 //!   PLOC link predates the victim's `host_pairing` span, outlives its
 //!   start, and the attacker captured a link key, the trial must close
-//!   `attacker_won`; conversely a trial closing `attacker_won` must show a
-//!   PLOC link predating the victim's pairing.
+//!   `attacker_won`; conversely a trial closing `attacker_won` must show
+//!   one of the win mechanisms: a PLOC link predating the victim's
+//!   pairing, a page race the attacker won outright (short pairing delays
+//!   can hand the attacker the race before any PLOC link establishes), or
+//!   a late link onto the victim that connects after the honest pairing
+//!   and survives to the end of the trial (address spoofing routes the
+//!   attacker's `Connection_Complete` to the real peer, so no `ploc` span
+//!   opens, but the raw link still stands at judgment).
 //! * **`span-structure`** — closes must match opens; no double-close.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -54,16 +67,6 @@ pub struct TraceLine {
     pub ev: String,
     /// The full parsed object, for event-specific fields.
     pub value: Value,
-}
-
-impl TraceLine {
-    fn str_field(&self, key: &str) -> Option<&str> {
-        self.value.get(key).and_then(Value::as_str)
-    }
-
-    fn u64_field(&self, key: &str) -> Option<u64> {
-        self.value.get(key).and_then(Value::as_u64)
-    }
 }
 
 /// A failure to parse a trace artifact.
@@ -128,6 +131,28 @@ impl PhaseProfile {
     /// Iterates phases in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &PhaseStats)> {
         self.phases.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Mutable stats for one span kind, created on first use — the
+    /// streaming core's fold entry point.
+    pub(crate) fn stats_mut(&mut self, name: &str) -> &mut PhaseStats {
+        // Avoids allocating the key when the phase already exists (the
+        // common case: a campaign has millions of spans over ~10 kinds).
+        if !self.phases.contains_key(name) {
+            self.phases.insert(name.to_owned(), PhaseStats::default());
+        }
+        self.phases.get_mut(name).expect("phase just ensured")
+    }
+
+    /// Merges another profile in (histograms and unclosed counts add).
+    /// Commutative and associative, like a metrics bag: per-shard
+    /// profiles folded in any grouping yield the same totals.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (name, stats) in &other.phases {
+            let mine = self.stats_mut(name);
+            mine.durations.merge(&stats.durations);
+            mine.unclosed += stats.unclosed;
+        }
     }
 
     /// Renders the flamegraph-style table: one row per span kind with
@@ -202,392 +227,68 @@ impl TraceAnalysis {
     }
 }
 
+/// Parses one non-blank trace line into its typed form.
+pub(crate) fn parse_line(line_no: usize, raw: &str) -> Result<TraceLine, AnalyzeError> {
+    let value = json::parse(raw).map_err(|e| AnalyzeError {
+        line: line_no,
+        message: e.to_string(),
+    })?;
+    let t = value.get("t").and_then(Value::as_u64).ok_or(AnalyzeError {
+        line: line_no,
+        message: "missing integer \"t\" field".to_owned(),
+    })?;
+    let ev = value
+        .get("ev")
+        .and_then(Value::as_str)
+        .ok_or(AnalyzeError {
+            line: line_no,
+            message: "missing string \"ev\" field".to_owned(),
+        })?
+        .to_owned();
+    // Device ids are u32 everywhere else in the pipeline; a larger
+    // value is a corrupt or forged line, and truncating it would
+    // silently attribute the event to an unrelated device.
+    let dev = match value.get("dev").and_then(Value::as_u64) {
+        Some(d) => Some(u32::try_from(d).map_err(|_| AnalyzeError {
+            line: line_no,
+            message: format!("\"dev\" value {d} exceeds the u32 device-id range"),
+        })?),
+        None => None,
+    };
+    Ok(TraceLine {
+        line_no,
+        t,
+        dev,
+        ev,
+        value,
+    })
+}
+
 /// Parses a trace JSONL artifact into typed lines (blank lines skipped).
 pub fn parse_trace(text: &str) -> Result<Vec<TraceLine>, AnalyzeError> {
     let mut lines = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
         if raw.trim().is_empty() {
             continue;
         }
-        let value = json::parse(raw).map_err(|e| AnalyzeError {
-            line: line_no,
-            message: e.to_string(),
-        })?;
-        let t = value.get("t").and_then(Value::as_u64).ok_or(AnalyzeError {
-            line: line_no,
-            message: "missing integer \"t\" field".to_owned(),
-        })?;
-        let ev = value
-            .get("ev")
-            .and_then(Value::as_str)
-            .ok_or(AnalyzeError {
-                line: line_no,
-                message: "missing string \"ev\" field".to_owned(),
-            })?
-            .to_owned();
-        // Device ids are u32 everywhere else in the pipeline; a larger
-        // value is a corrupt or forged line, and truncating it would
-        // silently attribute the event to an unrelated device.
-        let dev = match value.get("dev").and_then(Value::as_u64) {
-            Some(d) => Some(u32::try_from(d).map_err(|_| AnalyzeError {
-                line: line_no,
-                message: format!("\"dev\" value {d} exceeds the u32 device-id range"),
-            })?),
-            None => None,
-        };
-        lines.push(TraceLine {
-            line_no,
-            t,
-            dev,
-            ev,
-            value,
-        });
+        lines.push(parse_line(idx + 1, raw)?);
     }
     Ok(lines)
 }
 
-/// A reconstructed span within one segment.
-#[derive(Clone, Debug)]
-struct Span {
-    name: String,
-    dev: Option<u32>,
-    open_t: u64,
-    open_line: usize,
-    close: Option<(u64, String)>,
-    close_line: Option<usize>,
-}
-
-/// One trial segment: a half-open range of line indices.
-#[derive(Clone, Debug)]
-struct Segment {
-    start: usize,
-    end: usize,
-}
-
-fn segment(lines: &[TraceLine]) -> Vec<Segment> {
-    let mut boundaries = Vec::new();
-    let mut trial_open_in_current = false;
-    for (i, line) in lines.iter().enumerate() {
-        let is_unit = line.ev == "unit_start";
-        let is_root_trial = line.ev == "span_open"
-            && line.str_field("name") == Some("trial")
-            && line.value.get("parent").is_none();
-        if is_unit || (is_root_trial && trial_open_in_current) {
-            boundaries.push(i);
-            trial_open_in_current = is_root_trial;
-        } else if is_root_trial {
-            trial_open_in_current = true;
-        }
-    }
-    if boundaries.first() != Some(&0) && !lines.is_empty() {
-        boundaries.insert(0, 0);
-    }
-    boundaries
-        .iter()
-        .enumerate()
-        .map(|(i, &start)| Segment {
-            start,
-            end: boundaries.get(i + 1).copied().unwrap_or(lines.len()),
-        })
-        .collect()
-}
-
 /// Parses and fully analyzes a trace artifact: segmentation, phase
 /// profile, and the invariant catalog.
+///
+/// Batch facade over [`crate::stream::StreamAnalyzer`]: every line is
+/// pushed through the streaming core, so the two tiers cannot drift. The
+/// first malformed line aborts the analysis with its parse error, exactly
+/// as the historical whole-artifact parser did.
 pub fn analyze_trace(text: &str) -> Result<TraceAnalysis, AnalyzeError> {
-    let lines = parse_trace(text)?;
-    let segments = segment(&lines);
-    let mut profile = PhaseProfile::default();
-    let mut violations = Vec::new();
-    let mut notes = Vec::new();
-
-    for (seg_idx, seg) in segments.iter().enumerate() {
-        let seg_lines = &lines[seg.start..seg.end];
-        let spans = collect_spans(seg_idx, seg_lines, &mut violations);
-        for span in spans.values() {
-            let stats = profile.phases.entry(span.name.clone()).or_default();
-            match &span.close {
-                Some((close_t, _)) => stats.durations.observe(close_t.saturating_sub(span.open_t)),
-                None => stats.unclosed += 1,
-            }
-        }
-        let unclosed = spans.values().filter(|s| s.close.is_none()).count();
-        if unclosed > 0 {
-            notes.push(format!(
-                "segment {seg_idx}: {unclosed} span(s) still open at segment end (world deadline)"
-            ));
-        }
-        check_lmp_matching(seg_idx, seg_lines, &mut violations);
-        check_ploc_no_pairing(seg_idx, &spans, &mut violations);
-        check_keystore_after_auth(seg_idx, seg_lines, &spans, &mut violations);
-        check_blocking_implies_win(seg_idx, seg_lines, &spans, &mut violations);
+    let mut analyzer = crate::stream::StreamAnalyzer::new();
+    for raw in text.lines() {
+        analyzer.push_line(raw)?;
     }
-
-    Ok(TraceAnalysis {
-        line_count: lines.len(),
-        segment_count: segments.len(),
-        profile,
-        violations,
-        notes,
-    })
-}
-
-fn collect_spans(
-    seg_idx: usize,
-    seg_lines: &[TraceLine],
-    violations: &mut Vec<Violation>,
-) -> BTreeMap<u64, Span> {
-    let mut spans: BTreeMap<u64, Span> = BTreeMap::new();
-    for line in seg_lines {
-        match line.ev.as_str() {
-            "span_open" => {
-                let (Some(id), Some(name)) = (line.u64_field("span"), line.str_field("name"))
-                else {
-                    continue;
-                };
-                if spans.contains_key(&id) {
-                    violations.push(Violation {
-                        invariant: "span-structure",
-                        segment: seg_idx,
-                        line: Some(line.line_no),
-                        message: format!("span {id} opened twice"),
-                    });
-                    continue;
-                }
-                spans.insert(
-                    id,
-                    Span {
-                        name: name.to_owned(),
-                        dev: line.dev,
-                        open_t: line.t,
-                        open_line: line.line_no,
-                        close: None,
-                        close_line: None,
-                    },
-                );
-            }
-            "span_close" => {
-                let Some(id) = line.u64_field("span") else {
-                    continue;
-                };
-                let status = line.str_field("status").unwrap_or("").to_owned();
-                match spans.get_mut(&id) {
-                    None => violations.push(Violation {
-                        invariant: "span-structure",
-                        segment: seg_idx,
-                        line: Some(line.line_no),
-                        message: format!("span {id} closed but never opened in this segment"),
-                    }),
-                    Some(span) if span.close.is_some() => violations.push(Violation {
-                        invariant: "span-structure",
-                        segment: seg_idx,
-                        line: Some(line.line_no),
-                        message: format!("span {id} closed twice"),
-                    }),
-                    Some(span) => {
-                        span.close = Some((line.t, status));
-                        span.close_line = Some(line.line_no);
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    spans
-}
-
-fn check_lmp_matching(seg_idx: usize, seg_lines: &[TraceLine], violations: &mut Vec<Violation>) {
-    // Multiset matching: sends at (pdu, t) pair with recvs at
-    // (pdu, t + LMP_LATENCY_US). LMP_detach is exempt — supervision
-    // timeouts inject it on both ends without a send.
-    let mut sends: HashMap<(&str, u64), Vec<usize>> = HashMap::new();
-    let mut seg_last_t = 0u64;
-    let mut drops: Vec<u64> = Vec::new();
-    for line in seg_lines {
-        seg_last_t = seg_last_t.max(line.t);
-        match line.ev.as_str() {
-            "lmp_send" => {
-                if let Some(pdu) = line.str_field("pdu") {
-                    if pdu != "LMP_detach" {
-                        sends.entry((pdu, line.t)).or_default().push(line.line_no);
-                    }
-                }
-            }
-            "link_drop" => drops.push(line.t),
-            _ => {}
-        }
-    }
-    for line in seg_lines {
-        if line.ev != "lmp_recv" {
-            continue;
-        }
-        let Some(pdu) = line.str_field("pdu") else {
-            continue;
-        };
-        if pdu == "LMP_detach" {
-            continue;
-        }
-        let matched = line
-            .t
-            .checked_sub(LMP_LATENCY_US)
-            .and_then(|sent_t| sends.get_mut(&(pdu, sent_t)))
-            .and_then(Vec::pop)
-            .is_some();
-        if !matched {
-            violations.push(Violation {
-                invariant: "lmp-matching",
-                segment: seg_idx,
-                line: Some(line.line_no),
-                message: format!(
-                    "lmp_recv of {pdu} at t={} has no matching lmp_send at t={}",
-                    line.t,
-                    line.t.saturating_sub(LMP_LATENCY_US)
-                ),
-            });
-        }
-    }
-    for ((pdu, sent_t), unmatched) in sends {
-        for line_no in unmatched {
-            let in_flight_at_deadline = sent_t + LMP_LATENCY_US > seg_last_t;
-            let link_died = drops.iter().any(|&drop_t| drop_t >= sent_t);
-            if !in_flight_at_deadline && !link_died {
-                violations.push(Violation {
-                    invariant: "lmp-matching",
-                    segment: seg_idx,
-                    line: Some(line_no),
-                    message: format!(
-                        "lmp_send of {pdu} at t={sent_t} was never received, \
-                         yet no link died and the world outlived the delivery"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn check_ploc_no_pairing(
-    seg_idx: usize,
-    spans: &BTreeMap<u64, Span>,
-    violations: &mut Vec<Violation>,
-) {
-    for span in spans.values() {
-        if span.name != "host_pairing" {
-            continue;
-        }
-        // A PLOC hold is "active" at the pairing span's open if it opened
-        // earlier and had not closed yet — line order is event order within
-        // a trial's single-threaded tracer.
-        let held_during = spans.values().any(|p| {
-            p.name == "ploc"
-                && p.dev == span.dev
-                && p.open_line < span.open_line
-                && p.close_line.is_none_or(|cl| cl > span.open_line)
-        });
-        if held_during {
-            violations.push(Violation {
-                invariant: "ploc-no-pairing",
-                segment: seg_idx,
-                line: Some(span.open_line),
-                message: format!(
-                    "device {:?} holds a PLOC link but opened a host_pairing span",
-                    span.dev
-                ),
-            });
-        }
-    }
-}
-
-fn check_keystore_after_auth(
-    seg_idx: usize,
-    seg_lines: &[TraceLine],
-    spans: &BTreeMap<u64, Span>,
-    violations: &mut Vec<Violation>,
-) {
-    for line in seg_lines {
-        if line.ev != "keystore" {
-            continue;
-        }
-        let action = line.str_field("action").unwrap_or("");
-        if action != "store" && action != "remove" {
-            continue; // "install" is the Fig. 10 attack: exempt by design.
-        }
-        let authed = spans
-            .values()
-            .any(|s| s.name == "lmp_auth" && s.dev == line.dev && s.open_t <= line.t);
-        if !authed {
-            violations.push(Violation {
-                invariant: "keystore-after-auth",
-                segment: seg_idx,
-                line: Some(line.line_no),
-                message: format!(
-                    "keystore {action} on device {:?} at t={} without a preceding lmp_auth span",
-                    line.dev, line.t
-                ),
-            });
-        }
-    }
-}
-
-fn check_blocking_implies_win(
-    seg_idx: usize,
-    seg_lines: &[TraceLine],
-    spans: &BTreeMap<u64, Span>,
-    violations: &mut Vec<Violation>,
-) {
-    let Some(trial) = spans
-        .values()
-        .find(|s| s.name == "trial")
-        .filter(|s| trial_detail(seg_lines, s) == Some("blocking"))
-    else {
-        return;
-    };
-    let trial_status = trial.close.as_ref().map(|(_, s)| s.as_str());
-    // The attacker's PLOC link, and the victim pairing spans it overlaps.
-    let plocs: Vec<&Span> = spans.values().filter(|s| s.name == "ploc").collect();
-    let blocked_pairing = |ploc: &Span| {
-        spans.values().any(|s| {
-            s.name == "host_pairing"
-                && s.dev != ploc.dev
-                && s.open_t > ploc.open_t
-                && ploc.close.as_ref().is_none_or(|(t, _)| *t >= s.open_t)
-        })
-    };
-    let attacker_stole_key = |ploc: &Span| {
-        seg_lines.iter().any(|l| {
-            l.ev == "keystore" && l.str_field("action") == Some("store") && l.dev == ploc.dev
-        })
-    };
-    for ploc in &plocs {
-        if blocked_pairing(ploc) && attacker_stole_key(ploc) && trial_status != Some("attacker_won")
-        {
-            violations.push(Violation {
-                invariant: "blocking-implies-win",
-                segment: seg_idx,
-                line: Some(ploc.open_line),
-                message: format!(
-                    "PLOC link predates the victim's pairing and the attacker captured a \
-                     link key, but the trial closed {trial_status:?} instead of attacker_won"
-                ),
-            });
-        }
-    }
-    if trial_status == Some("attacker_won") && !plocs.iter().any(|p| blocked_pairing(p)) {
-        violations.push(Violation {
-            invariant: "blocking-implies-win",
-            segment: seg_idx,
-            line: Some(trial.open_line),
-            message: "trial closed attacker_won but no PLOC link predates the victim's pairing"
-                .to_owned(),
-        });
-    }
-}
-
-fn trial_detail<'a>(seg_lines: &'a [TraceLine], trial: &Span) -> Option<&'a str> {
-    seg_lines
-        .iter()
-        .find(|l| l.line_no == trial.open_line)
-        .and_then(|l| l.str_field("detail"))
+    Ok(analyzer.finish())
 }
 
 #[cfg(test)]

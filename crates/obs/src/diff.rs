@@ -60,25 +60,70 @@ impl DiffReport {
     }
 }
 
-/// Compares two trace JSONL artifacts line by line.
-pub fn diff_traces(a: &str, b: &str) -> DiffReport {
-    let mut report = DiffReport::default();
-    let a_lines: Vec<&str> = a.lines().collect();
-    let b_lines: Vec<&str> = b.lines().collect();
-    for (i, (la, lb)) in a_lines.iter().zip(&b_lines).enumerate() {
-        if la != lb {
-            report.push(format!("line {}: {la:?} != {lb:?}", i + 1));
+/// Incremental trace comparison: feed paired lines as they stream off
+/// two readers, then [`TraceDiff::finish`]. Memory is bounded — the
+/// report holds at most [`MAX_FINDINGS`] findings regardless of artifact
+/// length, and no line is retained after its `push_pair` call — which is
+/// what lets `blap-trace diff` walk two campaign-scale artifacts without
+/// materializing either.
+#[derive(Debug, Default)]
+pub struct TraceDiff {
+    report: DiffReport,
+    a_lines: usize,
+    b_lines: usize,
+}
+
+impl TraceDiff {
+    /// A fresh comparison.
+    pub fn new() -> TraceDiff {
+        TraceDiff::default()
+    }
+
+    /// Consumes the next line from each artifact (`None` once that
+    /// artifact is exhausted — keep pushing until both are).
+    pub fn push_pair(&mut self, a: Option<&str>, b: Option<&str>) {
+        if a.is_some() {
+            self.a_lines += 1;
+        }
+        if b.is_some() {
+            self.b_lines += 1;
+        }
+        if let (Some(la), Some(lb)) = (a, b) {
+            if la != lb {
+                self.report
+                    .push(format!("line {}: {la:?} != {lb:?}", self.a_lines));
+            }
         }
     }
-    if a_lines.len() != b_lines.len() {
-        report.push(format!(
-            "line count: {} vs {} ({} extra line(s) in the longer artifact)",
-            a_lines.len(),
-            b_lines.len(),
-            a_lines.len().abs_diff(b_lines.len())
-        ));
+
+    /// Completes the comparison (accounting for a length mismatch) and
+    /// returns the report.
+    pub fn finish(mut self) -> DiffReport {
+        if self.a_lines != self.b_lines {
+            self.report.push(format!(
+                "line count: {} vs {} ({} extra line(s) in the longer artifact)",
+                self.a_lines,
+                self.b_lines,
+                self.a_lines.abs_diff(self.b_lines)
+            ));
+        }
+        self.report
     }
-    report
+}
+
+/// Compares two trace JSONL artifacts line by line — batch facade over
+/// [`TraceDiff`] for callers already holding both artifacts.
+pub fn diff_traces(a: &str, b: &str) -> DiffReport {
+    let mut diff = TraceDiff::new();
+    let mut a_lines = a.lines();
+    let mut b_lines = b.lines();
+    loop {
+        let (la, lb) = (a_lines.next(), b_lines.next());
+        if la.is_none() && lb.is_none() {
+            return diff.finish();
+        }
+        diff.push_pair(la, lb);
+    }
 }
 
 /// Compares two metrics JSON documents structurally, ignoring the

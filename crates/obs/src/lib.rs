@@ -36,6 +36,14 @@
 //!   and runs the declarative invariant checker the attack arguments rest
 //!   on (every LMP send matched, PLOC links never pairing, keystore writes
 //!   only after auth, page blocking implying a stolen pairing).
+//! * [`stream`] — the single-pass streaming core under [`analyze`]:
+//!   [`stream::StreamAnalyzer`] holds constant memory per in-flight trial,
+//!   retires segments as their boundaries arrive, and (via
+//!   [`stream::StreamSink`] + [`stream::ViolationSummary`]) lets the
+//!   campaign engine check invariants live while trials execute.
+//! * [`binfmt`] — the compact length-prefixed binary trace encoding and
+//!   its streaming reader/writer; `blap-trace convert` round-trips it
+//!   against JSONL byte-deterministically.
 //! * [`diff`] — structural comparison of two trace/metrics artifacts, the
 //!   CI gate that replaced ad-hoc byte diffs.
 //! * [`json`] — the shared escaper both renderers use, plus the
@@ -55,15 +63,19 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod binfmt;
 pub mod diff;
 pub mod json;
 pub mod metrics;
 pub mod prof;
 pub mod span;
+pub mod stream;
 pub mod trace;
 
 pub use analyze::{analyze_trace, PhaseProfile, TraceAnalysis, Violation};
-pub use diff::{diff_metrics, diff_traces, flatten_json, DiffReport};
+pub use binfmt::{BinaryBuffer, CodecError, Frame, FrameReader, FrameWriter};
+pub use diff::{diff_metrics, diff_traces, flatten_json, DiffReport, TraceDiff};
 pub use metrics::{export_json, Histogram, MetaValue, Metrics};
 pub use span::SpanId;
+pub use stream::{StreamAnalyzer, StreamSink, ViolationSummary};
 pub use trace::{DumpOnAssert, FlightRecorder, JsonlBuffer, TraceEvent, TraceSink, Tracer};

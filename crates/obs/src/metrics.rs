@@ -357,12 +357,16 @@ impl Metrics {
         Ok(metrics)
     }
 
-    /// Renders the bag as a deterministic JSON object:
+    /// Renders the bag as a deterministic JSON document:
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}` with keys in
-    /// lexicographic order.
+    /// lexicographic order and a trailing newline (a standalone metrics
+    /// artifact is one line; line-oriented tools want it terminated).
+    /// [`Metrics::parse_json`] accepts the document with or without the
+    /// terminator.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         self.render_json(&mut out);
+        out.push('\n');
         out
     }
 
@@ -414,7 +418,7 @@ pub fn export_json(meta: &[(&str, MetaValue)], metrics: &Metrics) -> String {
         out.push_str(",\n");
     }
     out.push_str("  \"metrics\": ");
-    out.push_str(&metrics.to_json());
+    metrics.render_json(&mut out);
     out.push_str("\n}\n");
     out
 }
@@ -703,7 +707,22 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(
             m.to_json(),
-            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n"
+        );
+    }
+
+    #[test]
+    fn parse_json_accepts_with_and_without_terminator() {
+        // Pre-newline artifacts (v1 documents committed before the
+        // terminator fix) must keep loading.
+        let mut m = Metrics::new();
+        m.inc("n");
+        let terminated = m.to_json();
+        assert!(terminated.ends_with("}\n"), "{terminated:?}");
+        let bare = terminated.trim_end();
+        assert_eq!(
+            Metrics::parse_json(bare).expect("unterminated v1 doc parses"),
+            Metrics::parse_json(&terminated).expect("terminated doc parses"),
         );
     }
 }

@@ -1,0 +1,373 @@
+//! Binary ⇄ JSONL trace codec round-trip properties, plus the committed
+//! byte-exact fixture pair.
+//!
+//! The binary encoding and the JSONL renderer are two independent
+//! serializations of the same [`Frame`] model; `blap-trace convert`
+//! promises the round trip is byte-deterministic in both directions. The
+//! properties here generate frames with hostile strings (quotes,
+//! backslashes, control characters, non-ASCII) and extreme numeric
+//! ranges (`u64::MAX` timestamps, max device ids) and pin:
+//!
+//! * binary: encode → decode returns the identical frame;
+//! * JSONL: render → parse returns the identical frame;
+//! * the full convert cycle JSONL → binary → JSONL is byte-identical.
+//!
+//! The committed fixture pair (`fixtures/trace_small.jsonl` / `.bin`)
+//! pins the *encoding itself*: a codec change that silently reshapes
+//! bytes fails here even if it round-trips. Regenerate deliberately with
+//! `BLAP_REGEN_FIXTURES=1 cargo test -p blap-obs --test binfmt_roundtrip`.
+
+use std::io::Read;
+use std::path::Path;
+
+use blap_obs::binfmt::FrameKind;
+use blap_obs::{Frame, FrameReader, FrameWriter};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strings that stress both codecs: every JSON escape class, UTF-8
+/// multibyte, and plain identifier-ish names.
+fn label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9_.:]{1,16}".prop_map(|s| s),
+        Just(String::new()),
+        Just("he said \"hi\"".to_owned()),
+        Just("back\\slash\\".to_owned()),
+        Just("tab\there and new\nline".to_owned()),
+        Just("ctrl\u{1}\u{1f}char".to_owned()),
+        Just("snowman ☃ naïve — em".to_owned()),
+        Just("\"\\\"".to_owned()),
+    ]
+}
+
+/// Timestamps biased toward the edges: zero, small, and `u64::MAX`
+/// (varint encoding uses all ten bytes there).
+fn timestamp() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        0..10_000_000u64,
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+    ]
+}
+
+fn device() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(0u32)),
+        Just(Some(u32::MAX)),
+        (0..64u32).prop_map(Some),
+    ]
+}
+
+/// All 17 frame kinds, with hostile strings in every string slot and
+/// extreme values in every numeric one.
+fn kind() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![
+        (timestamp(), label()).prop_map(|(seq, kind)| FrameKind::Dispatch { seq, kind }),
+        label().prop_map(|target| FrameKind::PageStart { target }),
+        (label(), timestamp(), timestamp(), any::<bool>()).prop_map(
+            |(target, responder, latency_us, raced)| FrameKind::PageConnect {
+                target,
+                responder,
+                latency_us,
+                raced,
+            }
+        ),
+        label().prop_map(|target| FrameKind::PageTimeout { target }),
+        (label(), any::<bool>()).prop_map(|(target, attacker_won)| FrameKind::Race {
+            target,
+            attacker_won
+        }),
+        (any::<bool>(), any::<bool>()).prop_map(|(page_scan, inquiry_scan)| FrameKind::Scan {
+            page_scan,
+            inquiry_scan,
+        }),
+        (label(), label()).prop_map(|(peer, pdu)| FrameKind::LmpSend { peer, pdu }),
+        (label(), label()).prop_map(|(peer, pdu)| FrameKind::LmpRecv { peer, pdu }),
+        label().prop_map(|peer| FrameKind::LmpTimeout { peer }),
+        (label(), label(), label()).prop_map(|(dir, kind, name)| FrameKind::Hci {
+            dir,
+            kind,
+            name
+        }),
+        label().prop_map(|reason| FrameKind::LinkDrop { reason }),
+        (label(), label()).prop_map(|(peer, action)| FrameKind::Keystore { peer, action }),
+        label().prop_map(|label| FrameKind::AttackPhase { label }),
+        label().prop_map(|message| FrameKind::Warning { message }),
+        (timestamp(), label()).prop_map(|(unit, label)| FrameKind::UnitStart { unit, label }),
+        (
+            timestamp(),
+            any::<bool>(),
+            timestamp(),
+            label(),
+            any::<bool>(),
+            label()
+        )
+            .prop_map(|(span, has_parent, parent, name, has_detail, detail)| {
+                FrameKind::SpanOpen {
+                    span,
+                    parent: has_parent.then_some(parent),
+                    name,
+                    // An empty detail renders identically to an absent
+                    // one, so keep generated details non-empty.
+                    detail: (has_detail && !detail.is_empty()).then_some(detail),
+                }
+            }),
+        (timestamp(), label()).prop_map(|(span, status)| FrameKind::SpanClose { span, status }),
+    ]
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    (timestamp(), device(), kind()).prop_map(|(t, dev, kind)| Frame { t, dev, kind })
+}
+
+/// Encodes frames to an in-memory binary stream.
+fn encode(frames: &[Frame]) -> Vec<u8> {
+    let mut writer = FrameWriter::new(Vec::new()).expect("vec write");
+    for frame in frames {
+        writer.write_frame(frame).expect("vec write");
+    }
+    writer.finish().expect("vec write")
+}
+
+/// Decodes every frame from a binary stream.
+fn decode(bytes: &[u8]) -> Vec<Frame> {
+    let mut reader = FrameReader::new(bytes).expect("valid magic");
+    let mut frames = Vec::new();
+    while let Some(frame) = reader.next_frame().expect("valid stream") {
+        frames.push(frame);
+    }
+    frames
+}
+
+fn render(frames: &[Frame]) -> String {
+    let mut text = String::new();
+    for frame in frames {
+        frame.render_jsonl(&mut text);
+        text.push('\n');
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Binary encode → decode is the identity on frames, hostile strings
+    /// and `u64::MAX` timestamps included.
+    #[test]
+    fn binary_codec_is_identity(frames in vec(frame(), 0..12)) {
+        prop_assert_eq!(decode(&encode(&frames)), frames);
+    }
+
+    /// JSONL render → parse is the identity on frames: every escape the
+    /// renderer emits, the parser must invert exactly.
+    #[test]
+    fn jsonl_codec_is_identity(frames in vec(frame(), 1..12)) {
+        for frame in &frames {
+            let mut line = String::new();
+            frame.render_jsonl(&mut line);
+            let back = Frame::from_jsonl(&line)
+                .unwrap_or_else(|e| panic!("own render must parse: {e}\n{line}"));
+            prop_assert_eq!(&back, frame);
+        }
+    }
+
+    /// The full `blap-trace convert` cycle — JSONL → binary → JSONL — is
+    /// byte-identical, so converting there and back loses nothing.
+    #[test]
+    fn convert_cycle_is_byte_identical(frames in vec(frame(), 0..12)) {
+        let jsonl = render(&frames);
+        // JSONL -> frames -> binary.
+        let parsed: Vec<Frame> = jsonl
+            .lines()
+            .map(|l| Frame::from_jsonl(l).expect("canonical line"))
+            .collect();
+        let binary = encode(&parsed);
+        // binary -> frames -> JSONL.
+        prop_assert_eq!(render(&decode(&binary)), jsonl);
+    }
+}
+
+/// The committed fixture pair pins the byte-level encoding of both
+/// formats for a small representative trace. `BLAP_REGEN_FIXTURES=1`
+/// rewrites both files from the in-tree sample.
+#[test]
+fn committed_binary_fixture_is_byte_exact() {
+    // One frame per tag, deterministic values — edits here must be
+    // paired with a fixture regen and show up in review as byte diffs.
+    let frames = vec![
+        Frame {
+            t: 0,
+            dev: None,
+            kind: FrameKind::UnitStart {
+                unit: 0,
+                label: "trial_pair".to_owned(),
+            },
+        },
+        Frame {
+            t: 0,
+            dev: None,
+            kind: FrameKind::SpanOpen {
+                span: 1,
+                parent: None,
+                name: "trial".to_owned(),
+                detail: "blocking".to_owned().into(),
+            },
+        },
+        Frame {
+            t: 0,
+            dev: Some(0),
+            kind: FrameKind::Dispatch {
+                seq: 1,
+                kind: "Script".to_owned(),
+            },
+        },
+        Frame {
+            t: 625,
+            dev: Some(2),
+            kind: FrameKind::PageStart {
+                target: "00:1b:7d:da:71:0a".to_owned(),
+            },
+        },
+        Frame {
+            t: 625,
+            dev: Some(2),
+            kind: FrameKind::SpanOpen {
+                span: 2,
+                parent: Some(1),
+                name: "page".to_owned(),
+                detail: "00:1b:7d:da:71:0a".to_owned().into(),
+            },
+        },
+        Frame {
+            t: 1250,
+            dev: Some(2),
+            kind: FrameKind::PageConnect {
+                target: "00:1b:7d:da:71:0a".to_owned(),
+                responder: 0,
+                latency_us: 493606,
+                raced: false,
+            },
+        },
+        Frame {
+            t: 1250,
+            dev: Some(0),
+            kind: FrameKind::Race {
+                target: "00:1b:7d:da:71:0a".to_owned(),
+                attacker_won: true,
+            },
+        },
+        Frame {
+            t: 1875,
+            dev: Some(0),
+            kind: FrameKind::Scan {
+                page_scan: true,
+                inquiry_scan: false,
+            },
+        },
+        Frame {
+            t: 2500,
+            dev: Some(0),
+            kind: FrameKind::LmpSend {
+                peer: "00:1b:7d:da:71:0a".to_owned(),
+                pdu: "LMP_au_rand".to_owned(),
+            },
+        },
+        Frame {
+            t: 3750,
+            dev: Some(2),
+            kind: FrameKind::LmpRecv {
+                peer: "48:90:12:34:56:78".to_owned(),
+                pdu: "LMP_au_rand".to_owned(),
+            },
+        },
+        Frame {
+            t: 5000,
+            dev: Some(2),
+            kind: FrameKind::LmpTimeout {
+                peer: "48:90:12:34:56:78".to_owned(),
+            },
+        },
+        Frame {
+            t: 5625,
+            dev: Some(0),
+            kind: FrameKind::Hci {
+                dir: "sent".to_owned(),
+                kind: "command".to_owned(),
+                name: "HCI_Create_Connection".to_owned(),
+            },
+        },
+        Frame {
+            t: 6250,
+            dev: None,
+            kind: FrameKind::LinkDrop {
+                reason: "supervision_timeout".to_owned(),
+            },
+        },
+        Frame {
+            t: 6875,
+            dev: Some(2),
+            kind: FrameKind::Keystore {
+                peer: "48:90:12:34:56:78".to_owned(),
+                action: "install".to_owned(),
+            },
+        },
+        Frame {
+            t: 7500,
+            dev: Some(2),
+            kind: FrameKind::AttackPhase {
+                label: "ploc_hold".to_owned(),
+            },
+        },
+        Frame {
+            t: 8125,
+            dev: None,
+            kind: FrameKind::Warning {
+                message: "clock drift \"high\"\n".to_owned(),
+            },
+        },
+        Frame {
+            t: 8750,
+            dev: Some(2),
+            kind: FrameKind::PageTimeout {
+                target: "00:1b:7d:da:71:0a".to_owned(),
+            },
+        },
+        Frame {
+            t: u64::MAX,
+            dev: Some(0),
+            kind: FrameKind::SpanClose {
+                span: 1,
+                status: "attacker_won".to_owned(),
+            },
+        },
+    ];
+    let jsonl = render(&frames);
+    let binary = encode(&frames);
+
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let jsonl_path = dir.join("trace_small.jsonl");
+    let bin_path = dir.join("trace_small.bin");
+    if std::env::var_os("BLAP_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(&dir).expect("fixture dir");
+        std::fs::write(&jsonl_path, &jsonl).expect("write jsonl fixture");
+        std::fs::write(&bin_path, &binary).expect("write binary fixture");
+    }
+
+    let want_jsonl = std::fs::read_to_string(&jsonl_path)
+        .expect("fixture missing — run with BLAP_REGEN_FIXTURES=1 to create it");
+    let want_bin = std::fs::read(&bin_path)
+        .expect("fixture missing — run with BLAP_REGEN_FIXTURES=1 to create it");
+    assert_eq!(jsonl, want_jsonl, "JSONL fixture drifted");
+    assert_eq!(binary, want_bin, "binary fixture drifted");
+
+    // And the committed binary fixture decodes back to the JSONL one —
+    // the same check CI's convert smoke performs through the CLI.
+    let mut bytes = Vec::new();
+    std::fs::File::open(&bin_path)
+        .expect("fixture opens")
+        .read_to_end(&mut bytes)
+        .expect("fixture reads");
+    assert_eq!(render(&decode(&bytes)), want_jsonl);
+}

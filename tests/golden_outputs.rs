@@ -126,6 +126,33 @@ fn golden_table1_trace() {
 }
 
 #[test]
+fn golden_trace_check_and_timeline_reports() {
+    // Mirrors `blap-trace check` / `blap-trace timeline` over the pinned
+    // Table I/II traces: the streaming analyzer's rendered reports are
+    // fixtures too, and CI diffs the CLI's actual stdout against the same
+    // files — so the library and the binary are pinned to each other.
+    for table in ["table1", "table2"] {
+        let trace = fs::read_to_string(fixture_path(&format!("{table}_trace.jsonl")))
+            .expect("trace fixture present");
+        let mut analyzer = blap_obs::StreamAnalyzer::new();
+        for line in trace.lines() {
+            analyzer.push_line(line).expect("fixture lines parse");
+        }
+        let analysis = analyzer.finish();
+        assert!(analysis.ok(), "pinned traces are violation-free");
+        let check = format!("{}OK: all invariants hold\n", analysis.report());
+        check_fixture(&format!("{table}_check.txt"), check.as_bytes());
+        let timeline = format!(
+            "{} lines, {} trial segments\n{}",
+            analysis.line_count,
+            analysis.segment_count,
+            analysis.profile.render()
+        );
+        check_fixture(&format!("{table}_timeline.txt"), timeline.as_bytes());
+    }
+}
+
+#[test]
 fn golden_eavesdrop_report() {
     // Locks the sniffer's AES-CCM seal path and the offline decrypt path:
     // a summary of the stolen key and every recovered plaintext.

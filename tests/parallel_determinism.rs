@@ -238,6 +238,56 @@ fn campaign_metrics_identical_across_worker_counts() {
 }
 
 #[test]
+fn checked_campaign_is_schedule_invisible_and_clean() {
+    // `--check-invariants` inherits both campaign guarantees: the merged
+    // metrics bag AND the violation summary are byte-identical at any
+    // worker count (shard-order merging, not completion-order), and a
+    // healthy fleet campaign is clean — the live checker found real
+    // modeling gaps during bring-up, so "clean" is a statement about the
+    // checker and the simulator agreeing, not a vacuous pass.
+    let campaign = Campaign {
+        population: Population::fleet(),
+        trials: 64,
+        shards: 4,
+        seed: 7,
+    };
+    let (serial_metrics, serial_summary) = campaign.run_checked(Jobs::serial());
+    assert!(serial_summary.is_clean(), "{}", serial_summary.render());
+    assert_eq!(serial_summary.trials_checked, 64, "every trial is checked");
+    for jobs in [4, 8] {
+        let (metrics, summary) = campaign.run_checked(Jobs::new(jobs));
+        assert_eq!(
+            metrics.to_json(),
+            serial_metrics.to_json(),
+            "{jobs} jobs metrics diverged from serial"
+        );
+        assert_eq!(
+            summary.to_json(),
+            serial_summary.to_json(),
+            "{jobs} jobs summary diverged from serial"
+        );
+        assert_eq!(summary.render(), serial_summary.render());
+    }
+}
+
+#[test]
+fn invariant_checking_is_a_pure_observer() {
+    // Feeding every shard's events through the streaming checker must not
+    // perturb the experiment: the merged metrics match the unchecked run
+    // byte for byte.
+    let campaign = Campaign {
+        population: Population::mitigated(),
+        trials: 48,
+        shards: 3,
+        seed: 99,
+    };
+    let unchecked = campaign.run(Jobs::new(4)).to_json();
+    let (checked, summary) = campaign.run_checked(Jobs::new(4));
+    assert_eq!(checked.to_json(), unchecked, "checking changed the metrics");
+    assert!(summary.is_clean(), "{}", summary.render());
+}
+
+#[test]
 fn campaign_checkpoint_resume_split_is_byte_identical() {
     // The `blap-campaign` checkpoint contract end to end: aggregate a
     // prefix of the shards, serialize the partial bag to JSON (exactly

@@ -6,7 +6,8 @@
 //!     [--population fleet|table2|mitigated] [--trials N] [--shards N] \
 //!     [--seed N] [--jobs N] [--metrics out/metrics.json] \
 //!     [--checkpoint ck.json] [--checkpoint-every N] [--resume] \
-//!     [--stop-after N] [--check-invariants]
+//!     [--stop-after N] [--check-invariants] \
+//!     [--telemetry telemetry.jsonl] [--telemetry-interval MS]
 //! ```
 //!
 //! Trials are sharded across workers; each shard runs its own worlds and
@@ -27,18 +28,29 @@
 //! printed with the final report, embedded in the checkpoint, and turns
 //! the exit status to 1 (after all artifacts are written). Metrics bytes
 //! are unchanged by the flag.
+//!
+//! Live progress is always on: a one-line stderr heartbeat redraws every
+//! `--telemetry-interval` milliseconds (default 1000). `--telemetry
+//! <path>` additionally appends each sampled
+//! [`blap_obs::telemetry::TelemetrySnapshot`] as a JSONL line for
+//! `blap-top` to tail-follow. Telemetry is wall-time sidecar data, like
+//! `profile.json`: the metrics artifact and checkpoint stay
+//! byte-identical with it on or off, at any worker count.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use blap::campaign::{Campaign, Population};
 use blap_bench::cli::{self, Args};
-use blap_obs::{json, prof, MetaValue, Metrics, ViolationSummary};
+use blap_obs::{json, prof, telemetry, MetaValue, Metrics, ViolationSummary};
 
 /// Checkpoint document schema tag.
 const SCHEMA: &str = "blap-campaign-checkpoint-v1";
 
 /// Default shard count between checkpoint writes.
 const DEFAULT_CHECKPOINT_EVERY: u64 = 64;
+
+/// Default telemetry sampling interval in milliseconds.
+const DEFAULT_TELEMETRY_INTERVAL_MS: u64 = 1000;
 
 fn main() {
     let args = Args::parse_with(
@@ -50,6 +62,8 @@ fn main() {
             "--checkpoint",
             "--checkpoint-every",
             "--stop-after",
+            "--telemetry",
+            "--telemetry-interval",
         ],
         &["--resume", "--check-invariants"],
     );
@@ -80,6 +94,16 @@ fn main() {
         die::<u64>("--resume needs --checkpoint <path> to resume from".to_owned());
     }
     let check_invariants = args.has_switch("--check-invariants");
+    let telemetry_path: String = args
+        .extra_or("--telemetry", String::new())
+        .unwrap_or_else(die);
+    let telemetry_path = (!telemetry_path.is_empty()).then_some(telemetry_path);
+    let telemetry_interval_ms: u64 = args
+        .extra_or("--telemetry-interval", DEFAULT_TELEMETRY_INTERVAL_MS)
+        .unwrap_or_else(die);
+    if telemetry_interval_ms == 0 {
+        die::<u64>("--telemetry-interval must be at least 1 (milliseconds)".to_owned());
+    }
 
     let mut campaign = Campaign::new(population, trials, seed);
     if shards > 0 {
@@ -107,6 +131,26 @@ fn main() {
     };
 
     let stop_at = next_shard.saturating_add(stop_after).min(total_shards);
+    // Live telemetry rides beside the run: the heartbeat is always on,
+    // the JSONL sidecar only under --telemetry. Sidecar-only, so the
+    // artifacts below never see it.
+    telemetry::begin_session(telemetry::SessionTotals {
+        trials_total: trials,
+        shards_total: total_shards,
+        trials_done: merged.counter("campaign.trials"),
+        shards_done: next_shard,
+    });
+    let collector = telemetry::Collector::start(
+        telemetry_path.clone(),
+        Duration::from_millis(telemetry_interval_ms),
+        true,
+    )
+    .unwrap_or_else(|err| {
+        die(format!(
+            "cannot open telemetry sidecar {}: {err}",
+            telemetry_path.as_deref().unwrap_or("?")
+        ))
+    });
     let started = Instant::now();
     let resumed_from = next_shard;
     while next_shard < stop_at {
@@ -128,6 +172,14 @@ fn main() {
         }
     }
     let wall = started.elapsed();
+    let telemetry_report = collector.stop();
+    if let Some(path) = &telemetry_path {
+        eprintln!(
+            "telemetry sidecar: {path} ({} snapshots written, {} dropped from the ring)",
+            telemetry_report.lines_written,
+            telemetry_report.ring.dropped()
+        );
+    }
 
     let already_swept = if resumed_from >= total_shards {
         trials

@@ -1,8 +1,10 @@
 //! Hot-path benchmark summary: one JSON artifact (`BENCH_hotpaths.json`)
 //! covering the kernels the perf work targets — HCI encode/decode, the
 //! AES-CCM link cipher (scalar and batched `open_many`), the batched
-//! eavesdrop decrypt pipeline, legacy `E1` and the pincrack candidate
-//! loop — plus end-to-end wall times for the table drivers and a
+//! eavesdrop decrypt pipeline, legacy `E1`, the pincrack candidate
+//! loop, and the disabled-telemetry hook (pinning the zero-cost-when-off
+//! contract of the live telemetry tier) — plus end-to-end wall times for
+//! the table drivers and a
 //! `throughput` section with the batched sweep figures
 //! (`pincrack_candidates_per_sec`, `ccm_open_bytes_per_sec`; every
 //! `throughput` key is floor-gated by `blap-bench compare`: only a drop
@@ -200,6 +202,21 @@ fn main() {
         ));
     }) / n_encrypted as f64;
 
+    // Zero-cost-when-off contract of the telemetry hooks: with the hub
+    // disabled, every record call must collapse to one relaxed load and
+    // an early return. 128 calls per timed op keep the per-call figure
+    // above timer resolution; the compare gate ceilings it so a stray
+    // allocation or lock on the disabled path shows up as a regression.
+    blap_obs::telemetry::set_enabled(false);
+    let busy = std::time::Duration::from_nanos(100);
+    let telemetry_disabled = ns_per_op(20_000, || {
+        for i in 0..64usize {
+            blap_obs::telemetry::record_unit(black_box(i), busy);
+            blap_obs::telemetry::record_trial(black_box("bench/off"), true, 42);
+        }
+        black_box(blap_obs::telemetry::enabled());
+    }) / 128.0;
+
     let e1_key: LinkKey = "71a70981f30d6af9e20adee8aafe3264".parse().expect("valid");
     let e1_addr: BdAddr = "aa:aa:aa:aa:aa:aa".parse().expect("valid");
     let e1_rand = [1u8; 16];
@@ -299,8 +316,12 @@ fn main() {
     );
     println!("    \"legacy_e1\": {},", json_number(legacy_e1));
     println!(
-        "    \"pincrack_candidate\": {}",
+        "    \"pincrack_candidate\": {},",
         json_number(pincrack_candidate)
+    );
+    println!(
+        "    \"telemetry_disabled\": {}",
+        json_number(telemetry_disabled)
     );
     println!("  }},");
     println!("  \"wall_ms\": {{");

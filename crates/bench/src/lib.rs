@@ -16,6 +16,7 @@ use blap_sim::profiles;
 
 pub mod cli;
 pub mod compare;
+pub mod top;
 
 /// An experiment run with observability attached: the rows the unobserved
 /// runner would have produced, plus the merged metrics and the

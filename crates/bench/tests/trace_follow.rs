@@ -1,0 +1,260 @@
+//! Tail-follow contract of `blap-trace check --follow` / `timeline
+//! --follow`: a growing trace is analyzed to completion once the file
+//! goes idle, and the torn final record a killed writer leaves behind
+//! is a stderr warning — not a fatal parse error — in follow mode only.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use blap::runner::Jobs;
+
+fn blap_trace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_blap-trace"))
+}
+
+/// A small but real JSONL trace (clean: no invariant violations).
+fn sample_trace() -> String {
+    blap_bench::run_table2_observed_with(1701, 1, Jobs::serial()).trace
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blap-trace-follow-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn append(path: &PathBuf, bytes: &[u8]) {
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .expect("open for append");
+    file.write_all(bytes).expect("append");
+    file.flush().expect("flush");
+}
+
+#[test]
+fn follow_analyzes_a_jsonl_trace_written_after_start() {
+    // The follower starts on an *empty* file — the campaign has created
+    // the sidecar but written nothing — so this also exercises the
+    // wait-for-format-sniff path.
+    let trace = sample_trace();
+    let path = temp_path("grows.jsonl");
+    std::fs::write(&path, "").expect("create empty");
+    let child = blap_trace()
+        .args([
+            "check",
+            path.to_str().expect("utf8"),
+            "--follow",
+            "--idle-ms",
+            "1200",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn blap-trace");
+    // Two appends with a pause between them: the follower must pick up
+    // growth, not just whatever existed at open time.
+    let half = trace.len() / 2;
+    std::thread::sleep(Duration::from_millis(300));
+    append(&path, &trace.as_bytes()[..half]);
+    std::thread::sleep(Duration::from_millis(300));
+    append(&path, &trace.as_bytes()[half..]);
+    let output = child.wait_with_output().expect("wait");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "follow must exit 0 on a clean trace\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("OK: all invariants hold"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn follow_tolerates_a_torn_final_jsonl_line() {
+    // A campaign killed mid-append (--stop-after injection) leaves a
+    // half line with no newline. One-shot check treats that as the
+    // corruption it cannot distinguish it from; follow mode knows the
+    // writer is gone (idle timeout passed) and reports on the prefix.
+    let trace = sample_trace();
+    let last_line = trace.lines().last().expect("nonempty trace");
+    let torn = format!("{trace}{}", &last_line[..last_line.len() / 2]);
+    let path = temp_path("torn.jsonl");
+    std::fs::write(&path, torn).expect("write");
+
+    let output = blap_trace()
+        .args(["check", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "one-shot check must stay fatal on a torn tail"
+    );
+
+    let output = blap_trace()
+        .args([
+            "check",
+            path.to_str().expect("utf8"),
+            "--follow",
+            "--idle-ms",
+            "200",
+        ])
+        .output()
+        .expect("run");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "follow must tolerate the torn tail\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stderr.contains("torn final line"), "{stderr}");
+    assert!(stdout.contains("OK: all invariants hold"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn follow_analyzes_a_binary_trace_split_mid_frame() {
+    // Convert the sample to BLAPTRC1, then feed it to a follower in two
+    // chunks split at an arbitrary byte offset — almost certainly mid
+    // frame — so the reader must block inside a frame until the writer
+    // finishes it.
+    let trace = sample_trace();
+    let jsonl = temp_path("sample.jsonl");
+    let binary = temp_path("sample.bin");
+    std::fs::write(&jsonl, &trace).expect("write");
+    let status = blap_trace()
+        .args([
+            "convert",
+            jsonl.to_str().expect("utf8"),
+            binary.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("convert");
+    assert!(status.success());
+    let bytes = std::fs::read(&binary).expect("read binary");
+
+    let path = temp_path("grows.bin");
+    let half = bytes.len() / 2;
+    std::fs::write(&path, &bytes[..half]).expect("write first half");
+    let child = blap_trace()
+        .args([
+            "timeline",
+            path.to_str().expect("utf8"),
+            "--follow",
+            "--idle-ms",
+            "1200",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn blap-trace");
+    std::thread::sleep(Duration::from_millis(300));
+    append(&path, &bytes[half..]);
+    let output = child.wait_with_output().expect("wait");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "binary follow must exit 0\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    let lines = trace.lines().count();
+    assert!(
+        stdout.contains(&format!("{lines} lines")),
+        "timeline must see every frame: {stdout}"
+    );
+    for file in [&jsonl, &binary, &path] {
+        let _ = std::fs::remove_file(file);
+    }
+}
+
+#[test]
+fn follow_tolerates_a_torn_final_frame_but_not_interior_corruption() {
+    let trace = sample_trace();
+    let jsonl = temp_path("frame-sample.jsonl");
+    let binary = temp_path("frame-sample.bin");
+    std::fs::write(&jsonl, &trace).expect("write");
+    let status = blap_trace()
+        .args([
+            "convert",
+            jsonl.to_str().expect("utf8"),
+            binary.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("convert");
+    assert!(status.success());
+    let bytes = std::fs::read(&binary).expect("read binary");
+
+    // A torn extra frame after the complete stream — a 20-byte length
+    // prefix with only 17 payload bytes on disk, exactly what a writer
+    // killed mid-frame leaves: fatal one-shot, warned-and-tolerated in
+    // follow (where the complete prefix still checks clean).
+    let path = temp_path("torn.bin");
+    let mut torn = bytes.clone();
+    torn.push(20);
+    torn.extend_from_slice(&[0u8; 17]);
+    std::fs::write(&path, &torn).expect("write torn");
+    let output = blap_trace()
+        .args(["check", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert_eq!(output.status.code(), Some(2), "one-shot stays fatal");
+    let output = blap_trace()
+        .args([
+            "check",
+            path.to_str().expect("utf8"),
+            "--follow",
+            "--idle-ms",
+            "200",
+        ])
+        .output()
+        .expect("run");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "follow must tolerate the torn final frame\nstderr: {stderr}"
+    );
+    assert!(stderr.contains("torn final frame"), "{stderr}");
+
+    // Structural corruption — here a complete length prefix claiming a
+    // payload past the codec's hard limit — is NOT a torn tail and must
+    // stay fatal even in follow mode.
+    let mut corrupt = bytes.clone();
+    corrupt.extend_from_slice(&[0x80, 0x80, 0x80, 0x01]); // varint 2^21 > MAX_PAYLOAD
+    std::fs::write(&path, &corrupt).expect("write corrupt");
+    let output = blap_trace()
+        .args([
+            "check",
+            path.to_str().expect("utf8"),
+            "--follow",
+            "--idle-ms",
+            "200",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "structural corruption must stay fatal under --follow: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    for file in [&jsonl, &binary, &path] {
+        let _ = std::fs::remove_file(file);
+    }
+}
+
+#[test]
+fn idle_ms_without_follow_is_a_usage_error() {
+    let output = blap_trace()
+        .args(["check", "whatever.jsonl", "--idle-ms", "5"])
+        .output()
+        .expect("run");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("--idle-ms requires --follow"),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -25,7 +25,7 @@
 //!   the `blap-campaign` driver's checkpoint/resume rests on, pinned in
 //!   `tests/parallel_determinism.rs`.
 
-use blap_obs::{Metrics, StreamSink, Tracer, ViolationSummary};
+use blap_obs::{telemetry, Metrics, StreamSink, Tracer, ViolationSummary};
 use blap_sim::{profiles, DeviceProfile, UserBehaviorMix};
 use blap_types::Duration;
 
@@ -313,6 +313,15 @@ impl Campaign {
             &format!("campaign.device.{}.{scoped}_wins", profile.name),
             u64::from(outcome.mitm_established),
         );
+        // Live telemetry is observation only: the hub sees the verdict
+        // and the trial's virtual span, never feeds anything back.
+        if telemetry::enabled() {
+            telemetry::record_trial(
+                &format!("{}/{scoped}", profile.name),
+                outcome.mitm_established,
+                world_metrics.counter("virtual_us"),
+            );
+        }
     }
 
     /// Runs shard `shard` serially, returning its metrics bag. Each trial
@@ -326,6 +335,7 @@ impl Campaign {
             self.run_trial(trial, &mut metrics, &tracer);
         }
         metrics.inc("campaign.shards");
+        telemetry::record_shard();
         metrics
     }
 
@@ -356,6 +366,7 @@ impl Campaign {
             tracer.attach(sink.clone());
             self.run_trial(trial, &mut metrics, &tracer);
             let analysis = sink.finish();
+            telemetry::record_violations(analysis.violations.len() as u64);
             for v in &analysis.violations {
                 if live < Campaign::MAX_LIVE_VIOLATIONS_PER_SHARD {
                     eprintln!("campaign shard {shard} trial {trial}: VIOLATION {v}");
@@ -370,6 +381,7 @@ impl Campaign {
             summary.record(&format!("trial {trial}"), &analysis);
         }
         metrics.inc("campaign.shards");
+        telemetry::record_shard();
         (metrics, summary)
     }
 

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use blap_obs::prof;
+use blap_obs::{prof, telemetry};
 
 /// Worker-thread count for an experiment run.
 ///
@@ -156,16 +156,30 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let workers = jobs.get().min(units.max(1));
-    // Snapshot the profiling state once per run so a mid-run toggle can't
-    // produce half-accounted pools. Wall-clock accounting is sidecar-only:
-    // it never touches the results, so determinism is unaffected.
+    // Snapshot the profiling and telemetry states once per run so a
+    // mid-run toggle can't produce half-accounted pools. Wall-clock
+    // accounting is sidecar-only: it never touches the results, so
+    // determinism is unaffected.
     let prof_on = prof::enabled();
+    let telemetry_on = telemetry::enabled();
+    let timed = prof_on || telemetry_on;
     let run_started = prof_on.then(Instant::now);
     if workers <= 1 {
-        let out: Vec<R> = if prof_on {
-            let busy_started = Instant::now();
-            let out = (0..units).map(f).collect();
-            prof::record_worker("parallel_map", 0, busy_started.elapsed(), units as u64);
+        let out: Vec<R> = if timed {
+            let mut out = Vec::with_capacity(units);
+            let mut busy = Duration::ZERO;
+            for i in 0..units {
+                let task_started = Instant::now();
+                out.push(f(i));
+                let took = task_started.elapsed();
+                busy += took;
+                if telemetry_on {
+                    telemetry::record_unit(0, took);
+                }
+            }
+            if prof_on {
+                prof::record_worker("parallel_map", 0, busy, units as u64);
+            }
             out
         } else {
             (0..units).map(f).collect()
@@ -190,11 +204,15 @@ where
                         if i >= units {
                             break;
                         }
-                        if prof_on {
+                        if timed {
                             let task_started = Instant::now();
                             done.push((i, f(i)));
-                            busy += task_started.elapsed();
+                            let took = task_started.elapsed();
+                            busy += took;
                             tasks += 1;
+                            if telemetry_on {
+                                telemetry::record_unit(worker, took);
+                            }
                         } else {
                             done.push((i, f(i)));
                         }
@@ -277,6 +295,8 @@ where
     assert!(chunk_size > 0, "chunk_size must be positive");
     let workers = jobs.get();
     let prof_on = prof::enabled();
+    let telemetry_on = telemetry::enabled();
+    let timed = prof_on || telemetry_on;
     let run_started = prof_on.then(Instant::now);
     if workers <= 1 || total <= chunk_size {
         // Same accounting contract as the parallel path below: busy time
@@ -290,11 +310,15 @@ where
         let mut start = 0u64;
         while start < total {
             let end = (start + chunk_size).min(total);
-            let chunk_started = prof_on.then(Instant::now);
+            let chunk_started = timed.then(Instant::now);
             let hit = search_chunk(&mut scratch, start, end);
             if let Some(started) = chunk_started {
-                busy += started.elapsed();
+                let took = started.elapsed();
+                busy += took;
                 chunks_scanned += 1;
+                if telemetry_on {
+                    telemetry::record_unit(0, took);
+                }
             }
             if let Some((_, payload)) = hit {
                 result = Some(payload);
@@ -332,11 +356,15 @@ where
                         break;
                     }
                     let end = (start + chunk_size).min(total);
-                    let chunk_started = prof_on.then(Instant::now);
+                    let chunk_started = timed.then(Instant::now);
                     let hit = search_chunk(&mut scratch, start, end);
                     if let Some(started) = chunk_started {
-                        busy += started.elapsed();
+                        let took = started.elapsed();
+                        busy += took;
                         chunks_scanned += 1;
+                        if telemetry_on {
+                            telemetry::record_unit(worker, took);
+                        }
                     }
                     if let Some((index, payload)) = hit {
                         let mut guard = best.lock().expect("search lock");

@@ -61,6 +61,11 @@ pub struct CodecError {
     pub frame: usize,
     /// What went wrong.
     pub message: String,
+    /// Whether the stream simply *ended* mid-frame — the torn final
+    /// frame of a killed (or still-writing) producer — as opposed to
+    /// structural corruption. Follow-mode readers tolerate exactly the
+    /// truncated errors; everything else stays fatal.
+    pub truncated: bool,
 }
 
 impl fmt::Display for CodecError {
@@ -880,11 +885,13 @@ impl<R: Read> FrameReader<R> {
                 Some(n) => format!("stream ends after {n} byte(s), before the 8-byte magic"),
                 None => "unreadable stream magic".to_owned(),
             },
+            truncated: partial.is_some(),
         })?;
         if magic != MAGIC {
             return Err(CodecError {
                 frame: 0,
                 message: format!("bad magic {magic:02x?}, want {MAGIC:02x?} (\"BLAPTRC1\")"),
+                truncated: false,
             });
         }
         Ok(FrameReader { inner, frame_no: 0 })
@@ -895,6 +902,12 @@ impl<R: Read> FrameReader<R> {
         let err = |message: String| CodecError {
             frame: self.frame_no,
             message,
+            truncated: false,
+        };
+        let torn = |message: String| CodecError {
+            frame: self.frame_no,
+            message,
+            truncated: true,
         };
         // Length prefix, byte at a time: EOF before the first byte is a
         // clean end; EOF inside the varint is a torn frame.
@@ -904,7 +917,7 @@ impl<R: Read> FrameReader<R> {
             let mut byte = [0u8; 1];
             match self.inner.read(&mut byte) {
                 Ok(0) if shift == 0 => return Ok(None),
-                Ok(0) => return Err(err("stream ends inside a frame length prefix".to_owned())),
+                Ok(0) => return Err(torn("stream ends inside a frame length prefix".to_owned())),
                 Ok(_) => {
                     let bits = u64::from(byte[0] & 0x7f);
                     if shift >= 63 && bits > 1 {
@@ -929,14 +942,12 @@ impl<R: Read> FrameReader<R> {
             )));
         }
         let mut payload = vec![0u8; len as usize];
-        read_full(&mut self.inner, &mut payload).map_err(|partial| {
-            err(match partial {
-                Some(n) => format!(
-                    "stream ends {} byte(s) into a {len}-byte frame payload (torn frame)",
-                    n
-                ),
-                None => "read error inside a frame payload".to_owned(),
-            })
+        read_full(&mut self.inner, &mut payload).map_err(|partial| match partial {
+            Some(n) => torn(format!(
+                "stream ends {} byte(s) into a {len}-byte frame payload (torn frame)",
+                n
+            )),
+            None => err("read error inside a frame payload".to_owned()),
         })?;
         let frame = Frame::decode_payload(&payload).map_err(err)?;
         self.frame_no += 1;

@@ -55,6 +55,14 @@
 //! export, and (behind the `prof-alloc` feature) a counting global
 //! allocator. Its output is sidecar-only, so enabling it never perturbs a
 //! `--trace`/`--metrics` byte.
+//!
+//! [`telemetry`] extends the wall-clock side with a **live** tier: a
+//! versioned [`telemetry::TelemetrySnapshot`] bus sampled on an interval
+//! while a campaign runs (trials/s, per-worker utilization, win rates,
+//! violation counts, ETA), ring-buffered with an explicit
+//! dropped-snapshot counter and appended as JSONL for `blap-top` to
+//! tail-follow. It obeys the same sidecar rule: deterministic artifacts
+//! are byte-identical with telemetry on or off.
 
 // `prof-alloc` implements `GlobalAlloc`, which is inherently unsafe; the
 // rest of the crate stays forbid-clean.
@@ -70,6 +78,7 @@ pub mod metrics;
 pub mod prof;
 pub mod span;
 pub mod stream;
+pub mod telemetry;
 pub mod trace;
 
 pub use analyze::{analyze_trace, PhaseProfile, TraceAnalysis, Violation};
@@ -78,4 +87,5 @@ pub use diff::{diff_metrics, diff_traces, flatten_json, DiffReport, TraceDiff};
 pub use metrics::{export_json, Histogram, MetaValue, Metrics};
 pub use span::SpanId;
 pub use stream::{StreamAnalyzer, StreamSink, ViolationSummary};
+pub use telemetry::{SnapshotRing, TelemetrySnapshot};
 pub use trace::{DumpOnAssert, FlightRecorder, JsonlBuffer, TraceEvent, TraceSink, Tracer};

@@ -1,0 +1,122 @@
+//! Telemetry snapshot writer ↔ parser round-trip properties.
+//!
+//! Like the metrics document (see `roundtrip.rs`), the telemetry
+//! sidecar line is rendered by a hand-rolled writer and read back by
+//! the hand-rolled parser, and the two can drift independently. The
+//! properties here pin them together over the whole schema — every
+//! numeric field, the per-worker lanes, and win-rate labels chosen to
+//! stress the escaper (quotes, backslashes, control characters,
+//! non-ASCII) — plus the byte-level guarantee `blap-top` relies on:
+//! render → parse → render is the identity on the line itself.
+
+use std::collections::BTreeMap;
+
+use blap_obs::telemetry::{
+    parse_snapshot_line, RaceCell, TelemetrySnapshot, WorkerLane, SCHEMA_VERSION,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Labels that stress the escaper: every JSON escape class plus plain
+/// `device/mode` names like the campaign emits.
+fn label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9_. ]{1,12}".prop_map(|s| format!("{s}/blocking")),
+        Just("he said \"hi\"".to_owned()),
+        Just("back\\slash\\".to_owned()),
+        Just("tab\there".to_owned()),
+        Just("new\nline".to_owned()),
+        Just("ctrl\u{1}\u{1f}char".to_owned()),
+        Just("snowman ☃ naïve".to_owned()),
+        Just("\"".to_owned()),
+        Just("\\\"\\".to_owned()),
+    ]
+}
+
+/// An arbitrary schema-valid snapshot. Floats are generated on the
+/// writer's fixed-precision grids (one decimal for the rate, four for
+/// utilization), so a faithful round trip reproduces them exactly;
+/// worker lanes and race labels are deduplicated and sorted the way
+/// the sampler emits them.
+fn snapshot() -> impl Strategy<Value = TelemetrySnapshot> {
+    (
+        (
+            any::<u64>(), // seq
+            any::<u64>(), // wall_ms
+            any::<u64>(), // virtual_us
+            any::<u64>(), // trials
+            any::<u64>(), // trials_total
+            any::<u64>(), // shards
+            any::<u64>(), // shards_total
+        ),
+        (
+            0u64..10_000_000, // trials_per_sec, in tenths
+            any::<u64>(),     // eta_ms
+            any::<u64>(),     // violations
+            any::<u64>(),     // dropped
+        ),
+        vec(
+            (0u64..64, any::<u64>(), 0u64..1_000_000, 0u32..=10_000),
+            0..5,
+        ),
+        vec((label(), any::<u64>(), any::<u64>()), 0..4),
+    )
+        .prop_map(|(ids, stats, workers, races)| {
+            let (seq, wall_ms, virtual_us, trials, trials_total, shards, shards_total) = ids;
+            let (rate_tenths, eta_ms, violations, dropped) = stats;
+            let workers: BTreeMap<u64, WorkerLane> = workers
+                .into_iter()
+                .map(|(worker, tasks, busy_ms, util)| {
+                    (
+                        worker,
+                        WorkerLane {
+                            worker,
+                            tasks,
+                            busy_ms,
+                            utilization: f64::from(util) / 10_000.0,
+                        },
+                    )
+                })
+                .collect();
+            let races: BTreeMap<String, RaceCell> = races
+                .into_iter()
+                .map(|(label, wins, trials)| (label, RaceCell { wins, trials }))
+                .collect();
+            TelemetrySnapshot {
+                version: SCHEMA_VERSION,
+                seq,
+                wall_ms,
+                virtual_us,
+                trials,
+                trials_total,
+                shards,
+                shards_total,
+                trials_per_sec: rate_tenths as f64 / 10.0,
+                eta_ms,
+                violations,
+                dropped,
+                workers: workers.into_values().collect(),
+                races: races.into_iter().collect(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn snapshot_survives_render_and_parse(source in snapshot()) {
+        let line = source.to_json_line();
+        prop_assert!(
+            !line.contains('\n'),
+            "a snapshot must stay a single JSONL line: {line:?}"
+        );
+        let parsed = parse_snapshot_line(&line)
+            .unwrap_or_else(|e| panic!("rendered snapshot must parse: {e}\n{line}"));
+        prop_assert_eq!(&parsed, &source);
+        // Byte-level fixpoint: re-rendering the parsed snapshot cannot
+        // drift, or `blap-top` and any archival tooling would disagree
+        // about the same sidecar.
+        prop_assert_eq!(parsed.to_json_line(), line);
+    }
+}

@@ -17,7 +17,9 @@ use blap::link_key_extraction::ExtractionScenario;
 use blap::runner::{seed_for, Jobs};
 use blap_bench::{run_table1_observed_with, run_table2_observed_with, run_table2_with};
 use blap_crypto::p256::{generator, group_order, KeyPair, Point, Scalar};
-use blap_obs::{analyze_trace, diff_metrics, diff_traces, prof, FlightRecorder, Metrics, Tracer};
+use blap_obs::{
+    analyze_trace, diff_metrics, diff_traces, prof, telemetry, FlightRecorder, Metrics, Tracer,
+};
 use proptest::prelude::*;
 
 #[test]
@@ -143,6 +145,71 @@ fn profiling_never_perturbs_deterministic_artifacts() {
         );
         prof::reset();
     }
+}
+
+#[test]
+fn telemetry_never_perturbs_deterministic_artifacts() {
+    // The live telemetry tier rides the same sidecar rule as the
+    // profiler: flipping the dashboard on may never change a byte of
+    // the deterministic artifacts — the JSONL trace, the metrics
+    // document, the checked campaign's violation summary, or the
+    // checkpoint bag a `--resume` run stores — at any worker count.
+    telemetry::set_enabled(false);
+    let off = run_table2_observed_with(1701, 2, Jobs::serial());
+    let campaign = Campaign {
+        population: Population::fleet(),
+        trials: 32,
+        shards: 2,
+        seed: 7,
+    };
+    let (off_metrics, off_summary) = campaign.run_checked(Jobs::serial());
+    let off_checkpoint = campaign.run_shards(Jobs::serial(), 0, 1).to_json();
+    for jobs in [Jobs::serial(), Jobs::new(8)] {
+        telemetry::begin_session(telemetry::SessionTotals::default());
+        telemetry::set_enabled(true);
+        let on = run_table2_observed_with(1701, 2, jobs);
+        let (on_metrics, on_summary) = campaign.run_checked(jobs);
+        let on_checkpoint = campaign.run_shards(jobs, 0, 1).to_json();
+        // The hub did observe the runs it watched...
+        let snapshot = telemetry::sample(0, None, 0);
+        telemetry::set_enabled(false);
+        assert!(
+            snapshot.trials > 0,
+            "telemetry-on run must record trials into the hub"
+        );
+        // ...without leaking a single byte into any artifact.
+        assert_eq!(
+            on.trace,
+            off.trace,
+            "telemetry changed the trace at {} jobs",
+            jobs.get()
+        );
+        assert_eq!(
+            on.metrics.to_json(),
+            off.metrics.to_json(),
+            "telemetry changed the metrics at {} jobs",
+            jobs.get()
+        );
+        assert_eq!(
+            on_metrics.to_json(),
+            off_metrics.to_json(),
+            "telemetry changed the checked campaign metrics at {} jobs",
+            jobs.get()
+        );
+        assert_eq!(
+            on_summary.to_json(),
+            off_summary.to_json(),
+            "telemetry changed the violation summary at {} jobs",
+            jobs.get()
+        );
+        assert_eq!(
+            on_checkpoint,
+            off_checkpoint,
+            "telemetry changed the checkpoint bag at {} jobs",
+            jobs.get()
+        );
+    }
+    telemetry::reset();
 }
 
 #[test]
